@@ -1,0 +1,287 @@
+package aether
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"aether/internal/core"
+	"aether/internal/lockmgr"
+	"aether/internal/logbuf"
+	"aether/internal/logdev"
+	"aether/internal/recovery"
+	"aether/internal/storage"
+	"aether/internal/txn"
+)
+
+// BufferVariant selects the log-buffer insert algorithm (§5 of the
+// paper).
+type BufferVariant int
+
+const (
+	// BufferBaseline is the single-mutex log buffer (Algorithm 1).
+	BufferBaseline BufferVariant = iota
+	// BufferC uses consolidation-array backoff (Algorithm 2).
+	BufferC
+	// BufferD uses decoupled buffer fill (Algorithm 3).
+	BufferD
+	// BufferCD is the paper's hybrid design (§5.3) — the default.
+	BufferCD
+	// BufferCDME adds delegated buffer release (Algorithm 4, §A.3).
+	BufferCDME
+)
+
+func (v BufferVariant) internal() logbuf.Variant {
+	switch v {
+	case BufferBaseline:
+		return logbuf.VariantBaseline
+	case BufferC:
+		return logbuf.VariantC
+	case BufferD:
+		return logbuf.VariantD
+	case BufferCDME:
+		return logbuf.VariantCDME
+	default:
+		return logbuf.VariantCD
+	}
+}
+
+// CommitMode selects the commit protocol (§3–§4).
+type CommitMode int
+
+const (
+	// CommitPipelined is flush pipelining with early lock release — the
+	// paper's headline safe protocol and the default.
+	CommitPipelined CommitMode = iota
+	// CommitSync is the traditional blocking commit holding locks
+	// through the flush.
+	CommitSync
+	// CommitSyncELR blocks for durability but releases locks at insert.
+	CommitSyncELR
+	// CommitAsync acknowledges before durability (unsafe; provided for
+	// comparison, exactly as the paper discusses).
+	CommitAsync
+)
+
+func (m CommitMode) internal() txn.CommitMode {
+	switch m {
+	case CommitSync:
+		return txn.CommitSync
+	case CommitSyncELR:
+		return txn.CommitSyncELR
+	case CommitAsync:
+		return txn.CommitAsync
+	default:
+		return txn.CommitPipelined
+	}
+}
+
+// DeviceProfile selects the simulated log device class (§3.2).
+type DeviceProfile int
+
+const (
+	// DeviceMemory has no added latency (ramdisk).
+	DeviceMemory DeviceProfile = iota
+	// DeviceFlash adds 100µs per sync.
+	DeviceFlash
+	// DeviceFastDisk adds 1ms per sync.
+	DeviceFastDisk
+	// DeviceSlowDisk adds 10ms per sync.
+	DeviceSlowDisk
+)
+
+func (d DeviceProfile) internal() logdev.Profile {
+	switch d {
+	case DeviceFlash:
+		return logdev.ProfileFlash
+	case DeviceFastDisk:
+		return logdev.ProfileFastDisk
+	case DeviceSlowDisk:
+		return logdev.ProfileSlowDisk
+	default:
+		return logdev.ProfileMemory
+	}
+}
+
+// Options configures a database.
+type Options struct {
+	// LogPath, if set, stores the write-ahead log in a real file;
+	// otherwise an in-memory device with Device's latency profile is
+	// used (the paper's methodology).
+	LogPath string
+	// Device is the simulated device class for in-memory logs.
+	Device DeviceProfile
+	// Buffer selects the log-buffer algorithm. Default BufferCD.
+	Buffer BufferVariant
+	// Mode is the default commit protocol for Tx.Commit. Default
+	// CommitPipelined.
+	Mode CommitMode
+	// DeadlockTimeout bounds lock waits (default 500ms).
+	DeadlockTimeout time.Duration
+	// DisableSLI turns off speculative lock inheritance.
+	DisableSLI bool
+}
+
+// DB is an open database.
+type DB struct {
+	opts    Options
+	dev     logdev.Device
+	memDev  *logdev.Mem
+	archive *storage.MemArchive
+	eng     *txn.Engine
+	tables  []string
+}
+
+// Open creates (or reopens, for a file-backed log with existing
+// contents) a database. Reopening runs ARIES recovery; the caller must
+// re-create tables in the original order afterwards (CreateTable), and
+// table contents reappear automatically.
+func Open(opts Options) (*DB, error) {
+	db := &DB{opts: opts, archive: storage.NewMemArchive()}
+	if opts.LogPath != "" {
+		f, err := logdev.OpenFile(opts.LogPath)
+		if err != nil {
+			return nil, err
+		}
+		db.dev = f
+	} else {
+		db.memDev = logdev.NewMem(opts.Device.internal())
+		db.dev = db.memDev
+	}
+	return db.start()
+}
+
+// start builds the engine over the device via the recovery path (a
+// fresh device just recovers an empty log).
+func (db *DB) start() (*DB, error) {
+	eng, _, err := txn.Restart(txn.RestartConfig{
+		Device:  db.dev,
+		Archive: db.archive,
+		LogConfig: core.Config{
+			Buffer: logbuf.Config{Variant: db.opts.Buffer.internal(), Size: 1 << 23},
+		},
+		LockConfig: lockmgr.Config{
+			DeadlockTimeout: db.opts.DeadlockTimeout,
+			SLI:             !db.opts.DisableSLI,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.eng = eng
+	return db, nil
+}
+
+// Close flushes and stops the database. The log device stays intact, so
+// a file-backed database can be reopened.
+func (db *DB) Close() error {
+	return db.eng.Log().Close()
+}
+
+// Table is a handle to a table.
+type Table struct {
+	t *txn.Table
+}
+
+// CreateTable registers a table. Tables must be created in the same
+// order on every open of the same database (recovery keys page
+// ownership by creation order).
+func (db *DB) CreateTable(name string) (*Table, error) {
+	t, err := db.eng.CreateTable(name, nil)
+	if err != nil {
+		return nil, err
+	}
+	db.tables = append(db.tables, name)
+	return &Table{t: t}, nil
+}
+
+// LookupTable returns the handle for a registered table. Handles become
+// stale across Crash (tables are re-registered during recovery); fetch a
+// fresh one afterwards.
+func (db *DB) LookupTable(name string) (*Table, error) {
+	t := db.eng.Table(name)
+	if t == nil {
+		return nil, fmt.Errorf("aether: no table %q", name)
+	}
+	return &Table{t: t}, nil
+}
+
+// RebuildAfterRecovery reattaches recovered pages and rebuilds indexes.
+// Call it once after reopening a database and re-creating its tables.
+func (db *DB) RebuildAfterRecovery() error {
+	return db.eng.RebuildTables()
+}
+
+// Checkpoint takes a fuzzy ARIES checkpoint (and archives clean page
+// images), bounding recovery work.
+func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
+
+// Crash simulates power loss on an in-memory database and reopens it
+// with full ARIES recovery: every unflushed log byte is lost, committed
+// transactions survive, in-flight ones roll back. Tables are re-created
+// and indexes rebuilt automatically. File-backed databases return an
+// error (kill the process instead — that is the real crash test).
+func (db *DB) Crash() error {
+	if db.memDev == nil {
+		return errors.New("aether: Crash is only supported for in-memory devices")
+	}
+	db.memDev.CrashFreeze()
+	db.eng.Log().Close()
+	db.memDev.Remount()
+	if _, err := db.start(); err != nil {
+		return fmt.Errorf("aether: recovery failed: %w", err)
+	}
+	names := db.tables
+	db.tables = nil
+	for _, name := range names {
+		if _, err := db.CreateTable(name); err != nil {
+			return err
+		}
+	}
+	return db.RebuildAfterRecovery()
+}
+
+// Stats exposes a few headline counters.
+type Stats struct {
+	Commits     int64
+	Aborts      int64
+	LogInserts  int64
+	LogBytes    int64
+	LogFlushes  int64
+	Checkpoints int64
+}
+
+// Stats returns current counters.
+func (db *DB) Stats() Stats {
+	ls := db.eng.Log().Stats()
+	es := db.eng.Stats()
+	return Stats{
+		Commits:     es.Commits.Load(),
+		Aborts:      es.Aborts.Load(),
+		LogInserts:  ls.Inserts.Load(),
+		LogBytes:    ls.InsertBytes.Load(),
+		LogFlushes:  ls.Flushes.Load(),
+		Checkpoints: es.Checkpoints.Load(),
+	}
+}
+
+// RecoveryInfo describes what a reopen had to do (file-backed opens).
+type RecoveryInfo = recovery.Result
+
+// Row builds a row whose first 8 bytes encode key — the convention the
+// built-in index rebuild relies on.
+func Row(key uint64, payload []byte) []byte {
+	b := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint64(b[:8], key)
+	copy(b[8:], payload)
+	return b
+}
+
+// RowPayload strips the 8-byte key prefix from a row.
+func RowPayload(row []byte) []byte {
+	if len(row) < 8 {
+		return nil
+	}
+	return row[8:]
+}

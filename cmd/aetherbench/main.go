@@ -1,0 +1,60 @@
+// Command aetherbench runs the paper-reproduction experiments: one per
+// figure of the evaluation section.
+//
+// Usage:
+//
+//	aetherbench -fig fig3            # one figure, full scale
+//	aetherbench -fig fig8left -quick # one figure, fast parameters
+//	aetherbench -all                 # everything, in paper order
+//	aetherbench -list                # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aether/internal/bench"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "figure to run (fig2, fig3, fig4, fig5, fig7, fig8left, fig8right, fig9, fig11, fig12, fig13)")
+		all   = flag.Bool("all", false, "run every figure")
+		quick = flag.Bool("quick", false, "use fast, test-scale parameters")
+		list  = flag.Bool("list", false, "list experiment names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range bench.FigureNames {
+			fmt.Println(name)
+		}
+		return
+	}
+	scale := bench.Scale{Quick: *quick}
+	switch {
+	case *all:
+		start := time.Now()
+		tables, err := bench.AllFigures(scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aetherbench:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		fmt.Printf("total: %v\n", time.Since(start).Round(time.Second))
+	case *fig != "":
+		t, err := bench.Figure(*fig, scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aetherbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(t)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

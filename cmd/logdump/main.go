@@ -1,0 +1,125 @@
+// Command logdump decodes a write-ahead log file and prints its records
+// — the debugging companion every WAL implementation needs. It stops at
+// the first gap, exactly where recovery would.
+//
+// Usage:
+//
+//	logdump -f wal.log            # every record
+//	logdump -f wal.log -txn 42    # one transaction's chain
+//	logdump -f wal.log -stats     # kind histogram + volume only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"aether/internal/logdev"
+	"aether/internal/logrec"
+	"aether/internal/lsn"
+)
+
+func main() {
+	var (
+		path  = flag.String("f", "", "log file to dump")
+		txn   = flag.Uint64("txn", 0, "show only this transaction (0 = all)")
+		stats = flag.Bool("stats", false, "print only summary statistics")
+	)
+	flag.Parse()
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*path, *txn, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "logdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, txnFilter uint64, statsOnly bool) error {
+	dev, err := logdev.OpenFile(path)
+	if err != nil {
+		return err
+	}
+	defer dev.Close()
+	data, err := logdev.ReadAll(dev)
+	if err != nil {
+		return err
+	}
+
+	it := logrec.NewIterator(data, 0)
+	kindCount := map[logrec.Kind]int{}
+	kindBytes := map[logrec.Kind]int{}
+	txns := map[uint64]bool{}
+	n := 0
+	for {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
+		n++
+		kindCount[rec.Kind]++
+		kindBytes[rec.Kind] += int(rec.TotalLen)
+		txns[rec.TxnID] = true
+		if statsOnly {
+			continue
+		}
+		if txnFilter != 0 && rec.TxnID != txnFilter {
+			continue
+		}
+		printRecord(rec)
+	}
+	if err := it.Err(); err != nil {
+		fmt.Printf("-- log gap: %v (recovery stops here)\n", err)
+	}
+
+	fmt.Printf("\n%d records, %d bytes durable, %d distinct transactions\n",
+		n, len(data), len(txns))
+	kinds := make([]logrec.Kind, 0, len(kindCount))
+	for k := range kindCount {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Printf("  %-11s %8d records %10d bytes\n", k, kindCount[k], kindBytes[k])
+	}
+	return nil
+}
+
+func printRecord(rec logrec.Record) {
+	switch rec.Kind {
+	case logrec.KindUpdate, logrec.KindCLR:
+		up, err := logrec.DecodeUpdate(rec.Payload)
+		extra := ""
+		if rec.Kind == logrec.KindCLR {
+			extra = fmt.Sprintf(" undoNext=%v", rec.UndoNext())
+		}
+		if err != nil {
+			fmt.Printf("%-12v %-10s txn=%-6d page=%-8d <bad payload>%s\n",
+				rec.LSN, rec.Kind, rec.TxnID, rec.PageID, extra)
+			return
+		}
+		fmt.Printf("%-12v %-10s txn=%-6d page=%-8d slot=%-4d %-6s before=%dB after=%dB prev=%v%s\n",
+			rec.LSN, rec.Kind, rec.TxnID, rec.PageID, up.Slot, up.Op,
+			len(up.Before), len(up.After), prevStr(rec.PrevLSN), extra)
+	case logrec.KindCheckpointEnd:
+		p, err := logrec.DecodeCheckpoint(rec.Payload)
+		if err != nil {
+			fmt.Printf("%-12v %-10s <bad payload>\n", rec.LSN, rec.Kind)
+			return
+		}
+		fmt.Printf("%-12v %-10s begin=%v att=%d dpt=%d\n",
+			rec.LSN, rec.Kind, lsn.LSN(rec.Aux), len(p.ActiveTxns), len(p.DirtyPages))
+	default:
+		fmt.Printf("%-12v %-10s txn=%-6d prev=%v\n",
+			rec.LSN, rec.Kind, rec.TxnID, prevStr(rec.PrevLSN))
+	}
+}
+
+func prevStr(l lsn.LSN) string {
+	if !l.Valid() {
+		return "-"
+	}
+	return l.String()
+}

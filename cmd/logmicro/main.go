@@ -1,0 +1,73 @@
+// Command logmicro is the log-insert microbenchmark from §6.1 of the
+// paper as a standalone tool: it isolates the log buffer (no flushes, no
+// transactions) and measures sustained insert bandwidth.
+//
+// Usage:
+//
+//	logmicro -variant CD -threads 16 -record 120 -duration 2s
+//	logmicro -variant CDME -record 48 -outlier-every 60 -outlier-size 65536
+//	logmicro -variant CD -localfill          # the paper's "CD in L1" mode
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aether/internal/bench"
+	"aether/internal/logbuf"
+)
+
+func parseVariant(s string) (logbuf.Variant, error) {
+	switch strings.ToLower(s) {
+	case "baseline", "b":
+		return logbuf.VariantBaseline, nil
+	case "c":
+		return logbuf.VariantC, nil
+	case "d":
+		return logbuf.VariantD, nil
+	case "cd":
+		return logbuf.VariantCD, nil
+	case "cdme":
+		return logbuf.VariantCDME, nil
+	}
+	return 0, fmt.Errorf("unknown variant %q (baseline, C, D, CD, CDME)", s)
+}
+
+func main() {
+	var (
+		variant      = flag.String("variant", "CD", "buffer variant: baseline, C, D, CD, CDME")
+		threads      = flag.Int("threads", 8, "inserter goroutines")
+		record       = flag.Int("record", 120, "record size in bytes (>=48)")
+		duration     = flag.Duration("duration", 2*time.Second, "measurement duration")
+		slots        = flag.Int("slots", 0, "consolidation slots (0 = default 4)")
+		localFill    = flag.Bool("localfill", false, "fill thread-local memory (the paper's 'CD in L1' mode)")
+		outlierEvery = flag.Int("outlier-every", 0, "insert an outlier every N records (0 = never)")
+		outlierSize  = flag.Int("outlier-size", 0, "outlier record size in bytes")
+	)
+	flag.Parse()
+
+	v, err := parseVariant(*variant)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "logmicro:", err)
+		os.Exit(2)
+	}
+	res, err := bench.RunMicro(bench.MicroConfig{
+		Variant:      v,
+		Threads:      *threads,
+		RecordSize:   *record,
+		Duration:     *duration,
+		Slots:        *slots,
+		LocalFill:    *localFill,
+		OutlierEvery: *outlierEvery,
+		OutlierSize:  *outlierSize,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "logmicro:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("variant=%s threads=%d record=%dB duration=%v\n", v, *threads, *record, *duration)
+	fmt.Printf("  %s\n", res)
+}

@@ -1,0 +1,36 @@
+// Package aether is a from-scratch Go implementation of the logging
+// subsystem from "Aether: A Scalable Approach to Logging" (Johnson,
+// Pandis, Stoica, Athanassoulis, Ailamaki — PVLDB 3(1), 2010), embedded
+// in a complete transactional storage manager.
+//
+// The package exposes the library's public API: open a database, run
+// ACID transactions under any of the paper's commit protocols, crash it,
+// and recover it. The implementation lives in internal/ packages:
+//
+//   - internal/logbuf — the five log-buffer designs (baseline mutex,
+//     consolidation array, decoupled fill, hybrid CD, delegated CDME)
+//   - internal/core — the log manager: flush daemon, group commit,
+//     durability subscriptions (flush pipelining's detach/re-attach)
+//   - internal/lockmgr — hierarchical 2PL with Early Lock Release and
+//     Speculative Lock Inheritance
+//   - internal/storage — slotted pages, heap files, B+Tree, page store
+//   - internal/txn — transactions, commit protocols, checkpoints
+//   - internal/recovery — ARIES analysis/redo/undo
+//   - internal/workload, internal/bench — the paper's benchmarks and
+//     the per-figure experiments
+//
+// # Quick start
+//
+//	db, err := aether.Open(aether.Options{})
+//	if err != nil { ... }
+//	defer db.Close()
+//
+//	accounts, _ := db.CreateTable("accounts")
+//	s := db.Session()
+//	tx := s.Begin()
+//	tx.Insert(accounts, 1, aether.Row(1, []byte("alice: 100")))
+//	err = tx.Commit() // durable when it returns
+//
+// See the examples/ directory for complete programs and DESIGN.md for
+// the architecture and paper-to-code map.
+package aether

@@ -1,0 +1,157 @@
+// Banking: a TPC-B-style transfer workload comparing the paper's commit
+// protocols head to head on the same database — the motivating scenario
+// for Early Lock Release and Flush Pipelining (§3–§4).
+//
+// Expect: sync < sync+ELR < pipelined ≈ async, with the gap growing on
+// slower log devices (try editing the Device option).
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aether"
+)
+
+const (
+	accounts = 2000
+	workers  = 8
+	runFor   = 1500 * time.Millisecond
+)
+
+func main() {
+	modes := []struct {
+		name string
+		mode aether.CommitMode
+		safe bool
+	}{
+		{"sync (baseline)", aether.CommitSync, true},
+		{"sync + ELR", aether.CommitSyncELR, true},
+		{"async commit (UNSAFE)", aether.CommitAsync, false},
+		{"flush pipelining + ELR", aether.CommitPipelined, true},
+	}
+	fmt.Printf("%d accounts, %d clients, %v per protocol, flash-class log device\n\n",
+		accounts, workers, runFor)
+	for _, m := range modes {
+		tps, err := run(m.mode)
+		if err != nil {
+			log.Fatalf("%s: %v", m.name, err)
+		}
+		safety := "durable on ack"
+		if !m.safe {
+			safety = "can lose acked work in a crash"
+		}
+		fmt.Printf("%-24s %8.0f transfers/s   (%s)\n", m.name, tps, safety)
+	}
+}
+
+func run(mode aether.CommitMode) (float64, error) {
+	db, err := aether.Open(aether.Options{Device: aether.DeviceFlash, Mode: mode})
+	if err != nil {
+		return 0, err
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable("accounts")
+	if err != nil {
+		return 0, err
+	}
+
+	s := db.Session()
+	tx := s.Begin()
+	for k := uint64(1); k <= accounts; k++ {
+		if err := tx.Insert(tbl, k, balanceRow(k, 1000)); err != nil {
+			return 0, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	s.Close()
+
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(runFor)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := db.Session()
+			defer sess.Close()
+			rng := uint64(w)*0x9E3779B97F4A7C15 + 1
+			var acks sync.WaitGroup
+			for time.Now().Before(deadline) {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				from := rng%accounts + 1
+				to := (rng>>13)%accounts + 1
+				if from == to {
+					continue
+				}
+				tx := sess.Begin()
+				err := tx.Update(tbl, from, add(-5))
+				if err == nil {
+					err = tx.Update(tbl, to, add(+5))
+				}
+				if err != nil {
+					tx.Abort()
+					continue
+				}
+				acks.Add(1)
+				if err := tx.CommitAsyncAck(func(err error) {
+					if err == nil {
+						completed.Add(1)
+					}
+					acks.Done()
+				}); err != nil {
+					return
+				}
+			}
+			acks.Wait()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Verify conservation of money before reporting.
+	sess := db.Session()
+	defer sess.Close()
+	check := sess.Begin()
+	var sum int64
+	for k := uint64(1); k <= accounts; k++ {
+		row, err := check.Read(tbl, k)
+		if err != nil {
+			return 0, err
+		}
+		sum += balance(row)
+	}
+	if err := check.Commit(); err != nil {
+		return 0, err
+	}
+	if sum != accounts*1000 {
+		return 0, fmt.Errorf("money not conserved: %d", sum)
+	}
+	return float64(completed.Load()) / elapsed.Seconds(), nil
+}
+
+func balanceRow(key uint64, bal int64) []byte {
+	p := make([]byte, 8)
+	binary.LittleEndian.PutUint64(p, uint64(bal))
+	return aether.Row(key, p)
+}
+
+func balance(row []byte) int64 {
+	return int64(binary.LittleEndian.Uint64(aether.RowPayload(row)))
+}
+
+func add(delta int64) func([]byte) ([]byte, error) {
+	return func(row []byte) ([]byte, error) {
+		out := append([]byte(nil), row...)
+		cur := int64(binary.LittleEndian.Uint64(out[8:16]))
+		binary.LittleEndian.PutUint64(out[8:16], uint64(cur+delta))
+		return out, nil
+	}
+}

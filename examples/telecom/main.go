@@ -1,0 +1,125 @@
+// Telecom: a TATP-style subscriber workload comparing the log-buffer
+// designs of §5 under an update-heavy mix — the scenario where the
+// paper's Figure 7 shows the baseline buffer becoming the bottleneck
+// and Figure 9 shows the hybrid (CD) buffer relieving it.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aether"
+)
+
+const (
+	subscribers = 5000
+	workers     = 12
+	runFor      = 1200 * time.Millisecond
+)
+
+func main() {
+	fmt.Printf("TATP-style UpdateLocation storm: %d subscribers, %d clients, %v per variant\n\n",
+		subscribers, workers, runFor)
+	variants := []struct {
+		name string
+		v    aether.BufferVariant
+	}{
+		{"baseline (one mutex)", aether.BufferBaseline},
+		{"C (consolidation array)", aether.BufferC},
+		{"D (decoupled fill)", aether.BufferD},
+		{"CD (hybrid, paper's pick)", aether.BufferCD},
+		{"CDME (delegated release)", aether.BufferCDME},
+	}
+	for _, v := range variants {
+		tps, err := run(v.v)
+		if err != nil {
+			log.Fatalf("%s: %v", v.name, err)
+		}
+		fmt.Printf("%-27s %9.0f updates/s\n", v.name, tps)
+	}
+}
+
+func run(variant aether.BufferVariant) (float64, error) {
+	db, err := aether.Open(aether.Options{
+		Buffer: variant,
+		Mode:   aether.CommitPipelined, // isolate the buffer, not the flush
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable("subscriber")
+	if err != nil {
+		return 0, err
+	}
+
+	s := db.Session()
+	tx := s.Begin()
+	for k := uint64(1); k <= subscribers; k++ {
+		if err := tx.Insert(tbl, k, subscriberRow(k)); err != nil {
+			return 0, err
+		}
+		if k%2000 == 0 {
+			if err := tx.Commit(); err != nil {
+				return 0, err
+			}
+			tx = s.Begin()
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	s.Close()
+
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(runFor)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := db.Session()
+			defer sess.Close()
+			rng := uint64(w)*0x9E3779B97F4A7C15 + 7
+			var acks sync.WaitGroup
+			for time.Now().Before(deadline) {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				sid := rng%subscribers + 1
+				vlr := uint32(rng >> 32)
+				tx := sess.Begin()
+				err := tx.Update(tbl, sid, func(row []byte) ([]byte, error) {
+					out := append([]byte(nil), row...)
+					binary.LittleEndian.PutUint32(out[16:20], vlr)
+					return out, nil
+				})
+				if err != nil {
+					tx.Abort()
+					continue
+				}
+				acks.Add(1)
+				if err := tx.CommitAsyncAck(func(err error) {
+					if err == nil {
+						completed.Add(1)
+					}
+					acks.Done()
+				}); err != nil {
+					return
+				}
+			}
+			acks.Wait()
+		}(w)
+	}
+	wg.Wait()
+	return float64(completed.Load()) / time.Since(start).Seconds(), nil
+}
+
+func subscriberRow(key uint64) []byte {
+	payload := make([]byte, 88) // ~96B rows: small records stress the log
+	binary.LittleEndian.PutUint32(payload[8:12], uint32(key))
+	return aether.Row(key, payload)
+}

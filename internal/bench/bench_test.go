@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"aether/internal/logbuf"
+)
+
+// quickScale keeps the experiment smoke tests fast.
+var quickScale = Scale{Quick: true}
+
+func TestRunMicroBasics(t *testing.T) {
+	res, err := RunMicro(MicroConfig{
+		Variant:    logbuf.VariantCD,
+		Threads:    4,
+		RecordSize: 120,
+		Duration:   100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserts == 0 || res.GBps() <= 0 {
+		t.Fatalf("micro produced nothing: %+v", res)
+	}
+	t.Logf("CD 4 threads 120B: %v", res)
+}
+
+func TestRunMicroOutliers(t *testing.T) {
+	res, err := RunMicro(MicroConfig{
+		Variant:      logbuf.VariantCDME,
+		Threads:      4,
+		RecordSize:   48,
+		Duration:     100 * time.Millisecond,
+		OutlierEvery: 60,
+		OutlierSize:  32 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserts == 0 {
+		t.Fatal("no inserts with outliers")
+	}
+}
+
+func TestRunMicroLocalFill(t *testing.T) {
+	res, err := RunMicro(MicroConfig{
+		Variant:    logbuf.VariantCD,
+		Threads:    4,
+		RecordSize: 1200,
+		Duration:   100 * time.Millisecond,
+		LocalFill:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserts == 0 {
+		t.Fatal("no inserts in local-fill mode")
+	}
+}
+
+func TestMicroDefaults(t *testing.T) {
+	res, err := RunMicro(MicroConfig{Variant: logbuf.VariantBaseline, Duration: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserts == 0 {
+		t.Fatal("defaulted micro run produced nothing")
+	}
+	var zero MicroResult
+	if zero.GBps() != 0 || zero.InsertsPerSec() != 0 {
+		t.Fatal("zero result division")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "T", Columns: []string{"a", "bbbb"}}
+	tbl.AddRow("1", "2")
+	s := tbl.String()
+	if !strings.Contains(s, "== T ==") || !strings.Contains(s, "bbbb") {
+		t.Fatalf("table output: %q", s)
+	}
+}
+
+func TestSharesClamps(t *testing.T) {
+	sh := Shares(BreakdownSnapshot{}, BreakdownSnapshot{
+		logWork: time.Second, logContention: time.Second,
+		logWait: time.Second, lockWait: time.Second,
+	}, 1, time.Second)
+	if sh.OtherWork != 0 {
+		t.Fatalf("other work should clamp to 0: %+v", sh)
+	}
+	if s := (TimeShares{}).String(); s == "" {
+		t.Fatal("empty shares string")
+	}
+	if (Shares(BreakdownSnapshot{}, BreakdownSnapshot{}, 0, 0) != TimeShares{}) {
+		t.Fatal("zero capacity shares")
+	}
+}
+
+// The figure smoke tests run each experiment end to end in quick mode
+// and sanity-check the output shape (row/column counts), not numbers.
+func checkTable(t *testing.T, tbl *Table, wantRows int) {
+	t.Helper()
+	if len(tbl.Rows) != wantRows {
+		t.Fatalf("%s: %d rows, want %d", tbl.Title, len(tbl.Rows), wantRows)
+	}
+	for i, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) {
+			t.Fatalf("%s row %d: %d cells for %d columns", tbl.Title, i, len(row), len(tbl.Columns))
+		}
+	}
+	t.Logf("\n%s", tbl)
+}
+
+func TestFig2(t *testing.T) {
+	tbl, err := Fig2(quickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl, 3)
+}
+
+func TestFig3(t *testing.T) {
+	tbl, err := Fig3(quickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl, 2)
+}
+
+func TestFig4(t *testing.T) {
+	tbl, err := Fig4(quickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl, len(quickScale.clientSweep()))
+}
+
+func TestFig5(t *testing.T) {
+	tbl, err := Fig5(quickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl, len(quickScale.clientSweep()))
+}
+
+func TestFig7(t *testing.T) {
+	tbl, err := Fig7(quickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl, len(quickScale.clientSweep()))
+}
+
+func TestFig8Left(t *testing.T) {
+	tbl, err := Fig8Left(quickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl, len(quickScale.threadSweep()))
+}
+
+func TestFig8Right(t *testing.T) {
+	tbl, err := Fig8Right(quickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl, 3)
+}
+
+func TestFig9(t *testing.T) {
+	tbl, err := Fig9(quickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl, len(quickScale.clientSweep()))
+}
+
+func TestFig11(t *testing.T) {
+	tbl, err := Fig11(quickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl, 2)
+}
+
+func TestFig12(t *testing.T) {
+	tbl, err := Fig12(quickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl, len(quickScale.threadSweep()))
+}
+
+func TestFig13(t *testing.T) {
+	tbl, err := Fig13(quickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl, 4)
+}
+
+func TestFigureDispatch(t *testing.T) {
+	for _, name := range FigureNames {
+		if _, err := Figure(name, Scale{Quick: true}); err != nil {
+			// Running all figures here would be slow; dispatch only is
+			// exercised by the unknown-name case plus one real figure.
+			break
+		}
+		break
+	}
+	if _, err := Figure("nope", quickScale); err == nil {
+		t.Fatal("unknown figure must error")
+	}
+}
+
+func TestAblationELR(t *testing.T) {
+	tbl, err := AblationELR(quickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl, len(quickScale.clientSweep()))
+}
+
+func TestAblationGroupCommit(t *testing.T) {
+	tbl, err := AblationGroupCommit(quickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl, 2)
+}

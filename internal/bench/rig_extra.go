@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"time"
+
+	"aether/internal/core"
+	"aether/internal/lockmgr"
+	"aether/internal/logbuf"
+	"aether/internal/logdev"
+	"aether/internal/metrics"
+	"aether/internal/storage"
+	"aether/internal/txn"
+)
+
+// parseDuration is time.ParseDuration with bench-friendly error context.
+func parseDuration(s string) (time.Duration, error) {
+	return time.ParseDuration(s)
+}
+
+// newRigWithFlushInterval builds a rig whose group-commit interval is
+// pinned (the AblationGroupCommit knob).
+func newRigWithFlushInterval(interval time.Duration) (*Rig, error) {
+	dev := logdev.NewMem(logdev.ProfileFlash)
+	lm, err := core.New(core.Config{
+		Buffer:        logbuf.Config{Variant: logbuf.VariantCD, Size: 1 << 24},
+		Device:        dev,
+		FlushInterval: interval,
+		// Disable the other triggers so the interval alone governs.
+		FlushTxns:  1 << 30,
+		FlushBytes: 1 << 30,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := txn.NewEngine(txn.Config{
+		Log:     lm,
+		Locks:   lockmgr.New(lockmgr.Config{DeadlockTimeout: 250 * time.Millisecond, SLI: true}),
+		Store:   storage.NewStore(),
+		Archive: storage.NewMemArchive(),
+	})
+	if err != nil {
+		lm.Close()
+		return nil, err
+	}
+	return &Rig{Eng: eng, Dev: dev, Breakdown: &metrics.Breakdown{}, lm: lm}, nil
+}

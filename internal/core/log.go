@@ -1,0 +1,471 @@
+// Package core implements Aether's log manager: the paper's scalable log
+// buffer (§5) joined to a flush daemon with a group-commit policy (§4) and
+// the commit-subscription machinery that Early Lock Release and Flush
+// Pipelining are built on.
+//
+// The division of labor follows the paper exactly:
+//
+//   - Agent threads insert records through per-thread Appenders; inserts
+//     never perform I/O and never block on it.
+//   - A single daemon goroutine drains the buffer's released region to the
+//     log device using a group-commit policy ("flush every X transactions,
+//     L bytes logged, or T time elapsed, whichever comes first").
+//   - Transactions subscribe to the durable horizon: synchronously
+//     (WaitDurable — the baseline's blocking commit, one scheduling event
+//     per transaction) or asynchronously (OnDurable — flush pipelining's
+//     detach/re-attach, no blocking on the agent thread).
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"aether/internal/logbuf"
+	"aether/internal/logdev"
+	"aether/internal/logrec"
+	"aether/internal/lsn"
+	"aether/internal/metrics"
+)
+
+// Config parameterizes a LogManager.
+type Config struct {
+	// Buffer configures the in-memory log buffer (variant, size, slots).
+	Buffer logbuf.Config
+	// Device is the stable storage the daemon flushes to.
+	Device logdev.Device
+	// FlushTxns flushes once this many commit subscriptions are pending
+	// (the "X transactions" group-commit trigger). Default 32.
+	FlushTxns int
+	// FlushBytes flushes once this many released bytes are pending (the
+	// "L bytes" trigger). Default 256KiB.
+	FlushBytes int
+	// FlushInterval flushes this long after the previous flush if any
+	// work is pending (the "T time elapsed" trigger). Default 50µs.
+	FlushInterval time.Duration
+	// Breakdown, if set, receives PhaseLogWait time from WaitDurable —
+	// the synchronous-commit stall the time-breakdown figures plot.
+	Breakdown *metrics.Breakdown
+	// SwitchPenalty burns this much CPU on every blocking commit wait,
+	// modeling the scheduler cost of descheduling and redispatching an
+	// agent thread ("each scheduling decision consumes several
+	// microseconds of CPU time which cannot be overlapped", §4). Go's
+	// scheduler is too cheap to exhibit the paper's Solaris overload on
+	// its own; this knob reproduces it deterministically.
+	SwitchPenalty time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.FlushTxns <= 0 {
+		c.FlushTxns = 32
+	}
+	if c.FlushBytes <= 0 {
+		c.FlushBytes = 256 << 10
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 50 * time.Microsecond
+	}
+}
+
+// Stats exposes the log manager's operational counters.
+type Stats struct {
+	// Inserts counts records appended.
+	Inserts metrics.Counter
+	// InsertBytes counts bytes appended.
+	InsertBytes metrics.Counter
+	// Flushes counts device sync operations performed by the daemon.
+	Flushes metrics.Counter
+	// FlushBytes counts bytes made durable.
+	FlushBytes metrics.Counter
+	// SyncWaiters counts WaitDurable calls (each is one blocking commit —
+	// a scheduling event in the paper's terms).
+	SyncWaiters metrics.Counter
+	// AsyncWaiters counts OnDurable subscriptions (pipelined commits).
+	AsyncWaiters metrics.Counter
+	// GroupSize records bytes per flush — group commit's batching effect.
+	GroupSize metrics.Histogram
+	// FlushLatency records time from daemon pickup to durable.
+	FlushLatency metrics.Histogram
+}
+
+// ErrClosed is returned for operations on a closed log manager.
+var ErrClosed = errors.New("core: log manager closed")
+
+// LogManager is the Aether log: a scalable in-memory buffer, a flush
+// daemon, and the durable horizon.
+type LogManager struct {
+	cfg   Config
+	buf   logbuf.Buffer
+	rd    *logbuf.Reader
+	dev   logdev.Device
+	stats Stats
+
+	durable lsn.Atomic
+
+	mu       sync.Mutex
+	waiters  waiterHeap
+	pending  int // commit subscriptions since last flush
+	failed   error
+	closed   bool
+	wakeCh   chan struct{}
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	flushReq bool
+}
+
+// New builds and starts a log manager; the flush daemon runs until Close.
+func New(cfg Config) (*LogManager, error) {
+	cfg.applyDefaults()
+	if cfg.Device == nil {
+		return nil, errors.New("core: Config.Device is required")
+	}
+	buf, err := logbuf.New(cfg.Buffer)
+	if err != nil {
+		return nil, err
+	}
+	if got := lsn.LSN(cfg.Device.DurableSize()); got != cfg.Buffer.Base {
+		return nil, fmt.Errorf("core: buffer base %v does not match device durable size %v",
+			cfg.Buffer.Base, got)
+	}
+	lm := &LogManager{
+		cfg:    cfg,
+		buf:    buf,
+		rd:     buf.Reader(),
+		dev:    cfg.Device,
+		wakeCh: make(chan struct{}, 1),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+	// The log resumes where the device left off: LSNs are stable log
+	// addresses, so the base of a restarted log is the durable size (an
+	// existing log is read by recovery before the manager is built).
+	lm.durable.Store(cfg.Buffer.Base)
+	go lm.daemon()
+	return lm, nil
+}
+
+// Buffer returns the underlying log buffer (for experiments that inspect
+// watermarks).
+func (lm *LogManager) Buffer() logbuf.Buffer { return lm.buf }
+
+// Stats returns the manager's counters.
+func (lm *LogManager) Stats() *Stats { return &lm.stats }
+
+// Durable returns the durable horizon: every record whose end LSN is at
+// or below it has reached stable storage.
+func (lm *LogManager) Durable() lsn.LSN { return lm.durable.Load() }
+
+// Appender is a per-goroutine handle for inserting records. It owns an
+// encode scratch buffer so record marshalling costs no allocation.
+type Appender struct {
+	lm      *LogManager
+	ins     logbuf.Inserter
+	scratch []byte
+}
+
+// NewAppender returns a fresh per-goroutine appender.
+func (lm *LogManager) NewAppender() *Appender {
+	return &Appender{
+		lm:      lm,
+		ins:     lm.buf.NewInserter(),
+		scratch: make([]byte, 4096),
+	}
+}
+
+// Append encodes rec and inserts it, returning the record's LSN and its
+// end (the durability point a committer must wait for).
+func (a *Appender) Append(rec *logrec.Record) (at, end lsn.LSN, err error) {
+	size := rec.EncodedSize()
+	if size > cap(a.scratch) {
+		a.scratch = make([]byte, size)
+	}
+	buf := a.scratch[:size]
+	if err := rec.EncodeInto(buf); err != nil {
+		return 0, 0, err
+	}
+	at, err = a.ins.Insert(buf)
+	if err != nil {
+		return 0, 0, err
+	}
+	a.lm.stats.Inserts.Inc()
+	a.lm.stats.InsertBytes.Add(int64(size))
+	a.lm.maybeWakeForBytes()
+	return at, at.Add(size), nil
+}
+
+// maybeWakeForBytes applies the "L bytes logged" group-commit trigger.
+func (lm *LogManager) maybeWakeForBytes() {
+	start, end := lm.rd.Pending()
+	if int(end.Sub(start)) >= lm.cfg.FlushBytes {
+		lm.wake()
+	}
+}
+
+// AppendBytes inserts an already-encoded record (microbenchmark path).
+func (a *Appender) AppendBytes(buf []byte) (at, end lsn.LSN, err error) {
+	at, err = a.ins.Insert(buf)
+	if err != nil {
+		return 0, 0, err
+	}
+	a.lm.stats.Inserts.Inc()
+	a.lm.stats.InsertBytes.Add(int64(len(buf)))
+	a.lm.maybeWakeForBytes()
+	return at, at.Add(len(buf)), nil
+}
+
+// waiter is one durability subscription.
+type waiter struct {
+	end lsn.LSN
+	fn  func(error)
+}
+
+// waiterHeap is a min-heap of waiters by end LSN.
+type waiterHeap []waiter
+
+func (h waiterHeap) Len() int            { return len(h) }
+func (h waiterHeap) Less(i, j int) bool  { return h[i].end < h[j].end }
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(waiter)) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// OnDurable arranges for fn(nil) to run (on the daemon goroutine) once
+// the durable horizon reaches end. If the log has failed or is closed,
+// fn runs immediately with the error. This is flush pipelining's
+// detach: the calling agent thread keeps executing other transactions.
+func (lm *LogManager) OnDurable(end lsn.LSN, fn func(error)) {
+	lm.stats.AsyncWaiters.Inc()
+	if lm.durable.Load() >= end {
+		fn(nil)
+		return
+	}
+	lm.mu.Lock()
+	if err := lm.subscribeLocked(end, fn); err != nil {
+		lm.mu.Unlock()
+		fn(err)
+		return
+	}
+	lm.mu.Unlock()
+}
+
+// subscribeLocked registers a waiter and applies the group-commit
+// triggers. Caller holds lm.mu.
+func (lm *LogManager) subscribeLocked(end lsn.LSN, fn func(error)) error {
+	if lm.failed != nil {
+		return lm.failed
+	}
+	if lm.closed {
+		return ErrClosed
+	}
+	heap.Push(&lm.waiters, waiter{end: end, fn: fn})
+	lm.pending++
+	if lm.pending >= lm.cfg.FlushTxns {
+		lm.wake()
+	}
+	return nil
+}
+
+// WaitDurable blocks until the durable horizon reaches end — the
+// traditional synchronous commit. Every call is one agent-thread
+// block/unblock pair, which is precisely the scheduling cost flush
+// pipelining eliminates.
+func (lm *LogManager) WaitDurable(end lsn.LSN) error {
+	lm.stats.SyncWaiters.Inc()
+	if lm.durable.Load() >= end {
+		return nil
+	}
+	var t0 time.Time
+	if lm.cfg.Breakdown != nil {
+		t0 = time.Now()
+	}
+	ch := make(chan error, 1)
+	lm.mu.Lock()
+	if err := lm.subscribeLocked(end, func(err error) { ch <- err }); err != nil {
+		lm.mu.Unlock()
+		return err
+	}
+	lm.mu.Unlock()
+	err := <-ch
+	if lm.cfg.Breakdown != nil {
+		lm.cfg.Breakdown.Add(metrics.PhaseLogWait, time.Since(t0))
+	}
+	if lm.cfg.SwitchPenalty > 0 {
+		burnCPU(lm.cfg.SwitchPenalty)
+	}
+	return err
+}
+
+// burnCPU spins for roughly d of unoverlappable CPU time.
+func burnCPU(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}
+
+// Flush asks the daemon to flush everything released so far without
+// waiting for it to complete. Combine with WaitDurable to force.
+func (lm *LogManager) Flush() {
+	lm.mu.Lock()
+	lm.flushReq = true
+	lm.mu.Unlock()
+	lm.wake()
+}
+
+// wake nudges the daemon (non-blocking, coalescing).
+func (lm *LogManager) wake() {
+	select {
+	case lm.wakeCh <- struct{}{}:
+	default:
+	}
+}
+
+// Close flushes what remains, stops the daemon and fails any unreachable
+// waiters. The device is not closed (the caller owns it).
+func (lm *LogManager) Close() error {
+	lm.mu.Lock()
+	if lm.closed {
+		lm.mu.Unlock()
+		<-lm.doneCh
+		return lm.failed
+	}
+	lm.closed = true
+	lm.mu.Unlock()
+	close(lm.stopCh)
+	<-lm.doneCh
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.failed
+}
+
+// daemon is the flush loop: a single thread doing all log I/O, so agent
+// threads never block on the device (§4.1).
+func (lm *LogManager) daemon() {
+	defer close(lm.doneCh)
+	batch := make([]byte, 0, 1<<20)
+	timer := time.NewTimer(lm.cfg.FlushInterval)
+	defer timer.Stop()
+	for {
+		stop := false
+		select {
+		case <-lm.stopCh:
+			stop = true
+		case <-lm.wakeCh:
+		case <-timer.C:
+		}
+
+		lm.flushOnce(&batch)
+
+		if stop {
+			// Final drain: one more pass in case inserts raced Close.
+			lm.flushOnce(&batch)
+			lm.failWaiters(ErrClosed)
+			return
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(lm.cfg.FlushInterval)
+	}
+}
+
+// shouldFlush decides whether this daemon pass performs a flush. The
+// *timing* of passes embodies the group-commit policy: the FlushTxns
+// trigger wakes the daemon early via subscribeLocked, the FlushBytes
+// trigger via Append's wake, and the FlushInterval timer is the
+// "T elapsed" trigger. Once awake, any pending work is flushed.
+func (lm *LogManager) shouldFlush(pendingBytes int) bool {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.flushReq || lm.closed || lm.pending > 0 || pendingBytes > 0
+}
+
+// flushOnce drains the released region (if policy says so), makes it
+// durable, and completes satisfied waiters.
+func (lm *LogManager) flushOnce(batch *[]byte) {
+	start, end := lm.rd.Pending()
+	pendingBytes := int(end.Sub(start))
+	if !lm.shouldFlush(pendingBytes) {
+		return
+	}
+	lm.mu.Lock()
+	lm.flushReq = false
+	lm.pending = 0
+	lm.mu.Unlock()
+
+	if pendingBytes > 0 {
+		t0 := time.Now()
+		if cap(*batch) < pendingBytes {
+			*batch = make([]byte, 0, pendingBytes)
+		}
+		b := (*batch)[:pendingBytes]
+		lm.rd.CopyOut(b, start, end)
+		if _, err := lm.dev.Append(b); err != nil {
+			lm.fail(fmt.Errorf("core: device append: %w", err))
+			return
+		}
+		// Ring space is reusable as soon as the bytes are in the device's
+		// write path; durability is published only after Sync.
+		lm.rd.MarkFlushed(end)
+		if err := lm.dev.Sync(); err != nil {
+			lm.fail(fmt.Errorf("core: device sync: %w", err))
+			return
+		}
+		lm.durable.AdvanceTo(end)
+		lm.stats.Flushes.Inc()
+		lm.stats.FlushBytes.Add(int64(pendingBytes))
+		lm.stats.GroupSize.Observe(time.Duration(pendingBytes)) // bytes, reusing histogram buckets
+		lm.stats.FlushLatency.Observe(time.Since(t0))
+	}
+	lm.completeWaiters()
+}
+
+// completeWaiters pops every waiter whose end is durable and runs its
+// continuation — the daemon "notifies the agent threads of
+// newly-hardened transactions".
+func (lm *LogManager) completeWaiters() {
+	durable := lm.durable.Load()
+	var ready []waiter
+	lm.mu.Lock()
+	for lm.waiters.Len() > 0 && lm.waiters[0].end <= durable {
+		ready = append(ready, heap.Pop(&lm.waiters).(waiter))
+	}
+	lm.mu.Unlock()
+	for _, w := range ready {
+		w.fn(nil)
+	}
+}
+
+// fail poisons the log: all current and future waiters get err.
+func (lm *LogManager) fail(err error) {
+	lm.mu.Lock()
+	if lm.failed == nil {
+		lm.failed = err
+	}
+	lm.mu.Unlock()
+	lm.failWaiters(err)
+}
+
+// failWaiters completes all remaining waiters with err (after completing
+// any that are genuinely durable).
+func (lm *LogManager) failWaiters(err error) {
+	lm.completeWaiters()
+	var rest []waiter
+	lm.mu.Lock()
+	for lm.waiters.Len() > 0 {
+		rest = append(rest, heap.Pop(&lm.waiters).(waiter))
+	}
+	lm.mu.Unlock()
+	for _, w := range rest {
+		w.fn(err)
+	}
+}

@@ -1,0 +1,161 @@
+// Package distlog reproduces the paper's case against distributed
+// logging (Appendix A.5, Figure 13): partition a real single-node log
+// trace across N logs and count the physical inter-log dependencies that
+// a distributed implementation would have to track and honor at flush
+// time.
+//
+// A dependency arises when a page's consecutive updates land in
+// different logs: the younger record's log must not become durable
+// before the older one's (physiological redo would corrupt the page
+// otherwise — the paper's slot 13/slot 14 example). A dependency is
+// "tight" if the older record is among the most recent few records of
+// its log at the time, meaning it is almost certainly unflushed and the
+// dependant transaction would have to flush multiple logs in sequence.
+package distlog
+
+import (
+	"fmt"
+	"strings"
+
+	"aether/internal/logrec"
+)
+
+// TraceEntry is one log record of interest: which transaction wrote it,
+// which page it touched, and its size.
+type TraceEntry struct {
+	TxnID  uint64
+	PageID uint64
+	Size   int
+}
+
+// ExtractTrace pulls the update/CLR stream out of a durable log image.
+func ExtractTrace(log []byte) []TraceEntry {
+	var out []TraceEntry
+	it := logrec.NewIterator(log, 0)
+	for {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
+		if rec.Kind != logrec.KindUpdate && rec.Kind != logrec.KindCLR {
+			continue
+		}
+		out = append(out, TraceEntry{
+			TxnID:  rec.TxnID,
+			PageID: rec.PageID,
+			Size:   int(rec.TotalLen),
+		})
+	}
+	return out
+}
+
+// Config parameterizes the partitioning analysis.
+type Config struct {
+	// Logs is the number of log partitions (the paper uses 8).
+	Logs int
+	// TightWindow is how many trailing records of a log count as "still
+	// in flight" (the paper marks dependencies on one of the five most
+	// recent records as tight).
+	TightWindow int
+	// Assign maps a transaction to a log partition. Nil = txnID % Logs
+	// (transactions stay in one log, as any practical design requires).
+	Assign func(txnID uint64) int
+}
+
+// Result summarizes the dependency structure.
+type Result struct {
+	// Logs is the partition count analyzed.
+	Logs int
+	// Records is the number of trace records analyzed.
+	Records int
+	// Bytes is the total log volume analyzed.
+	Bytes int
+	// Transactions is the number of distinct transactions.
+	Transactions int
+	// Dependencies counts page hand-offs between different logs.
+	Dependencies int
+	// TightDependencies counts dependencies whose older record was
+	// within TightWindow of its log's tail at the time.
+	TightDependencies int
+	// IntraLog counts page hand-offs that stayed in one log (harmless).
+	IntraLog int
+	// PerLogRecords is the record count per partition.
+	PerLogRecords []int
+}
+
+// DependencyRate returns dependencies per KB of log — the density that
+// makes Figure 13's graph unreadable.
+func (r Result) DependencyRate() float64 {
+	if r.Bytes == 0 {
+		return 0
+	}
+	return float64(r.Dependencies) / (float64(r.Bytes) / 1024.0)
+}
+
+// TightFraction returns the share of inter-log dependencies that are
+// tight.
+func (r Result) TightFraction() float64 {
+	if r.Dependencies == 0 {
+		return 0
+	}
+	return float64(r.TightDependencies) / float64(r.Dependencies)
+}
+
+func (r Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d-way split of %d records (%.1fKB, %d txns): ",
+		r.Logs, r.Records, float64(r.Bytes)/1024, r.Transactions)
+	fmt.Fprintf(&sb, "%d inter-log deps (%.1f/KB), %.0f%% tight, %d intra-log",
+		r.Dependencies, r.DependencyRate(), r.TightFraction()*100, r.IntraLog)
+	return sb.String()
+}
+
+// Analyze partitions the trace and counts inter-log page dependencies.
+func Analyze(trace []TraceEntry, cfg Config) Result {
+	if cfg.Logs <= 0 {
+		cfg.Logs = 8
+	}
+	if cfg.TightWindow <= 0 {
+		cfg.TightWindow = 5
+	}
+	assign := cfg.Assign
+	if assign == nil {
+		assign = func(txnID uint64) int { return int(txnID % uint64(cfg.Logs)) }
+	}
+
+	res := Result{Logs: cfg.Logs, PerLogRecords: make([]int, cfg.Logs)}
+	type lastWrite struct {
+		log int
+		seq int // sequence number within its log
+	}
+	lastByPage := make(map[uint64]lastWrite)
+	logSeq := make([]int, cfg.Logs)
+	txns := make(map[uint64]struct{})
+
+	for _, e := range trace {
+		lg := assign(e.TxnID) % cfg.Logs
+		res.Records++
+		res.Bytes += e.Size
+		res.PerLogRecords[lg]++
+		txns[e.TxnID] = struct{}{}
+		seq := logSeq[lg]
+		logSeq[lg]++
+
+		if prev, ok := lastByPage[e.PageID]; ok {
+			if prev.log != lg {
+				res.Dependencies++
+				// Tight if the predecessor is still near its log's tail.
+				if logSeq[prev.log]-1-prev.seq < cfg.TightWindow {
+					res.TightDependencies++
+				}
+			} else if prev.seq != seq-1 {
+				res.IntraLog++
+			} else {
+				res.IntraLog++
+			}
+		}
+		lastByPage[e.PageID] = lastWrite{log: lg, seq: seq}
+	}
+	res.Transactions = len(txns)
+	return res
+}

@@ -1,0 +1,207 @@
+package distlog
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file goes one step beyond the paper's Figure 13 analysis: instead
+// of only *counting* the dependencies a distributed log would face, it
+// simulates the commit-time protocol such a log would be forced to run,
+// and measures the multiplication of flushes. The paper argues (§A.5)
+// that "even if tracked efficiently the dependencies would still require
+// most transactions to flush multiple logs at commit time" — SimLog
+// makes that number concrete.
+//
+// The model: N logs, each an append-only sequence with a durable
+// horizon. A transaction's records go to its home log. When it touches a
+// page last written by another log, it picks up a dependency on that
+// log's tail position. At commit, write-ahead correctness requires every
+// dependency position to be durable before the commit record is: commit
+// therefore forces a flush of every depended-on log whose horizon lags,
+// in addition to the home log's own flush.
+
+// SimLog is a simulated N-way distributed log.
+type SimLog struct {
+	mu      sync.Mutex
+	n       int
+	group   int      // commits per home-log flush (group commit)
+	pending []int    // per-log commits since last flush
+	tail    []uint64 // per-log append position (records)
+	durable []uint64 // per-log durable horizon (records)
+	flushes []int    // per-log flush count
+	pageLog map[uint64]pagePos
+	txns    map[uint64]*simTxn
+	commits int
+	forced  int // dependency-forced flushes (beyond the home log's own)
+}
+
+type pagePos struct {
+	log uint64
+	pos uint64
+}
+
+type simTxn struct {
+	home uint64
+	deps map[uint64]uint64 // log → minimum position that must be durable
+}
+
+// NewSimLog builds a simulator over n logs with commit-equals-flush
+// semantics (group size 1).
+func NewSimLog(n int) *SimLog { return NewSimLogGroup(n, 1) }
+
+// NewSimLogGroup builds a simulator whose home logs flush once per
+// `group` commits — the group-commit batching every real log manager
+// uses, and the batching a forced dependency flush destroys.
+func NewSimLogGroup(n, group int) *SimLog {
+	if n <= 0 {
+		n = 1
+	}
+	if group <= 0 {
+		group = 1
+	}
+	return &SimLog{
+		n:       n,
+		group:   group,
+		pending: make([]int, n),
+		tail:    make([]uint64, n),
+		durable: make([]uint64, n),
+		flushes: make([]int, n),
+		pageLog: make(map[uint64]pagePos),
+		txns:    make(map[uint64]*simTxn),
+	}
+}
+
+// Append records one log record by txn touching page. The transaction's
+// home log is txn % n (transactions must not span logs, per the paper's
+// premise).
+func (s *SimLog) Append(txn, page uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	home := txn % uint64(s.n)
+	t := s.txns[txn]
+	if t == nil {
+		t = &simTxn{home: home, deps: make(map[uint64]uint64)}
+		s.txns[txn] = t
+	}
+	if prev, ok := s.pageLog[page]; ok && prev.log != home {
+		// Physical dependency: prev's record must be durable before our
+		// commit record is (the slot-13/slot-14 example in §A.5).
+		if cur, ok := t.deps[prev.log]; !ok || prev.pos > cur {
+			t.deps[prev.log] = prev.pos
+		}
+	}
+	s.tail[home]++
+	s.pageLog[page] = pagePos{log: home, pos: s.tail[home]}
+}
+
+// Commit finishes txn: every depended-on log whose durable horizon lags
+// the dependency must be flushed *before* the commit record may harden
+// (the write-ahead ordering of §A.5), breaking its batching; the home
+// log itself flushes once per group. It returns how many logs flushed
+// for this commit.
+func (s *SimLog) Commit(txn uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.txns[txn]
+	home := txn % uint64(s.n)
+	flushed := 0
+	if t != nil {
+		for lg, pos := range t.deps {
+			if s.durable[lg] < pos {
+				s.durable[lg] = s.tail[lg]
+				s.flushes[lg]++
+				s.pending[lg] = 0
+				s.forced++
+				flushed++
+			}
+		}
+		delete(s.txns, txn)
+	}
+	s.tail[home]++ // the commit record itself
+	s.pending[home]++
+	if s.pending[home] >= s.group {
+		s.durable[home] = s.tail[home]
+		s.flushes[home]++
+		s.pending[home] = 0
+		flushed++
+	}
+	s.commits++
+	return flushed
+}
+
+// SimResult summarizes a simulation.
+type SimResult struct {
+	Logs            int
+	Commits         int
+	TotalFlushes    int
+	ForcedFlushes   int // flushes of *other* logs forced by dependencies
+	FlushesPerTxn   float64
+	ForcedPerCommit float64
+}
+
+// Result returns the accumulated statistics.
+func (s *SimLog) Result() SimResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, f := range s.flushes {
+		total += f
+	}
+	r := SimResult{
+		Logs:          s.n,
+		Commits:       s.commits,
+		TotalFlushes:  total,
+		ForcedFlushes: s.forced,
+	}
+	if s.commits > 0 {
+		r.FlushesPerTxn = float64(total) / float64(s.commits)
+		r.ForcedPerCommit = float64(s.forced) / float64(s.commits)
+	}
+	return r
+}
+
+func (r SimResult) String() string {
+	return fmt.Sprintf("%d logs: %d commits, %.2f flushes/txn (%.2f forced by cross-log deps)",
+		r.Logs, r.Commits, r.FlushesPerTxn, r.ForcedPerCommit)
+}
+
+// Replay runs a trace through an n-way simulated distributed log,
+// committing each transaction after its last record (the trace order
+// approximates commit order).
+func Replay(trace []TraceEntry, n int) SimResult {
+	return ReplayLagged(trace, n, 0)
+}
+
+// ReplayLagged is Replay with a commit lag (a transaction commits only
+// after `lag` further trace records have gone by) and group commit of
+// `lag+1` transactions per home flush, modeling the in-flight window a
+// real log manager runs with. With lag 0 every predecessor flushes
+// before its dependant commits, hiding the effect the paper warns about;
+// realistic windows expose it.
+func ReplayLagged(trace []TraceEntry, n, lag int) SimResult {
+	s := NewSimLogGroup(n, lag+1)
+	last := make(map[uint64]int, len(trace))
+	for i, e := range trace {
+		last[e.TxnID] = i
+	}
+	type pending struct {
+		txn uint64
+		at  int
+	}
+	var queue []pending
+	for i, e := range trace {
+		s.Append(e.TxnID, e.PageID)
+		if last[e.TxnID] == i {
+			queue = append(queue, pending{txn: e.TxnID, at: i})
+		}
+		for len(queue) > 0 && queue[0].at+lag <= i {
+			s.Commit(queue[0].txn)
+			queue = queue[1:]
+		}
+	}
+	for _, p := range queue {
+		s.Commit(p.txn)
+	}
+	return s.Result()
+}

@@ -1,0 +1,115 @@
+package distlog
+
+import "testing"
+
+func TestSimLogSingleLogOneFlushPerCommit(t *testing.T) {
+	s := NewSimLog(1)
+	for txn := uint64(0); txn < 10; txn++ {
+		s.Append(txn, 1)
+		s.Append(txn, 2)
+		if got := s.Commit(txn); got != 1 {
+			t.Fatalf("single log commit flushed %d logs", got)
+		}
+	}
+	r := s.Result()
+	if r.ForcedFlushes != 0 {
+		t.Fatalf("single log forced flushes: %d", r.ForcedFlushes)
+	}
+	if r.FlushesPerTxn != 1 {
+		t.Fatalf("flushes/txn: %f", r.FlushesPerTxn)
+	}
+}
+
+func TestSimLogCrossLogDependencyForcesFlush(t *testing.T) {
+	s := NewSimLog(2)
+	// Txn 0 (home log 0) writes page 7; txn 1 (home log 1) then writes
+	// page 7: txn 1 depends on log 0 and must flush it at commit.
+	s.Append(0, 7)
+	s.Append(1, 7)
+	if got := s.Commit(1); got != 2 {
+		t.Fatalf("dependant commit flushed %d logs, want 2", got)
+	}
+	r := s.Result()
+	if r.ForcedFlushes != 1 {
+		t.Fatalf("forced flushes: %d", r.ForcedFlushes)
+	}
+	// Txn 0's own commit: its log tail moved (commit record) so it still
+	// flushes its home log once.
+	if got := s.Commit(0); got != 1 {
+		t.Fatalf("predecessor commit flushed %d logs", got)
+	}
+}
+
+func TestSimLogDurableDependencyIsFree(t *testing.T) {
+	s := NewSimLog(2)
+	s.Append(0, 7)
+	s.Commit(0) // hardens log 0 through page 7's record
+	s.Append(1, 7)
+	// Log 0 is already durable past the dependency: only home flush.
+	if got := s.Commit(1); got != 1 {
+		t.Fatalf("satisfied dependency still flushed %d logs", got)
+	}
+	if r := s.Result(); r.ForcedFlushes != 0 {
+		t.Fatalf("forced flushes: %d", r.ForcedFlushes)
+	}
+}
+
+func TestSimLogDisjointPagesNoForcedFlushes(t *testing.T) {
+	s := NewSimLog(4)
+	for txn := uint64(0); txn < 40; txn++ {
+		s.Append(txn, 1000+txn) // private pages
+		s.Commit(txn)
+	}
+	if r := s.Result(); r.ForcedFlushes != 0 {
+		t.Fatalf("disjoint pages forced %d flushes", r.ForcedFlushes)
+	}
+}
+
+func TestOverlappingTxnsForceFlushes(t *testing.T) {
+	// Eight in-flight transactions write the same page, then commit in
+	// reverse order: every commit (except the one whose predecessors all
+	// got flushed along the way) depends on an unflushed log.
+	s := NewSimLog(8)
+	for txn := uint64(0); txn < 8; txn++ {
+		s.Append(txn, 1)
+	}
+	forcedTotal := 0
+	for txn := int64(7); txn >= 0; txn-- {
+		s.Commit(uint64(txn))
+	}
+	forcedTotal = s.Result().ForcedFlushes
+	if forcedTotal == 0 {
+		t.Fatal("overlapping writers forced no cross-log flushes")
+	}
+}
+
+func TestReplayHotPageAmplifiesFlushes(t *testing.T) {
+	// Every transaction touches the same hot page. With an in-flight
+	// window (group commit), an 8-way log forces extra flushes; a single
+	// log never does.
+	var trace []TraceEntry
+	for i := 0; i < 200; i++ {
+		trace = append(trace, TraceEntry{TxnID: uint64(i), PageID: 1, Size: 100})
+	}
+	single := ReplayLagged(trace, 1, 8)
+	dist := ReplayLagged(trace, 8, 8)
+	if single.ForcedFlushes != 0 {
+		t.Fatalf("single-log forced: %d", single.ForcedFlushes)
+	}
+	if dist.ForcedPerCommit < 0.5 {
+		t.Fatalf("hot page should force extra flushes per commit, got %.2f",
+			dist.ForcedPerCommit)
+	}
+	if dist.FlushesPerTxn <= single.FlushesPerTxn {
+		t.Fatalf("distribution should multiply flushes: %.2f vs %.2f",
+			dist.FlushesPerTxn, single.FlushesPerTxn)
+	}
+}
+
+func TestSimLogZeroLogsClamped(t *testing.T) {
+	s := NewSimLog(0)
+	s.Append(1, 1)
+	if got := s.Commit(1); got != 1 {
+		t.Fatalf("clamped simulator: %d", got)
+	}
+}

@@ -1,0 +1,128 @@
+package lockmgr
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickNoIncompatibleGrants is the lock manager's core safety
+// property: whatever sequence of acquires and releases a set of
+// transactions performs, the granted set on any key never contains two
+// incompatible modes from different owners.
+func TestQuickNoIncompatibleGrants(t *testing.T) {
+	type op struct {
+		Txn  uint8
+		Key  uint8
+		Mode uint8
+		Drop bool // release-all instead of acquire
+	}
+	f := func(ops []op) bool {
+		m := New(Config{DeadlockTimeout: 5 * time.Millisecond})
+		lockers := map[uint8]*Locker{}
+		for _, o := range ops {
+			l := lockers[o.Txn%8]
+			if l == nil {
+				l = m.NewLocker(uint64(o.Txn%8)+1, nil)
+				lockers[o.Txn%8] = l
+			}
+			if o.Drop {
+				l.ReleaseAll()
+				continue
+			}
+			mode := Mode(o.Mode%uint8(numModes-1)) + ModeIS
+			key := RowKey(1, uint64(o.Key%5)+1)
+			// Serial execution: acquires either succeed instantly or
+			// time out (self-compatible re-acquires always succeed).
+			_ = l.Acquire(key, mode)
+			// Invariant check after every operation.
+			for obj := uint64(1); obj <= 5; obj++ {
+				modes := m.HeldModes(RowKey(1, obj))
+				for i := 0; i < len(modes); i++ {
+					for j := i + 1; j < len(modes); j++ {
+						if !Compatible(modes[i], modes[j]) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		for _, l := range lockers {
+			l.ReleaseAll()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentInvariantSampling runs concurrent lockers while a
+// sampler thread asserts the compatibility invariant on live state.
+func TestConcurrentInvariantSampling(t *testing.T) {
+	m := New(Config{DeadlockTimeout: 300 * time.Millisecond, SLI: true})
+	stop := make(chan struct{})
+	var bad sync.Once
+	var violation string
+
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for obj := uint64(1); obj <= 10; obj++ {
+				modes := m.HeldModes(RowKey(1, obj))
+				// A cached (inactive) S grant can coexist with live S
+				// grants, etc.; the matrix must hold regardless.
+				for i := 0; i < len(modes); i++ {
+					for j := i + 1; j < len(modes); j++ {
+						if !Compatible(modes[i], modes[j]) {
+							bad.Do(func() {
+								violation = modes[i].String() + " with " + modes[j].String()
+							})
+							return
+						}
+					}
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cache := NewAgentCache(8)
+			l := m.NewLocker(0, cache)
+			defer l.DropCache()
+			rng := uint64(w)*0x9E3779B97F4A7C15 + 3
+			for i := 0; i < 400; i++ {
+				rng = rng*6364136223846793005 + 1
+				l.Reset(uint64(w*1000 + i + 1))
+				key := RowKey(1, rng%10+1)
+				mode := ModeS
+				if rng&(1<<40) != 0 {
+					mode = ModeX
+				}
+				_ = l.Acquire(key, mode)
+				if rng&(1<<41) != 0 {
+					_ = l.Acquire(RowKey(1, (rng>>8)%10+1), ModeS)
+				}
+				l.ReleaseAll()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	samplerWG.Wait()
+	if violation != "" {
+		t.Fatalf("compatibility violated: %s", violation)
+	}
+}

@@ -1,0 +1,245 @@
+package lockmgr
+
+import "sync/atomic"
+
+// sliEntry states.
+const (
+	// sliValid: the cached grant is inactive and adoptable (by its agent)
+	// or stealable (by anyone else).
+	sliValid int32 = iota
+	// sliInUse: the owning agent's current transaction holds it.
+	sliInUse
+	// sliStolen: reclaimed; the entry is dead.
+	sliStolen
+)
+
+// sliEntry is one speculatively-inherited lock: a grant retained by an
+// agent thread between transactions. Ownership is arbitrated by a single
+// atomic state word: the agent adopts with CAS(valid→inuse); a
+// conflicting transaction steals with CAS(valid→stolen). If the steal
+// loses, the stealer sets reclaim and queues; the agent returns the lock
+// to the table at its next transaction boundary.
+type sliEntry struct {
+	key     Key
+	mode    Mode
+	state   atomic.Int32
+	reclaim atomic.Bool
+}
+
+// AgentCache holds the locks an agent thread has inherited across
+// transactions. It is owned by exactly one goroutine (the agent);
+// cross-thread coordination happens only through entry atomics.
+type AgentCache struct {
+	entries map[Key]*sliEntry
+	order   []Key // FIFO eviction order
+	cap     int
+}
+
+// NewAgentCache returns a cache bounded to capacity entries (default 64).
+func NewAgentCache(capacity int) *AgentCache {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &AgentCache{entries: make(map[Key]*sliEntry, capacity), cap: capacity}
+}
+
+func (c *AgentCache) get(key Key) *sliEntry { return c.entries[key] }
+
+func (c *AgentCache) remove(key Key) {
+	delete(c.entries, key)
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *AgentCache) Len() int { return len(c.entries) }
+
+// heldLock is a Locker's record of one held lock.
+type heldLock struct {
+	mode Mode
+	sli  *sliEntry // non-nil if adopted from the agent cache
+}
+
+// Locker is a transaction's lock context. Not safe for concurrent use —
+// a transaction acquires locks from its one agent thread.
+type Locker struct {
+	m     *Manager
+	txn   uint64
+	cache *AgentCache // shared across the agent's transactions; may be nil
+	held  map[Key]heldLock
+}
+
+// NewLocker returns a lock context for a transaction. cache may be nil
+// (no inheritance); pass the agent's cache to enable SLI.
+func (m *Manager) NewLocker(txnID uint64, cache *AgentCache) *Locker {
+	if !m.cfg.SLI {
+		cache = nil
+	}
+	return &Locker{m: m, txn: txnID, cache: cache, held: make(map[Key]heldLock, 8)}
+}
+
+// Reset re-arms the locker for a new transaction (the agent reuses one
+// allocation per thread). Any held locks must have been released.
+func (l *Locker) Reset(txnID uint64) {
+	if len(l.held) != 0 {
+		panic("lockmgr: Reset with locks held")
+	}
+	l.txn = txnID
+}
+
+// HeldCount returns the number of locks this transaction holds.
+func (l *Locker) HeldCount() int { return len(l.held) }
+
+// Acquire obtains key in at least the requested mode, blocking as needed.
+// It returns ErrLockTimeout if the wait exceeds the deadlock timeout, in
+// which case the transaction should abort.
+func (l *Locker) Acquire(key Key, mode Mode) error {
+	l.m.stats.Acquires.Inc()
+	if h, ok := l.held[key]; ok {
+		if Covers(h.mode, mode) {
+			return nil
+		}
+		target := Supremum(h.mode, mode)
+		if h.sli != nil {
+			// Upgrading an inherited lock: first convert it to a normal
+			// grant, then upgrade through the table.
+			if err := l.m.adoptCached(l.txn, h.sli, target); err != nil {
+				return err
+			}
+			h.sli.state.Store(sliStolen)
+			l.cache.remove(key)
+			l.held[key] = heldLock{mode: target}
+			return nil
+		}
+		if err := l.m.acquire(l.txn, key, target, true); err != nil {
+			return err
+		}
+		l.held[key] = heldLock{mode: target}
+		return nil
+	}
+
+	// Speculative lock inheritance fast path.
+	if l.cache != nil {
+		if e := l.cache.get(key); e != nil {
+			if e.state.CompareAndSwap(sliValid, sliInUse) {
+				if Covers(e.mode, mode) {
+					l.m.stats.SLIHits.Inc()
+					l.held[key] = heldLock{mode: e.mode, sli: e}
+					return nil
+				}
+				// Cached mode too weak: adopt and upgrade.
+				if err := l.m.adoptCached(l.txn, e, Supremum(e.mode, mode)); err != nil {
+					// The grant is back in the table under our txn but the
+					// upgrade failed; record what we do hold so abort
+					// releases it.
+					e.state.Store(sliStolen)
+					l.cache.remove(key)
+					l.held[key] = heldLock{mode: e.mode}
+					return err
+				}
+				e.state.Store(sliStolen)
+				l.cache.remove(key)
+				l.held[key] = heldLock{mode: Supremum(e.mode, mode)}
+				return nil
+			}
+			// Stolen while cached: forget it.
+			l.cache.remove(key)
+		}
+	}
+
+	if err := l.m.acquire(l.txn, key, mode, false); err != nil {
+		return err
+	}
+	l.held[key] = heldLock{mode: mode}
+	return nil
+}
+
+// ReleaseAll drops every lock the transaction holds. With ELR this is
+// called immediately after the commit record is inserted in the log —
+// before the flush — which is the entire mechanism of early lock release.
+// With SLI enabled, uncontended locks are retained in the agent cache
+// instead of being returned to the table.
+func (l *Locker) ReleaseAll() {
+	for key, h := range l.held {
+		switch {
+		case h.sli != nil:
+			// Adopted from the cache: give it back, or surrender it if a
+			// conflicting transaction asked for it meanwhile.
+			if h.sli.reclaim.Load() {
+				h.sli.state.Store(sliStolen)
+				l.m.releaseCachedGrant(h.sli)
+				l.cache.remove(key)
+			} else {
+				h.sli.state.Store(sliValid)
+			}
+		case l.cache != nil:
+			if e := l.m.tryCacheGrant(l.txn, key, l.cache); e != nil {
+				l.cachePut(key, e)
+			}
+		default:
+			l.m.release(l.txn, key)
+		}
+		delete(l.held, key)
+	}
+}
+
+// cachePut records a newly cached grant, evicting the oldest entry if
+// the cache is full.
+func (l *Locker) cachePut(key Key, e *sliEntry) {
+	c := l.cache
+	if old, ok := c.entries[key]; ok && old != e {
+		// Shouldn't happen (a key is cached once), but never leak a grant.
+		if old.state.CompareAndSwap(sliValid, sliStolen) {
+			l.m.releaseCachedGrant(old)
+		}
+		c.remove(key)
+	}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	for len(c.entries) > c.cap {
+		victim := c.order[0]
+		ve := c.entries[victim]
+		c.order = c.order[1:]
+		delete(c.entries, victim)
+		if ve != nil && ve.state.CompareAndSwap(sliValid, sliStolen) {
+			l.m.releaseCachedGrant(ve)
+		}
+	}
+}
+
+// ReleaseAllToTable drops every held lock directly into the lock table,
+// bypassing the agent cache entirely. Unlike ReleaseAll it is safe to
+// call from a goroutine other than the agent's (the flush daemon, for
+// the pipelined-without-ELR ablation): it never mutates the AgentCache —
+// adopted entries are marked stolen in place and the owning agent
+// garbage-collects them on its next miss.
+func (l *Locker) ReleaseAllToTable() {
+	for key, h := range l.held {
+		if h.sli != nil {
+			h.sli.state.Store(sliStolen)
+			l.m.releaseCachedGrant(h.sli)
+		} else {
+			l.m.release(l.txn, key)
+		}
+		delete(l.held, key)
+	}
+}
+
+// DropCache releases every lock the agent cache still holds (agent
+// shutdown). The cache is unusable afterwards.
+func (l *Locker) DropCache() {
+	if l.cache == nil {
+		return
+	}
+	for key, e := range l.cache.entries {
+		if e.state.CompareAndSwap(sliValid, sliStolen) {
+			l.m.releaseCachedGrant(e)
+		}
+		delete(l.cache.entries, key)
+	}
+	l.cache.order = l.cache.order[:0]
+}

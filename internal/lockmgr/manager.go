@@ -1,0 +1,434 @@
+package lockmgr
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"aether/internal/metrics"
+)
+
+// ErrLockTimeout is returned when a lock request waits longer than the
+// deadlock timeout. The transaction must abort; timeout is the deadlock
+// resolution policy (as in many production systems).
+var ErrLockTimeout = errors.New("lockmgr: lock wait timeout (possible deadlock)")
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Partitions is the number of lock-table shards. Default 128.
+	Partitions int
+	// DeadlockTimeout bounds any single lock wait. Default 500ms.
+	DeadlockTimeout time.Duration
+	// SLI enables speculative lock inheritance: agent threads keep hot
+	// locks across transactions in an AgentCache, bypassing the wait
+	// queue for repeated access. The paper's experiments run Shore-MT
+	// with SLI to keep the lock manager off the critical path (§6.1).
+	SLI bool
+	// OnBlock, if set, is called once each time a request actually
+	// blocks — a scheduling event for the context-switch accounting.
+	OnBlock func()
+}
+
+func (c *Config) applyDefaults() {
+	if c.Partitions <= 0 {
+		c.Partitions = 128
+	}
+	if c.DeadlockTimeout <= 0 {
+		c.DeadlockTimeout = 500 * time.Millisecond
+	}
+}
+
+// Stats exposes lock-manager counters.
+type Stats struct {
+	// Acquires counts lock requests (including re-acquires).
+	Acquires metrics.Counter
+	// Blocks counts requests that had to wait.
+	Blocks metrics.Counter
+	// Timeouts counts deadlock-timeout aborts.
+	Timeouts metrics.Counter
+	// Upgrades counts mode conversions.
+	Upgrades metrics.Counter
+	// SLIHits counts lock requests satisfied from an agent cache.
+	SLIHits metrics.Counter
+	// SLISteals counts cached locks reclaimed by other transactions.
+	SLISteals metrics.Counter
+	// WaitTime records blocking lock-wait durations.
+	WaitTime metrics.Histogram
+}
+
+// Manager is the lock table.
+type Manager struct {
+	cfg   Config
+	parts []partition
+	stats Stats
+}
+
+type partition struct {
+	mu    sync.Mutex
+	locks map[Key]*lockHead
+	_     [40]byte // keep partitions on separate cache lines
+}
+
+// lockHead is the per-object lock state: granted set plus FIFO queue.
+type lockHead struct {
+	key    Key
+	grants []*grant
+	queue  []*waiter
+}
+
+// grant is one granted lock. sli is non-nil for an inactive cached grant
+// retained by an agent between transactions (speculative lock
+// inheritance).
+type grant struct {
+	owner uint64
+	mode  Mode
+	sli   *sliEntry
+}
+
+// waiter is one queued request. For upgrades, mode is the conversion
+// target. granted is written and read under the partition mutex.
+type waiter struct {
+	owner   uint64
+	mode    Mode
+	upgrade bool
+	granted bool
+	ch      chan struct{}
+}
+
+// New builds a lock manager.
+func New(cfg Config) *Manager {
+	cfg.applyDefaults()
+	m := &Manager{cfg: cfg, parts: make([]partition, cfg.Partitions)}
+	for i := range m.parts {
+		m.parts[i].locks = make(map[Key]*lockHead)
+	}
+	return m
+}
+
+// Stats returns the manager's counters.
+func (m *Manager) Stats() *Stats { return &m.stats }
+
+func (m *Manager) part(k Key) *partition {
+	return &m.parts[k.hash()%uint64(len(m.parts))]
+}
+
+func (h *lockHead) findGrant(owner uint64) *grant {
+	for _, g := range h.grants {
+		if g.sli == nil && g.owner == owner {
+			return g
+		}
+	}
+	return nil
+}
+
+func (h *lockHead) removeGrant(g *grant) {
+	for i, o := range h.grants {
+		if o == g {
+			h.grants = append(h.grants[:i], h.grants[i+1:]...)
+			return
+		}
+	}
+}
+
+func (h *lockHead) removeWaiter(w *waiter) {
+	for i, o := range h.queue {
+		if o == w {
+			h.queue = append(h.queue[:i], h.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// canGrant reports whether w could be satisfied right now. Caller holds
+// the partition mutex.
+func (h *lockHead) canGrant(w *waiter) bool {
+	if w.upgrade {
+		own := h.findGrant(w.owner)
+		for _, g := range h.grants {
+			if g != own && !Compatible(g.mode, w.mode) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, g := range h.grants {
+		if !Compatible(g.mode, w.mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// grantWaiters satisfies the longest grantable prefix of the queue (FIFO;
+// upgrades sit at the front). Caller holds the partition mutex.
+func (h *lockHead) grantWaiters() {
+	for len(h.queue) > 0 {
+		w := h.queue[0]
+		if !h.canGrant(w) {
+			return
+		}
+		h.queue = h.queue[1:]
+		if w.upgrade {
+			if g := h.findGrant(w.owner); g != nil {
+				g.mode = w.mode
+			} else {
+				h.grants = append(h.grants, &grant{owner: w.owner, mode: w.mode})
+			}
+		} else {
+			h.grants = append(h.grants, &grant{owner: w.owner, mode: w.mode})
+		}
+		w.granted = true
+		close(w.ch)
+	}
+}
+
+// stealCachedConflicts removes or flags inactive cached grants that
+// conflict with a request in the given mode. Returns true if any grant
+// was removed (so compatibility should be re-checked). Caller holds the
+// partition mutex.
+func (m *Manager) stealCachedConflicts(h *lockHead, mode Mode) bool {
+	removed := false
+	for i := 0; i < len(h.grants); {
+		g := h.grants[i]
+		if g.sli != nil && !Compatible(g.mode, mode) {
+			if g.sli.state.CompareAndSwap(sliValid, sliStolen) {
+				// Inactive: reclaim it outright.
+				h.grants = append(h.grants[:i], h.grants[i+1:]...)
+				m.stats.SLISteals.Inc()
+				removed = true
+				continue
+			}
+			// In use by a running transaction: ask the owner to return
+			// it to the table at commit.
+			g.sli.reclaim.Store(true)
+		}
+		i++
+	}
+	return removed
+}
+
+// acquire is the slow path: take the partition latch, try to grant, and
+// otherwise wait in the queue. If convert is true the owner already holds
+// the lock and mode is the conversion target.
+func (m *Manager) acquire(owner uint64, key Key, mode Mode, convert bool) error {
+	p := m.part(key)
+	p.mu.Lock()
+	h := p.locks[key]
+	if h == nil {
+		h = &lockHead{key: key}
+		p.locks[key] = h
+	}
+
+	if convert {
+		g := h.findGrant(owner)
+		if g == nil {
+			// Degenerate: treated as a fresh acquire below.
+			convert = false
+		} else {
+			if Covers(g.mode, mode) {
+				p.mu.Unlock()
+				return nil
+			}
+			m.stats.Upgrades.Inc()
+			m.stealCachedConflicts(h, mode)
+			ok := true
+			for _, o := range h.grants {
+				if o != g && !Compatible(o.mode, mode) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				g.mode = mode
+				p.mu.Unlock()
+				return nil
+			}
+			// Queue the conversion ahead of fresh requests.
+			w := &waiter{owner: owner, mode: mode, upgrade: true, ch: make(chan struct{})}
+			pos := 0
+			for pos < len(h.queue) && h.queue[pos].upgrade {
+				pos++
+			}
+			h.queue = append(h.queue, nil)
+			copy(h.queue[pos+1:], h.queue[pos:])
+			h.queue[pos] = w
+			p.mu.Unlock()
+			return m.wait(p, h, w)
+		}
+	}
+
+	if !convert {
+		m.stealCachedConflicts(h, mode)
+		w := &waiter{owner: owner, mode: mode, ch: make(chan struct{})}
+		if len(h.queue) == 0 && h.canGrant(w) {
+			h.grants = append(h.grants, &grant{owner: owner, mode: mode})
+			p.mu.Unlock()
+			return nil
+		}
+		h.queue = append(h.queue, w)
+		p.mu.Unlock()
+		return m.wait(p, h, w)
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// wait blocks on w until granted or timed out.
+func (m *Manager) wait(p *partition, h *lockHead, w *waiter) error {
+	m.stats.Blocks.Inc()
+	if m.cfg.OnBlock != nil {
+		m.cfg.OnBlock()
+	}
+	t0 := time.Now()
+	timer := time.NewTimer(m.cfg.DeadlockTimeout)
+	defer timer.Stop()
+	select {
+	case <-w.ch:
+		m.stats.WaitTime.Observe(time.Since(t0))
+		return nil
+	case <-timer.C:
+		p.mu.Lock()
+		if w.granted {
+			p.mu.Unlock()
+			m.stats.WaitTime.Observe(time.Since(t0))
+			return nil
+		}
+		h.removeWaiter(w)
+		// Removing a waiter can unblock those behind it (e.g. a timed-out
+		// X request ahead of compatible S requests).
+		h.grantWaiters()
+		p.mu.Unlock()
+		m.stats.Timeouts.Inc()
+		m.stats.WaitTime.Observe(time.Since(t0))
+		return ErrLockTimeout
+	}
+}
+
+// release drops owner's grant on key and wakes eligible waiters.
+func (m *Manager) release(owner uint64, key Key) {
+	p := m.part(key)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := p.locks[key]
+	if h == nil {
+		return
+	}
+	if g := h.findGrant(owner); g != nil {
+		h.removeGrant(g)
+		h.grantWaiters()
+	}
+	if len(h.grants) == 0 && len(h.queue) == 0 {
+		delete(p.locks, key)
+	}
+}
+
+// tryCacheGrant converts owner's grant into an inactive cached grant held
+// by the agent cache, if nothing is waiting. Returns the cache entry, or
+// nil if the lock was contended (in which case it was released normally).
+func (m *Manager) tryCacheGrant(owner uint64, key Key, cache *AgentCache) *sliEntry {
+	p := m.part(key)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := p.locks[key]
+	if h == nil {
+		return nil
+	}
+	g := h.findGrant(owner)
+	if g == nil {
+		return nil
+	}
+	if len(h.queue) > 0 {
+		// Contended: inheritance would starve the waiters.
+		h.removeGrant(g)
+		h.grantWaiters()
+		if len(h.grants) == 0 && len(h.queue) == 0 {
+			delete(p.locks, key)
+		}
+		return nil
+	}
+	e := &sliEntry{key: key, mode: g.mode}
+	g.owner = 0
+	g.sli = e
+	return e
+}
+
+// releaseCachedGrant fully releases an inactive cached grant (reclaim or
+// eviction path). The caller must have transitioned e out of sliValid.
+func (m *Manager) releaseCachedGrant(e *sliEntry) {
+	p := m.part(e.key)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := p.locks[e.key]
+	if h == nil {
+		return
+	}
+	for _, g := range h.grants {
+		if g.sli == e {
+			h.removeGrant(g)
+			h.grantWaiters()
+			break
+		}
+	}
+	if len(h.grants) == 0 && len(h.queue) == 0 {
+		delete(p.locks, e.key)
+	}
+}
+
+// adoptCached converts an in-use cached grant into a normal grant for
+// owner, optionally upgrading it to target. Returns an error if the
+// upgrade had to wait and timed out.
+func (m *Manager) adoptCached(owner uint64, e *sliEntry, target Mode) error {
+	p := m.part(e.key)
+	p.mu.Lock()
+	h := p.locks[e.key]
+	var g *grant
+	if h != nil {
+		for _, o := range h.grants {
+			if o.sli == e {
+				g = o
+				break
+			}
+		}
+	}
+	if g == nil {
+		// The grant vanished (should not happen while we hold inuse);
+		// fall back to a fresh acquire.
+		p.mu.Unlock()
+		return m.acquire(owner, e.key, target, false)
+	}
+	g.owner = owner
+	g.sli = nil
+	p.mu.Unlock()
+	if Covers(g.mode, target) {
+		return nil
+	}
+	return m.acquire(owner, e.key, Supremum(g.mode, target), true)
+}
+
+// HeldModes returns the granted modes on key, for tests and invariant
+// checks.
+func (m *Manager) HeldModes(key Key) []Mode {
+	p := m.part(key)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := p.locks[key]
+	if h == nil {
+		return nil
+	}
+	out := make([]Mode, 0, len(h.grants))
+	for _, g := range h.grants {
+		out = append(out, g.mode)
+	}
+	return out
+}
+
+// QueueLen returns the number of waiters on key.
+func (m *Manager) QueueLen(key Key) int {
+	p := m.part(key)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if h := p.locks[key]; h != nil {
+		return len(h.queue)
+	}
+	return 0
+}

@@ -1,0 +1,111 @@
+// Package lockmgr implements the hierarchical two-phase lock manager the
+// transactional substrate runs on: the standard IS/IX/S/SIX/X mode
+// lattice, a partitioned hash lock table with FIFO queuing and upgrade
+// priority, timeout-based deadlock resolution, Early Lock Release (§3),
+// and a simplified Speculative Lock Inheritance ([10] in the paper) that
+// lets agent threads retain hot locks across transactions.
+package lockmgr
+
+import "fmt"
+
+// Mode is a lock mode in the standard hierarchical locking lattice.
+type Mode int
+
+const (
+	// ModeNone holds nothing; the zero value.
+	ModeNone Mode = iota
+	// ModeIS is intention-shared: some descendant is read-locked.
+	ModeIS
+	// ModeIX is intention-exclusive: some descendant is write-locked.
+	ModeIX
+	// ModeS is shared: the whole object is read-locked.
+	ModeS
+	// ModeSIX is shared + intention-exclusive.
+	ModeSIX
+	// ModeX is exclusive.
+	ModeX
+	numModes
+)
+
+var modeNames = [numModes]string{"none", "IS", "IX", "S", "SIX", "X"}
+
+// String returns the mode's conventional abbreviation.
+func (m Mode) String() string {
+	if m >= 0 && m < numModes {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Valid reports whether m is a usable lock mode (not ModeNone).
+func (m Mode) Valid() bool { return m > ModeNone && m < numModes }
+
+// compat is the standard compatibility matrix (Gray & Reuter).
+// compat[a][b] == true means a granted lock in mode a is compatible with a
+// request in mode b.
+var compat = [numModes][numModes]bool{
+	ModeNone: {ModeNone: true, ModeIS: true, ModeIX: true, ModeS: true, ModeSIX: true, ModeX: true},
+	ModeIS:   {ModeNone: true, ModeIS: true, ModeIX: true, ModeS: true, ModeSIX: true, ModeX: false},
+	ModeIX:   {ModeNone: true, ModeIS: true, ModeIX: true, ModeS: false, ModeSIX: false, ModeX: false},
+	ModeS:    {ModeNone: true, ModeIS: true, ModeIX: false, ModeS: true, ModeSIX: false, ModeX: false},
+	ModeSIX:  {ModeNone: true, ModeIS: true, ModeIX: false, ModeS: false, ModeSIX: false, ModeX: false},
+	ModeX:    {ModeNone: true, ModeIS: false, ModeIX: false, ModeS: false, ModeSIX: false, ModeX: false},
+}
+
+// Compatible reports whether a request in mode b can coexist with a
+// granted lock in mode a.
+func Compatible(a, b Mode) bool { return compat[a][b] }
+
+// sup is the supremum (least upper bound) table for lock conversions:
+// sup[a][b] is the weakest mode at least as strong as both a and b.
+var sup = [numModes][numModes]Mode{
+	ModeNone: {ModeNone, ModeIS, ModeIX, ModeS, ModeSIX, ModeX},
+	ModeIS:   {ModeIS, ModeIS, ModeIX, ModeS, ModeSIX, ModeX},
+	ModeIX:   {ModeIX, ModeIX, ModeIX, ModeSIX, ModeSIX, ModeX},
+	ModeS:    {ModeS, ModeS, ModeSIX, ModeS, ModeSIX, ModeX},
+	ModeSIX:  {ModeSIX, ModeSIX, ModeSIX, ModeSIX, ModeSIX, ModeX},
+	ModeX:    {ModeX, ModeX, ModeX, ModeX, ModeX, ModeX},
+}
+
+// Supremum returns the weakest mode covering both a and b.
+func Supremum(a, b Mode) Mode { return sup[a][b] }
+
+// Covers reports whether holding mode a satisfies a request for mode b.
+func Covers(a, b Mode) bool { return Supremum(a, b) == a }
+
+// Key names a lockable object. Space identifies a table (or other
+// container); Object identifies a row within it, with Object==0 reserved
+// for the container itself (the hierarchy parent).
+type Key struct {
+	Space  uint32
+	Object uint64
+}
+
+// TableKey returns the container-level key for a space.
+func TableKey(space uint32) Key { return Key{Space: space} }
+
+// RowKey returns the row-level key for an object in a space. Object must
+// be nonzero (zero names the table itself).
+func RowKey(space uint32, object uint64) Key {
+	return Key{Space: space, Object: object}
+}
+
+// IsTable reports whether k names a container rather than a row.
+func (k Key) IsTable() bool { return k.Object == 0 }
+
+// String formats the key for diagnostics.
+func (k Key) String() string {
+	if k.IsTable() {
+		return fmt.Sprintf("space(%d)", k.Space)
+	}
+	return fmt.Sprintf("space(%d)/obj(%d)", k.Space, k.Object)
+}
+
+// hash mixes the key into a partition index (fibonacci hashing).
+func (k Key) hash() uint64 {
+	h := uint64(k.Space)*0x9E3779B97F4A7C15 ^ k.Object*0xC2B2AE3D27D4EB4F
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return h
+}

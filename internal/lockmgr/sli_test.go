@@ -1,0 +1,282 @@
+package lockmgr
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSLIRetainsUncontendedLock(t *testing.T) {
+	m := newMgr(t, Config{SLI: true})
+	cache := NewAgentCache(16)
+	k := RowKey(1, 7)
+
+	l := m.NewLocker(1, cache)
+	if err := l.Acquire(k, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	l.ReleaseAll()
+
+	// The grant stays in the table, attached to the cache.
+	if got := len(m.HeldModes(k)); got != 1 {
+		t.Fatalf("cached grant missing: %d grants", got)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache len %d", cache.Len())
+	}
+
+	// Next transaction on the same agent hits the cache.
+	l.Reset(2)
+	if err := l.Acquire(k, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().SLIHits.Load() != 1 {
+		t.Fatalf("SLI hits: %d", m.Stats().SLIHits.Load())
+	}
+	l.ReleaseAll()
+}
+
+func TestSLIStealByConflictingTxn(t *testing.T) {
+	m := newMgr(t, Config{SLI: true, DeadlockTimeout: time.Second})
+	cache := NewAgentCache(16)
+	k := RowKey(1, 7)
+
+	l := m.NewLocker(1, cache)
+	l.Acquire(k, ModeX)
+	l.ReleaseAll() // cached, inactive
+
+	// A different transaction takes the lock: it must steal the inactive
+	// cached grant without waiting.
+	other := m.NewLocker(2, nil)
+	start := time.Now()
+	if err := other.Acquire(k, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 200*time.Millisecond {
+		t.Fatal("steal should be immediate")
+	}
+	if m.Stats().SLISteals.Load() != 1 {
+		t.Fatalf("steals: %d", m.Stats().SLISteals.Load())
+	}
+	other.ReleaseAll()
+
+	// The agent's next acquire must notice the theft and go through the
+	// table.
+	l.Reset(3)
+	if err := l.Acquire(k, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().SLIHits.Load() != 0 {
+		t.Fatal("stolen entry must not hit")
+	}
+	l.ReleaseAll()
+}
+
+func TestSLIReclaimWhileInUse(t *testing.T) {
+	m := newMgr(t, Config{SLI: true, DeadlockTimeout: 2 * time.Second})
+	cache := NewAgentCache(16)
+	k := RowKey(1, 7)
+
+	l := m.NewLocker(1, cache)
+	l.Acquire(k, ModeX)
+	l.ReleaseAll()
+	l.Reset(2)
+	l.Acquire(k, ModeX) // adopt from cache (in use now)
+
+	got := make(chan error, 1)
+	go func() {
+		other := m.NewLocker(3, nil)
+		got <- other.Acquire(k, ModeX)
+	}()
+	select {
+	case <-got:
+		t.Fatal("conflicting acquire succeeded while lock in use")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// At commit, the agent must surrender the lock instead of re-caching.
+	l.ReleaseAll()
+	if err := <-got; err != nil {
+		t.Fatalf("reclaim never happened: %v", err)
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("reclaimed entry still cached: %d", cache.Len())
+	}
+}
+
+func TestSLICompatibleRequestsCoexistWithCachedS(t *testing.T) {
+	m := newMgr(t, Config{SLI: true})
+	cache := NewAgentCache(16)
+	k := RowKey(1, 7)
+	l := m.NewLocker(1, cache)
+	l.Acquire(k, ModeS)
+	l.ReleaseAll() // cached S grant stays
+
+	// Another reader coexists with the cached S grant.
+	other := m.NewLocker(2, nil)
+	if err := other.Acquire(k, ModeS); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.HeldModes(k)); got != 2 {
+		t.Fatalf("grants: %d, want cached S + live S", got)
+	}
+	other.ReleaseAll()
+}
+
+func TestSLIUpgradeOfCachedLock(t *testing.T) {
+	m := newMgr(t, Config{SLI: true})
+	cache := NewAgentCache(16)
+	k := RowKey(1, 7)
+	l := m.NewLocker(1, cache)
+	l.Acquire(k, ModeS)
+	l.ReleaseAll()
+	l.Reset(2)
+	// Request X on a key cached in S: adopt + upgrade.
+	if err := l.Acquire(k, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	modes := m.HeldModes(k)
+	if len(modes) != 1 || modes[0] != ModeX {
+		t.Fatalf("modes after cached upgrade: %v", modes)
+	}
+	// Entry left the cache (it was consumed by the upgrade).
+	if cache.Len() != 0 {
+		t.Fatalf("cache len %d", cache.Len())
+	}
+	l.ReleaseAll()
+}
+
+func TestSLIUpgradeOfAdoptedLockMidTxn(t *testing.T) {
+	m := newMgr(t, Config{SLI: true})
+	cache := NewAgentCache(16)
+	k := RowKey(1, 7)
+	l := m.NewLocker(1, cache)
+	l.Acquire(k, ModeS)
+	l.ReleaseAll()
+	l.Reset(2)
+	if err := l.Acquire(k, ModeS); err != nil { // adopt in S
+		t.Fatal(err)
+	}
+	if err := l.Acquire(k, ModeX); err != nil { // upgrade the adopted lock
+		t.Fatal(err)
+	}
+	modes := m.HeldModes(k)
+	if len(modes) != 1 || modes[0] != ModeX {
+		t.Fatalf("modes: %v", modes)
+	}
+	l.ReleaseAll()
+	// After the upgrade consumed the entry, release is a normal release
+	// (or re-cache): either way the agent can still lock again.
+	l.Reset(3)
+	if err := l.Acquire(k, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	l.ReleaseAll()
+}
+
+func TestSLICacheEviction(t *testing.T) {
+	m := newMgr(t, Config{SLI: true})
+	cache := NewAgentCache(4)
+	l := m.NewLocker(1, cache)
+	for i := 1; i <= 10; i++ {
+		if err := l.Acquire(RowKey(1, uint64(i)), ModeX); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.ReleaseAll()
+	if cache.Len() > 4 {
+		t.Fatalf("cache exceeded capacity: %d", cache.Len())
+	}
+	// Evicted keys must be fully released (no grants left behind).
+	held := 0
+	for i := 1; i <= 10; i++ {
+		held += len(m.HeldModes(RowKey(1, uint64(i))))
+	}
+	if held != 4 {
+		t.Fatalf("%d grants remain, want 4 cached", held)
+	}
+}
+
+func TestSLIDropCache(t *testing.T) {
+	m := newMgr(t, Config{SLI: true})
+	cache := NewAgentCache(16)
+	l := m.NewLocker(1, cache)
+	for i := 1; i <= 5; i++ {
+		l.Acquire(RowKey(1, uint64(i)), ModeX)
+	}
+	l.ReleaseAll()
+	l.DropCache()
+	if cache.Len() != 0 {
+		t.Fatalf("cache not empty: %d", cache.Len())
+	}
+	for i := 1; i <= 5; i++ {
+		if got := len(m.HeldModes(RowKey(1, uint64(i)))); got != 0 {
+			t.Fatalf("key %d still has %d grants", i, got)
+		}
+	}
+}
+
+func TestSLIDisabledByConfig(t *testing.T) {
+	m := newMgr(t, Config{SLI: false})
+	cache := NewAgentCache(16)
+	l := m.NewLocker(1, cache) // cache ignored when SLI off
+	k := RowKey(1, 7)
+	l.Acquire(k, ModeX)
+	l.ReleaseAll()
+	if len(m.HeldModes(k)) != 0 {
+		t.Fatal("lock retained with SLI disabled")
+	}
+}
+
+// TestSLIStressHotKey runs many agents, each with a private hot key
+// (cache hits guaranteed) plus one shared key (mutual exclusion under
+// steal/reclaim churn).
+func TestSLIStressHotKey(t *testing.T) {
+	m := newMgr(t, Config{SLI: true, DeadlockTimeout: 5 * time.Second})
+	shared := RowKey(1, 1)
+	var counter int
+	const agents = 8
+	const perA = 150
+	var wg sync.WaitGroup
+	var nextTxn struct {
+		sync.Mutex
+		n uint64
+	}
+	for a := 0; a < agents; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			cache := NewAgentCache(16)
+			private := RowKey(2, uint64(a+1))
+			l := m.NewLocker(0, cache)
+			defer l.DropCache()
+			for i := 0; i < perA; i++ {
+				nextTxn.Lock()
+				nextTxn.n++
+				id := nextTxn.n
+				nextTxn.Unlock()
+				l.Reset(id)
+				if err := l.Acquire(private, ModeX); err != nil {
+					t.Errorf("acquire private: %v", err)
+					return
+				}
+				if err := l.Acquire(shared, ModeX); err != nil {
+					t.Errorf("acquire shared: %v", err)
+					return
+				}
+				counter++
+				l.ReleaseAll()
+			}
+		}(a)
+	}
+	wg.Wait()
+	if counter != agents*perA {
+		t.Fatalf("lost updates with SLI: %d, want %d", counter, agents*perA)
+	}
+	// Each agent's private key misses once (first acquire) and hits
+	// thereafter — unless stolen, which cannot happen to private keys.
+	wantHits := int64(agents * (perA - 1))
+	if got := m.Stats().SLIHits.Load(); got < wantHits {
+		t.Fatalf("SLI hits: %d, want at least %d", got, wantHits)
+	}
+}

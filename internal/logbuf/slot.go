@@ -1,0 +1,172 @@
+package logbuf
+
+import (
+	"sync/atomic"
+
+	"aether/internal/lsn"
+)
+
+// This file implements the consolidation array of Algorithm 5 (§A.2): the
+// elimination-inspired backoff structure where threads that find the log
+// mutex busy combine their insert requests into groups.
+//
+// A slot's lifecycle is driven by a single atomic int64 state word:
+//
+//	FREE            — in the pool, not visible to inserters.
+//	OPEN (READY+n)  — in the array; n = bytes accumulated by joiners.
+//	PENDING         — closed by the leader; group size being read.
+//	COPYING (−n)    — notified; n = bytes whose fills are still running.
+//	DONE (0)        — all fills complete; last releaser recycles it.
+//
+// Encoding (see the state diagram in Figure 10):
+//
+//	slotDone(0) < slotPending(1) < slotFree(2) < slotReady(1<<32) ≤ OPEN
+//	COPYING states are the negative values −groupSize … −1.
+//
+// A joiner may join iff state ≥ slotReady, so every non-open state
+// refuses joins with a single comparison.
+const (
+	slotDone    int64 = 0
+	slotPending int64 = 1
+	slotFree    int64 = 2
+	slotReady   int64 = 1 << 32
+)
+
+// slot is one consolidation point. lsn and group are written by the
+// group leader strictly before the state transition to COPYING and read
+// by followers strictly after observing it, so they need no atomics.
+type slot struct {
+	state atomic.Int64
+	lsn   lsn.LSN
+	group int64
+	idx   int // current position in the array, for replaceSlot
+	// qnode is the group's shared release-queue node under CDME. Written
+	// by the leader before notify, read by the last releaser; ordered by
+	// the state transitions like lsn and group.
+	qnode *relNode
+
+	_ [16]byte // pad away false sharing with the neighboring slot
+}
+
+// cArray is the consolidation array plus its slot pool.
+type cArray struct {
+	slots []atomic.Pointer[slot] // ARRAY_SIZE live consolidation points
+	pool  []*slot                // pre-allocated recycling pool
+	// poolIdx is the circular allocation cursor. It is only touched while
+	// holding the log mutex (slot_close runs inside the critical section),
+	// exactly as the paper specifies, so it needs no synchronization.
+	poolIdx  int
+	maxGroup int64
+}
+
+func newCArray(slots, poolSize int, maxGroup int64) *cArray {
+	if poolSize < 2*slots {
+		poolSize = 2 * slots
+	}
+	a := &cArray{
+		slots:    make([]atomic.Pointer[slot], slots),
+		pool:     make([]*slot, poolSize),
+		maxGroup: maxGroup,
+	}
+	for i := range a.pool {
+		a.pool[i] = &slot{}
+		a.pool[i].state.Store(slotFree)
+	}
+	// Seed the array with the first slots from the pool.
+	for i := range a.slots {
+		s := a.pool[i]
+		s.state.Store(slotReady)
+		s.idx = i
+		a.slots[i].Store(s)
+	}
+	a.poolIdx = slots
+	return a
+}
+
+// join implements slot_join (Algorithm 5 L1-19): probe open slots starting
+// from a random position and CAS our size into the first that admits us.
+// It returns the slot and our byte offset within the group; offset 0 makes
+// the caller the group leader.
+func (a *cArray) join(rng *xorshift, size int64) (*slot, int64) {
+	var sp spinner
+	for {
+		s := a.slots[int(rng.next()%uint64(len(a.slots)))].Load()
+		old := s.state.Load()
+		for {
+			if old < slotReady || old-slotReady+size > a.maxGroup {
+				break // closed or full: probe another slot
+			}
+			if s.state.CompareAndSwap(old, old+size) {
+				return s, old - slotReady
+			}
+			old = s.state.Load()
+		}
+		sp.spin()
+	}
+}
+
+// close implements slot_close (L21-33): swap a fresh slot into the array
+// so new arrivals keep consolidating, then atomically close this group
+// and learn its total size. Must be called with the log mutex held (it
+// touches the pool cursor).
+func (a *cArray) close(s *slot) int64 {
+	a.replaceSlot(s.idx)
+	old := s.state.Swap(slotPending)
+	return old - slotReady
+}
+
+// replaceSlot installs a FREE slot from the pool at array position idx.
+// Called only under the log mutex.
+func (a *cArray) replaceSlot(idx int) {
+	for i := 0; ; i++ {
+		s2 := a.pool[a.poolIdx%len(a.pool)]
+		a.poolIdx++
+		if s2.state.Load() == slotFree {
+			s2.state.Store(slotReady)
+			s2.idx = idx
+			a.slots[idx].Store(s2)
+			return
+		}
+		if i >= len(a.pool) {
+			// The pool is sized so this never happens in practice; grow
+			// gracefully rather than deadlock if a workload defeats it.
+			s2 := &slot{}
+			s2.state.Store(slotReady)
+			s2.idx = idx
+			a.slots[idx].Store(s2)
+			a.pool = append(a.pool, s2)
+			return
+		}
+	}
+}
+
+// notify implements slot_notify (L35-39): the leader publishes the group's
+// base LSN and size, then flips the slot to COPYING so followers proceed.
+func (s *slot) notify(base lsn.LSN, group int64) {
+	s.lsn = base
+	s.group = group
+	s.state.Store(slotDone - group)
+}
+
+// wait implements slot_wait (L41-46): spin until the leader notifies,
+// then read the group's base LSN and size.
+func (s *slot) wait() (base lsn.LSN, group int64) {
+	var sp spinner
+	for s.state.Load() > slotDone {
+		sp.spin()
+	}
+	return s.lsn, s.group
+}
+
+// release implements slot_release (L48-51): account our bytes as copied.
+// It returns true when this was the group's last pending fill, in which
+// case the caller must release the group's buffer region and then free
+// the slot.
+func (s *slot) release(size int64) bool {
+	return s.state.Add(size) == slotDone
+}
+
+// free implements slot_free (L53-55): return the slot to the pool.
+func (s *slot) free() {
+	s.state.Store(slotFree)
+}

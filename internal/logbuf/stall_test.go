@@ -1,0 +1,90 @@
+package logbuf
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCDStallDiagnostic(t *testing.T) {
+	b, err := New(Config{Variant: VariantCD, Size: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := b.(*hybridBuf)
+	rd := b.Reader()
+	stop := make(chan struct{})
+	go func() {
+		for {
+			s, e := rd.Pending()
+			if s != e {
+				rd.MarkFlushed(e)
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	rec := make([]byte, 120)
+	var inserts atomic.Int64
+	for w := 0; w < 16; w++ {
+		go func() {
+			ins := b.NewInserter()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ins.Insert(rec)
+				inserts.Add(1)
+			}
+		}()
+	}
+	last := LSNPair{}
+	for i := 0; i < 20; i++ {
+		time.Sleep(100 * time.Millisecond)
+		cur := LSNPair{rd.Released(), rd.Flushed()}
+		if cur == last {
+			h.mu.Lock()
+			next := h.next
+			h.mu.Unlock()
+			var states []int64
+			for i := range h.arr.slots {
+				states = append(states, h.arr.slots[i].Load().state.Load())
+			}
+			poolStates := map[int64]int{}
+			for _, s := range h.arr.pool {
+				poolStates[normState(s.state.Load())]++
+			}
+			t.Fatalf("STALL: released=%v flushed=%v next=%v inserts=%d arrayStates=%v poolHist=%v",
+				cur.A, cur.B, next, inserts.Load(), states, poolStates)
+		}
+		last = cur
+	}
+	close(stop)
+	t.Logf("no stall; inserts=%d released=%v", inserts.Load(), rd.Released())
+	t.Logf("rate=%.0f inserts/sec", float64(inserts.Load())/2.0)
+}
+
+type LSNPair struct{ A, B interface{ String() string } }
+
+func normState(s int64) int64 {
+	switch {
+	case s == slotFree:
+		return -100
+	case s == slotPending:
+		return -200
+	case s == slotDone:
+		return -300
+	case s >= slotReady:
+		return 1
+	default:
+		return -1 // copying
+	}
+}
+
+var _ = fmt.Sprint

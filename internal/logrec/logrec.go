@@ -1,0 +1,286 @@
+// Package logrec defines the on-log record format shared by every log
+// buffer variant, the flush daemon and ARIES recovery.
+//
+// A record is a fixed 48-byte header followed by an arbitrary payload, the
+// composable shape the consolidation array exploits (§5.1: "two successive
+// requests also begin with a log header and end with an arbitrary
+// payload"). All integers are little-endian. The checksum lets recovery
+// stop at the first torn or missing record — the paper's requirement that
+// "recovery must stop at the first gap it encounters".
+package logrec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"aether/internal/lsn"
+)
+
+// Kind enumerates the record types the storage manager and recovery use.
+type Kind uint16
+
+const (
+	// KindInvalid marks an uninitialized record; it never appears on a
+	// healthy log.
+	KindInvalid Kind = iota
+	// KindUpdate is a physiological page update carrying redo and undo
+	// images.
+	KindUpdate
+	// KindCLR is a compensation log record written during rollback;
+	// redo-only, with Aux holding the UndoNext LSN.
+	KindCLR
+	// KindCommit marks a transaction commit. A transaction is committed
+	// iff its commit record is durable.
+	KindCommit
+	// KindAbort marks the start of a rollback decision.
+	KindAbort
+	// KindEnd marks a transaction fully finished (post-commit or
+	// post-rollback bookkeeping done).
+	KindEnd
+	// KindCheckpointBegin opens a fuzzy checkpoint.
+	KindCheckpointBegin
+	// KindCheckpointEnd closes a fuzzy checkpoint; the payload carries
+	// the active-transaction and dirty-page tables, and Aux points back
+	// to the matching begin record.
+	KindCheckpointEnd
+	// KindPad fills space the microbenchmark and tests reserve without
+	// semantic content; recovery skips it.
+	KindPad
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"invalid", "update", "clr", "commit", "abort", "end",
+	"ckpt-begin", "ckpt-end", "pad",
+}
+
+// String returns the kind's short name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint16(k))
+}
+
+// Valid reports whether k is a known record kind other than KindInvalid.
+func (k Kind) Valid() bool { return k > KindInvalid && k < numKinds }
+
+// HeaderSize is the fixed encoded size of a record header. 48 bytes makes
+// the minimum record exactly the 48B smallest record Shore-MT produces
+// (§A.3), so the microbenchmark sweeps the same size range as the paper.
+const HeaderSize = 48
+
+// MaxPayload bounds a single record's payload. Shore-MT's largest record
+// is 12KiB; we allow up to 16MiB so the skew experiments (Fig. 11) can
+// push outliers to 64KiB+ and beyond.
+const MaxPayload = 16 << 20
+
+// Header is the fixed preamble of every log record.
+//
+// Layout (little-endian, offsets in bytes):
+//
+//	 0  TotalLen uint32  — header + payload length
+//	 4  CRC      uint32  — CRC-32C over bytes [8, TotalLen)
+//	 8  Kind     uint16
+//	10  Flags    uint16
+//	12  _        uint32  — reserved/padding (zero)
+//	16  TxnID    uint64
+//	24  PrevLSN  uint64  — same-transaction backchain (lsn.Undefined if none)
+//	32  PageID   uint64  — page touched, 0 if not page-related
+//	40  Aux      uint64  — kind-specific (CLR: UndoNextLSN; ckpt-end: begin LSN)
+type Header struct {
+	TotalLen uint32
+	CRC      uint32
+	Kind     Kind
+	Flags    uint16
+	TxnID    uint64
+	PrevLSN  lsn.LSN
+	PageID   uint64
+	Aux      uint64
+}
+
+// Flag bits.
+const (
+	// FlagRedoOnly marks records that must not be undone (CLRs).
+	FlagRedoOnly uint16 = 1 << iota
+)
+
+// Record is a decoded log record: header plus payload. The payload slice
+// is owned by the record.
+type Record struct {
+	Header
+	// LSN is the address the record was read from or inserted at. It is
+	// not part of the encoding (the position implies it).
+	LSN     lsn.LSN
+	Payload []byte
+}
+
+// Errors returned by the decoder.
+var (
+	// ErrTooShort means the input cannot contain a full header or the
+	// declared payload.
+	ErrTooShort = errors.New("logrec: input shorter than record")
+	// ErrBadLength means the header's TotalLen is impossible.
+	ErrBadLength = errors.New("logrec: invalid record length")
+	// ErrBadKind means the record kind is unknown.
+	ErrBadKind = errors.New("logrec: invalid record kind")
+	// ErrChecksum means the CRC does not match — a torn write or the
+	// first gap after a crash.
+	ErrChecksum = errors.New("logrec: checksum mismatch")
+	// ErrPayloadTooLarge means an encode request exceeded MaxPayload.
+	ErrPayloadTooLarge = errors.New("logrec: payload too large")
+)
+
+// castagnoli is the CRC-32C table; Castagnoli is the standard polynomial
+// for storage checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Size returns the encoded size of a record with the given payload length.
+func Size(payloadLen int) int { return HeaderSize + payloadLen }
+
+// EncodedSize returns the record's full encoded length.
+func (r *Record) EncodedSize() int { return Size(len(r.Payload)) }
+
+// EncodeInto writes the record into dst, which must be exactly
+// EncodedSize() bytes (the pre-reserved log-buffer region). It computes
+// TotalLen and CRC; the caller's values for those fields are ignored.
+func (r *Record) EncodeInto(dst []byte) error {
+	if len(r.Payload) > MaxPayload {
+		return ErrPayloadTooLarge
+	}
+	total := HeaderSize + len(r.Payload)
+	if len(dst) != total {
+		return fmt.Errorf("logrec: dst is %d bytes, record needs %d", len(dst), total)
+	}
+	if !r.Kind.Valid() {
+		return ErrBadKind
+	}
+	binary.LittleEndian.PutUint32(dst[0:4], uint32(total))
+	// dst[4:8] = CRC, filled below.
+	binary.LittleEndian.PutUint16(dst[8:10], uint16(r.Kind))
+	binary.LittleEndian.PutUint16(dst[10:12], r.Flags)
+	binary.LittleEndian.PutUint32(dst[12:16], 0)
+	binary.LittleEndian.PutUint64(dst[16:24], r.TxnID)
+	binary.LittleEndian.PutUint64(dst[24:32], uint64(r.PrevLSN))
+	binary.LittleEndian.PutUint64(dst[32:40], r.PageID)
+	binary.LittleEndian.PutUint64(dst[40:48], r.Aux)
+	copy(dst[HeaderSize:], r.Payload)
+	crc := crc32.Checksum(dst[8:total], castagnoli)
+	binary.LittleEndian.PutUint32(dst[4:8], crc)
+	return nil
+}
+
+// Encode allocates and returns the encoded record.
+func (r *Record) Encode() ([]byte, error) {
+	buf := make([]byte, r.EncodedSize())
+	if err := r.EncodeInto(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// PeekLen reads the TotalLen field from the front of src without
+// validating the rest. It returns 0 if src is shorter than 4 bytes.
+func PeekLen(src []byte) int {
+	if len(src) < 4 {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint32(src[0:4]))
+}
+
+// Decode parses one record from the front of src, verifying length, kind
+// and checksum. The returned record's Payload aliases src; callers that
+// retain it across buffer reuse must copy. consumed is the encoded length.
+func Decode(src []byte) (rec Record, consumed int, err error) {
+	if len(src) < HeaderSize {
+		return Record{}, 0, ErrTooShort
+	}
+	total := int(binary.LittleEndian.Uint32(src[0:4]))
+	if total < HeaderSize || total > HeaderSize+MaxPayload {
+		return Record{}, 0, ErrBadLength
+	}
+	if len(src) < total {
+		return Record{}, 0, ErrTooShort
+	}
+	wantCRC := binary.LittleEndian.Uint32(src[4:8])
+	if crc32.Checksum(src[8:total], castagnoli) != wantCRC {
+		return Record{}, 0, ErrChecksum
+	}
+	k := Kind(binary.LittleEndian.Uint16(src[8:10]))
+	if !k.Valid() {
+		return Record{}, 0, ErrBadKind
+	}
+	rec = Record{
+		Header: Header{
+			TotalLen: uint32(total),
+			CRC:      wantCRC,
+			Kind:     k,
+			Flags:    binary.LittleEndian.Uint16(src[10:12]),
+			TxnID:    binary.LittleEndian.Uint64(src[16:24]),
+			PrevLSN:  lsn.LSN(binary.LittleEndian.Uint64(src[24:32])),
+			PageID:   binary.LittleEndian.Uint64(src[32:40]),
+			Aux:      binary.LittleEndian.Uint64(src[40:48]),
+		},
+		Payload: src[HeaderSize:total],
+	}
+	return rec, total, nil
+}
+
+// Iterator walks a linear log byte stream record by record, stopping
+// cleanly at the first gap (torn record, bad checksum, or truncation) —
+// exactly how ARIES scans the log after a crash.
+type Iterator struct {
+	data []byte
+	base lsn.LSN // LSN of data[0]
+	off  int
+	err  error
+}
+
+// NewIterator returns an iterator over data, whose first byte sits at
+// base in the logical log.
+func NewIterator(data []byte, base lsn.LSN) *Iterator {
+	return &Iterator{data: data, base: base}
+}
+
+// Next returns the next record, or ok=false when the stream ends (at a
+// gap or clean end). After ok=false, Err distinguishes a clean end (nil)
+// from a detected gap.
+func (it *Iterator) Next() (Record, bool) {
+	if it.err != nil {
+		return Record{}, false
+	}
+	rest := it.data[it.off:]
+	if len(rest) == 0 {
+		return Record{}, false
+	}
+	rec, n, err := Decode(rest)
+	if err != nil {
+		// A run of zero bytes is pre-allocated, never-written space:
+		// a clean end rather than corruption.
+		if errors.Is(err, ErrTooShort) || allZero(rest) {
+			return Record{}, false
+		}
+		it.err = fmt.Errorf("logrec: stream gap at %v: %w", it.base.Add(it.off), err)
+		return Record{}, false
+	}
+	rec.LSN = it.base.Add(it.off)
+	it.off += n
+	return rec, true
+}
+
+// Err returns the gap error, if the iterator stopped at one.
+func (it *Iterator) Err() error { return it.err }
+
+// Offset returns the number of bytes consumed so far.
+func (it *Iterator) Offset() int { return it.off }
+
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,111 @@
+// Package lsn defines the log sequence number (LSN) type used throughout
+// Aether.
+//
+// Following the paper (§5), an LSN doubles as the byte address of a record
+// in the logical log stream: generating an LSN also reserves log-buffer
+// space, and the LSN of a record equals the total number of log bytes that
+// precede it. The physical location inside the circular in-memory buffer is
+// lsn modulo the buffer size; the location on the log device is the LSN
+// itself (the device receives the linearized stream).
+package lsn
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// LSN is a log sequence number: the byte offset of a record in the logical
+// log stream. LSNs are totally ordered and strictly increasing across
+// inserts.
+type LSN uint64
+
+// Zero is the LSN of the first byte ever written to the log. It is also
+// used as the "null" LSN (e.g. PrevLSN of a transaction's first record),
+// because no real record can both start at zero and be pointed at: record
+// headers are non-empty, so any pointer to LSN 0 from a later record would
+// be a self-reference. Code that needs an explicit invalid value should use
+// Undefined.
+const Zero LSN = 0
+
+// Undefined marks an absent LSN (e.g. UndoNextLSN of a non-CLR record).
+const Undefined LSN = ^LSN(0)
+
+// Valid reports whether l is a usable log address.
+func (l LSN) Valid() bool { return l != Undefined }
+
+// Add returns the LSN advanced by n bytes.
+func (l LSN) Add(n int) LSN { return l + LSN(n) }
+
+// Sub returns the distance in bytes from m to l. It panics if m > l, which
+// always indicates LSN arithmetic corruption in the caller.
+func (l LSN) Sub(m LSN) uint64 {
+	if m > l {
+		panic(fmt.Sprintf("lsn: Sub underflow: %d - %d", uint64(l), uint64(m)))
+	}
+	return uint64(l - m)
+}
+
+// String formats the LSN the way the rest of the system logs it.
+func (l LSN) String() string {
+	if l == Undefined {
+		return "LSN(undef)"
+	}
+	return fmt.Sprintf("LSN(%d)", uint64(l))
+}
+
+// Atomic is an LSN that can be read and advanced concurrently. The zero
+// value holds LSN 0 and is ready to use.
+//
+// It is used for the global watermarks the paper's algorithms revolve
+// around: the insertion point, the release ("ready to flush") frontier and
+// the durable horizon.
+type Atomic struct {
+	v atomic.Uint64
+}
+
+// Load returns the current value.
+func (a *Atomic) Load() LSN { return LSN(a.v.Load()) }
+
+// Store sets the current value.
+func (a *Atomic) Store(l LSN) { a.v.Store(uint64(l)) }
+
+// Add advances the value by n bytes and returns the previous value; this is
+// the atomic "fetch-and-add" used by LSN generation.
+func (a *Atomic) Add(n int) LSN { return LSN(a.v.Add(uint64(n))) - LSN(n) }
+
+// CompareAndSwap executes the CAS operation on the value.
+func (a *Atomic) CompareAndSwap(old, new LSN) bool {
+	return a.v.CompareAndSwap(uint64(old), uint64(new))
+}
+
+// AdvanceTo raises the value to l if it is currently below l. It never
+// lowers the value. It returns true if this call performed the advance.
+// Concurrent watermark publication (e.g. the durable horizon) uses this to
+// stay monotonic regardless of notification order.
+func (a *Atomic) AdvanceTo(l LSN) bool {
+	for {
+		cur := a.v.Load()
+		if cur >= uint64(l) {
+			return false
+		}
+		if a.v.CompareAndSwap(cur, uint64(l)) {
+			return true
+		}
+	}
+}
+
+// Max returns the larger of two LSNs.
+func Max(a, b LSN) LSN {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the smaller of two LSNs.
+func Min(a, b LSN) LSN {
+	if a < b {
+		return a
+	}
+	return b
+}

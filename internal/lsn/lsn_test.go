@@ -1,0 +1,173 @@
+package lsn
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSub(t *testing.T) {
+	l := LSN(100)
+	if got := l.Add(28); got != 128 {
+		t.Fatalf("Add: got %v, want 128", got)
+	}
+	if got := LSN(128).Sub(100); got != 28 {
+		t.Fatalf("Sub: got %d, want 28", got)
+	}
+}
+
+func TestSubPanicsOnUnderflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sub(larger) did not panic")
+		}
+	}()
+	LSN(5).Sub(6)
+}
+
+func TestValid(t *testing.T) {
+	if Undefined.Valid() {
+		t.Fatal("Undefined must not be Valid")
+	}
+	if !Zero.Valid() {
+		t.Fatal("Zero must be Valid")
+	}
+	if !LSN(12345).Valid() {
+		t.Fatal("ordinary LSN must be Valid")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := LSN(42).String(); got != "LSN(42)" {
+		t.Fatalf("String: got %q", got)
+	}
+	if got := Undefined.String(); got != "LSN(undef)" {
+		t.Fatalf("String undefined: got %q", got)
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	if Max(1, 2) != 2 || Max(2, 1) != 2 {
+		t.Fatal("Max wrong")
+	}
+	if Min(1, 2) != 1 || Min(2, 1) != 1 {
+		t.Fatal("Min wrong")
+	}
+}
+
+func TestAtomicAddReturnsPrevious(t *testing.T) {
+	var a Atomic
+	if got := a.Add(10); got != 0 {
+		t.Fatalf("first Add returned %v, want 0", got)
+	}
+	if got := a.Add(5); got != 10 {
+		t.Fatalf("second Add returned %v, want 10", got)
+	}
+	if got := a.Load(); got != 15 {
+		t.Fatalf("Load: got %v, want 15", got)
+	}
+}
+
+// TestAtomicAddIsFetchAndAdd verifies that concurrent Adds hand out
+// disjoint, gap-free ranges — the property LSN generation depends on.
+func TestAtomicAddIsFetchAndAdd(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 2000
+		size       = 7
+	)
+	var a Atomic
+	var mu sync.Mutex
+	seen := make(map[LSN]bool, goroutines*perG)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]LSN, 0, perG)
+			for i := 0; i < perG; i++ {
+				local = append(local, a.Add(size))
+			}
+			mu.Lock()
+			for _, l := range local {
+				if seen[l] {
+					t.Errorf("duplicate LSN %v handed out", l)
+				}
+				seen[l] = true
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	want := LSN(goroutines * perG * size)
+	if got := a.Load(); got != want {
+		t.Fatalf("final value %v, want %v", got, want)
+	}
+	// Every multiple of size below the final value must have been seen
+	// exactly once (no gaps).
+	for l := LSN(0); l < want; l += size {
+		if !seen[l] {
+			t.Fatalf("gap: LSN %v never handed out", l)
+		}
+	}
+}
+
+func TestAdvanceToIsMonotonic(t *testing.T) {
+	var a Atomic
+	if !a.AdvanceTo(10) {
+		t.Fatal("AdvanceTo(10) from 0 should advance")
+	}
+	if a.AdvanceTo(5) {
+		t.Fatal("AdvanceTo(5) from 10 must not advance")
+	}
+	if got := a.Load(); got != 10 {
+		t.Fatalf("Load after failed advance: got %v, want 10", got)
+	}
+	if !a.AdvanceTo(11) {
+		t.Fatal("AdvanceTo(11) from 10 should advance")
+	}
+}
+
+func TestAdvanceToConcurrent(t *testing.T) {
+	var a Atomic
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				a.AdvanceTo(LSN(i*8 + g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := LSN(4999*8 + 7)
+	if got := a.Load(); got != want {
+		t.Fatalf("final %v, want %v", got, want)
+	}
+}
+
+// Property: Add/Sub round-trip for arbitrary base and non-negative deltas.
+func TestQuickAddSubRoundTrip(t *testing.T) {
+	f := func(base uint32, n uint16) bool {
+		l := LSN(base)
+		return l.Add(int(n)).Sub(l) == uint64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Max/Min are commutative and bracket their arguments.
+func TestQuickMaxMin(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := LSN(x), LSN(y)
+		mx, mn := Max(a, b), Min(a, b)
+		return mx == Max(b, a) && mn == Min(b, a) &&
+			mn <= a && mn <= b && mx >= a && mx >= b &&
+			(mx == a || mx == b) && (mn == a || mn == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,299 @@
+// Package recovery implements ARIES-style restart recovery over the
+// Aether log: analysis from the last fuzzy checkpoint, redo from the
+// dirty-page table's minimum recLSN, and undo of loser transactions with
+// compensation log records, so recovery itself is crash-tolerant and can
+// be repeated any number of times.
+//
+// The interplay with Early Lock Release is where the paper's §3.1
+// conditions become code: a transaction whose commit record is durable is
+// a winner even though it released its locks long before the flush; one
+// whose commit record was lost with the unflushed tail is a loser and is
+// rolled back — and by condition 1 (serial log), every transaction that
+// depended on it committed later in LSN order, so its commit record was
+// lost too and it rolls back as well. No dependency tracking is needed.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"aether/internal/core"
+	"aether/internal/logrec"
+	"aether/internal/lsn"
+	"aether/internal/storage"
+)
+
+// Options configures a recovery pass.
+type Options struct {
+	// Log is the durable log image (from logdev.ReadAll), whose first
+	// byte is LSN 0.
+	Log []byte
+	// Store is the page store, already loaded from the archive (or
+	// empty if there is no archive).
+	Store *storage.Store
+	// Appender, if non-nil, receives the CLRs and end records that undo
+	// generates, making recovery itself recoverable. It must append into
+	// a log whose base LSN is len(Log). If nil, undo applies inverses
+	// without logging (single-crash recovery only).
+	Appender *core.Appender
+}
+
+// txnStatus is an analysis-phase ATT entry.
+type txnStatus struct {
+	lastLSN   lsn.LSN
+	committed bool
+}
+
+// Result reports what recovery did.
+type Result struct {
+	// CheckpointLSN is the begin LSN of the checkpoint used (Undefined
+	// if none was found).
+	CheckpointLSN lsn.LSN
+	// Scanned is the number of durable records read.
+	Scanned int
+	// RedoApplied is the number of updates reapplied.
+	RedoApplied int
+	// Winners are transaction IDs whose commit records were durable.
+	Winners []uint64
+	// Losers are transaction IDs rolled back.
+	Losers []uint64
+	// UndoApplied is the number of updates rolled back.
+	UndoApplied int
+}
+
+// Recover runs the three ARIES passes. It is idempotent: recovering an
+// already-recovered (store, log) pair is a no-op beyond re-verification.
+func Recover(opts Options) (*Result, error) {
+	if opts.Store == nil {
+		return nil, errors.New("recovery: Store is required")
+	}
+	res := &Result{CheckpointLSN: lsn.Undefined}
+
+	// ---- Pass 0: locate the last complete checkpoint. ----
+	ckptBegin, ckptPayload := findLastCheckpoint(opts.Log)
+	res.CheckpointLSN = ckptBegin
+
+	// ---- Pass 1: analysis. ----
+	att := make(map[uint64]*txnStatus)
+	dpt := make(map[uint64]lsn.LSN)
+	scanFrom := lsn.Zero
+	if ckptBegin.Valid() {
+		scanFrom = ckptBegin
+		for _, e := range ckptPayload.ActiveTxns {
+			att[e.TxnID] = &txnStatus{lastLSN: e.LastLSN, committed: e.Precommitted}
+		}
+		for _, e := range ckptPayload.DirtyPages {
+			dpt[e.PageID] = e.RecLSN
+		}
+	}
+	it := logrec.NewIterator(opts.Log[scanFrom:], scanFrom)
+	for {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
+		res.Scanned++
+		switch rec.Kind {
+		case logrec.KindUpdate, logrec.KindCLR:
+			st := att[rec.TxnID]
+			if st == nil {
+				st = &txnStatus{}
+				att[rec.TxnID] = st
+			}
+			st.lastLSN = rec.LSN
+			if _, ok := dpt[rec.PageID]; !ok {
+				dpt[rec.PageID] = rec.LSN
+			}
+		case logrec.KindCommit:
+			st := att[rec.TxnID]
+			if st == nil {
+				st = &txnStatus{}
+				att[rec.TxnID] = st
+			}
+			st.lastLSN = rec.LSN
+			st.committed = true
+		case logrec.KindAbort:
+			st := att[rec.TxnID]
+			if st == nil {
+				st = &txnStatus{}
+				att[rec.TxnID] = st
+			}
+			st.lastLSN = rec.LSN
+		case logrec.KindEnd:
+			delete(att, rec.TxnID)
+		case logrec.KindCheckpointBegin, logrec.KindCheckpointEnd, logrec.KindPad:
+			// No analysis effect.
+		}
+	}
+	// A gap mid-log (not just a truncated tail) would mean corruption
+	// before the durable horizon; report it rather than recover wrongly.
+	if err := it.Err(); err != nil && it.Offset()+int(scanFrom) < len(opts.Log) {
+		return nil, fmt.Errorf("recovery: analysis: %w", err)
+	}
+
+	// ---- Pass 2: redo. ----
+	redoFrom := lsn.Undefined
+	for _, rec := range dpt {
+		if rec < redoFrom {
+			redoFrom = rec
+		}
+	}
+	if redoFrom.Valid() && int(redoFrom) < len(opts.Log) {
+		it := logrec.NewIterator(opts.Log[redoFrom:], redoFrom)
+		for {
+			rec, ok := it.Next()
+			if !ok {
+				break
+			}
+			if rec.Kind != logrec.KindUpdate && rec.Kind != logrec.KindCLR {
+				continue
+			}
+			recLSN, inDPT := dpt[rec.PageID]
+			if !inDPT || rec.LSN < recLSN {
+				continue
+			}
+			page := opts.Store.GetOrCreate(rec.PageID)
+			// Pages carry the END LSN of the last applied record, so the
+			// redo test is a strict comparison with no LSN-0 ambiguity:
+			// skip iff the page already reflects the log past this record's
+			// start.
+			if page.LSN() > rec.LSN {
+				continue
+			}
+			up, err := logrec.DecodeUpdate(rec.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("recovery: redo decode at %v: %w", rec.LSN, err)
+			}
+			if err := page.Apply(up, rec.LSN.Add(int(rec.TotalLen))); err != nil {
+				return nil, fmt.Errorf("recovery: redo apply at %v: %w", rec.LSN, err)
+			}
+			opts.Store.MarkDirty(rec.PageID, rec.LSN)
+			res.RedoApplied++
+		}
+	}
+
+	// ---- Pass 3: undo losers. ----
+	var losers []uint64
+	for id, st := range att {
+		if st.committed {
+			res.Winners = append(res.Winners, id)
+		} else {
+			losers = append(losers, id)
+		}
+	}
+	sort.Slice(res.Winners, func(i, j int) bool { return res.Winners[i] < res.Winners[j] })
+	sort.Slice(losers, func(i, j int) bool { return losers[i] < losers[j] })
+	res.Losers = append(res.Losers, losers...)
+
+	// Synthetic LSNs for unlogged undo keep pageLSN monotonic.
+	synth := lsn.LSN(len(opts.Log))
+	undoChain := make(map[uint64]lsn.LSN, len(losers))
+	for _, id := range losers {
+		undoChain[id] = att[id].lastLSN
+	}
+	clrPrev := make(map[uint64]lsn.LSN, len(losers))
+	for _, id := range losers {
+		clrPrev[id] = att[id].lastLSN
+	}
+
+	for len(undoChain) > 0 {
+		// ARIES undoes the record with the largest LSN across all losers.
+		var id uint64
+		max := lsn.Undefined
+		for tid, l := range undoChain {
+			if max == lsn.Undefined || l > max {
+				max, id = l, tid
+			}
+		}
+		cur := undoChain[id]
+		if !cur.Valid() {
+			// Chain exhausted: finish the loser with an end record.
+			if opts.Appender != nil {
+				endRec := logrec.NewEnd(id, clrPrev[id])
+				if _, _, err := opts.Appender.Append(endRec); err != nil {
+					return nil, fmt.Errorf("recovery: undo end: %w", err)
+				}
+			}
+			delete(undoChain, id)
+			continue
+		}
+		rec, err := recordAt(opts.Log, cur)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: undo read at %v: %w", cur, err)
+		}
+		switch rec.Kind {
+		case logrec.KindUpdate:
+			up, err := logrec.DecodeUpdate(rec.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("recovery: undo decode at %v: %w", cur, err)
+			}
+			inv := up.Inverse()
+			var clrStart, clrEnd lsn.LSN
+			if opts.Appender != nil {
+				clr := logrec.NewCLR(id, clrPrev[id], rec.PageID, rec.PrevLSN, inv)
+				at, end, err := opts.Appender.Append(clr)
+				if err != nil {
+					return nil, fmt.Errorf("recovery: undo CLR: %w", err)
+				}
+				clrStart, clrEnd = at, end
+				clrPrev[id] = at
+			} else {
+				clrStart = synth
+				synth += logrec.HeaderSize
+				clrEnd = synth
+			}
+			page := opts.Store.GetOrCreate(rec.PageID)
+			if err := page.Apply(inv, clrEnd); err != nil {
+				return nil, fmt.Errorf("recovery: undo apply at %v: %w", cur, err)
+			}
+			opts.Store.MarkDirty(rec.PageID, clrStart)
+			res.UndoApplied++
+			undoChain[id] = rec.PrevLSN
+		case logrec.KindCLR:
+			// Already compensated: skip to what the CLR says is next.
+			undoChain[id] = rec.UndoNext()
+		default:
+			// Abort/commit markers: follow the backchain.
+			undoChain[id] = rec.PrevLSN
+		}
+	}
+	return res, nil
+}
+
+// recordAt decodes the record whose LSN (byte offset) is at.
+func recordAt(log []byte, at lsn.LSN) (logrec.Record, error) {
+	if int(at) >= len(log) {
+		return logrec.Record{}, fmt.Errorf("recovery: LSN %v beyond durable log (%d bytes)", at, len(log))
+	}
+	rec, _, err := logrec.Decode(log[at:])
+	if err != nil {
+		return logrec.Record{}, err
+	}
+	rec.LSN = at
+	return rec, nil
+}
+
+// findLastCheckpoint scans the whole log for the newest complete
+// checkpoint and returns its begin LSN and decoded payload.
+func findLastCheckpoint(log []byte) (lsn.LSN, logrec.CheckpointPayload) {
+	begin := lsn.Undefined
+	var payload logrec.CheckpointPayload
+	it := logrec.NewIterator(log, 0)
+	for {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
+		if rec.Kind != logrec.KindCheckpointEnd {
+			continue
+		}
+		p, err := logrec.DecodeCheckpoint(rec.Payload)
+		if err != nil {
+			continue // damaged checkpoint: ignore, keep the previous one
+		}
+		begin = lsn.LSN(rec.Aux)
+		payload = p
+	}
+	return begin, payload
+}

@@ -1,0 +1,263 @@
+package recovery
+
+import (
+	"testing"
+
+	"aether/internal/logrec"
+	"aether/internal/lsn"
+	"aether/internal/storage"
+)
+
+// logBuilder assembles a synthetic durable log image.
+type logBuilder struct {
+	buf []byte
+}
+
+func (b *logBuilder) add(t *testing.T, rec *logrec.Record) (at, end lsn.LSN) {
+	t.Helper()
+	at = lsn.LSN(len(b.buf))
+	enc, err := rec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.buf = append(b.buf, enc...)
+	return at, lsn.LSN(len(b.buf))
+}
+
+func TestRecoverEmptyLog(t *testing.T) {
+	st := storage.NewStore()
+	res, err := Recover(Options{Log: nil, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scanned != 0 || len(res.Winners) != 0 || len(res.Losers) != 0 {
+		t.Fatalf("empty log recovery: %+v", res)
+	}
+}
+
+func TestRecoverRequiresStore(t *testing.T) {
+	if _, err := Recover(Options{}); err == nil {
+		t.Fatal("nil store must be rejected")
+	}
+}
+
+func TestRecoverRedoWinner(t *testing.T) {
+	var lb logBuilder
+	pid := storage.MakePageID(1, 1)
+	up := logrec.UpdatePayload{Op: logrec.OpInsert, Slot: 0, After: []byte("hello")}
+	uAt, _ := lb.add(t, logrec.NewUpdate(7, lsn.Undefined, pid, up))
+	lb.add(t, logrec.NewCommit(7, uAt))
+
+	st := storage.NewStore()
+	res, err := Recover(Options{Log: lb.buf, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RedoApplied != 1 || len(res.Winners) != 1 || res.Winners[0] != 7 {
+		t.Fatalf("result: %+v", res)
+	}
+	page := st.Get(pid)
+	if page == nil {
+		t.Fatal("page not rebuilt")
+	}
+	got, err := page.Get(0)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("row: %q %v", got, err)
+	}
+}
+
+func TestRecoverUndoLoser(t *testing.T) {
+	var lb logBuilder
+	pid := storage.MakePageID(1, 1)
+	// Winner inserts the row; loser overwrites it; no commit for loser.
+	ins := logrec.UpdatePayload{Op: logrec.OpInsert, Slot: 0, After: []byte("base")}
+	insAt, _ := lb.add(t, logrec.NewUpdate(1, lsn.Undefined, pid, ins))
+	lb.add(t, logrec.NewCommit(1, insAt))
+	set := logrec.UpdatePayload{Op: logrec.OpSet, Slot: 0, Before: []byte("base"), After: []byte("evil")}
+	lb.add(t, logrec.NewUpdate(2, lsn.Undefined, pid, set))
+
+	st := storage.NewStore()
+	res, err := Recover(Options{Log: lb.buf, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Winners) != 1 || len(res.Losers) != 1 || res.Losers[0] != 2 {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.UndoApplied != 1 {
+		t.Fatalf("undo applied: %d", res.UndoApplied)
+	}
+	got, err := st.Get(pid).Get(0)
+	if err != nil || string(got) != "base" {
+		t.Fatalf("row after undo: %q %v", got, err)
+	}
+}
+
+func TestRecoverCLRSkipsAlreadyUndone(t *testing.T) {
+	var lb logBuilder
+	pid := storage.MakePageID(1, 1)
+	// Loser: insert, set, then a CLR compensating the set (partial
+	// rollback before crash). Recovery must undo only the insert.
+	ins := logrec.UpdatePayload{Op: logrec.OpInsert, Slot: 0, After: []byte("v1")}
+	insAt, _ := lb.add(t, logrec.NewUpdate(5, lsn.Undefined, pid, ins))
+	set := logrec.UpdatePayload{Op: logrec.OpSet, Slot: 0, Before: []byte("v1"), After: []byte("v2")}
+	setAt, _ := lb.add(t, logrec.NewUpdate(5, insAt, pid, set))
+	lb.add(t, logrec.NewCLR(5, setAt, pid, insAt, set.Inverse()))
+
+	st := storage.NewStore()
+	res, err := Recover(Options{Log: lb.buf, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Redo replays insert, set, clr (page = "v1"); undo compensates just
+	// the insert (CLR's UndoNext pointed at it).
+	if res.UndoApplied != 1 {
+		t.Fatalf("undo applied: %d, want 1", res.UndoApplied)
+	}
+	page := st.Get(pid)
+	if _, err := page.Get(0); err == nil {
+		t.Fatal("loser's insert survived")
+	}
+}
+
+func TestRecoverUsesCheckpointATT(t *testing.T) {
+	var lb logBuilder
+	pid := storage.MakePageID(1, 1)
+	up := logrec.UpdatePayload{Op: logrec.OpInsert, Slot: 0, After: []byte("x")}
+	uAt, _ := lb.add(t, logrec.NewUpdate(3, lsn.Undefined, pid, up))
+
+	// Checkpoint captures txn 3 as active with its lastLSN, and the DPT.
+	beginAt, _ := lb.add(t, &logrec.Record{Header: logrec.Header{Kind: logrec.KindCheckpointBegin}})
+	payload := logrec.CheckpointPayload{
+		ActiveTxns: []logrec.TxnTableEntry{{TxnID: 3, LastLSN: uAt}},
+		DirtyPages: []logrec.DirtyPageEntry{{PageID: pid, RecLSN: uAt}},
+	}
+	lb.add(t, &logrec.Record{
+		Header:  logrec.Header{Kind: logrec.KindCheckpointEnd, Aux: uint64(beginAt)},
+		Payload: payload.Encode(nil),
+	})
+
+	st := storage.NewStore()
+	res, err := Recover(Options{Log: lb.buf, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CheckpointLSN != beginAt {
+		t.Fatalf("checkpoint LSN %v, want %v", res.CheckpointLSN, beginAt)
+	}
+	// Txn 3 never committed: the checkpoint's ATT entry makes it a loser
+	// even though its update is before the checkpoint.
+	if len(res.Losers) != 1 || res.Losers[0] != 3 {
+		t.Fatalf("losers: %v", res.Losers)
+	}
+	if _, err := st.Get(pid).Get(0); err == nil {
+		t.Fatal("pre-checkpoint loser update survived")
+	}
+}
+
+func TestRecoverPrecommittedInCheckpointIsWinner(t *testing.T) {
+	var lb logBuilder
+	pid := storage.MakePageID(1, 1)
+	up := logrec.UpdatePayload{Op: logrec.OpInsert, Slot: 0, After: []byte("keep")}
+	uAt, _ := lb.add(t, logrec.NewUpdate(9, lsn.Undefined, pid, up))
+	cAt, _ := lb.add(t, logrec.NewCommit(9, uAt))
+	// Checkpoint after the commit record but before the end record: the
+	// ATT entry carries Precommitted=true.
+	beginAt, _ := lb.add(t, &logrec.Record{Header: logrec.Header{Kind: logrec.KindCheckpointBegin}})
+	payload := logrec.CheckpointPayload{
+		ActiveTxns: []logrec.TxnTableEntry{{TxnID: 9, LastLSN: cAt, Precommitted: true}},
+		DirtyPages: []logrec.DirtyPageEntry{{PageID: pid, RecLSN: uAt}},
+	}
+	lb.add(t, &logrec.Record{
+		Header:  logrec.Header{Kind: logrec.KindCheckpointEnd, Aux: uint64(beginAt)},
+		Payload: payload.Encode(nil),
+	})
+
+	st := storage.NewStore()
+	res, err := Recover(Options{Log: lb.buf, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Winners) != 1 || res.Winners[0] != 9 || len(res.Losers) != 0 {
+		t.Fatalf("result: winners=%v losers=%v", res.Winners, res.Losers)
+	}
+	got, err := st.Get(pid).Get(0)
+	if err != nil || string(got) != "keep" {
+		t.Fatalf("winner's row: %q %v", got, err)
+	}
+}
+
+func TestRecoverTruncatedTailIsCleanEnd(t *testing.T) {
+	var lb logBuilder
+	pid := storage.MakePageID(1, 1)
+	up := logrec.UpdatePayload{Op: logrec.OpInsert, Slot: 0, After: []byte("ok")}
+	uAt, _ := lb.add(t, logrec.NewUpdate(1, lsn.Undefined, pid, up))
+	lb.add(t, logrec.NewCommit(1, uAt))
+	// Torn tail: half a record.
+	partial, _ := logrec.NewCommit(2, lsn.Undefined).Encode()
+	lb.buf = append(lb.buf, partial[:20]...)
+
+	st := storage.NewStore()
+	res, err := Recover(Options{Log: lb.buf, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Winners) != 1 {
+		t.Fatalf("winners: %v", res.Winners)
+	}
+}
+
+func TestRecoverIdempotent(t *testing.T) {
+	var lb logBuilder
+	pid := storage.MakePageID(1, 1)
+	up := logrec.UpdatePayload{Op: logrec.OpInsert, Slot: 0, After: []byte("x")}
+	uAt, _ := lb.add(t, logrec.NewUpdate(1, lsn.Undefined, pid, up))
+	lb.add(t, logrec.NewCommit(1, uAt))
+
+	st := storage.NewStore()
+	if _, err := Recover(Options{Log: lb.buf, Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Recover(Options{Log: lb.buf, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.RedoApplied != 0 {
+		t.Fatalf("second recovery redid %d records", res2.RedoApplied)
+	}
+	got, err := st.Get(pid).Get(0)
+	if err != nil || string(got) != "x" {
+		t.Fatalf("row: %q %v", got, err)
+	}
+}
+
+func TestRecoverMultipleLosersInterleaved(t *testing.T) {
+	var lb logBuilder
+	p1 := storage.MakePageID(1, 1)
+	p2 := storage.MakePageID(1, 2)
+	// Two losers interleaved across two pages; undo must process the
+	// combined chain in reverse LSN order.
+	a1, _ := lb.add(t, logrec.NewUpdate(10, lsn.Undefined, p1,
+		logrec.UpdatePayload{Op: logrec.OpInsert, Slot: 0, After: []byte("a1")}))
+	b1, _ := lb.add(t, logrec.NewUpdate(11, lsn.Undefined, p2,
+		logrec.UpdatePayload{Op: logrec.OpInsert, Slot: 0, After: []byte("b1")}))
+	lb.add(t, logrec.NewUpdate(10, a1, p1,
+		logrec.UpdatePayload{Op: logrec.OpSet, Slot: 0, Before: []byte("a1"), After: []byte("a2")}))
+	lb.add(t, logrec.NewUpdate(11, b1, p2,
+		logrec.UpdatePayload{Op: logrec.OpSet, Slot: 0, Before: []byte("b1"), After: []byte("b2")}))
+
+	st := storage.NewStore()
+	res, err := Recover(Options{Log: lb.buf, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Losers) != 2 || res.UndoApplied != 4 {
+		t.Fatalf("result: %+v", res)
+	}
+	if _, err := st.Get(p1).Get(0); err == nil {
+		t.Fatal("loser 10 insert survived")
+	}
+	if _, err := st.Get(p2).Get(0); err == nil {
+		t.Fatal("loser 11 insert survived")
+	}
+}

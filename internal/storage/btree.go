@@ -1,0 +1,234 @@
+package storage
+
+import "sync"
+
+// BTree is an in-memory B+Tree mapping uint64 keys to uint64 values
+// (typically packed RIDs). It serves as the tables' primary index.
+//
+// The tree is a *volatile secondary structure*: it is not logged and is
+// rebuilt from the (logged) heap contents during restart. This is the
+// one deliberate simplification versus ARIES index logging (ARIES/IM);
+// it leaves recovery correctness intact because the heap is the source
+// of truth, and it is a common design for memory-resident engines.
+// DESIGN.md records the substitution.
+//
+// Concurrency: a tree-level RWMutex. Reads (the vast majority in the
+// TATP/TPC-B mixes) proceed in parallel; structure modifications are
+// exclusive. The workloads' contention lives in the lock manager and the
+// log, which is where the paper's experiments need it.
+type BTree struct {
+	mu   sync.RWMutex
+	root *btreeNode
+	size int
+}
+
+// btreeOrder is the maximum number of keys per node.
+const btreeOrder = 64
+
+type btreeNode struct {
+	leaf     bool
+	keys     []uint64
+	children []*btreeNode // internal nodes: len(keys)+1
+	values   []uint64     // leaves: len(keys)
+	next     *btreeNode   // leaf chain for scans
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &btreeNode{leaf: true}}
+}
+
+// Len returns the number of keys.
+func (t *BTree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Get returns the value for key.
+func (t *BTree) Get(key uint64) (uint64, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i, ok := leafIndex(n.keys, key)
+	if !ok {
+		return 0, false
+	}
+	return n.values[i], true
+}
+
+// childIndex returns which child to descend into: the first key strictly
+// greater than target determines the boundary.
+func childIndex(keys []uint64, key uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if key < keys[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// leafIndex finds key in a leaf's sorted keys.
+func leafIndex(keys []uint64, key uint64) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && keys[lo] == key
+}
+
+// Put inserts or overwrites key→value. It reports whether the key was
+// newly inserted.
+func (t *BTree) Put(key, value uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	inserted, split, sepKey, right := t.insert(t.root, key, value)
+	if split {
+		newRoot := &btreeNode{
+			keys:     []uint64{sepKey},
+			children: []*btreeNode{t.root, right},
+		}
+		t.root = newRoot
+	}
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+// insert descends recursively; on child split it absorbs the separator.
+func (t *BTree) insert(n *btreeNode, key, value uint64) (inserted, split bool, sepKey uint64, right *btreeNode) {
+	if n.leaf {
+		i, ok := leafIndex(n.keys, key)
+		if ok {
+			n.values[i] = value
+			return false, false, 0, nil
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.values = append(n.values, 0)
+		copy(n.values[i+1:], n.values[i:])
+		n.values[i] = value
+		if len(n.keys) > btreeOrder {
+			sep, r := n.splitLeaf()
+			return true, true, sep, r
+		}
+		return true, false, 0, nil
+	}
+	ci := childIndex(n.keys, key)
+	inserted, childSplit, childSep, childRight := t.insert(n.children[ci], key, value)
+	if childSplit {
+		n.keys = append(n.keys, 0)
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = childSep
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = childRight
+		if len(n.keys) > btreeOrder {
+			sep, r := n.splitInternal()
+			return inserted, true, sep, r
+		}
+	}
+	return inserted, false, 0, nil
+}
+
+func (n *btreeNode) splitLeaf() (sep uint64, right *btreeNode) {
+	mid := len(n.keys) / 2
+	right = &btreeNode{
+		leaf:   true,
+		keys:   append([]uint64(nil), n.keys[mid:]...),
+		values: append([]uint64(nil), n.values[mid:]...),
+		next:   n.next,
+	}
+	n.keys = n.keys[:mid]
+	n.values = n.values[:mid]
+	n.next = right
+	return right.keys[0], right
+}
+
+func (n *btreeNode) splitInternal() (sep uint64, right *btreeNode) {
+	mid := len(n.keys) / 2
+	sep = n.keys[mid]
+	right = &btreeNode{
+		keys:     append([]uint64(nil), n.keys[mid+1:]...),
+		children: append([]*btreeNode(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return sep, right
+}
+
+// Delete removes key, reporting whether it was present. Underflowed
+// nodes are not rebalanced (deletes are rare in the workloads; lookups
+// stay correct, and the tree is rebuilt at restart anyway).
+func (t *BTree) Delete(key uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i, ok := leafIndex(n.keys, key)
+	if !ok {
+		return false
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.values = append(n.values[:i], n.values[i+1:]...)
+	t.size--
+	return true
+}
+
+// Scan walks keys in [from, to] in order, calling fn until it returns
+// false or the range ends.
+func (t *BTree) Scan(from, to uint64, fn func(key, value uint64) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, from)]
+	}
+	for n != nil {
+		for i, k := range n.keys {
+			if k < from {
+				continue
+			}
+			if k > to {
+				return
+			}
+			if !fn(k, n.values[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// Min returns the smallest key, or false if empty.
+func (t *BTree) Min() (uint64, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for n != nil {
+		if len(n.keys) > 0 {
+			return n.keys[0], true
+		}
+		n = n.next
+	}
+	return 0, false
+}

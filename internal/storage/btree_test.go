@@ -1,0 +1,261 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTreeBasics(t *testing.T) {
+	bt := NewBTree()
+	if _, ok := bt.Get(5); ok {
+		t.Fatal("empty tree Get")
+	}
+	if !bt.Put(5, 50) {
+		t.Fatal("first Put should insert")
+	}
+	if bt.Put(5, 51) {
+		t.Fatal("second Put should overwrite")
+	}
+	v, ok := bt.Get(5)
+	if !ok || v != 51 {
+		t.Fatalf("Get: %d %v", v, ok)
+	}
+	if bt.Len() != 1 {
+		t.Fatalf("Len: %d", bt.Len())
+	}
+	if !bt.Delete(5) || bt.Delete(5) {
+		t.Fatal("Delete semantics wrong")
+	}
+	if bt.Len() != 0 {
+		t.Fatalf("Len after delete: %d", bt.Len())
+	}
+}
+
+func TestBTreeManyKeysSplits(t *testing.T) {
+	bt := NewBTree()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		k := uint64(i*2 + 1)
+		bt.Put(k, k*10)
+	}
+	if bt.Len() != n {
+		t.Fatalf("Len: %d", bt.Len())
+	}
+	for i := 0; i < n; i++ {
+		k := uint64(i*2 + 1)
+		v, ok := bt.Get(k)
+		if !ok || v != k*10 {
+			t.Fatalf("Get(%d): %d %v", k, v, ok)
+		}
+		if _, ok := bt.Get(k + 1); ok {
+			t.Fatalf("Get(%d) should miss", k+1)
+		}
+	}
+}
+
+func TestBTreeRandomOrderInsert(t *testing.T) {
+	bt := NewBTree()
+	rng := rand.New(rand.NewSource(42))
+	keys := rng.Perm(50000)
+	for _, k := range keys {
+		bt.Put(uint64(k), uint64(k)+7)
+	}
+	for _, k := range keys {
+		v, ok := bt.Get(uint64(k))
+		if !ok || v != uint64(k)+7 {
+			t.Fatalf("Get(%d): %d %v", k, v, ok)
+		}
+	}
+}
+
+func TestBTreeScan(t *testing.T) {
+	bt := NewBTree()
+	for i := 10; i <= 100; i += 10 {
+		bt.Put(uint64(i), uint64(i))
+	}
+	var got []uint64
+	bt.Scan(25, 75, func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{30, 40, 50, 60, 70}
+	if len(got) != len(want) {
+		t.Fatalf("scan got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan got %v", got)
+		}
+	}
+	// Early termination.
+	n := 0
+	bt.Scan(0, 1000, func(k, v uint64) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop: %d", n)
+	}
+}
+
+func TestBTreeScanOrdered(t *testing.T) {
+	bt := NewBTree()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		bt.Put(rng.Uint64()%100000, 1)
+	}
+	var prev uint64
+	first := true
+	bt.Scan(0, ^uint64(0), func(k, v uint64) bool {
+		if !first && k <= prev {
+			t.Fatalf("scan out of order: %d after %d", k, prev)
+		}
+		prev, first = k, false
+		return true
+	})
+}
+
+func TestBTreeMin(t *testing.T) {
+	bt := NewBTree()
+	if _, ok := bt.Min(); ok {
+		t.Fatal("empty Min")
+	}
+	for _, k := range []uint64{500, 100, 900, 50, 700} {
+		bt.Put(k, k)
+	}
+	if m, ok := bt.Min(); !ok || m != 50 {
+		t.Fatalf("Min: %d %v", m, ok)
+	}
+	bt.Delete(50)
+	if m, ok := bt.Min(); !ok || m != 100 {
+		t.Fatalf("Min after delete: %d %v", m, ok)
+	}
+}
+
+func TestBTreeDeleteHeavy(t *testing.T) {
+	bt := NewBTree()
+	const n = 30000
+	for i := 0; i < n; i++ {
+		bt.Put(uint64(i), uint64(i))
+	}
+	// Delete a pseudo-random half.
+	for i := 0; i < n; i++ {
+		if i%3 != 0 {
+			if !bt.Delete(uint64(i)) {
+				t.Fatalf("Delete(%d) missed", i)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		_, ok := bt.Get(uint64(i))
+		if want := i%3 == 0; ok != want {
+			t.Fatalf("Get(%d)=%v want %v", i, ok, want)
+		}
+	}
+}
+
+// Property: against a reference map, random Put/Delete/Get agree.
+func TestQuickBTreeMatchesMap(t *testing.T) {
+	type op struct {
+		Kind byte
+		Key  uint16 // small key space to force collisions
+		Val  uint64
+	}
+	f := func(ops []op) bool {
+		bt := NewBTree()
+		ref := map[uint64]uint64{}
+		for _, o := range ops {
+			k := uint64(o.Key % 512)
+			switch o.Kind % 3 {
+			case 0:
+				_, had := ref[k]
+				if bt.Put(k, o.Val) != !had {
+					return false
+				}
+				ref[k] = o.Val
+			case 1:
+				_, had := ref[k]
+				if bt.Delete(k) != had {
+					return false
+				}
+				delete(ref, k)
+			case 2:
+				v, ok := bt.Get(k)
+				rv, rok := ref[k]
+				if ok != rok || (ok && v != rv) {
+					return false
+				}
+			}
+		}
+		if bt.Len() != len(ref) {
+			return false
+		}
+		// Full scan equals sorted reference.
+		var keys []uint64
+		bt.Scan(0, ^uint64(0), func(k, v uint64) bool {
+			keys = append(keys, k)
+			if ref[k] != v {
+				keys = nil
+				return false
+			}
+			return true
+		})
+		if len(keys) != len(ref) {
+			return false
+		}
+		sorted := sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		return sorted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeConcurrentReaders(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 10000; i++ {
+		bt.Put(uint64(i), uint64(i)*3)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 20000; i++ {
+				k := rng.Uint64() % 10000
+				v, ok := bt.Get(k)
+				if !ok || v != k*3 {
+					t.Errorf("Get(%d): %d %v", k, v, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestBTreeConcurrentMixed(t *testing.T) {
+	bt := NewBTree()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * 1_000_000
+			for i := uint64(0); i < 5000; i++ {
+				bt.Put(base+i, i)
+			}
+			for i := uint64(0); i < 5000; i++ {
+				if v, ok := bt.Get(base + i); !ok || v != i {
+					t.Errorf("worker %d key %d: %d %v", w, i, v, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if bt.Len() != 8*5000 {
+		t.Fatalf("Len: %d", bt.Len())
+	}
+}

@@ -1,0 +1,293 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"aether/internal/logrec"
+	"aether/internal/lsn"
+)
+
+// LogFunc is the storage→log callback: invoked under the page latch with
+// the physiological payload describing a mutation. It must append the
+// record to the log (chaining PrevLSN et al.) and return the record's
+// start LSN (at) and end LSN. The engine stamps pages with the END LSN —
+// "the page reflects the log up to here" — which keeps the redo test
+// unambiguous even for the record at LSN 0; the start LSN feeds the
+// dirty-page table, where redo must begin.
+//
+// Inverting control this way keeps the WAL protocol airtight: the log
+// record is created while the latch pins the page state it describes, so
+// pageLSN ordering always matches log ordering.
+type LogFunc func(pageID uint64, up logrec.UpdatePayload) (at, end lsn.LSN, err error)
+
+// NopLog is a LogFunc for unlogged operations (loading fixtures).
+func NopLog(pageID uint64, up logrec.UpdatePayload) (at, end lsn.LSN, err error) {
+	return lsn.Zero, lsn.Zero, nil
+}
+
+// ErrNotFound is returned when a RID does not name a live record.
+var ErrNotFound = errors.New("storage: record not found")
+
+// HeapFile is an unordered collection of records in pages, addressed by
+// RID. One HeapFile per table; the heap's space ID is encoded in all of
+// its page IDs, which is how recovery reassembles heaps.
+type HeapFile struct {
+	store *Store
+	space uint32
+	name  string
+
+	mu        sync.Mutex
+	avail     []uint64 // pages that may have free space (LIFO)
+	allocated []uint64 // every page ever owned by this heap
+}
+
+// NewHeapFile creates an empty heap for the given space.
+func NewHeapFile(store *Store, space uint32, name string) *HeapFile {
+	return &HeapFile{store: store, space: space, name: name}
+}
+
+// Name returns the heap's label (diagnostics).
+func (h *HeapFile) Name() string { return h.name }
+
+// Space returns the heap's space ID.
+func (h *HeapFile) Space() uint32 { return h.space }
+
+// Adopt attaches an existing page to the heap (restart path). Pages must
+// be adopted in ascending ID order for placement determinism.
+func (h *HeapFile) Adopt(p *Page) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.allocated = append(h.allocated, p.ID())
+	p.Latch.RLock()
+	hasSpace := p.FreeSpace() > 64
+	p.Latch.RUnlock()
+	if hasSpace {
+		h.avail = append(h.avail, p.ID())
+	}
+}
+
+// Pages returns every page ID the heap has allocated.
+func (h *HeapFile) Pages() []uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]uint64, len(h.allocated))
+	copy(out, h.allocated)
+	return out
+}
+
+// Insert places data in some page, logs the insert via log, and returns
+// the record's RID.
+func (h *HeapFile) Insert(data []byte, log LogFunc) (RID, error) {
+	if len(data) > MaxRecordSize {
+		return RID{}, ErrRecordTooBig
+	}
+	for {
+		p := h.pickPage(len(data))
+		p.Latch.Lock()
+		slot := p.FindInsertSlot()
+		if !p.CanFit(slot, len(data)) {
+			p.Latch.Unlock()
+			h.dropAvail(p.ID())
+			continue
+		}
+		up := logrec.UpdatePayload{Op: logrec.OpInsert, Slot: uint16(slot), After: data}
+		at, end, err := log(p.ID(), up)
+		if err != nil {
+			p.Latch.Unlock()
+			return RID{}, err
+		}
+		if err := p.Apply(up, end); err != nil {
+			p.Latch.Unlock()
+			return RID{}, fmt.Errorf("storage: heap insert apply: %w", err)
+		}
+		h.store.MarkDirty(p.ID(), at)
+		rid := RID{Page: p.ID(), Slot: uint16(slot)}
+		p.Latch.Unlock()
+		return rid, nil
+	}
+}
+
+// pickPage returns a page that may fit size bytes, allocating if needed.
+func (h *HeapFile) pickPage(size int) *Page {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.avail) > 0 {
+		pid := h.avail[len(h.avail)-1]
+		p := h.store.Get(pid)
+		if p == nil {
+			h.avail = h.avail[:len(h.avail)-1]
+			continue
+		}
+		p.Latch.RLock()
+		fits := p.CanFit(p.FindInsertSlot(), size)
+		p.Latch.RUnlock()
+		if fits {
+			return p
+		}
+		h.avail = h.avail[:len(h.avail)-1]
+	}
+	p := h.store.Allocate(h.space)
+	h.avail = append(h.avail, p.ID())
+	h.allocated = append(h.allocated, p.ID())
+	return p
+}
+
+// dropAvail removes pid from the available list (it filled up between
+// selection and latch).
+func (h *HeapFile) dropAvail(pid uint64) {
+	h.mu.Lock()
+	for i, id := range h.avail {
+		if id == pid {
+			h.avail = append(h.avail[:i], h.avail[i+1:]...)
+			break
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Read returns a copy of the record at rid.
+func (h *HeapFile) Read(rid RID) ([]byte, error) {
+	p := h.store.Get(rid.Page)
+	if p == nil {
+		return nil, ErrNotFound
+	}
+	p.Latch.RLock()
+	defer p.Latch.RUnlock()
+	data, err := p.Get(int(rid.Slot))
+	if err != nil {
+		return nil, ErrNotFound
+	}
+	return data, nil
+}
+
+// Update overwrites the record at rid, logging before and after images.
+func (h *HeapFile) Update(rid RID, data []byte, log LogFunc) error {
+	if len(data) > MaxRecordSize {
+		return ErrRecordTooBig
+	}
+	p := h.store.Get(rid.Page)
+	if p == nil {
+		return ErrNotFound
+	}
+	p.Latch.Lock()
+	defer p.Latch.Unlock()
+	before, err := p.view(int(rid.Slot))
+	if err != nil {
+		return ErrNotFound
+	}
+	up := logrec.UpdatePayload{Op: logrec.OpSet, Slot: rid.Slot, Before: before, After: data}
+	at, end, err := log(rid.Page, up)
+	if err != nil {
+		return err
+	}
+	if err := p.Apply(up, end); err != nil {
+		return fmt.Errorf("storage: heap update apply: %w", err)
+	}
+	h.store.MarkDirty(rid.Page, at)
+	return nil
+}
+
+// Mutate applies fn to the record bytes under the exclusive latch,
+// logging old and new images in one step. It avoids the copy + re-read
+// race of Read-then-Update and is the hot path the workloads use
+// (read-modify-write of a balance field).
+func (h *HeapFile) Mutate(rid RID, log LogFunc, fn func(cur []byte) ([]byte, error)) error {
+	p := h.store.Get(rid.Page)
+	if p == nil {
+		return ErrNotFound
+	}
+	p.Latch.Lock()
+	defer p.Latch.Unlock()
+	before, err := p.view(int(rid.Slot))
+	if err != nil {
+		return ErrNotFound
+	}
+	after, err := fn(before)
+	if err != nil {
+		return err
+	}
+	up := logrec.UpdatePayload{Op: logrec.OpSet, Slot: rid.Slot, Before: before, After: after}
+	at, end, err := log(rid.Page, up)
+	if err != nil {
+		return err
+	}
+	if err := p.Apply(up, end); err != nil {
+		return fmt.Errorf("storage: heap mutate apply: %w", err)
+	}
+	h.store.MarkDirty(rid.Page, at)
+	return nil
+}
+
+// Delete removes the record at rid, logging its before image.
+func (h *HeapFile) Delete(rid RID, log LogFunc) error {
+	p := h.store.Get(rid.Page)
+	if p == nil {
+		return ErrNotFound
+	}
+	p.Latch.Lock()
+	before, err := p.view(int(rid.Slot))
+	if err != nil {
+		p.Latch.Unlock()
+		return ErrNotFound
+	}
+	up := logrec.UpdatePayload{Op: logrec.OpDelete, Slot: rid.Slot, Before: before}
+	at, end, err := log(rid.Page, up)
+	if err != nil {
+		p.Latch.Unlock()
+		return err
+	}
+	if err := p.Apply(up, end); err != nil {
+		p.Latch.Unlock()
+		return fmt.Errorf("storage: heap delete apply: %w", err)
+	}
+	h.store.MarkDirty(rid.Page, at)
+	// Drop the latch before touching the placement list: pickPage takes
+	// h.mu then the latch, so taking h.mu while latched would invert the
+	// lock order and deadlock.
+	p.Latch.Unlock()
+	h.mu.Lock()
+	// The page regained space; make it placeable again.
+	found := false
+	for _, id := range h.avail {
+		if id == rid.Page {
+			found = true
+			break
+		}
+	}
+	if !found {
+		h.avail = append(h.avail, rid.Page)
+	}
+	h.mu.Unlock()
+	return nil
+}
+
+// Scan calls fn for every live record in the heap (in page, slot order).
+// fn receives a copy it may retain.
+func (h *HeapFile) Scan(fn func(rid RID, data []byte) bool) {
+	for _, pid := range h.Pages() {
+		p := h.store.Get(pid)
+		if p == nil {
+			continue
+		}
+		p.Latch.RLock()
+		n := p.NumSlots()
+		type item struct {
+			rid  RID
+			data []byte
+		}
+		items := make([]item, 0, n)
+		for s := 0; s < n; s++ {
+			if data, err := p.Get(s); err == nil {
+				items = append(items, item{RID{pid, uint16(s)}, data})
+			}
+		}
+		p.Latch.RUnlock()
+		for _, it := range items {
+			if !fn(it.rid, it.data) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package storage is the in-memory, page-based storage engine the
+// workloads run on: slotted pages with page LSNs, a sharded page store
+// with a dirty-page table, heap files with record IDs, and a B+Tree
+// index. Every mutation is expressed as a physiological UpdatePayload so
+// the same code path serves normal forward processing, transaction
+// rollback and ARIES redo.
+//
+// The paper's experiments use memory-resident datasets ("modern
+// transaction processing workloads are largely memory resident", §6.1)
+// with the log providing durability; this package plays the role
+// Shore-MT's buffer manager and storage structures play there.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"aether/internal/logrec"
+	"aether/internal/lsn"
+)
+
+// PageSize is the fixed page size (8KiB, Shore-MT's default).
+const PageSize = 8192
+
+// Page header layout (little-endian):
+//
+//	 0  pageID   uint64
+//	 8  pageLSN  uint64
+//	16  nSlots   uint16
+//	18  freeStart uint16 — end of the record heap area
+//	20  flags    uint16
+//	22  reserved uint16
+const (
+	hdrSize      = 24
+	slotDirEntry = 4      // offset uint16 + length uint16
+	deadOffset   = 0xFFFF // slot directory offset marking a dead slot
+)
+
+// MaxRecordSize is the largest record a page can hold.
+const MaxRecordSize = PageSize - hdrSize - slotDirEntry
+
+// Errors returned by page operations.
+var (
+	ErrPageFull     = errors.New("storage: page full")
+	ErrBadSlot      = errors.New("storage: no such slot")
+	ErrDeadSlot     = errors.New("storage: slot is dead")
+	ErrRecordTooBig = errors.New("storage: record exceeds page capacity")
+)
+
+// Page is a slotted page: records grow up from the header, the slot
+// directory grows down from the end. The Latch field is the short-term
+// physical latch (distinct from logical locks); callers latch before
+// touching page contents.
+type Page struct {
+	Latch sync.RWMutex
+	buf   [PageSize]byte
+}
+
+// NewPage returns an initialized empty page.
+func NewPage(id uint64) *Page {
+	p := &Page{}
+	binary.LittleEndian.PutUint64(p.buf[0:8], id)
+	binary.LittleEndian.PutUint64(p.buf[8:16], uint64(lsn.Zero))
+	p.setFreeStart(hdrSize)
+	return p
+}
+
+// ID returns the page's identifier.
+func (p *Page) ID() uint64 { return binary.LittleEndian.Uint64(p.buf[0:8]) }
+
+// LSN returns the page LSN: the LSN of the last record applied.
+func (p *Page) LSN() lsn.LSN {
+	return lsn.LSN(binary.LittleEndian.Uint64(p.buf[8:16]))
+}
+
+// SetLSN stamps the page LSN.
+func (p *Page) SetLSN(l lsn.LSN) {
+	binary.LittleEndian.PutUint64(p.buf[8:16], uint64(l))
+}
+
+// NumSlots returns the size of the slot directory (live and dead slots).
+func (p *Page) NumSlots() int {
+	return int(binary.LittleEndian.Uint16(p.buf[16:18]))
+}
+
+func (p *Page) setNumSlots(n int) {
+	binary.LittleEndian.PutUint16(p.buf[16:18], uint16(n))
+}
+
+func (p *Page) freeStart() int {
+	return int(binary.LittleEndian.Uint16(p.buf[18:20]))
+}
+
+func (p *Page) setFreeStart(n int) {
+	binary.LittleEndian.PutUint16(p.buf[18:20], uint16(n))
+}
+
+// slotEntry returns the directory position of slot i.
+func (p *Page) slotEntry(i int) int {
+	return PageSize - slotDirEntry*(i+1)
+}
+
+func (p *Page) slotOffLen(i int) (off, length int) {
+	e := p.slotEntry(i)
+	return int(binary.LittleEndian.Uint16(p.buf[e : e+2])),
+		int(binary.LittleEndian.Uint16(p.buf[e+2 : e+4]))
+}
+
+func (p *Page) setSlot(i, off, length int) {
+	e := p.slotEntry(i)
+	binary.LittleEndian.PutUint16(p.buf[e:e+2], uint16(off))
+	binary.LittleEndian.PutUint16(p.buf[e+2:e+4], uint16(length))
+}
+
+// FreeSpace returns the bytes available for a new record, accounting for
+// a possible new slot directory entry but not for reclaimable dead space.
+func (p *Page) FreeSpace() int {
+	free := PageSize - slotDirEntry*p.NumSlots() - p.freeStart() - slotDirEntry
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Get returns a copy of the record in slot i.
+func (p *Page) Get(slot int) ([]byte, error) {
+	if slot < 0 || slot >= p.NumSlots() {
+		return nil, ErrBadSlot
+	}
+	off, length := p.slotOffLen(slot)
+	if off == deadOffset {
+		return nil, ErrDeadSlot
+	}
+	out := make([]byte, length)
+	copy(out, p.buf[off:off+length])
+	return out, nil
+}
+
+// view returns the record bytes in place (no copy); caller must hold the
+// latch for the duration of use.
+func (p *Page) view(slot int) ([]byte, error) {
+	if slot < 0 || slot >= p.NumSlots() {
+		return nil, ErrBadSlot
+	}
+	off, length := p.slotOffLen(slot)
+	if off == deadOffset {
+		return nil, ErrDeadSlot
+	}
+	return p.buf[off : off+length], nil
+}
+
+// FindInsertSlot picks the slot a new record would occupy: the first dead
+// slot, or a fresh one. It does not modify the page.
+func (p *Page) FindInsertSlot() int {
+	n := p.NumSlots()
+	for i := 0; i < n; i++ {
+		if off, _ := p.slotOffLen(i); off == deadOffset {
+			return i
+		}
+	}
+	return n
+}
+
+// CanFit reports whether a record of the given size can be placed in the
+// given slot (which must be dead or one past the end).
+func (p *Page) CanFit(slot, size int) bool {
+	if size > MaxRecordSize {
+		return false
+	}
+	needDir := 0
+	if slot == p.NumSlots() {
+		needDir = slotDirEntry
+	}
+	avail := PageSize - slotDirEntry*p.NumSlots() - needDir - p.freeStart()
+	if avail >= size {
+		return true
+	}
+	// Compaction could reclaim dead space.
+	return p.liveBytes()+size+hdrSize+slotDirEntry*p.NumSlots()+needDir <= PageSize
+}
+
+// liveBytes sums the sizes of live records.
+func (p *Page) liveBytes() int {
+	total := 0
+	for i := 0; i < p.NumSlots(); i++ {
+		if off, length := p.slotOffLen(i); off != deadOffset {
+			total += length
+		}
+	}
+	return total
+}
+
+// Insert places data into the given slot (dead or new). Callers pick the
+// slot with FindInsertSlot so the operation is deterministic and can be
+// replayed by redo.
+func (p *Page) Insert(slot int, data []byte) error {
+	if len(data) > MaxRecordSize {
+		return ErrRecordTooBig
+	}
+	n := p.NumSlots()
+	if slot > n || slot < 0 {
+		// Redo on a page that had more slots at crash time than the
+		// replayed state: grow the directory with dead slots.
+		if slot < 0 {
+			return ErrBadSlot
+		}
+		for i := n; i < slot; i++ {
+			p.setSlot(i, deadOffset, 0)
+		}
+		p.setNumSlots(slot)
+		n = slot
+	}
+	if slot < n {
+		if off, _ := p.slotOffLen(slot); off != deadOffset {
+			return fmt.Errorf("storage: insert into live slot %d: %w", slot, ErrBadSlot)
+		}
+	}
+	needDir := 0
+	if slot == n {
+		needDir = slotDirEntry
+	}
+	if PageSize-slotDirEntry*n-needDir-p.freeStart() < len(data) {
+		if p.liveBytes()+len(data)+hdrSize+slotDirEntry*n+needDir > PageSize {
+			return ErrPageFull
+		}
+		p.compact()
+	}
+	off := p.freeStart()
+	copy(p.buf[off:], data)
+	if slot == n {
+		p.setNumSlots(n + 1)
+	}
+	p.setSlot(slot, off, len(data))
+	p.setFreeStart(off + len(data))
+	return nil
+}
+
+// Set replaces the record in a live slot.
+func (p *Page) Set(slot int, data []byte) error {
+	if len(data) > MaxRecordSize {
+		return ErrRecordTooBig
+	}
+	if slot < 0 || slot >= p.NumSlots() {
+		return ErrBadSlot
+	}
+	off, length := p.slotOffLen(slot)
+	if off == deadOffset {
+		return ErrDeadSlot
+	}
+	if len(data) <= length {
+		copy(p.buf[off:], data)
+		p.setSlot(slot, off, len(data))
+		return nil
+	}
+	// Grow: abandon the old space (reclaimed by compaction).
+	need := len(data)
+	if PageSize-slotDirEntry*p.NumSlots()-p.freeStart() < need {
+		if p.liveBytes()-length+need+hdrSize+slotDirEntry*p.NumSlots() > PageSize {
+			return ErrPageFull
+		}
+		p.setSlot(slot, deadOffset, 0) // exclude old copy from compaction
+		p.compact()
+		off = p.freeStart()
+		copy(p.buf[off:], data)
+		p.setSlot(slot, off, need)
+		p.setFreeStart(off + need)
+		return nil
+	}
+	newOff := p.freeStart()
+	copy(p.buf[newOff:], data)
+	p.setSlot(slot, newOff, need)
+	p.setFreeStart(newOff + need)
+	return nil
+}
+
+// Delete kills the record in a slot. The slot number stays reserved (so
+// redo stays deterministic) and becomes reusable by Insert.
+func (p *Page) Delete(slot int) error {
+	if slot < 0 || slot >= p.NumSlots() {
+		return ErrBadSlot
+	}
+	if off, _ := p.slotOffLen(slot); off == deadOffset {
+		return ErrDeadSlot
+	}
+	p.setSlot(slot, deadOffset, 0)
+	return nil
+}
+
+// compact rewrites live records to squeeze out dead space.
+func (p *Page) compact() {
+	type rec struct {
+		slot int
+		data []byte
+	}
+	var live []rec
+	for i := 0; i < p.NumSlots(); i++ {
+		if off, length := p.slotOffLen(i); off != deadOffset {
+			d := make([]byte, length)
+			copy(d, p.buf[off:off+length])
+			live = append(live, rec{i, d})
+		}
+	}
+	off := hdrSize
+	for _, r := range live {
+		copy(p.buf[off:], r.data)
+		p.setSlot(r.slot, off, len(r.data))
+		off += len(r.data)
+	}
+	p.setFreeStart(off)
+}
+
+// Apply performs a physiological update (from a log record) against the
+// page and stamps the page LSN. It is the single redo entry point: the
+// same function applies forward updates, rollback inverses and recovery
+// redo.
+func (p *Page) Apply(up logrec.UpdatePayload, at lsn.LSN) error {
+	var err error
+	switch up.Op {
+	case logrec.OpInsert:
+		err = p.Insert(int(up.Slot), up.After)
+	case logrec.OpSet:
+		err = p.Set(int(up.Slot), up.After)
+	case logrec.OpDelete:
+		err = p.Delete(int(up.Slot))
+	default:
+		err = fmt.Errorf("storage: unknown update op %v", up.Op)
+	}
+	if err != nil {
+		return err
+	}
+	p.SetLSN(at)
+	return nil
+}
+
+// Snapshot returns a copy of the raw page image (for the archive).
+func (p *Page) Snapshot() []byte {
+	out := make([]byte, PageSize)
+	copy(out, p.buf[:])
+	return out
+}
+
+// LoadSnapshot overwrites the page from a raw image.
+func (p *Page) LoadSnapshot(img []byte) error {
+	if len(img) != PageSize {
+		return fmt.Errorf("storage: snapshot is %d bytes, want %d", len(img), PageSize)
+	}
+	copy(p.buf[:], img)
+	return nil
+}

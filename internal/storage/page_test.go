@@ -1,0 +1,330 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"aether/internal/logrec"
+	"aether/internal/lsn"
+)
+
+func TestPageBasics(t *testing.T) {
+	p := NewPage(7)
+	if p.ID() != 7 || p.LSN() != lsn.Zero || p.NumSlots() != 0 {
+		t.Fatalf("fresh page wrong: id=%d lsn=%v slots=%d", p.ID(), p.LSN(), p.NumSlots())
+	}
+	p.SetLSN(999)
+	if p.LSN() != 999 {
+		t.Fatal("SetLSN failed")
+	}
+}
+
+func TestPageInsertGetSetDelete(t *testing.T) {
+	p := NewPage(1)
+	slot := p.FindInsertSlot()
+	if slot != 0 {
+		t.Fatalf("first slot %d", slot)
+	}
+	if err := p.Insert(slot, []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Get(0)
+	if err != nil || string(got) != "alpha" {
+		t.Fatalf("Get: %q %v", got, err)
+	}
+	if err := p.Set(0, []byte("beta!")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = p.Get(0)
+	if string(got) != "beta!" {
+		t.Fatalf("after Set: %q", got)
+	}
+	// Grow in place.
+	if err := p.Set(0, []byte("a much longer record than before")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = p.Get(0)
+	if string(got) != "a much longer record than before" {
+		t.Fatalf("after grow: %q", got)
+	}
+	if err := p.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(0); !errors.Is(err, ErrDeadSlot) {
+		t.Fatalf("Get dead: %v", err)
+	}
+	// Slot is reusable.
+	if s := p.FindInsertSlot(); s != 0 {
+		t.Fatalf("dead slot not reused: %d", s)
+	}
+}
+
+func TestPageErrors(t *testing.T) {
+	p := NewPage(1)
+	if _, err := p.Get(5); !errors.Is(err, ErrBadSlot) {
+		t.Fatal(err)
+	}
+	if err := p.Set(0, []byte("x")); !errors.Is(err, ErrBadSlot) {
+		t.Fatal(err)
+	}
+	if err := p.Delete(0); !errors.Is(err, ErrBadSlot) {
+		t.Fatal(err)
+	}
+	if err := p.Insert(0, make([]byte, MaxRecordSize+1)); !errors.Is(err, ErrRecordTooBig) {
+		t.Fatal(err)
+	}
+	p.Insert(0, []byte("x"))
+	if err := p.Insert(0, []byte("y")); err == nil {
+		t.Fatal("insert into live slot must fail")
+	}
+	p.Delete(0)
+	if err := p.Delete(0); !errors.Is(err, ErrDeadSlot) {
+		t.Fatal(err)
+	}
+}
+
+func TestPageFillsUp(t *testing.T) {
+	p := NewPage(1)
+	rec := make([]byte, 100)
+	n := 0
+	for {
+		slot := p.FindInsertSlot()
+		if !p.CanFit(slot, len(rec)) {
+			break
+		}
+		if err := p.Insert(slot, rec); err != nil {
+			t.Fatalf("insert %d: %v", n, err)
+		}
+		n++
+	}
+	// 8KB page, 100B records + 4B slots: expect ~78 records.
+	if n < 70 || n > 82 {
+		t.Fatalf("page held %d 100B records", n)
+	}
+	if err := p.Insert(p.NumSlots(), rec); !errors.Is(err, ErrPageFull) {
+		t.Fatalf("overfull insert: %v", err)
+	}
+}
+
+func TestPageCompaction(t *testing.T) {
+	p := NewPage(1)
+	// Fill, delete every other record, then insert records that only fit
+	// after compaction.
+	var slots []int
+	rec := make([]byte, 200)
+	for {
+		s := p.FindInsertSlot()
+		if !p.CanFit(s, len(rec)) {
+			break
+		}
+		p.Insert(s, rec)
+		slots = append(slots, s)
+	}
+	for i := 0; i < len(slots); i += 2 {
+		p.Delete(slots[i])
+	}
+	// A 300B record does not fit in contiguous free space but fits after
+	// compaction (we freed ~half the page).
+	big := bytes.Repeat([]byte("z"), 300)
+	s := p.FindInsertSlot()
+	if !p.CanFit(s, len(big)) {
+		t.Fatal("CanFit should see reclaimable space")
+	}
+	if err := p.Insert(s, big); err != nil {
+		t.Fatalf("insert after compaction: %v", err)
+	}
+	got, err := p.Get(s)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("big record mangled: %v", err)
+	}
+	// Survivors intact.
+	for i := 1; i < len(slots); i += 2 {
+		got, err := p.Get(slots[i])
+		if err != nil || !bytes.Equal(got, rec) {
+			t.Fatalf("survivor %d mangled: %v", slots[i], err)
+		}
+	}
+}
+
+func TestPageSetGrowWithCompaction(t *testing.T) {
+	p := NewPage(1)
+	rec := make([]byte, 500)
+	var slots []int
+	for {
+		s := p.FindInsertSlot()
+		if !p.CanFit(s, len(rec)) {
+			break
+		}
+		p.Insert(s, rec)
+		slots = append(slots, s)
+	}
+	// Free one record's worth, then grow another into that space.
+	p.Delete(slots[0])
+	grown := make([]byte, 900)
+	for i := range grown {
+		grown[i] = 0xAB
+	}
+	if err := p.Set(slots[1], grown); err != nil {
+		t.Fatalf("grow with compaction: %v", err)
+	}
+	got, _ := p.Get(slots[1])
+	if !bytes.Equal(got, grown) {
+		t.Fatal("grown record mangled")
+	}
+}
+
+func TestPageApplyRoundTrip(t *testing.T) {
+	p := NewPage(1)
+	ins := logrec.UpdatePayload{Op: logrec.OpInsert, Slot: 0, After: []byte("row-v1")}
+	if err := p.Apply(ins, 100); err != nil {
+		t.Fatal(err)
+	}
+	if p.LSN() != 100 {
+		t.Fatal("pageLSN not stamped")
+	}
+	set := logrec.UpdatePayload{Op: logrec.OpSet, Slot: 0, Before: []byte("row-v1"), After: []byte("row-v2")}
+	if err := p.Apply(set, 200); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.Get(0)
+	if string(got) != "row-v2" {
+		t.Fatalf("after set: %q", got)
+	}
+	// Undo via inverse.
+	if err := p.Apply(set.Inverse(), 300); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = p.Get(0)
+	if string(got) != "row-v1" || p.LSN() != 300 {
+		t.Fatalf("after undo: %q lsn=%v", got, p.LSN())
+	}
+	del := logrec.UpdatePayload{Op: logrec.OpDelete, Slot: 0, Before: []byte("row-v1")}
+	if err := p.Apply(del, 400); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Apply(del.Inverse(), 500); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = p.Get(0)
+	if string(got) != "row-v1" {
+		t.Fatalf("after delete undo: %q", got)
+	}
+}
+
+func TestPageSnapshotRoundTrip(t *testing.T) {
+	p := NewPage(42)
+	p.Insert(0, []byte("persist me"))
+	p.SetLSN(777)
+	img := p.Snapshot()
+
+	q := NewPage(0)
+	if err := q.LoadSnapshot(img); err != nil {
+		t.Fatal(err)
+	}
+	if q.ID() != 42 || q.LSN() != 777 {
+		t.Fatalf("snapshot header: id=%d lsn=%v", q.ID(), q.LSN())
+	}
+	got, err := q.Get(0)
+	if err != nil || string(got) != "persist me" {
+		t.Fatalf("snapshot data: %q %v", got, err)
+	}
+	if err := q.LoadSnapshot([]byte("short")); err == nil {
+		t.Fatal("short snapshot must fail")
+	}
+}
+
+func TestPageInsertGrowsDirectoryForRedo(t *testing.T) {
+	// Redo may apply an insert at slot 3 on a fresh page (earlier slots'
+	// inserts were not logged because the page was archived after them,
+	// then the archive lost... in any case Apply must be tolerant).
+	p := NewPage(1)
+	if err := p.Insert(3, []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSlots() != 4 {
+		t.Fatalf("slots: %d", p.NumSlots())
+	}
+	got, err := p.Get(3)
+	if err != nil || string(got) != "late" {
+		t.Fatalf("slot 3: %q %v", got, err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Get(i); !errors.Is(err, ErrDeadSlot) {
+			t.Fatalf("slot %d should be dead: %v", i, err)
+		}
+	}
+}
+
+// Property: a random sequence of insert/set/delete operations applied to
+// a page matches a reference map implementation.
+func TestQuickPageMatchesReference(t *testing.T) {
+	type op struct {
+		Kind byte
+		Slot uint8
+		Data []byte
+	}
+	f := func(ops []op) bool {
+		p := NewPage(1)
+		ref := map[int][]byte{}
+		for _, o := range ops {
+			if len(o.Data) > 600 {
+				o.Data = o.Data[:600]
+			}
+			switch o.Kind % 3 {
+			case 0: // insert at chosen slot
+				slot := p.FindInsertSlot()
+				if !p.CanFit(slot, len(o.Data)) {
+					continue
+				}
+				if err := p.Insert(slot, o.Data); err != nil {
+					return false
+				}
+				ref[slot] = append([]byte(nil), o.Data...)
+			case 1: // set existing
+				slot := int(o.Slot)
+				if _, ok := ref[slot]; !ok {
+					continue
+				}
+				err := p.Set(slot, o.Data)
+				if err != nil {
+					if errors.Is(err, ErrPageFull) {
+						continue
+					}
+					return false
+				}
+				ref[slot] = append([]byte(nil), o.Data...)
+			case 2: // delete existing
+				slot := int(o.Slot)
+				if _, ok := ref[slot]; !ok {
+					continue
+				}
+				if err := p.Delete(slot); err != nil {
+					return false
+				}
+				delete(ref, slot)
+			}
+		}
+		// Compare all live slots.
+		for slot, want := range ref {
+			got, err := p.Get(slot)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		// And dead/absent slots must not resurrect.
+		for i := 0; i < p.NumSlots(); i++ {
+			if _, ok := ref[i]; ok {
+				continue
+			}
+			if _, err := p.Get(i); err == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,289 @@
+package storage
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"aether/internal/logrec"
+	"aether/internal/lsn"
+)
+
+// RID identifies a record: page plus slot.
+type RID struct {
+	Page uint64
+	Slot uint16
+}
+
+// Pack encodes the RID into a uint64 (48-bit page, 16-bit slot) for
+// storage in index leaves.
+func (r RID) Pack() uint64 { return r.Page<<16 | uint64(r.Slot) }
+
+// UnpackRID reverses Pack.
+func UnpackRID(v uint64) RID { return RID{Page: v >> 16, Slot: uint16(v & 0xFFFF)} }
+
+// storeShards is the page-map shard count.
+const storeShards = 64
+
+// Store is the page store: the "buffer pool" of a memory-resident
+// database. It owns page lookup/creation, the dirty-page table (DPT) used
+// by checkpoints, and page-image archival.
+//
+// Page IDs encode their owning space (table) in the top 24 bits:
+// pid = space<<40 | seq. Recovery relies on this to reattach redo-created
+// pages to the right heap without any catalog pages.
+type Store struct {
+	shards [storeShards]storeShard
+
+	seqMu sync.Mutex
+	seq   map[uint32]*atomic.Uint64 // per-space page sequence
+
+	dirtyMu sync.Mutex
+	dirty   map[uint64]lsn.LSN // pageID → recLSN (first LSN that dirtied it)
+}
+
+// PageSpace extracts the owning space from a page ID.
+func PageSpace(pid uint64) uint32 { return uint32(pid >> 40) }
+
+// pageSeq extracts the per-space sequence number from a page ID.
+func pageSeq(pid uint64) uint64 { return pid & ((1 << 40) - 1) }
+
+// MakePageID builds a page ID from space and sequence.
+func MakePageID(space uint32, seq uint64) uint64 {
+	return uint64(space)<<40 | (seq & ((1 << 40) - 1))
+}
+
+type storeShard struct {
+	mu    sync.RWMutex
+	pages map[uint64]*Page
+}
+
+// NewStore returns an empty store. Page sequence numbers start at 1 in
+// every space.
+func NewStore() *Store {
+	s := &Store{
+		dirty: make(map[uint64]lsn.LSN),
+		seq:   make(map[uint32]*atomic.Uint64),
+	}
+	for i := range s.shards {
+		s.shards[i].pages = make(map[uint64]*Page)
+	}
+	return s
+}
+
+func (s *Store) shard(pid uint64) *storeShard {
+	return &s.shards[(pid*0x9E3779B97F4A7C15>>32)%storeShards]
+}
+
+func (s *Store) spaceSeq(space uint32) *atomic.Uint64 {
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	c := s.seq[space]
+	if c == nil {
+		c = &atomic.Uint64{}
+		s.seq[space] = c
+	}
+	return c
+}
+
+// Allocate creates a fresh page in the given space and returns it.
+func (s *Store) Allocate(space uint32) *Page {
+	pid := MakePageID(space, s.spaceSeq(space).Add(1))
+	p := NewPage(pid)
+	sh := s.shard(pid)
+	sh.mu.Lock()
+	sh.pages[pid] = p
+	sh.mu.Unlock()
+	return p
+}
+
+// Get returns the page with the given ID, or nil if absent.
+func (s *Store) Get(pid uint64) *Page {
+	sh := s.shard(pid)
+	sh.mu.RLock()
+	p := sh.pages[pid]
+	sh.mu.RUnlock()
+	return p
+}
+
+// GetOrCreate returns the page, creating an empty one if absent (redo
+// uses this to rebuild pages never archived).
+func (s *Store) GetOrCreate(pid uint64) *Page {
+	if p := s.Get(pid); p != nil {
+		return p
+	}
+	sh := s.shard(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if p := sh.pages[pid]; p != nil {
+		return p
+	}
+	p := NewPage(pid)
+	sh.pages[pid] = p
+	// Keep the space's allocator ahead of any explicitly materialized
+	// page (redo may rebuild pages the allocator never handed out in
+	// this incarnation).
+	c := s.spaceSeq(PageSpace(pid))
+	seq := pageSeq(pid)
+	for {
+		cur := c.Load()
+		if cur >= seq || c.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
+	return p
+}
+
+// MarkDirty records that pid was modified at recLSN, if it is not
+// already dirty. Callers invoke it with the page latch held, right after
+// the first Apply since the page was last clean.
+func (s *Store) MarkDirty(pid uint64, recLSN lsn.LSN) {
+	s.dirtyMu.Lock()
+	if _, ok := s.dirty[pid]; !ok {
+		s.dirty[pid] = recLSN
+	}
+	s.dirtyMu.Unlock()
+}
+
+// MarkClean removes pid from the DPT (after archiving).
+func (s *Store) MarkClean(pid uint64) {
+	s.dirtyMu.Lock()
+	delete(s.dirty, pid)
+	s.dirtyMu.Unlock()
+}
+
+// DirtyPages snapshots the DPT, sorted by page ID for determinism.
+func (s *Store) DirtyPages() []logrec.DirtyPageEntry {
+	s.dirtyMu.Lock()
+	out := make([]logrec.DirtyPageEntry, 0, len(s.dirty))
+	for pid, rec := range s.dirty {
+		out = append(out, logrec.DirtyPageEntry{PageID: pid, RecLSN: rec})
+	}
+	s.dirtyMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].PageID < out[j].PageID })
+	return out
+}
+
+// MinRecLSN returns the smallest recLSN in the DPT, or lsn.Undefined if
+// the DPT is empty. Redo starts here.
+func (s *Store) MinRecLSN() lsn.LSN {
+	s.dirtyMu.Lock()
+	defer s.dirtyMu.Unlock()
+	min := lsn.Undefined
+	for _, rec := range s.dirty {
+		if rec < min {
+			min = rec
+		}
+	}
+	return min
+}
+
+// PageIDs returns all page IDs (sorted), for archival sweeps and tests.
+func (s *Store) PageIDs() []uint64 {
+	var out []uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for pid := range sh.pages {
+			out = append(out, pid)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Archive is persistent page-image storage (the database file). Writing
+// a page to the archive must respect the WAL rule: the caller checks
+// pageLSN ≤ durable LSN before archiving.
+type Archive interface {
+	// Put stores the page image.
+	Put(pid uint64, img []byte)
+	// Get returns the archived image, or nil.
+	Get(pid uint64) []byte
+	// Pages lists archived page IDs.
+	Pages() []uint64
+}
+
+// MemArchive is an in-memory Archive (a simulated database file that
+// survives our simulated crashes).
+type MemArchive struct {
+	mu    sync.Mutex
+	pages map[uint64][]byte
+}
+
+// NewMemArchive returns an empty archive.
+func NewMemArchive() *MemArchive {
+	return &MemArchive{pages: make(map[uint64][]byte)}
+}
+
+// Put implements Archive.
+func (a *MemArchive) Put(pid uint64, img []byte) {
+	cp := make([]byte, len(img))
+	copy(cp, img)
+	a.mu.Lock()
+	a.pages[pid] = cp
+	a.mu.Unlock()
+}
+
+// Get implements Archive.
+func (a *MemArchive) Get(pid uint64) []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pages[pid]
+}
+
+// Pages implements Archive.
+func (a *MemArchive) Pages() []uint64 {
+	a.mu.Lock()
+	out := make([]uint64, 0, len(a.pages))
+	for pid := range a.pages {
+		out = append(out, pid)
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ArchiveDirtyPages writes every dirty page whose pageLSN is at or below
+// durable to the archive and cleans it in the DPT. It returns how many
+// pages were written. This is the checkpointer's page-cleaning sweep;
+// the durable bound is the write-ahead rule.
+func (s *Store) ArchiveDirtyPages(a Archive, durable lsn.LSN) int {
+	if a == nil {
+		return 0
+	}
+	written := 0
+	for _, e := range s.DirtyPages() {
+		p := s.Get(e.PageID)
+		if p == nil {
+			s.MarkClean(e.PageID)
+			continue
+		}
+		p.Latch.RLock()
+		pl := p.LSN()
+		var img []byte
+		if pl <= durable {
+			img = p.Snapshot()
+		}
+		p.Latch.RUnlock()
+		if img != nil {
+			a.Put(e.PageID, img)
+			s.MarkClean(e.PageID)
+			written++
+		}
+	}
+	return written
+}
+
+// LoadArchive populates the store from an archive (restart).
+func (s *Store) LoadArchive(a Archive) error {
+	for _, pid := range a.Pages() {
+		img := a.Get(pid)
+		p := s.GetOrCreate(pid)
+		if err := p.LoadSnapshot(img); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,327 @@
+// Package txn is the transactional storage manager: it glues the lock
+// manager, the storage engine and the Aether log into ACID transactions
+// with every commit strategy the paper studies — synchronous (baseline),
+// synchronous with Early Lock Release, unsafe asynchronous commit, and
+// Flush Pipelining.
+//
+// The package plays the role Shore-MT plays in the paper: the substrate
+// whose transactions exercise the log.
+package txn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"aether/internal/core"
+	"aether/internal/lockmgr"
+	"aether/internal/logrec"
+	"aether/internal/lsn"
+	"aether/internal/metrics"
+	"aether/internal/storage"
+)
+
+// Errors returned by transaction operations.
+var (
+	// ErrDuplicateKey is returned by Insert for an existing key.
+	ErrDuplicateKey = errors.New("txn: duplicate key")
+	// ErrKeyNotFound is returned when a key does not exist.
+	ErrKeyNotFound = errors.New("txn: key not found")
+	// ErrTxnDone is returned for operations on a finished transaction.
+	ErrTxnDone = errors.New("txn: transaction already finished")
+	// ErrPrecommitted guards the ELR safety rule: a transaction whose
+	// commit record is in the log may not abort (paper §3.1 condition 2).
+	ErrPrecommitted = errors.New("txn: cannot abort a precommitted transaction")
+)
+
+// CommitMode selects the commit protocol.
+type CommitMode int
+
+const (
+	// CommitSync is the traditional protocol: flush the commit record,
+	// wait for durability, then release locks. The agent thread blocks
+	// (delays A, B and C from Figure 1).
+	CommitSync CommitMode = iota
+	// CommitSyncELR releases locks immediately after inserting the
+	// commit record, then waits for durability before replying (§3).
+	// Removes delay B; the agent still blocks (A, C remain).
+	CommitSyncELR
+	// CommitAsync releases locks and reports success without waiting
+	// for durability — the unsafe "asynchronous commit" of Oracle and
+	// PostgreSQL the paper compares against. Committed work can be lost
+	// in a crash.
+	CommitAsync
+	// CommitPipelined is flush pipelining with ELR (§4): locks release
+	// at insert, the agent detaches, and the completion callback fires
+	// from the log daemon once the commit record hardens. Safe, and the
+	// agent never blocks.
+	CommitPipelined
+	// CommitPipelinedHoldLocks is an ablation: flush pipelining without
+	// early lock release — locks are released only when the commit
+	// record hardens. Shows why pipelining depends on ELR (§6.4).
+	CommitPipelinedHoldLocks
+)
+
+var commitModeNames = map[CommitMode]string{
+	CommitSync:               "sync",
+	CommitSyncELR:            "sync+elr",
+	CommitAsync:              "async",
+	CommitPipelined:          "pipelined",
+	CommitPipelinedHoldLocks: "pipelined-no-elr",
+}
+
+// String names the mode as used in experiment output.
+func (m CommitMode) String() string {
+	if s, ok := commitModeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// DefaultKeyOf extracts a row's key assuming the row starts with the key
+// encoded as 8 little-endian bytes — the convention all built-in
+// workloads follow. Index rebuild at restart depends on it.
+func DefaultKeyOf(row []byte) uint64 {
+	if len(row) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(row[:8])
+}
+
+// Table is one logical table: a logged heap plus a volatile primary
+// index (rebuilt at restart from the heap).
+type Table struct {
+	Name  string
+	Space uint32
+	Heap  *storage.HeapFile
+	Index *storage.BTree
+	// KeyOf recovers a row's primary key during index rebuild.
+	KeyOf func([]byte) uint64
+}
+
+// Config assembles an Engine.
+type Config struct {
+	Log   *core.LogManager
+	Locks *lockmgr.Manager
+	Store *storage.Store
+	// Archive, if set, receives page images at checkpoints (the
+	// simulated database file).
+	Archive storage.Archive
+}
+
+// Stats exposes engine counters.
+type Stats struct {
+	Commits     metrics.Counter
+	Aborts      metrics.Counter
+	ReadOnly    metrics.Counter
+	Checkpoints metrics.Counter
+}
+
+// Engine is the transactional storage manager.
+type Engine struct {
+	log     *core.LogManager
+	locks   *lockmgr.Manager
+	store   *storage.Store
+	archive storage.Archive
+	stats   Stats
+
+	mu        sync.Mutex
+	tables    map[string]*Table
+	spaces    map[uint32]*Table
+	nextSpace uint32
+	att       map[uint64]*Txn // active-transaction table for checkpoints
+
+	nextTxn atomic.Uint64
+
+	ckptMu sync.Mutex
+	ckptAp *core.Appender
+}
+
+// NewEngine builds an engine over the given components.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Log == nil || cfg.Locks == nil || cfg.Store == nil {
+		return nil, errors.New("txn: Log, Locks and Store are required")
+	}
+	return &Engine{
+		log:     cfg.Log,
+		locks:   cfg.Locks,
+		store:   cfg.Store,
+		archive: cfg.Archive,
+		tables:  make(map[string]*Table),
+		spaces:  make(map[uint32]*Table),
+		att:     make(map[uint64]*Txn),
+		ckptAp:  cfg.Log.NewAppender(),
+	}, nil
+}
+
+// Log returns the engine's log manager.
+func (e *Engine) Log() *core.LogManager { return e.log }
+
+// Locks returns the engine's lock manager.
+func (e *Engine) Locks() *lockmgr.Manager { return e.locks }
+
+// Store returns the engine's page store.
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// Stats returns the engine's counters.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// CreateTable registers a table. Spaces are assigned deterministically in
+// call order (1, 2, 3, …): a restarted process must create its tables in
+// the same order for recovery to reattach pages correctly. keyOf may be
+// nil, defaulting to DefaultKeyOf.
+func (e *Engine) CreateTable(name string, keyOf func([]byte) uint64) (*Table, error) {
+	if keyOf == nil {
+		keyOf = DefaultKeyOf
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.tables[name]; dup {
+		return nil, fmt.Errorf("txn: table %q exists", name)
+	}
+	e.nextSpace++
+	t := &Table{
+		Name:  name,
+		Space: e.nextSpace,
+		Heap:  storage.NewHeapFile(e.store, e.nextSpace, name),
+		Index: storage.NewBTree(),
+		KeyOf: keyOf,
+	}
+	e.tables[name] = t
+	e.spaces[t.Space] = t
+	return t, nil
+}
+
+// Table returns a registered table by name.
+func (e *Engine) Table(name string) *Table {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tables[name]
+}
+
+// Tables lists registered tables.
+func (e *Engine) Tables() []*Table {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		out = append(out, t)
+	}
+	return out
+}
+
+// RebuildTables reattaches store pages to their heaps and rebuilds every
+// table's index by scanning heap rows. Called after recovery.
+func (e *Engine) RebuildTables() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	bySpace := make(map[uint32][]uint64)
+	for _, pid := range e.store.PageIDs() {
+		sp := storage.PageSpace(pid)
+		bySpace[sp] = append(bySpace[sp], pid)
+	}
+	for sp, pids := range bySpace {
+		t := e.spaces[sp]
+		if t == nil {
+			return fmt.Errorf("txn: recovered pages for unknown space %d (tables must be created in the same order as before the crash)", sp)
+		}
+		for _, pid := range pids { // PageIDs() is sorted
+			p := e.store.Get(pid)
+			t.Heap.Adopt(p)
+		}
+		t.Heap.Scan(func(rid storage.RID, row []byte) bool {
+			t.Index.Put(t.KeyOf(row), rid.Pack())
+			return true
+		})
+	}
+	return nil
+}
+
+// Agent is a per-worker transaction context: it owns a log appender and
+// an SLI lock cache. One per agent thread.
+type Agent struct {
+	eng   *Engine
+	ap    *core.Appender
+	cache *lockmgr.AgentCache
+}
+
+// NewAgent returns a fresh agent context.
+func (e *Engine) NewAgent() *Agent {
+	return &Agent{
+		eng:   e,
+		ap:    e.log.NewAppender(),
+		cache: lockmgr.NewAgentCache(0),
+	}
+}
+
+// Close releases the agent's inherited locks (shutdown).
+func (a *Agent) Close() {
+	a.eng.locks.NewLocker(0, a.cache).DropCache()
+}
+
+// Begin starts a transaction on this agent. The agent must finish
+// (commit or abort) the transaction before beginning another, except
+// that pipelined commits detach immediately: the agent may begin the
+// next transaction as soon as Commit returns.
+func (a *Agent) Begin() *Txn {
+	id := a.eng.nextTxn.Add(1)
+	t := &Txn{eng: a.eng, agent: a, id: id, locker: a.eng.locks.NewLocker(id, a.cache)}
+	t.last.Store(lsn.Undefined)
+	a.eng.mu.Lock()
+	a.eng.att[id] = t
+	a.eng.mu.Unlock()
+	return t
+}
+
+// attRemove drops a finished transaction from the ATT.
+func (e *Engine) attRemove(id uint64) {
+	e.mu.Lock()
+	delete(e.att, id)
+	e.mu.Unlock()
+}
+
+// Checkpoint takes a fuzzy checkpoint: begin record, ATT+DPT snapshot in
+// the end record, then (if an archive is configured) a page-cleaning
+// sweep up to the durable horizon.
+func (e *Engine) Checkpoint() error {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+
+	beginAt, _, err := e.ckptAp.Append(&logrec.Record{
+		Header: logrec.Header{Kind: logrec.KindCheckpointBegin},
+	})
+	if err != nil {
+		return fmt.Errorf("txn: checkpoint begin: %w", err)
+	}
+
+	var payload logrec.CheckpointPayload
+	e.mu.Lock()
+	for id, t := range e.att {
+		payload.ActiveTxns = append(payload.ActiveTxns, logrec.TxnTableEntry{
+			TxnID:        id,
+			LastLSN:      t.last.Load(),
+			Precommitted: t.state.Load() >= stPrecommitted,
+		})
+	}
+	e.mu.Unlock()
+	payload.DirtyPages = e.store.DirtyPages()
+
+	rec := &logrec.Record{
+		Header:  logrec.Header{Kind: logrec.KindCheckpointEnd, Aux: uint64(beginAt)},
+		Payload: payload.Encode(nil),
+	}
+	_, end, err := e.ckptAp.Append(rec)
+	if err != nil {
+		return fmt.Errorf("txn: checkpoint end: %w", err)
+	}
+	if err := e.log.WaitDurable(end); err != nil {
+		return fmt.Errorf("txn: checkpoint flush: %w", err)
+	}
+	if e.archive != nil {
+		e.store.ArchiveDirtyPages(e.archive, e.log.Durable())
+	}
+	e.stats.Checkpoints.Inc()
+	return nil
+}

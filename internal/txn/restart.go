@@ -1,0 +1,74 @@
+package txn
+
+import (
+	"fmt"
+
+	"aether/internal/core"
+	"aether/internal/lockmgr"
+	"aether/internal/logdev"
+	"aether/internal/lsn"
+	"aether/internal/recovery"
+	"aether/internal/storage"
+)
+
+// RestartConfig describes how to bring a database back from its durable
+// state (log device + optional page archive).
+type RestartConfig struct {
+	// Device is the log device holding the durable log.
+	Device logdev.Device
+	// Archive is the page archive (database file); may be nil.
+	Archive storage.Archive
+	// LogConfig configures the new log manager. Device and Buffer.Base
+	// are set by Restart.
+	LogConfig core.Config
+	// LockConfig configures the new lock manager.
+	LockConfig lockmgr.Config
+}
+
+// Restart performs crash recovery and returns a ready engine: read the
+// durable log, load the archive, run ARIES analysis/redo/undo (logging
+// CLRs into the restarted log), and hand back the engine. The caller must
+// re-create its tables in the original order and then call RebuildTables.
+func Restart(cfg RestartConfig) (*Engine, *recovery.Result, error) {
+	logData, err := logdev.ReadAll(cfg.Device)
+	if err != nil {
+		return nil, nil, fmt.Errorf("txn: reading log: %w", err)
+	}
+	store := storage.NewStore()
+	if cfg.Archive != nil {
+		if err := store.LoadArchive(cfg.Archive); err != nil {
+			return nil, nil, fmt.Errorf("txn: loading archive: %w", err)
+		}
+	}
+	lcfg := cfg.LogConfig
+	lcfg.Device = cfg.Device
+	lcfg.Buffer.Base = lsn.LSN(len(logData))
+	lm, err := core.New(lcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := recovery.Recover(recovery.Options{
+		Log:      logData,
+		Store:    store,
+		Appender: lm.NewAppender(),
+	})
+	if err != nil {
+		lm.Close()
+		return nil, nil, err
+	}
+	// Recovery's CLRs and end records must be durable before new work
+	// starts, or a second crash could strand a half-undone loser whose
+	// compensation vanished.
+	lm.Flush()
+	eng, err := NewEngine(Config{
+		Log:     lm,
+		Locks:   lockmgr.New(cfg.LockConfig),
+		Store:   store,
+		Archive: cfg.Archive,
+	})
+	if err != nil {
+		lm.Close()
+		return nil, nil, err
+	}
+	return eng, res, nil
+}

@@ -1,0 +1,359 @@
+package txn
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"aether/internal/lockmgr"
+	"aether/internal/logrec"
+	"aether/internal/lsn"
+	"aether/internal/storage"
+)
+
+// Transaction states.
+const (
+	stActive int32 = iota
+	// stPrecommitted: the commit record is in the log buffer; under ELR
+	// the locks are already released. The transaction can no longer
+	// abort (except by crash, which recovery handles).
+	stPrecommitted
+	stCommitted
+	stAborted
+)
+
+// undoEntry remembers one update for transaction-local rollback. Runtime
+// rollback uses this in-memory chain (every live transaction has its
+// records at hand); crash rollback reads the durable log instead.
+type undoEntry struct {
+	pageID uint64
+	at     lsn.LSN // LSN of the update record
+	prev   lsn.LSN // PrevLSN of that record (the next undo target)
+	up     logrec.UpdatePayload
+}
+
+// Txn is one transaction. It is driven by a single agent goroutine.
+type Txn struct {
+	eng    *Engine
+	agent  *Agent
+	id     uint64
+	locker *lockmgr.Locker
+
+	last  lsn.Atomic   // most recent log record (atomic: checkpoint reads it)
+	state atomic.Int32 // atomic: checkpoint and daemon callbacks read it
+
+	lastEnd   lsn.LSN // end LSN of the most recent record
+	writes    int
+	undo      []undoEntry
+	indexUndo []func()
+}
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Writes returns how many update records the transaction has logged.
+func (t *Txn) Writes() int { return t.writes }
+
+// logUpdate is the storage.LogFunc for this transaction: append a
+// physiological update record, chain PrevLSN, and remember the undo.
+func (t *Txn) logUpdate(pageID uint64, up logrec.UpdatePayload) (lsn.LSN, lsn.LSN, error) {
+	prev := t.last.Load()
+	rec := logrec.NewUpdate(t.id, prev, pageID, up)
+	at, end, err := t.agent.ap.Append(rec)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Deep-copy the images: the payload aliases page memory that will
+	// change, and rollback needs the originals.
+	saved := logrec.UpdatePayload{
+		Op:     up.Op,
+		Slot:   up.Slot,
+		Before: append([]byte(nil), up.Before...),
+		After:  append([]byte(nil), up.After...),
+	}
+	t.undo = append(t.undo, undoEntry{pageID: pageID, at: at, prev: prev, up: saved})
+	t.last.Store(at)
+	t.lastEnd = end
+	t.writes++
+	return at, end, nil
+}
+
+func (t *Txn) active() error {
+	if t.state.Load() != stActive {
+		return ErrTxnDone
+	}
+	return nil
+}
+
+// Insert adds a row under key. The row bytes must embed the key per the
+// table's KeyOf convention.
+func (t *Txn) Insert(tbl *Table, key uint64, row []byte) error {
+	if err := t.active(); err != nil {
+		return err
+	}
+	if err := t.locker.Acquire(lockmgr.TableKey(tbl.Space), lockmgr.ModeIX); err != nil {
+		return err
+	}
+	if err := t.locker.Acquire(lockmgr.RowKey(tbl.Space, key), lockmgr.ModeX); err != nil {
+		return err
+	}
+	if _, exists := tbl.Index.Get(key); exists {
+		return ErrDuplicateKey
+	}
+	rid, err := tbl.Heap.Insert(row, t.logUpdate)
+	if err != nil {
+		return err
+	}
+	tbl.Index.Put(key, rid.Pack())
+	t.indexUndo = append(t.indexUndo, func() { tbl.Index.Delete(key) })
+	return nil
+}
+
+// Read returns a copy of the row under key (S-locked).
+func (t *Txn) Read(tbl *Table, key uint64) ([]byte, error) {
+	if err := t.active(); err != nil {
+		return nil, err
+	}
+	if err := t.locker.Acquire(lockmgr.TableKey(tbl.Space), lockmgr.ModeIS); err != nil {
+		return nil, err
+	}
+	if err := t.locker.Acquire(lockmgr.RowKey(tbl.Space, key), lockmgr.ModeS); err != nil {
+		return nil, err
+	}
+	packed, ok := tbl.Index.Get(key)
+	if !ok {
+		return nil, ErrKeyNotFound
+	}
+	row, err := tbl.Heap.Read(storage.UnpackRID(packed))
+	if err != nil {
+		return nil, fmt.Errorf("txn: index points at missing row: %w", err)
+	}
+	return row, nil
+}
+
+// Update rewrites the row under key through fn (X-locked
+// read-modify-write).
+func (t *Txn) Update(tbl *Table, key uint64, fn func(row []byte) ([]byte, error)) error {
+	if err := t.active(); err != nil {
+		return err
+	}
+	if err := t.locker.Acquire(lockmgr.TableKey(tbl.Space), lockmgr.ModeIX); err != nil {
+		return err
+	}
+	if err := t.locker.Acquire(lockmgr.RowKey(tbl.Space, key), lockmgr.ModeX); err != nil {
+		return err
+	}
+	packed, ok := tbl.Index.Get(key)
+	if !ok {
+		return ErrKeyNotFound
+	}
+	return tbl.Heap.Mutate(storage.UnpackRID(packed), t.logUpdate, fn)
+}
+
+// Delete removes the row under key.
+func (t *Txn) Delete(tbl *Table, key uint64) error {
+	if err := t.active(); err != nil {
+		return err
+	}
+	if err := t.locker.Acquire(lockmgr.TableKey(tbl.Space), lockmgr.ModeIX); err != nil {
+		return err
+	}
+	if err := t.locker.Acquire(lockmgr.RowKey(tbl.Space, key), lockmgr.ModeX); err != nil {
+		return err
+	}
+	packed, ok := tbl.Index.Get(key)
+	if !ok {
+		return ErrKeyNotFound
+	}
+	rid := storage.UnpackRID(packed)
+	if err := tbl.Heap.Delete(rid, t.logUpdate); err != nil {
+		return err
+	}
+	tbl.Index.Delete(key)
+	t.indexUndo = append(t.indexUndo, func() { tbl.Index.Put(key, rid.Pack()) })
+	return nil
+}
+
+// Scan visits rows with keys in [from, to] in key order under a
+// table-level S lock (a coarse-grained scan: simple, and correct against
+// concurrent writers, which block on the table lock).
+func (t *Txn) Scan(tbl *Table, from, to uint64, fn func(key uint64, row []byte) bool) error {
+	if err := t.active(); err != nil {
+		return err
+	}
+	if err := t.locker.Acquire(lockmgr.TableKey(tbl.Space), lockmgr.ModeS); err != nil {
+		return err
+	}
+	var scanErr error
+	tbl.Index.Scan(from, to, func(key, packed uint64) bool {
+		row, err := tbl.Heap.Read(storage.UnpackRID(packed))
+		if err != nil {
+			scanErr = fmt.Errorf("txn: scan at key %d: %w", key, err)
+			return false
+		}
+		return fn(key, row)
+	})
+	return scanErr
+}
+
+// Commit finishes the transaction under the given protocol. whenDone, if
+// non-nil, runs exactly once when the commit outcome is decided for the
+// client: after durability for safe modes, immediately for CommitAsync.
+// For pipelined modes whenDone runs on the log daemon's goroutine; for
+// others it runs on the caller's.
+//
+// The returned error reports the synchronous part only; pipelined
+// durability errors arrive via whenDone.
+func (t *Txn) Commit(mode CommitMode, whenDone func(error)) error {
+	if err := t.active(); err != nil {
+		return err
+	}
+
+	// Read-only transactions have nothing to harden: release and reply.
+	if t.writes == 0 {
+		t.state.Store(stCommitted)
+		t.locker.ReleaseAll()
+		t.eng.attRemove(t.id)
+		t.eng.stats.ReadOnly.Inc()
+		t.eng.stats.Commits.Inc()
+		if whenDone != nil {
+			whenDone(nil)
+		}
+		return nil
+	}
+
+	rec := logrec.NewCommit(t.id, t.last.Load())
+	at, end, err := t.agent.ap.Append(rec)
+	if err != nil {
+		return err
+	}
+	t.last.Store(at)
+	t.lastEnd = end
+	t.state.Store(stPrecommitted)
+
+	switch mode {
+	case CommitSync:
+		// Traditional: hold locks across the flush.
+		err := t.eng.log.WaitDurable(end)
+		t.locker.ReleaseAll()
+		t.finishCommit(err == nil)
+		if whenDone != nil {
+			whenDone(err)
+		}
+		return err
+
+	case CommitSyncELR:
+		// ELR: dependants may acquire our locks while we await the flush.
+		t.locker.ReleaseAll()
+		err := t.eng.log.WaitDurable(end)
+		t.finishCommit(err == nil)
+		if whenDone != nil {
+			whenDone(err)
+		}
+		return err
+
+	case CommitAsync:
+		// Unsafe: reply before durability (lost on crash).
+		t.locker.ReleaseAll()
+		t.finishCommit(true)
+		if whenDone != nil {
+			whenDone(nil)
+		}
+		return nil
+
+	case CommitPipelined:
+		// ELR + detach: the agent thread is free immediately; the log
+		// daemon completes the transaction when the record hardens.
+		t.locker.ReleaseAll()
+		t.eng.log.OnDurable(end, func(err error) {
+			t.finishCommit(err == nil)
+			if whenDone != nil {
+				whenDone(err)
+			}
+		})
+		return nil
+
+	case CommitPipelinedHoldLocks:
+		// Ablation: detach but keep locks until durability. Demonstrates
+		// the log-induced lock contention ELR exists to remove. The
+		// release runs on the daemon goroutine, so it must bypass the
+		// agent's (single-threaded) lock cache.
+		t.eng.log.OnDurable(end, func(err error) {
+			t.locker.ReleaseAllToTable()
+			t.finishCommit(err == nil)
+			if whenDone != nil {
+				whenDone(err)
+			}
+		})
+		return nil
+	}
+	return fmt.Errorf("txn: unknown commit mode %d", int(mode))
+}
+
+// finishCommit completes post-commit bookkeeping.
+func (t *Txn) finishCommit(ok bool) {
+	if ok {
+		t.state.Store(stCommitted)
+		t.eng.stats.Commits.Inc()
+	} else {
+		t.state.Store(stAborted)
+		t.eng.stats.Aborts.Inc()
+	}
+	t.eng.attRemove(t.id)
+}
+
+// Abort rolls the transaction back: walk the undo chain newest-first,
+// apply inverses, and log a CLR for each so a crash mid-rollback resumes
+// correctly. Violates-precommit attempts are rejected (ELR condition 2).
+func (t *Txn) Abort() error {
+	switch t.state.Load() {
+	case stActive:
+	case stPrecommitted:
+		return ErrPrecommitted
+	default:
+		return ErrTxnDone
+	}
+
+	if t.writes > 0 {
+		abortRec := logrec.NewAbort(t.id, t.last.Load())
+		at, _, err := t.agent.ap.Append(abortRec)
+		if err != nil {
+			return err
+		}
+		t.last.Store(at)
+
+		for i := len(t.undo) - 1; i >= 0; i-- {
+			e := t.undo[i]
+			inv := e.up.Inverse()
+			clr := logrec.NewCLR(t.id, t.last.Load(), e.pageID, e.prev, inv)
+			at, end, err := t.agent.ap.Append(clr)
+			if err != nil {
+				return fmt.Errorf("txn: logging CLR: %w", err)
+			}
+			t.last.Store(at)
+			page := t.eng.store.Get(e.pageID)
+			if page == nil {
+				return fmt.Errorf("txn: undo lost page %d", e.pageID)
+			}
+			page.Latch.Lock()
+			applyErr := page.Apply(inv, end)
+			page.Latch.Unlock()
+			if applyErr != nil {
+				return fmt.Errorf("txn: undo apply: %w", applyErr)
+			}
+			t.eng.store.MarkDirty(e.pageID, at)
+		}
+		for i := len(t.indexUndo) - 1; i >= 0; i-- {
+			t.indexUndo[i]()
+		}
+		endRec := logrec.NewEnd(t.id, t.last.Load())
+		if at, _, err := t.agent.ap.Append(endRec); err == nil {
+			t.last.Store(at)
+		}
+	}
+
+	t.state.Store(stAborted)
+	t.locker.ReleaseAll()
+	t.eng.attRemove(t.id)
+	t.eng.stats.Aborts.Inc()
+	return nil
+}

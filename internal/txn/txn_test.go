@@ -1,0 +1,388 @@
+package txn
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"aether/internal/core"
+	"aether/internal/lockmgr"
+	"aether/internal/logbuf"
+	"aether/internal/logdev"
+	"aether/internal/storage"
+)
+
+// row encodes a (key, value) pair per the DefaultKeyOf convention.
+func row(key, value uint64) []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint64(b[0:8], key)
+	binary.LittleEndian.PutUint64(b[8:16], value)
+	return b
+}
+
+func rowValue(b []byte) uint64 { return binary.LittleEndian.Uint64(b[8:16]) }
+
+// harness bundles an engine over a crashable memory device.
+type harness struct {
+	dev  *logdev.Mem
+	arch *storage.MemArchive
+	eng  *Engine
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	dev := logdev.NewMem(logdev.ProfileMemory)
+	arch := storage.NewMemArchive()
+	lm, err := core.New(core.Config{
+		Buffer: logbuf.Config{Variant: logbuf.VariantCD, Size: 1 << 20},
+		Device: dev,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(Config{
+		Log:     lm,
+		Locks:   lockmgr.New(lockmgr.Config{DeadlockTimeout: 300 * time.Millisecond, SLI: true}),
+		Store:   storage.NewStore(),
+		Archive: arch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{dev: dev, arch: arch, eng: eng}
+	t.Cleanup(func() { h.eng.Log().Close() })
+	return h
+}
+
+func TestCommitAndReadBack(t *testing.T) {
+	h := newHarness(t)
+	tbl, err := h.eng.CreateTable("accounts", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag := h.eng.NewAgent()
+	defer ag.Close()
+
+	tx := ag.Begin()
+	for k := uint64(1); k <= 10; k++ {
+		if err := tx.Insert(tbl, k, row(k, k*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(CommitSync, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	tx2 := ag.Begin()
+	for k := uint64(1); k <= 10; k++ {
+		got, err := tx2.Read(tbl, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rowValue(got) != k*100 {
+			t.Fatalf("key %d: value %d", k, rowValue(got))
+		}
+	}
+	if err := tx2.Commit(CommitSync, nil); err != nil {
+		t.Fatal(err)
+	}
+	if h.eng.Stats().Commits.Load() != 2 || h.eng.Stats().ReadOnly.Load() != 1 {
+		t.Fatalf("stats: %d commits, %d read-only",
+			h.eng.Stats().Commits.Load(), h.eng.Stats().ReadOnly.Load())
+	}
+}
+
+func TestDuplicateAndMissingKeys(t *testing.T) {
+	h := newHarness(t)
+	tbl, _ := h.eng.CreateTable("t", nil)
+	ag := h.eng.NewAgent()
+	defer ag.Close()
+
+	tx := ag.Begin()
+	if err := tx.Insert(tbl, 1, row(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert(tbl, 1, row(1, 2)); !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("dup insert: %v", err)
+	}
+	if _, err := tx.Read(tbl, 99); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("missing read: %v", err)
+	}
+	if err := tx.Update(tbl, 99, nil); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("missing update: %v", err)
+	}
+	if err := tx.Delete(tbl, 99); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("missing delete: %v", err)
+	}
+	tx.Commit(CommitSync, nil)
+}
+
+func TestUpdateAndDelete(t *testing.T) {
+	h := newHarness(t)
+	tbl, _ := h.eng.CreateTable("t", nil)
+	ag := h.eng.NewAgent()
+	defer ag.Close()
+
+	tx := ag.Begin()
+	tx.Insert(tbl, 7, row(7, 70))
+	tx.Commit(CommitSync, nil)
+
+	tx = ag.Begin()
+	err := tx.Update(tbl, 7, func(r []byte) ([]byte, error) {
+		return row(7, rowValue(r)+5), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit(CommitSync, nil)
+
+	tx = ag.Begin()
+	got, _ := tx.Read(tbl, 7)
+	if rowValue(got) != 75 {
+		t.Fatalf("value %d", rowValue(got))
+	}
+	if err := tx.Delete(tbl, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Read(tbl, 7); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("read own delete: %v", err)
+	}
+	tx.Commit(CommitSync, nil)
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	h := newHarness(t)
+	tbl, _ := h.eng.CreateTable("t", nil)
+	ag := h.eng.NewAgent()
+	defer ag.Close()
+
+	seed := ag.Begin()
+	seed.Insert(tbl, 1, row(1, 100))
+	seed.Insert(tbl, 2, row(2, 200))
+	seed.Commit(CommitSync, nil)
+
+	tx := ag.Begin()
+	tx.Update(tbl, 1, func(r []byte) ([]byte, error) { return row(1, 999), nil })
+	tx.Delete(tbl, 2)
+	tx.Insert(tbl, 3, row(3, 300))
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := ag.Begin()
+	got, err := check.Read(tbl, 1)
+	if err != nil || rowValue(got) != 100 {
+		t.Fatalf("update not rolled back: %d %v", rowValue(got), err)
+	}
+	got, err = check.Read(tbl, 2)
+	if err != nil || rowValue(got) != 200 {
+		t.Fatalf("delete not rolled back: %v", err)
+	}
+	if _, err := check.Read(tbl, 3); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("insert not rolled back: %v", err)
+	}
+	check.Commit(CommitSync, nil)
+	if h.eng.Stats().Aborts.Load() != 1 {
+		t.Fatalf("aborts: %d", h.eng.Stats().Aborts.Load())
+	}
+}
+
+func TestAbortAfterPrecommitForbidden(t *testing.T) {
+	h := newHarness(t)
+	tbl, _ := h.eng.CreateTable("t", nil)
+	ag := h.eng.NewAgent()
+	defer ag.Close()
+	tx := ag.Begin()
+	tx.Insert(tbl, 1, row(1, 1))
+	done := make(chan error, 1)
+	if err := tx.Commit(CommitPipelined, func(err error) { done <- err }); err != nil {
+		t.Fatal(err)
+	}
+	// The transaction is precommitted (maybe even durable): abort must
+	// be rejected (ELR condition 2).
+	if err := tx.Abort(); !errors.Is(err, ErrPrecommitted) && !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("abort after precommit: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOperationsOnFinishedTxn(t *testing.T) {
+	h := newHarness(t)
+	tbl, _ := h.eng.CreateTable("t", nil)
+	ag := h.eng.NewAgent()
+	defer ag.Close()
+	tx := ag.Begin()
+	tx.Insert(tbl, 1, row(1, 1))
+	tx.Commit(CommitSync, nil)
+	if err := tx.Insert(tbl, 2, row(2, 2)); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("insert after commit: %v", err)
+	}
+	if err := tx.Commit(CommitSync, nil); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("double commit: %v", err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("abort after commit: %v", err)
+	}
+}
+
+func TestAllCommitModes(t *testing.T) {
+	modes := []CommitMode{
+		CommitSync, CommitSyncELR, CommitAsync,
+		CommitPipelined, CommitPipelinedHoldLocks,
+	}
+	for _, mode := range modes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			h := newHarness(t)
+			tbl, _ := h.eng.CreateTable("t", nil)
+			ag := h.eng.NewAgent()
+			defer ag.Close()
+
+			var wg sync.WaitGroup
+			for k := uint64(1); k <= 20; k++ {
+				tx := ag.Begin()
+				if err := tx.Insert(tbl, k, row(k, k)); err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				if err := tx.Commit(mode, func(err error) {
+					if err != nil {
+						t.Errorf("commit callback: %v", err)
+					}
+					wg.Done()
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			wg.Wait()
+			check := ag.Begin()
+			for k := uint64(1); k <= 20; k++ {
+				if _, err := check.Read(tbl, k); err != nil {
+					t.Fatalf("mode %v key %d: %v", mode, k, err)
+				}
+			}
+			check.Commit(CommitSync, nil)
+		})
+	}
+}
+
+// TestTransferInvariant runs concurrent balance transfers under every
+// safe commit mode and checks that money is conserved — the classic
+// atomicity + isolation test.
+func TestTransferInvariant(t *testing.T) {
+	modes := []CommitMode{CommitSync, CommitSyncELR, CommitPipelined}
+	for _, mode := range modes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			h := newHarness(t)
+			tbl, _ := h.eng.CreateTable("bank", nil)
+			const accounts = 20
+			const initial = 1000
+			seedAg := h.eng.NewAgent()
+			seed := seedAg.Begin()
+			for k := uint64(1); k <= accounts; k++ {
+				seed.Insert(tbl, k, row(k, initial))
+			}
+			if err := seed.Commit(CommitSync, nil); err != nil {
+				t.Fatal(err)
+			}
+			seedAg.Close()
+
+			const workers = 8
+			const perW = 60
+			var wg sync.WaitGroup
+			var done sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					ag := h.eng.NewAgent()
+					defer ag.Close()
+					rng := uint64(w)*2654435761 + 1
+					for i := 0; i < perW; i++ {
+						rng = rng*6364136223846793005 + 1442695040888963407
+						from := rng%accounts + 1
+						to := (rng>>16)%accounts + 1
+						if from == to {
+							continue
+						}
+						tx := ag.Begin()
+						err := tx.Update(tbl, from, func(r []byte) ([]byte, error) {
+							return row(from, rowValue(r)-10), nil
+						})
+						if err == nil {
+							err = tx.Update(tbl, to, func(r []byte) ([]byte, error) {
+								return row(to, rowValue(r)+10), nil
+							})
+						}
+						if err != nil {
+							// Deadlock timeout: abort and move on.
+							if aerr := tx.Abort(); aerr != nil {
+								t.Errorf("abort: %v", aerr)
+							}
+							continue
+						}
+						done.Add(1)
+						if err := tx.Commit(mode, func(error) { done.Done() }); err != nil {
+							t.Errorf("commit: %v", err)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			done.Wait()
+
+			check := h.eng.NewAgent()
+			defer check.Close()
+			tx := check.Begin()
+			var sum uint64
+			for k := uint64(1); k <= accounts; k++ {
+				r, err := tx.Read(tbl, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum += rowValue(r)
+			}
+			tx.Commit(CommitSync, nil)
+			if sum != accounts*initial {
+				t.Fatalf("money not conserved: sum=%d want %d", sum, accounts*initial)
+			}
+		})
+	}
+}
+
+func TestCheckpointRuns(t *testing.T) {
+	h := newHarness(t)
+	tbl, _ := h.eng.CreateTable("t", nil)
+	ag := h.eng.NewAgent()
+	defer ag.Close()
+	tx := ag.Begin()
+	for k := uint64(1); k <= 50; k++ {
+		tx.Insert(tbl, k, row(k, k))
+	}
+	tx.Commit(CommitSync, nil)
+	if err := h.eng.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// The archive received the dirty pages and the DPT drained.
+	if len(h.arch.Pages()) == 0 {
+		t.Fatal("checkpoint archived nothing")
+	}
+	if len(h.eng.Store().DirtyPages()) != 0 {
+		t.Fatal("DPT not drained by checkpoint")
+	}
+	if h.eng.Stats().Checkpoints.Load() != 1 {
+		t.Fatal("checkpoint not counted")
+	}
+}
+
+func TestCommitModeString(t *testing.T) {
+	if CommitPipelined.String() != "pipelined" || CommitMode(99).String() != "mode(99)" {
+		t.Fatal("mode names wrong")
+	}
+}

@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aether/internal/lockmgr"
+	"aether/internal/txn"
+)
+
+// Client is one closed-loop client: a goroutine that runs transactions
+// back to back on its own agent context, exactly like a Shore-MT agent
+// thread serving one client connection.
+type Client struct {
+	// ID is the client index, 0-based.
+	ID int
+	// Agent is the client's transaction context.
+	Agent *txn.Agent
+	// Rng is the client's private random stream.
+	Rng *rand.Rand
+
+	drv *driver
+}
+
+// Body is one transaction execution. It begins, runs and finishes
+// (commit via c.CommitTxn, or abort) a single transaction. A returned
+// error other than those from CommitTxn counts as an abort.
+type Body func(c *Client) error
+
+// Options configures a closed-loop run.
+type Options struct {
+	// Clients is the number of concurrent client goroutines.
+	Clients int
+	// Duration is how long to drive load.
+	Duration time.Duration
+	// Mode is the commit protocol clients use via CommitTxn.
+	Mode txn.CommitMode
+	// Seed makes runs reproducible (per-client streams derive from it).
+	Seed int64
+}
+
+// Result is what a run measured.
+type Result struct {
+	// Completed counts transactions whose commit was acknowledged
+	// durably (or instantly, for CommitAsync) before the run drained.
+	Completed int64
+	// Aborted counts aborted transactions (deadlock victims included).
+	Aborted int64
+	// Elapsed is the measured wall-clock interval.
+	Elapsed time.Duration
+	// BusyTime is the wall-clock the clients spent NOT blocked in the
+	// body (total across clients). Utilization estimates derive from it.
+	BusyTime time.Duration
+	// Switches counts agent-thread scheduling events (blocking commit
+	// waits plus blocking lock waits) during the run.
+	Switches int64
+	// CommitBlocks counts only the log-flush blocks — the per-commit
+	// context switches flush pipelining eliminates (Figure 4's metric).
+	CommitBlocks int64
+	// LockBlocks counts blocking lock waits.
+	LockBlocks int64
+	// Flushes counts log device syncs during the run.
+	Flushes int64
+}
+
+// CommitBlockRate returns commit-blocking scheduling events per second.
+func (r Result) CommitBlockRate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.CommitBlocks) / r.Elapsed.Seconds()
+}
+
+// Throughput returns completed transactions per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Elapsed.Seconds()
+}
+
+// Utilization returns the average number of busy clients (an estimate of
+// CPUs kept busy, before capping at the machine's core count).
+func (r Result) Utilization() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return r.BusyTime.Seconds() / r.Elapsed.Seconds()
+}
+
+// SwitchRate returns scheduling events per second.
+func (r Result) SwitchRate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Switches) / r.Elapsed.Seconds()
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%.0f tps (completed %d, aborted %d, util %.1f, %.0f switches/s)",
+		r.Throughput(), r.Completed, r.Aborted, r.Utilization(), r.SwitchRate())
+}
+
+type driver struct {
+	eng       *txn.Engine
+	mode      txn.CommitMode
+	completed atomic.Int64
+	aborted   atomic.Int64
+	inflight  sync.WaitGroup
+	stopped   atomic.Bool
+}
+
+// CommitTxn commits tx under the driver's commit mode and wires the
+// completion accounting. For pipelined modes it returns immediately; the
+// driver waits for all outstanding acknowledgements before reporting.
+func (c *Client) CommitTxn(tx *txn.Txn) error {
+	d := c.drv
+	d.inflight.Add(1)
+	err := tx.Commit(d.mode, func(err error) {
+		if err == nil {
+			d.completed.Add(1)
+		} else {
+			d.aborted.Add(1)
+		}
+		d.inflight.Done()
+	})
+	if err != nil {
+		// The synchronous part failed; the callback never fires.
+		d.inflight.Done()
+		d.aborted.Add(1)
+	}
+	return err
+}
+
+// AbortTxn aborts tx with accounting (deadlock victims call this).
+func (c *Client) AbortTxn(tx *txn.Txn) error {
+	err := tx.Abort()
+	c.drv.aborted.Add(1)
+	return err
+}
+
+// RunClosedLoop drives body with opts.Clients concurrent closed-loop
+// clients for opts.Duration and reports aggregate results. It snapshots
+// the engine's switch-relevant counters around the run, so results
+// reflect only this run's activity.
+func RunClosedLoop(eng *txn.Engine, opts Options, body Body) Result {
+	if opts.Clients <= 0 {
+		opts.Clients = 1
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = time.Second
+	}
+	d := &driver{eng: eng, mode: opts.Mode}
+
+	commitBlocks0 := eng.Log().Stats().SyncWaiters.Load()
+	lockBlocks0 := eng.Locks().Stats().Blocks.Load()
+	flushes0 := eng.Log().Stats().Flushes.Load()
+
+	var busy atomic.Int64
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := &Client{
+				ID:    i,
+				Agent: eng.NewAgent(),
+				Rng:   rand.New(rand.NewSource(opts.Seed + int64(i)*104729 + 1)),
+				drv:   d,
+			}
+			defer c.Agent.Close()
+			var clientBusy time.Duration
+			for time.Now().Before(deadline) && !d.stopped.Load() {
+				t0 := time.Now()
+				if err := body(c); err != nil {
+					d.aborted.Add(1)
+				}
+				clientBusy += time.Since(t0)
+			}
+			busy.Add(int64(clientBusy))
+		}(i)
+	}
+	wg.Wait()
+	// Drain pipelined acknowledgements so Completed is exact.
+	eng.Log().Flush()
+	d.inflight.Wait()
+	elapsed := time.Since(start)
+
+	commitBlocks := eng.Log().Stats().SyncWaiters.Load() - commitBlocks0
+	lockBlocks := eng.Locks().Stats().Blocks.Load() - lockBlocks0
+	return Result{
+		Completed:    d.completed.Load(),
+		Aborted:      d.aborted.Load(),
+		Elapsed:      elapsed,
+		BusyTime:     time.Duration(busy.Load()),
+		Switches:     commitBlocks + lockBlocks,
+		CommitBlocks: commitBlocks,
+		LockBlocks:   lockBlocks,
+		Flushes:      eng.Log().Stats().Flushes.Load() - flushes0,
+	}
+}
+
+// IsDeadlock reports whether err is a deadlock-timeout abort, which
+// workload bodies treat as a routine abort-and-retry.
+func IsDeadlock(err error) bool {
+	return errors.Is(err, lockmgr.ErrLockTimeout)
+}

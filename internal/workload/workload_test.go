@@ -1,0 +1,284 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"aether/internal/core"
+	"aether/internal/lockmgr"
+	"aether/internal/logbuf"
+	"aether/internal/logdev"
+	"aether/internal/storage"
+	"aether/internal/txn"
+)
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(10, 0)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 10)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Draw(rng)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / draws
+		if math.Abs(frac-0.1) > 0.02 {
+			t.Fatalf("bucket %d got %.3f, want ~0.1", i, frac)
+		}
+	}
+}
+
+func TestZipfSkewConcentrates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z2 := NewZipf(100, 2.0)
+	hot := 0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		if z2.Draw(rng) == 0 {
+			hot++
+		}
+	}
+	// At s=2 over 100 items, item 0 holds ~61% of the mass.
+	if frac := float64(hot) / draws; frac < 0.55 || frac > 0.67 {
+		t.Fatalf("hot fraction %.3f, want ~0.61", frac)
+	}
+}
+
+func TestZipfEightyTwenty(t *testing.T) {
+	// The paper: s≈0.85 corresponds to the 80/20 rule. Check the top 20%
+	// of 1000 items carries very roughly 80% of the mass at s=0.85.
+	z := NewZipf(1000, 0.85)
+	share := z.TopShare(200)
+	if share < 0.6 || share > 0.9 {
+		t.Fatalf("top-20%% share %.3f at s=0.85, want roughly 0.8", share)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(0, 1) },
+		func() { NewZipf(10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: draws always land in range, and CDF is monotone.
+func TestQuickZipfInRange(t *testing.T) {
+	f := func(nRaw uint8, sRaw uint8, seed int64) bool {
+		n := int(nRaw%100) + 1
+		s := float64(sRaw%50) / 10.0
+		z := NewZipf(n, s)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			v := z.Draw(rng)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		for i := 1; i < n; i++ {
+			if z.cdf[i] < z.cdf[i-1] {
+				return false
+			}
+		}
+		return z.cdf[n-1] == 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newEngine(t *testing.T) *txn.Engine {
+	t.Helper()
+	dev := logdev.NewMem(logdev.ProfileMemory)
+	lm, err := core.New(core.Config{
+		Buffer: logbuf.Config{Variant: logbuf.VariantCD, Size: 1 << 22},
+		Device: dev,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := txn.NewEngine(txn.Config{
+		Log:     lm,
+		Locks:   lockmgr.New(lockmgr.Config{DeadlockTimeout: 200 * time.Millisecond, SLI: true}),
+		Store:   storage.NewStore(),
+		Archive: storage.NewMemArchive(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lm.Close() })
+	return eng
+}
+
+func TestTPCBRunsAndStaysConsistent(t *testing.T) {
+	eng := newEngine(t)
+	w := &TPCB{Branches: 4, AccountsPerBranch: 200}
+	if err := w.Setup(eng); err != nil {
+		t.Fatal(err)
+	}
+	res := RunClosedLoop(eng, Options{
+		Clients:  8,
+		Duration: 300 * time.Millisecond,
+		Mode:     txn.CommitPipelined,
+	}, w.Body())
+	if res.Completed == 0 {
+		t.Fatal("no transactions completed")
+	}
+	if err := w.ConsistencyCheck(eng); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("TPC-B: %v", res)
+}
+
+func TestTPCBSkewedStillConsistent(t *testing.T) {
+	eng := newEngine(t)
+	w := &TPCB{Branches: 4, AccountsPerBranch: 100, AccessSkew: 2.0}
+	if err := w.Setup(eng); err != nil {
+		t.Fatal(err)
+	}
+	res := RunClosedLoop(eng, Options{
+		Clients:  8,
+		Duration: 300 * time.Millisecond,
+		Mode:     txn.CommitSyncELR,
+	}, w.Body())
+	if res.Completed == 0 {
+		t.Fatal("no transactions completed under skew")
+	}
+	if err := w.ConsistencyCheck(eng); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTPCBAllCommitModes(t *testing.T) {
+	for _, mode := range []txn.CommitMode{txn.CommitSync, txn.CommitSyncELR, txn.CommitAsync, txn.CommitPipelined} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			eng := newEngine(t)
+			w := &TPCB{Branches: 2, AccountsPerBranch: 100}
+			if err := w.Setup(eng); err != nil {
+				t.Fatal(err)
+			}
+			res := RunClosedLoop(eng, Options{
+				Clients: 4, Duration: 200 * time.Millisecond, Mode: mode,
+			}, w.Body())
+			if res.Completed == 0 {
+				t.Fatalf("mode %v: nothing completed", mode)
+			}
+			if err := w.ConsistencyCheck(eng); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestTATPRunsFullMix(t *testing.T) {
+	eng := newEngine(t)
+	w := &TATP{Subscribers: 500}
+	if err := w.Setup(eng); err != nil {
+		t.Fatal(err)
+	}
+	res := RunClosedLoop(eng, Options{
+		Clients:  8,
+		Duration: 300 * time.Millisecond,
+		Mode:     txn.CommitPipelined,
+	}, w.Body())
+	if res.Completed == 0 {
+		t.Fatal("no transactions completed")
+	}
+	t.Logf("TATP: %v", res)
+}
+
+func TestTATPUpdateLocationOnly(t *testing.T) {
+	eng := newEngine(t)
+	w := &TATP{Subscribers: 500, UpdateLocationOnly: true}
+	if err := w.Setup(eng); err != nil {
+		t.Fatal(err)
+	}
+	res := RunClosedLoop(eng, Options{
+		Clients:  8,
+		Duration: 200 * time.Millisecond,
+		Mode:     txn.CommitPipelined,
+	}, w.Body())
+	if res.Completed == 0 {
+		t.Fatal("no transactions completed")
+	}
+	// UpdateLocation writes every transaction: inserts must accumulate.
+	if eng.Log().Stats().Inserts.Load() == 0 {
+		t.Fatal("no log inserts from an update-only workload")
+	}
+}
+
+func TestTPCCRuns(t *testing.T) {
+	eng := newEngine(t)
+	w := &TPCC{Warehouses: 2, DistrictsPerWarehouse: 4, CustomersPerDistrict: 50, ItemsPerWarehouse: 200}
+	if err := w.Setup(eng); err != nil {
+		t.Fatal(err)
+	}
+	res := RunClosedLoop(eng, Options{
+		Clients:  6,
+		Duration: 300 * time.Millisecond,
+		Mode:     txn.CommitPipelined,
+	}, w.Body())
+	if res.Completed == 0 {
+		t.Fatal("no transactions completed")
+	}
+	t.Logf("TPC-C lite: %v", res)
+}
+
+func TestDriverCountsSwitches(t *testing.T) {
+	eng := newEngine(t)
+	w := &TPCB{Branches: 2, AccountsPerBranch: 100}
+	if err := w.Setup(eng); err != nil {
+		t.Fatal(err)
+	}
+	// Sync commits block once per transaction.
+	sw0 := eng.Log().Stats().SyncWaiters.Load()
+	res := RunClosedLoop(eng, Options{
+		Clients: 4, Duration: 200 * time.Millisecond, Mode: txn.CommitSync,
+	}, w.Body())
+	syncBlocks := eng.Log().Stats().SyncWaiters.Load() - sw0
+	if syncBlocks < res.Completed {
+		t.Fatalf("sync mode: %d commit blocks for %d commits", syncBlocks, res.Completed)
+	}
+	// Pipelined commits never block the agent on the log (lock waits may
+	// still block; they are counted separately).
+	sw0 = eng.Log().Stats().SyncWaiters.Load()
+	res2 := RunClosedLoop(eng, Options{
+		Clients: 4, Duration: 200 * time.Millisecond, Mode: txn.CommitPipelined,
+	}, w.Body())
+	if res2.Completed == 0 {
+		t.Fatal("pipelined run completed nothing")
+	}
+	if got := eng.Log().Stats().SyncWaiters.Load() - sw0; got != 0 {
+		t.Fatalf("pipelined mode: %d agent commit blocks, want 0", got)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := Result{Completed: 100, Elapsed: 2 * time.Second, BusyTime: 4 * time.Second, Switches: 50}
+	if r.Throughput() != 50 {
+		t.Fatalf("throughput %f", r.Throughput())
+	}
+	if r.Utilization() != 2 {
+		t.Fatalf("utilization %f", r.Utilization())
+	}
+	if r.SwitchRate() != 25 {
+		t.Fatalf("switch rate %f", r.SwitchRate())
+	}
+	var zero Result
+	if zero.Throughput() != 0 || zero.Utilization() != 0 || zero.SwitchRate() != 0 {
+		t.Fatal("zero result helpers must be 0")
+	}
+}

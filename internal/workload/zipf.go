@@ -1,0 +1,73 @@
+// Package workload implements the paper's evaluation workloads — TPC-B
+// (§3.2, §4.2), TATP (§6.2, §6.4) and a TPC-C subset (§A.5) — plus the
+// zipfian access-skew generator Figure 3 sweeps and the closed-loop
+// client driver all experiments run under.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf draws values in [0, n) with probability proportional to
+// 1/(rank+1)^s. Unlike math/rand's Zipf it supports the full s ∈ [0, ∞)
+// range the paper's Figure 3 sweeps (s=0 is uniform; rand.Zipf requires
+// s>1).
+//
+// Implementation: a precomputed CDF table with binary search. Build cost
+// is O(n); draw cost O(log n). One Zipf is safe for concurrent use (it is
+// immutable after construction); pass a per-client *rand.Rand to Draw.
+type Zipf struct {
+	n   int
+	s   float64
+	cdf []float64 // cdf[i] = P(value <= i)
+}
+
+// NewZipf builds a generator over n items with skew s. n must be > 0 and
+// s >= 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("workload: Zipf needs n > 0")
+	}
+	if s < 0 {
+		panic("workload: Zipf needs s >= 0")
+	}
+	z := &Zipf{n: n, s: s, cdf: make([]float64, n)}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), s)
+		z.cdf[i] = sum
+	}
+	inv := 1.0 / sum
+	for i := range z.cdf {
+		z.cdf[i] *= inv
+	}
+	z.cdf[n-1] = 1.0
+	return z
+}
+
+// N returns the domain size.
+func (z *Zipf) N() int { return z.n }
+
+// S returns the skew parameter.
+func (z *Zipf) S() float64 { return z.s }
+
+// Draw returns a skewed value in [0, n). Rank 0 is the hottest item.
+func (z *Zipf) Draw(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// TopShare returns the probability mass of the hottest k items — handy
+// for relating s to the "80% of accesses hit 20% of data" intuition the
+// paper cites (s≈0.85).
+func (z *Zipf) TopShare(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k >= z.n {
+		return 1
+	}
+	return z.cdf[k-1]
+}

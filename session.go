@@ -1,0 +1,105 @@
+package aether
+
+import (
+	"aether/internal/txn"
+)
+
+// Session is a per-goroutine handle for running transactions — the
+// paper's "agent thread". It carries the agent's log appender and its
+// inherited-lock cache, so it must not be shared across goroutines.
+type Session struct {
+	db *DB
+	ag *txn.Agent
+}
+
+// Session returns a new session. One per worker goroutine.
+func (db *DB) Session() *Session {
+	return &Session{db: db, ag: db.eng.NewAgent()}
+}
+
+// Close releases the session's inherited locks.
+func (s *Session) Close() { s.ag.Close() }
+
+// Begin starts a transaction using the database's default commit mode.
+func (s *Session) Begin() *Tx {
+	return &Tx{s: s, tx: s.ag.Begin(), mode: s.db.opts.Mode}
+}
+
+// Tx is one transaction.
+type Tx struct {
+	s    *Session
+	tx   *txn.Txn
+	mode CommitMode
+}
+
+// SetCommitMode overrides the commit protocol for this transaction.
+func (t *Tx) SetCommitMode(m CommitMode) { t.mode = m }
+
+// Insert adds a row under key. Use Row to build rows with the key
+// prefix the index rebuild expects.
+func (t *Tx) Insert(table *Table, key uint64, row []byte) error {
+	return t.tx.Insert(table.t, key, row)
+}
+
+// Read returns the row under key (shared-locked).
+func (t *Tx) Read(table *Table, key uint64) ([]byte, error) {
+	return t.tx.Read(table.t, key)
+}
+
+// Update rewrites the row under key via fn (exclusive-locked
+// read-modify-write).
+func (t *Tx) Update(table *Table, key uint64, fn func(row []byte) ([]byte, error)) error {
+	return t.tx.Update(table.t, key, fn)
+}
+
+// Delete removes the row under key.
+func (t *Tx) Delete(table *Table, key uint64) error {
+	return t.tx.Delete(table.t, key)
+}
+
+// Scan visits rows with keys in [from, to] in key order, calling fn
+// until it returns false. The scan takes a table-level shared lock
+// (coarse-grained; it blocks concurrent writers for its duration).
+func (t *Tx) Scan(table *Table, from, to uint64, fn func(key uint64, row []byte) bool) error {
+	return t.tx.Scan(table.t, from, to, fn)
+}
+
+// Commit finishes the transaction under its commit mode and blocks
+// until the commit's outcome is decided for the client (durable for
+// safe modes; immediately for CommitAsync). For fire-and-forget
+// pipelined commits use CommitAsyncAck.
+func (t *Tx) Commit() error {
+	mode := t.mode.internal()
+	switch mode {
+	case txn.CommitPipelined:
+		// Block the caller until the daemon hardens the commit — the
+		// client-facing behavior is unchanged; the win is that agent
+		// threads using CommitAsyncAck need not block.
+		ch := make(chan error, 1)
+		if err := t.tx.Commit(mode, func(err error) { ch <- err }); err != nil {
+			return err
+		}
+		return <-ch
+	default:
+		return t.tx.Commit(mode, nil)
+	}
+}
+
+// CommitAsyncAck finishes the transaction without blocking: ack runs
+// (on the log daemon's goroutine) once the commit is durable. This is
+// flush pipelining's detach — the session can immediately Begin the
+// next transaction. ack may be nil.
+func (t *Tx) CommitAsyncAck(ack func(error)) error {
+	return t.tx.Commit(t.mode.internal(), ack)
+}
+
+// Abort rolls the transaction back.
+func (t *Tx) Abort() error { return t.tx.Abort() }
+
+// Errors re-exported for callers.
+var (
+	ErrDuplicateKey = txn.ErrDuplicateKey
+	ErrKeyNotFound  = txn.ErrKeyNotFound
+	ErrTxnDone      = txn.ErrTxnDone
+	ErrPrecommitted = txn.ErrPrecommitted
+)
