@@ -1,0 +1,25 @@
+# Tier-1 verification is `make ci` (build + vet + test).
+GO ?= go
+
+.PHONY: build test test-short test-race vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the multi-second stress soaks (logbuf ring stress, randomized
+# crash/recovery rounds) for a fast inner loop.
+test-short:
+	$(GO) test -short ./...
+
+# Race-checks the concurrency-heavy packages: the log manager, the log
+# buffer variants, and the transaction engine.
+test-race:
+	$(GO) test -race -short ./internal/core ./internal/logbuf ./internal/txn ./internal/logdev
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet test

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"aether/internal/core"
@@ -106,10 +107,23 @@ func (d DeviceProfile) internal() logdev.Profile {
 
 // Options configures a database.
 type Options struct {
-	// LogPath, if set, stores the write-ahead log in a real file;
-	// otherwise an in-memory device with Device's latency profile is
-	// used (the paper's methodology).
+	// LogPath, if set, stores the write-ahead log in a real file (or,
+	// with SegmentSize set, a directory of segment files); otherwise an
+	// in-memory device with Device's latency profile is used (the
+	// paper's methodology). A file-backed database also keeps a
+	// persistent page archive next to the log (LogPath+".pages", or
+	// LogPath/pages for a segmented log): pages cleaned out of the
+	// dirty-page table at a checkpoint are recovered from the archive,
+	// not the log.
 	LogPath string
+	// SegmentSize, if > 0, stores the log on a segmented device: the
+	// append-only stream is spread over fixed-size segments, and every
+	// Checkpoint recycles the segments behind the release horizon, so
+	// both the disk footprint and restart-recovery work stay bounded.
+	// With LogPath set, LogPath names a directory holding the segment
+	// files plus a persistent page archive (pages/) — the recycled
+	// log's data lives on as archived page images.
+	SegmentSize int64
 	// Device is the simulated device class for in-memory logs.
 	Device DeviceProfile
 	// Buffer selects the log-buffer algorithm. Default BufferCD.
@@ -123,12 +137,20 @@ type Options struct {
 	DisableSLI bool
 }
 
+// crashSim is implemented by in-memory log devices that can simulate
+// power loss (Crash support).
+type crashSim interface {
+	CrashFreeze()
+	Remount()
+}
+
 // DB is an open database.
 type DB struct {
 	opts    Options
 	dev     logdev.Device
-	memDev  *logdev.Mem
-	archive *storage.MemArchive
+	memDev  crashSim          // non-nil only for in-memory devices
+	segDev  *logdev.Segmented // non-nil only with Options.SegmentSize
+	archive storage.Archive
 	eng     *txn.Engine
 	tables  []string
 }
@@ -138,16 +160,47 @@ type DB struct {
 // re-create tables in the original order afterwards (CreateTable), and
 // table contents reappear automatically.
 func Open(opts Options) (*DB, error) {
-	db := &DB{opts: opts, archive: storage.NewMemArchive()}
-	if opts.LogPath != "" {
+	db := &DB{opts: opts}
+	switch {
+	case opts.LogPath != "" && opts.SegmentSize > 0:
+		s, err := logdev.OpenSegmentedDir(opts.LogPath, opts.SegmentSize)
+		if err != nil {
+			return nil, err
+		}
+		db.dev, db.segDev = s, s
+		// A truncated log's dead prefix only exists as archived page
+		// images, so a file-backed segmented database needs a page
+		// archive that survives the process alongside the segments.
+		arch, err := storage.OpenFileArchive(filepath.Join(opts.LogPath, "pages"))
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		db.archive = arch
+	case opts.LogPath != "":
 		f, err := logdev.OpenFile(opts.LogPath)
 		if err != nil {
 			return nil, err
 		}
 		db.dev = f
-	} else {
-		db.memDev = logdev.NewMem(opts.Device.internal())
-		db.dev = db.memDev
+		// Page images must survive the process even for the single-file
+		// log: checkpoints remove archived pages from the DPT, so a
+		// reopen's redo pass will not rebuild them from the (complete)
+		// log — the archive is their only copy.
+		arch, err := storage.OpenFileArchive(opts.LogPath + ".pages")
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		db.archive = arch
+	case opts.SegmentSize > 0:
+		s := logdev.NewSegmentedMem(opts.Device.internal(), opts.SegmentSize)
+		db.dev, db.segDev, db.memDev = s, s, s
+		db.archive = storage.NewMemArchive()
+	default:
+		m := logdev.NewMem(opts.Device.internal())
+		db.dev, db.memDev = m, m
+		db.archive = storage.NewMemArchive()
 	}
 	return db.start()
 }
@@ -173,10 +226,16 @@ func (db *DB) start() (*DB, error) {
 	return db, nil
 }
 
-// Close flushes and stops the database. The log device stays intact, so
-// a file-backed database can be reopened.
+// Close flushes and stops the database and closes the log device (a
+// file-backed log releases its descriptors). The durable log contents
+// stay intact, so a file-backed database can be reopened; Close is safe
+// to call more than once.
 func (db *DB) Close() error {
-	return db.eng.Log().Close()
+	err := db.eng.Log().Close()
+	if cerr := db.dev.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Table is a handle to a table.
@@ -250,20 +309,40 @@ type Stats struct {
 	LogBytes    int64
 	LogFlushes  int64
 	Checkpoints int64
+	// LogTruncations counts checkpoint-driven truncations that advanced
+	// the release horizon.
+	LogTruncations int64
+	// LogTruncatedBytes counts logical log bytes released behind the
+	// horizon (bounded-log progress).
+	LogTruncatedBytes int64
+	// LogSegmentsRecycled counts whole segments recycled (deleted files
+	// or released memory regions); 0 without Options.SegmentSize.
+	LogSegmentsRecycled int64
+	// LogBase is the current truncation horizon: restart recovery reads
+	// the log from here, never from byte 0.
+	LogBase int64
 }
 
 // Stats returns current counters.
 func (db *DB) Stats() Stats {
 	ls := db.eng.Log().Stats()
 	es := db.eng.Stats()
-	return Stats{
-		Commits:     es.Commits.Load(),
-		Aborts:      es.Aborts.Load(),
-		LogInserts:  ls.Inserts.Load(),
-		LogBytes:    ls.InsertBytes.Load(),
-		LogFlushes:  ls.Flushes.Load(),
-		Checkpoints: es.Checkpoints.Load(),
+	s := Stats{
+		Commits:           es.Commits.Load(),
+		Aborts:            es.Aborts.Load(),
+		LogInserts:        ls.Inserts.Load(),
+		LogBytes:          ls.InsertBytes.Load(),
+		LogFlushes:        ls.Flushes.Load(),
+		Checkpoints:       es.Checkpoints.Load(),
+		LogTruncations:    ls.Truncations.Load(),
+		LogTruncatedBytes: ls.TruncatedBytes.Load(),
+		LogBase:           int64(db.eng.Log().Base()),
 	}
+	if db.segDev != nil {
+		segs, _ := db.segDev.TruncStats()
+		s.LogSegmentsRecycled = segs
+	}
+	return s
 }
 
 // RecoveryInfo describes what a reopen had to do (file-backed opens).

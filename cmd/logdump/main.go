@@ -1,10 +1,13 @@
-// Command logdump decodes a write-ahead log file and prints its records
-// — the debugging companion every WAL implementation needs. It stops at
-// the first gap, exactly where recovery would.
+// Command logdump decodes a write-ahead log and prints its records —
+// the debugging companion every WAL implementation needs. It stops at
+// the first gap, exactly where recovery would. Pointed at a directory,
+// it decodes a segmented log and prints the segment layout and base
+// offset first.
 //
 // Usage:
 //
 //	logdump -f wal.log            # every record
+//	logdump -f wal.d              # segmented log directory
 //	logdump -f wal.log -txn 42    # one transaction's chain
 //	logdump -f wal.log -stats     # kind histogram + volume only
 package main
@@ -22,7 +25,7 @@ import (
 
 func main() {
 	var (
-		path  = flag.String("f", "", "log file to dump")
+		path  = flag.String("f", "", "log file (or segmented log directory) to dump")
 		txn   = flag.Uint64("txn", 0, "show only this transaction (0 = all)")
 		stats = flag.Bool("stats", false, "print only summary statistics")
 	)
@@ -37,18 +40,39 @@ func main() {
 	}
 }
 
+// openDevice opens path as a segmented log directory or a plain log file.
+func openDevice(path string) (logdev.Device, error) {
+	st, err := os.Stat(path)
+	if err == nil && st.IsDir() {
+		return logdev.OpenSegmentedDir(path, 0) // segment size from MANIFEST
+	}
+	return logdev.OpenFile(path)
+}
+
 func run(path string, txnFilter uint64, statsOnly bool) error {
-	dev, err := logdev.OpenFile(path)
+	dev, err := openDevice(path)
 	if err != nil {
 		return err
 	}
 	defer dev.Close()
-	data, err := logdev.ReadAll(dev)
+	if seg, ok := dev.(*logdev.Segmented); ok {
+		fmt.Printf("segmented log: segsize=%d base=%d durable=%d\n",
+			seg.SegmentSize(), seg.Base(), seg.DurableSize())
+		for _, si := range seg.Segments() {
+			live := ""
+			if si.Start < seg.Base() {
+				live = "  (partially dead: below base)"
+			}
+			fmt.Printf("  segment %6d  [%d, %d)%s\n", si.Index, si.Start, si.End, live)
+		}
+		fmt.Println()
+	}
+	data, base, err := logdev.ReadTail(dev)
 	if err != nil {
 		return err
 	}
 
-	it := logrec.NewIterator(data, 0)
+	it := logrec.NewIterator(data, lsn.LSN(base))
 	kindCount := map[logrec.Kind]int{}
 	kindBytes := map[logrec.Kind]int{}
 	txns := map[uint64]bool{}
@@ -74,8 +98,8 @@ func run(path string, txnFilter uint64, statsOnly bool) error {
 		fmt.Printf("-- log gap: %v (recovery stops here)\n", err)
 	}
 
-	fmt.Printf("\n%d records, %d bytes durable, %d distinct transactions\n",
-		n, len(data), len(txns))
+	fmt.Printf("\n%d records, %d live bytes (base %d), %d distinct transactions\n",
+		n, len(data), base, len(txns))
 	kinds := make([]logrec.Kind, 0, len(kindCount))
 	for k := range kindCount {
 		kinds = append(kinds, k)

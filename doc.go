@@ -31,6 +31,21 @@
 //	tx.Insert(accounts, 1, aether.Row(1, []byte("alice: 100")))
 //	err = tx.Commit() // durable when it returns
 //
+// # Bounded log
+//
+// With Options.SegmentSize set, the log lives on a segmented device:
+// the append-only stream is spread over fixed-size segments (files
+// under Options.LogPath, or in-memory regions) and every Checkpoint
+// recycles the segments behind the release horizon
+//
+//	release = min(checkpoint begin, oldest active-txn first LSN,
+//	              oldest dirty-page recLSN)
+//
+// so both the disk footprint and restart-recovery work stay bounded:
+// recovery reads the log from the truncation base (Stats.LogBase), not
+// from byte 0. LSNs are stable log addresses and never restart, so a
+// truncated log resumes exactly where it left off.
+//
 // See the examples/ directory for complete programs and DESIGN.md for
 // the architecture and paper-to-code map.
 package aether

@@ -1,0 +1,3 @@
+module aether
+
+go 1.21

@@ -88,6 +88,11 @@ type Stats struct {
 	GroupSize metrics.Histogram
 	// FlushLatency records time from daemon pickup to durable.
 	FlushLatency metrics.Histogram
+	// Truncations counts log truncations that advanced the horizon.
+	Truncations metrics.Counter
+	// TruncatedBytes counts logical log bytes released behind the
+	// truncation horizon (recyclable by the device).
+	TruncatedBytes metrics.Counter
 }
 
 // ErrClosed is returned for operations on a closed log manager.
@@ -307,6 +312,37 @@ func burnCPU(d time.Duration) {
 	deadline := time.Now().Add(d)
 	for time.Now().Before(deadline) {
 	}
+}
+
+// Truncate releases the log prefix below before: the checkpointer's
+// horizon, forwarded to the device. Devices that cannot truncate make
+// this a no-op. before is clamped to the durable horizon (truncating
+// unflushed log would discard the only copy). It returns how many bytes
+// the device newly released.
+func (lm *LogManager) Truncate(before lsn.LSN) (int64, error) {
+	t, ok := lm.dev.(logdev.Truncator)
+	if !ok {
+		return 0, nil
+	}
+	if d := lm.durable.Load(); before > d {
+		before = d
+	}
+	old := t.Base()
+	if err := t.Truncate(int64(before)); err != nil {
+		return 0, fmt.Errorf("core: device truncate: %w", err)
+	}
+	released := t.Base() - old
+	if released > 0 {
+		lm.stats.Truncations.Inc()
+		lm.stats.TruncatedBytes.Add(released)
+	}
+	return released, nil
+}
+
+// Base returns the log's truncation horizon: the address of the oldest
+// byte still readable on the device (0 if never truncated).
+func (lm *LogManager) Base() lsn.LSN {
+	return lsn.LSN(logdev.BaseOffset(lm.dev))
 }
 
 // Flush asks the daemon to flush everything released so far without

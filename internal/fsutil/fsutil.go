@@ -1,0 +1,41 @@
+// Package fsutil holds the small filesystem-durability helpers the log
+// device and the page archive share.
+package fsutil
+
+import "os"
+
+// SyncDir fsyncs a directory so creates, renames and removals in it are
+// durable. fsync of a file does not persist its directory entry; every
+// crash-ordering protocol that installs files must also sync the
+// directory before relying on them.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// WriteFileSync writes data to path durably: the bytes are fsynced
+// before Close returns. The caller still owns directory durability
+// (SyncDir) if the file is new or renamed.
+func WriteFileSync(path string, data []byte, perm os.FileMode) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

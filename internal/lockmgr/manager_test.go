@@ -280,8 +280,11 @@ func TestDeadlockTimeout(t *testing.T) {
 
 func TestTimeoutUnblocksQueueBehind(t *testing.T) {
 	// S held; X waits (will time out); another S queues behind the X.
-	// When the X times out, the S behind it must be granted.
-	m := newMgr(t, Config{DeadlockTimeout: 60 * time.Millisecond})
+	// When the X times out, the S behind it must be granted. The S
+	// queues halfway through the X's timeout so its own timeout fires a
+	// comfortable margin after the X's — the test asserts the grant, not
+	// a scheduling race between two near-simultaneous expiries.
+	m := newMgr(t, Config{DeadlockTimeout: 200 * time.Millisecond})
 	k := RowKey(1, 1)
 	holder := m.NewLocker(1, nil)
 	holder.Acquire(k, ModeS)
@@ -291,7 +294,7 @@ func TestTimeoutUnblocksQueueBehind(t *testing.T) {
 		lx := m.NewLocker(2, nil)
 		xErr <- lx.Acquire(k, ModeX)
 	}()
-	time.Sleep(10 * time.Millisecond)
+	time.Sleep(100 * time.Millisecond)
 
 	sErr := make(chan error, 1)
 	go func() {

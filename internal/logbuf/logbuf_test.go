@@ -184,6 +184,9 @@ func TestSingleThreadedStream(t *testing.T) {
 // and space waits); the drained stream must contain every record exactly
 // once, and records must be intact.
 func TestConcurrentNoGapsNoOverlap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test: tens of seconds of contention; run without -short")
+	}
 	const (
 		workers = 16
 		perW    = 300
@@ -265,6 +268,9 @@ func TestConcurrentNoGapsNoOverlap(t *testing.T) {
 // TestSkewedSizes stresses the in-order release path with a strongly
 // bimodal size distribution (the Fig. 11 scenario) for CD and CDME.
 func TestSkewedSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test: bimodal-size soak; run without -short")
+	}
 	for _, v := range []Variant{VariantCD, VariantCDME} {
 		v := v
 		t.Run(v.String(), func(t *testing.T) {
@@ -359,6 +365,9 @@ func TestMarkFlushedBeyondReleasedPanics(t *testing.T) {
 // TestWraparound inserts far more bytes than the ring holds so every
 // physical offset is reused many times.
 func TestWraparound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test: every variant through repeated ring wraps; run without -short")
+	}
 	for _, v := range Variants {
 		b, err := New(Config{Variant: v, Size: 1 << 12})
 		if err != nil {

@@ -8,6 +8,9 @@ import (
 )
 
 func TestCDStallDiagnostic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test: multi-second stall hunt; run without -short")
+	}
 	b, err := New(Config{Variant: VariantCD, Size: 1 << 22})
 	if err != nil {
 		t.Fatal(err)

@@ -77,6 +77,21 @@ var (
 // legend uses.
 var Profiles = []Profile{ProfileSlowDisk, ProfileFlash, ProfileFastDisk, ProfileMemory}
 
+// simulateSync sleeps for the profile's imposed response time for a sync
+// of pending bytes (seek/program latency plus bandwidth-limited
+// transfer) — the shared core of every simulated device's Sync.
+func (p Profile) simulateSync(pending int64) {
+	if d := p.SyncLatency; d > 0 {
+		time.Sleep(d)
+	}
+	if bps := p.BytesPerSecond; bps > 0 && pending > 0 {
+		transfer := time.Duration(float64(pending) / float64(bps) * float64(time.Second))
+		if transfer > 0 {
+			time.Sleep(transfer)
+		}
+	}
+}
+
 // Mem is an in-memory device with configurable latency and crash
 // simulation. It is safe for one writer concurrent with readers of the
 // durable prefix.
@@ -118,7 +133,9 @@ func (m *Mem) Append(p []byte) (int, error) {
 
 // Sync implements Device, sleeping for the profile's response time before
 // publishing durability — the same imposed-latency technique the paper
-// uses.
+// uses. Durability covers exactly the bytes appended before the call: a
+// real fsync only hardens what was in the write cache when it started, so
+// bytes appended mid-sync wait for the next one.
 func (m *Mem) Sync() error {
 	m.mu.Lock()
 	if m.closed {
@@ -130,26 +147,29 @@ func (m *Mem) Sync() error {
 		m.mu.Unlock()
 		return err
 	}
-	pending := int64(len(m.data)) - m.durable
+	target := int64(len(m.data))
+	pending := target - m.durable
 	m.mu.Unlock()
 
 	start := time.Now()
-	if d := m.profile.SyncLatency; d > 0 {
-		time.Sleep(d)
-	}
-	if bps := m.profile.BytesPerSecond; bps > 0 && pending > 0 {
-		transfer := time.Duration(float64(pending) / float64(bps) * float64(time.Second))
-		if transfer > 0 {
-			time.Sleep(transfer)
-		}
-	}
+	m.profile.simulateSync(pending)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return ErrClosed
 	}
-	m.durable = int64(len(m.data))
+	if m.failErr != nil {
+		return m.failErr
+	}
+	if target > int64(len(m.data)) {
+		// A crash raced the sync and trimmed the cache; only what
+		// survived can be durable.
+		target = int64(len(m.data))
+	}
+	if target > m.durable {
+		m.durable = target
+	}
 	m.stats.Syncs.Inc()
 	m.stats.SyncTime.Observe(time.Since(start))
 	return nil
@@ -276,6 +296,11 @@ func (d *File) Append(p []byte) (int, error) {
 	d.size += int64(n)
 	d.stats.Appends.Inc()
 	d.stats.BytesWritten.Add(int64(n))
+	if err == nil && n < len(p) {
+		// Never account a partial append as a success: the missing tail
+		// would become a hole the flush daemon thinks is on disk.
+		err = io.ErrShortWrite
+	}
 	return n, err
 }
 
@@ -311,6 +336,9 @@ func (d *File) ReadAt(p []byte, off int64) (int, error) {
 	d.mu.Unlock()
 	if closed {
 		return 0, ErrClosed
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("logdev: negative offset %d", off)
 	}
 	if off >= durable {
 		return 0, io.EOF

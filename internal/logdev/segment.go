@@ -1,0 +1,776 @@
+package logdev
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"aether/internal/fsutil"
+)
+
+// Truncator is the optional Device extension for bounded logs: devices
+// that can recycle the dead prefix behind a truncation horizon. The
+// horizon is a logical offset (an LSN); bytes below it are gone and
+// ReadAt refuses them. LSNs stay stable: DurableSize keeps counting from
+// the beginning of time, so a restarted log resumes at the same address.
+type Truncator interface {
+	Device
+	// Truncate advances the truncation horizon to before (clamped to the
+	// durable size) and recycles every whole segment below it. before
+	// must be a record boundary — recovery starts its scan exactly there.
+	Truncate(before int64) error
+	// Base returns the truncation horizon: the logical offset of the
+	// first readable byte (0 if nothing was ever truncated).
+	Base() int64
+}
+
+// BaseOffset returns dev's truncation horizon, or 0 for devices that
+// cannot truncate.
+func BaseOffset(dev Device) int64 {
+	if t, ok := dev.(Truncator); ok {
+		return t.Base()
+	}
+	return 0
+}
+
+// ReadTail reads the durable log suffix [base, durable) and returns it
+// together with its base offset — the recovery scan's input on a device
+// whose dead prefix was recycled. For untruncatable devices it is
+// ReadAll with base 0.
+func ReadTail(dev Device) (data []byte, base int64, err error) {
+	base = BaseOffset(dev)
+	size := dev.DurableSize()
+	if size < base {
+		return nil, 0, fmt.Errorf("logdev: durable size %d below truncation base %d", size, base)
+	}
+	buf := make([]byte, size-base)
+	off := base
+	for off < size {
+		n, err := dev.ReadAt(buf[off-base:], off)
+		off += int64(n)
+		if err != nil {
+			if err == io.EOF && off == size {
+				break
+			}
+			return nil, 0, err
+		}
+	}
+	return buf, base, nil
+}
+
+// SegmentInfo describes one live segment of a Segmented device.
+type SegmentInfo struct {
+	// Index is the segment's position in the logical stream; the segment
+	// covers logical offsets [Index*SegmentSize, (Index+1)*SegmentSize).
+	Index int64
+	// Start and End bound the bytes actually written into the segment.
+	Start, End int64
+}
+
+// segment is one fixed-size region of the logical log stream.
+type segment interface {
+	// writeAt writes p at off within the segment.
+	writeAt(p []byte, off int64) error
+	// readAt fills p from off within the segment, zero-filling anything
+	// never written (zero bytes read as pre-allocated space upstream).
+	readAt(p []byte, off int64) error
+	// sync makes the segment's written bytes durable.
+	sync() error
+	// trim discards bytes at and beyond n (crash simulation).
+	trim(n int64) error
+	close() error
+}
+
+// segBackend creates, persists and recycles segments.
+type segBackend interface {
+	// open returns segment idx, creating it if needed.
+	open(idx int64) (segment, error)
+	// remove recycles segment idx permanently.
+	remove(idx int64, seg segment) error
+	// setBase durably records the truncation horizon. It is called
+	// before any removal, so a crash can never leave the recorded base
+	// below a recycled segment.
+	setBase(base int64) error
+	// syncMeta makes segment creations durable (directory fsync);
+	// called by Sync before durability is acknowledged whenever new
+	// segments were opened since the last sync.
+	syncMeta() error
+	close() error
+}
+
+// Segmented is an append-only log device that spreads the logical byte
+// stream over fixed-size segments with a monotonic base offset. Whole
+// segments behind the truncation horizon are recycled (deleted files /
+// released memory), bounding the log's footprint the way LogBase-style
+// log recycling does, while LSNs remain stable addresses: logical offsets
+// never restart.
+//
+// The memory backend reproduces Mem's imposed-latency methodology and
+// crash simulation; the directory backend stores each segment as its own
+// file plus a MANIFEST recording the segment size and horizon.
+type Segmented struct {
+	profile Profile
+	segSize int64
+	backend segBackend
+
+	mu      sync.Mutex
+	segs    map[int64]segment
+	base    int64 // truncation horizon: first valid logical offset
+	size    int64 // logical append end (monotonic across truncation)
+	durable int64
+	newSegs bool // segments created since the last completed Sync
+	closed  bool
+	failErr error
+
+	truncatedSegments int64
+	truncatedBytes    int64
+	lowRead           int64 // lowest offset ever passed to ReadAt
+
+	stats Stats
+}
+
+var _ Truncator = (*Segmented)(nil)
+
+// memSegBackend keeps segments as heap buffers.
+type memSegBackend struct{ segSize int64 }
+
+type memSegment struct{ buf []byte }
+
+func (b *memSegBackend) open(int64) (segment, error) {
+	return &memSegment{buf: make([]byte, b.segSize)}, nil
+}
+func (b *memSegBackend) remove(int64, segment) error { return nil }
+func (b *memSegBackend) setBase(int64) error         { return nil }
+func (b *memSegBackend) syncMeta() error             { return nil }
+func (b *memSegBackend) close() error                { return nil }
+
+func (s *memSegment) writeAt(p []byte, off int64) error {
+	copy(s.buf[off:], p)
+	return nil
+}
+func (s *memSegment) readAt(p []byte, off int64) error {
+	copy(p, s.buf[off:])
+	return nil
+}
+func (s *memSegment) sync() error { return nil }
+func (s *memSegment) trim(n int64) error {
+	tail := s.buf[n:]
+	for i := range tail {
+		tail[i] = 0
+	}
+	return nil
+}
+func (s *memSegment) close() error { return nil }
+
+// NewSegmentedMem returns an empty in-memory segmented device with the
+// given latency profile and segment size.
+func NewSegmentedMem(p Profile, segSize int64) *Segmented {
+	if segSize <= 0 {
+		panic("logdev: segment size must be positive")
+	}
+	return &Segmented{
+		profile: p,
+		segSize: segSize,
+		backend: &memSegBackend{segSize: segSize},
+		segs:    make(map[int64]segment),
+		lowRead: math.MaxInt64,
+	}
+}
+
+// dirSegBackend stores each segment as dir/<index>.seg plus a MANIFEST.
+type dirSegBackend struct {
+	dir     string
+	segSize int64
+}
+
+type fileSegment struct{ f *os.File }
+
+func (b *dirSegBackend) segPath(idx int64) string {
+	return filepath.Join(b.dir, fmt.Sprintf("%016d.seg", idx))
+}
+
+func (b *dirSegBackend) open(idx int64) (segment, error) {
+	f, err := os.OpenFile(b.segPath(idx), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("logdev: open segment: %w", err)
+	}
+	return &fileSegment{f: f}, nil
+}
+
+func (b *dirSegBackend) remove(idx int64, seg segment) error {
+	if err := seg.close(); err != nil {
+		return err
+	}
+	return os.Remove(b.segPath(idx))
+}
+
+// manifestName holds the segment size and truncation horizon; it is what
+// lets a reopen (and logdump) reconstruct the logical layout after dead
+// segments were recycled.
+const manifestName = "MANIFEST"
+
+func (b *dirSegBackend) setBase(base int64) error {
+	return writeManifest(b.dir, b.segSize, base)
+}
+
+func (b *dirSegBackend) syncMeta() error { return fsutil.SyncDir(b.dir) }
+
+func (b *dirSegBackend) close() error { return nil }
+
+func writeManifest(dir string, segSize, base int64) error {
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	body := fmt.Sprintf("segsize %d\nbase %d\n", segSize, base)
+	// The temp file's bytes must be durable before the rename: a rename
+	// whose dentry hardens ahead of the data would leave an empty
+	// MANIFEST after a crash, making the directory unopenable.
+	if err := fsutil.WriteFileSync(tmp, []byte(body), 0o644); err != nil {
+		return fmt.Errorf("logdev: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("logdev: install manifest: %w", err)
+	}
+	// The horizon must be durable before callers act on it (Truncate
+	// unlinks segments right after this).
+	if err := fsutil.SyncDir(dir); err != nil {
+		return fmt.Errorf("logdev: sync manifest dir: %w", err)
+	}
+	return nil
+}
+
+func readManifest(dir string) (segSize, base int64, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, false, nil
+	}
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("logdev: read manifest: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, perr := strconv.ParseInt(fields[1], 10, 64)
+		if perr != nil {
+			return 0, 0, false, fmt.Errorf("logdev: bad manifest line %q", line)
+		}
+		switch fields[0] {
+		case "segsize":
+			segSize = v
+		case "base":
+			base = v
+		}
+	}
+	if segSize <= 0 {
+		return 0, 0, false, fmt.Errorf("logdev: manifest in %s lacks a segment size", dir)
+	}
+	return segSize, base, true, nil
+}
+
+func (s *fileSegment) writeAt(p []byte, off int64) error {
+	n, err := s.f.WriteAt(p, off)
+	if err == nil && n < len(p) {
+		err = io.ErrShortWrite
+	}
+	return err
+}
+
+func (s *fileSegment) readAt(p []byte, off int64) error {
+	n, err := s.f.ReadAt(p, off)
+	if err == io.EOF {
+		// Bytes past the file's end were never written: read as zeros,
+		// which the record iterator treats as pre-allocated space.
+		for i := n; i < len(p); i++ {
+			p[i] = 0
+		}
+		return nil
+	}
+	return err
+}
+
+func (s *fileSegment) sync() error        { return s.f.Sync() }
+func (s *fileSegment) trim(n int64) error { return s.f.Truncate(n) }
+func (s *fileSegment) close() error       { return s.f.Close() }
+
+// OpenSegmentedDir opens (creating if needed) a directory-backed
+// segmented device. Existing segment files are the durable prefix, as
+// with OpenFile. segSize must match the directory's manifest if one
+// exists; pass 0 to adopt the manifest's value (reopen / logdump).
+func OpenSegmentedDir(dir string, segSize int64) (*Segmented, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("logdev: create %s: %w", dir, err)
+	}
+	msz, mbase, haveManifest, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case haveManifest && segSize == 0:
+		segSize = msz
+	case haveManifest && segSize != msz:
+		return nil, fmt.Errorf("logdev: segment size %d does not match manifest's %d in %s", segSize, msz, dir)
+	case !haveManifest && segSize <= 0:
+		return nil, fmt.Errorf("logdev: segment size required for new segmented log %s", dir)
+	case !haveManifest:
+		if err := writeManifest(dir, segSize, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("logdev: read %s: %w", dir, err)
+	}
+	s := &Segmented{
+		segSize: segSize,
+		backend: &dirSegBackend{dir: dir, segSize: segSize},
+		segs:    make(map[int64]segment),
+		base:    mbase,
+		lowRead: math.MaxInt64,
+	}
+	minIdx, maxIdx := int64(math.MaxInt64), int64(-1)
+	var lastLen int64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		idx, perr := strconv.ParseInt(strings.TrimSuffix(name, ".seg"), 10, 64)
+		if perr != nil {
+			return nil, fmt.Errorf("logdev: stray file %s in segmented log %s", name, dir)
+		}
+		info, ierr := e.Info()
+		if ierr != nil {
+			s.closeSegmentsLocked()
+			return nil, ierr
+		}
+		if info.Size() > segSize {
+			s.closeSegmentsLocked()
+			return nil, fmt.Errorf("logdev: segment %s is %d bytes, larger than segment size %d", name, info.Size(), segSize)
+		}
+		seg, oerr := s.backend.open(idx)
+		if oerr != nil {
+			s.closeSegmentsLocked()
+			return nil, oerr
+		}
+		s.segs[idx] = seg
+		if idx < minIdx {
+			minIdx = idx
+		}
+		if idx > maxIdx {
+			maxIdx, lastLen = idx, info.Size()
+		} else if idx == maxIdx {
+			lastLen = info.Size()
+		}
+	}
+	if maxIdx >= 0 {
+		s.size = maxIdx*segSize + lastLen
+		if sb := minIdx * segSize; sb > s.base {
+			// The manifest update raced a crash; the surviving files are
+			// authoritative about what was recycled.
+			s.base = sb
+		}
+	}
+	s.durable = s.size
+	if s.base > s.size {
+		s.closeSegmentsLocked()
+		return nil, fmt.Errorf("logdev: manifest base %d beyond log end %d in %s", s.base, s.size, dir)
+	}
+	return s, nil
+}
+
+// Profile returns the device's latency profile (zero for directories).
+func (s *Segmented) Profile() Profile { return s.profile }
+
+// SegmentSize returns the fixed segment size.
+func (s *Segmented) SegmentSize() int64 { return s.segSize }
+
+// Base implements Truncator.
+func (s *Segmented) Base() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.base
+}
+
+// Segments lists the live segments in logical order.
+func (s *Segmented) Segments() []SegmentInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SegmentInfo, 0, len(s.segs))
+	for idx := range s.segs {
+		end := (idx + 1) * s.segSize
+		if end > s.size {
+			end = s.size
+		}
+		out = append(out, SegmentInfo{Index: idx, Start: idx * s.segSize, End: end})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// TruncStats returns how many whole segments and how many logical bytes
+// have been recycled by Truncate.
+func (s *Segmented) TruncStats() (segments, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.truncatedSegments, s.truncatedBytes
+}
+
+// LowestRead returns the smallest offset ever passed to ReadAt, or -1 if
+// the device was never read. Tests use it to prove recovery never
+// touched the recycled prefix.
+func (s *Segmented) LowestRead() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lowRead == math.MaxInt64 {
+		return -1
+	}
+	return s.lowRead
+}
+
+// Append implements Device, splitting the write across segment
+// boundaries and creating segments on demand.
+func (s *Segmented) Append(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if s.failErr != nil {
+		return 0, s.failErr
+	}
+	written := 0
+	for len(p) > 0 {
+		idx := s.size / s.segSize
+		segOff := s.size % s.segSize
+		seg := s.segs[idx]
+		if seg == nil {
+			sg, err := s.backend.open(idx)
+			if err != nil {
+				return written, err
+			}
+			s.segs[idx] = sg
+			s.newSegs = true
+			seg = sg
+		}
+		n := int(min(s.segSize-segOff, int64(len(p))))
+		if err := seg.writeAt(p[:n], segOff); err != nil {
+			return written, err
+		}
+		s.size += int64(n)
+		written += n
+		p = p[n:]
+	}
+	s.stats.Appends.Inc()
+	s.stats.BytesWritten.Add(int64(written))
+	return written, nil
+}
+
+// Sync implements Device. Durability covers exactly the bytes appended
+// before the call: the target is captured first, so appends racing a
+// slow sync are not published early (they pay for the next sync).
+func (s *Segmented) Sync() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.failErr != nil {
+		err := s.failErr
+		s.mu.Unlock()
+		return err
+	}
+	target := s.size
+	pending := target - s.durable
+	newSegs := s.newSegs
+	s.newSegs = false
+	var dirty []segment
+	if pending > 0 {
+		for idx := s.durable / s.segSize; idx*s.segSize < target; idx++ {
+			if seg := s.segs[idx]; seg != nil {
+				dirty = append(dirty, seg)
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	// restoreNewSegs re-arms the metadata sync if this pass fails before
+	// acknowledging, so the next Sync retries the directory fsync.
+	restoreNewSegs := func() {
+		if newSegs {
+			s.mu.Lock()
+			s.newSegs = true
+			s.mu.Unlock()
+		}
+	}
+
+	start := time.Now()
+	s.profile.simulateSync(pending)
+	for _, seg := range dirty {
+		if err := seg.sync(); err != nil {
+			restoreNewSegs()
+			return err
+		}
+	}
+	if newSegs {
+		// New segment files' directory entries must be durable before
+		// the bytes inside them are acknowledged: fsync of a file does
+		// not persist its dentry.
+		if err := s.backend.syncMeta(); err != nil {
+			restoreNewSegs()
+			return err
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.failErr != nil {
+		return s.failErr
+	}
+	if target > s.size {
+		// A crash raced the sync and trimmed the device; only what
+		// survived can be durable.
+		target = s.size
+	}
+	if target > s.durable {
+		s.durable = target
+	}
+	s.stats.Syncs.Inc()
+	s.stats.SyncTime.Observe(time.Since(start))
+	return nil
+}
+
+// DurableSize implements Device. The size is logical: it includes the
+// recycled prefix, so LSNs stay stable across truncation.
+func (s *Segmented) DurableSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.durable
+}
+
+// ReadAt implements Device over the live segments. Offsets below the
+// truncation horizon are gone and return an error.
+func (s *Segmented) ReadAt(p []byte, off int64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("logdev: negative offset %d", off)
+	}
+	if off < s.lowRead {
+		s.lowRead = off
+	}
+	if off < s.base {
+		return 0, fmt.Errorf("logdev: offset %d below truncation base %d", off, s.base)
+	}
+	if off >= s.durable {
+		return 0, io.EOF
+	}
+	end := off + int64(len(p))
+	if end > s.durable {
+		end = s.durable
+	}
+	n := 0
+	for off+int64(n) < end {
+		cur := off + int64(n)
+		idx := cur / s.segSize
+		segOff := cur % s.segSize
+		chunk := min(s.segSize-segOff, end-cur)
+		seg := s.segs[idx]
+		if seg == nil {
+			return n, fmt.Errorf("logdev: segment %d missing (holds offset %d)", idx, cur)
+		}
+		if err := seg.readAt(p[n:n+int(chunk)], segOff); err != nil {
+			return n, err
+		}
+		n += int(chunk)
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Truncate implements Truncator: advance the horizon and recycle every
+// segment wholly below it. The newest segment is always retained so a
+// reopened directory can recompute the logical layout from what remains.
+// Callers are expected to serialize Truncate (the checkpointer does);
+// Append/Sync/ReadAt stay concurrent — the manifest fsyncs and unlinks
+// run outside the device mutex so the flush daemon never stalls behind
+// a truncating checkpoint.
+func (s *Segmented) Truncate(before int64) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.failErr != nil {
+		err := s.failErr
+		s.mu.Unlock()
+		return err
+	}
+	if before > s.durable {
+		before = s.durable
+	}
+	if before <= s.base {
+		s.mu.Unlock()
+		return nil
+	}
+	var maxIdx int64 = -1
+	for idx := range s.segs {
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	var dead []int64
+	deadSegs := make(map[int64]segment)
+	for idx, seg := range s.segs {
+		if (idx+1)*s.segSize <= before && idx != maxIdx {
+			dead = append(dead, idx)
+			deadSegs[idx] = seg
+		}
+	}
+	s.mu.Unlock()
+
+	recycled := dead[:0]
+	var ioErr error
+	if len(dead) > 0 {
+		// Persist the horizon before unlinking: if we crash in between,
+		// the manifest already points past every segment we were about
+		// to drop. When nothing is recyclable the manifest write (two
+		// fsyncs) is skipped — a reopened log then recomputes a slightly
+		// older horizon from the surviving files, which only lengthens
+		// its recovery scan, never corrupts it.
+		if err := s.backend.setBase(before); err != nil {
+			return err
+		}
+		for _, idx := range dead {
+			if err := s.backend.remove(idx, deadSegs[idx]); err != nil {
+				// The horizon stays put, so a retry at the same horizon
+				// re-enters and picks up the remaining dead segments.
+				ioErr = err
+				break
+			}
+			recycled = append(recycled, idx)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, idx := range recycled {
+		delete(s.segs, idx)
+		s.truncatedSegments++
+	}
+	if ioErr != nil {
+		return ioErr
+	}
+	// Advance the in-memory horizon only once the recycle completed.
+	if before > s.base {
+		s.truncatedBytes += before - s.base
+		s.base = before
+	}
+	return nil
+}
+
+// trimToDurableLocked discards everything beyond the durable horizon —
+// the simulated power loss. Caller holds s.mu.
+func (s *Segmented) trimToDurableLocked() error {
+	for idx, seg := range s.segs {
+		segStart := idx * s.segSize
+		switch {
+		case segStart >= s.durable:
+			if err := s.backend.remove(idx, seg); err != nil {
+				return err
+			}
+			delete(s.segs, idx)
+		case segStart+s.segSize > s.durable:
+			if err := seg.trim(s.durable - segStart); err != nil {
+				return err
+			}
+		}
+	}
+	s.size = s.durable
+	return nil
+}
+
+// memOnly panics unless the device uses the memory backend: crash
+// simulation on a real directory would silently destroy durable state.
+func (s *Segmented) memOnly(op string) {
+	if _, ok := s.backend.(*memSegBackend); !ok {
+		panic("logdev: " + op + " is only supported on memory-backed segmented devices")
+	}
+}
+
+// Crash simulates power loss: every byte not covered by a completed Sync
+// vanishes. Memory backend only.
+func (s *Segmented) Crash() {
+	s.memOnly("Crash")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.trimToDurableLocked()
+}
+
+// CrashFreeze simulates power loss with the host still wired up, exactly
+// like Mem.CrashFreeze. Memory backend only.
+func (s *Segmented) CrashFreeze() {
+	s.memOnly("CrashFreeze")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.trimToDurableLocked()
+	s.failErr = ErrCrashed
+}
+
+// Remount brings a frozen device back online.
+func (s *Segmented) Remount() {
+	s.memOnly("Remount")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if errors.Is(s.failErr, ErrCrashed) {
+		s.failErr = nil
+	}
+	_ = s.trimToDurableLocked()
+}
+
+// FailWith injects err into every subsequent Append/Sync/Truncate until
+// cleared with FailWith(nil).
+func (s *Segmented) FailWith(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failErr = err
+}
+
+// closeSegmentsLocked closes every open segment. Caller holds s.mu (or
+// has exclusive access during construction).
+func (s *Segmented) closeSegmentsLocked() {
+	for _, seg := range s.segs {
+		seg.close()
+	}
+}
+
+// Close implements Device.
+func (s *Segmented) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.closeSegmentsLocked()
+	return s.backend.close()
+}
+
+// Stats implements Device.
+func (s *Segmented) Stats() *Stats { return &s.stats }

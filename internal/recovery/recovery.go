@@ -11,6 +11,13 @@
 // rolled back — and by condition 1 (serial log), every transaction that
 // depended on it committed later in LSN order, so its commit record was
 // lost too and it rolls back as well. No dependency tracking is needed.
+//
+// A log whose dead prefix was truncated (Options.Base > 0) is the normal
+// bounded-log state, not corruption: the checkpointer only releases log
+// below min(checkpoint begin, oldest active-txn first LSN, oldest
+// dirty-page recLSN), so analysis starts at the surviving checkpoint,
+// redo clamps to the base (pages dirtied below it were archived first),
+// and undo chains never reach below it.
 package recovery
 
 import (
@@ -26,16 +33,22 @@ import (
 
 // Options configures a recovery pass.
 type Options struct {
-	// Log is the durable log image (from logdev.ReadAll), whose first
-	// byte is LSN 0.
+	// Log is the durable log image (from logdev.ReadTail), whose first
+	// byte sits at LSN Base.
 	Log []byte
+	// Base is the LSN of Log[0] — the device's truncation horizon. A
+	// non-zero base is the normal state of a log whose dead prefix was
+	// recycled: the truncation rule (release ≤ min of checkpoint begin,
+	// oldest active-transaction first LSN, oldest dirty-page recLSN)
+	// guarantees everything below it is already archived or finished.
+	Base lsn.LSN
 	// Store is the page store, already loaded from the archive (or
 	// empty if there is no archive).
 	Store *storage.Store
 	// Appender, if non-nil, receives the CLRs and end records that undo
 	// generates, making recovery itself recoverable. It must append into
-	// a log whose base LSN is len(Log). If nil, undo applies inverses
-	// without logging (single-crash recovery only).
+	// a log whose base LSN is Base+len(Log). If nil, undo applies
+	// inverses without logging (single-crash recovery only).
 	Appender *core.Appender
 }
 
@@ -50,6 +63,12 @@ type Result struct {
 	// CheckpointLSN is the begin LSN of the checkpoint used (Undefined
 	// if none was found).
 	CheckpointLSN lsn.LSN
+	// LogBase is the truncation horizon the durable log started at
+	// (0 for a never-truncated log). No pass read below it.
+	LogBase lsn.LSN
+	// ScannedBytes is how many durable log bytes the analysis pass
+	// covered — O(log-since-checkpoint), not O(total-history).
+	ScannedBytes int64
 	// Scanned is the number of durable records read.
 	Scanned int
 	// RedoApplied is the number of updates reapplied.
@@ -68,18 +87,19 @@ func Recover(opts Options) (*Result, error) {
 	if opts.Store == nil {
 		return nil, errors.New("recovery: Store is required")
 	}
-	res := &Result{CheckpointLSN: lsn.Undefined}
+	base := opts.Base
+	res := &Result{CheckpointLSN: lsn.Undefined, LogBase: base}
 
 	// ---- Pass 0: locate the last complete checkpoint. ----
-	ckptBegin, ckptPayload := findLastCheckpoint(opts.Log)
+	ckptBegin, ckptPayload := findLastCheckpoint(opts.Log, base)
 	res.CheckpointLSN = ckptBegin
 
 	// ---- Pass 1: analysis. ----
 	att := make(map[uint64]*txnStatus)
 	dpt := make(map[uint64]lsn.LSN)
-	scanFrom := lsn.Zero
+	scanFrom := base
 	if ckptBegin.Valid() {
-		scanFrom = ckptBegin
+		scanFrom = lsn.Max(ckptBegin, base)
 		for _, e := range ckptPayload.ActiveTxns {
 			att[e.TxnID] = &txnStatus{lastLSN: e.LastLSN, committed: e.Precommitted}
 		}
@@ -87,7 +107,8 @@ func Recover(opts Options) (*Result, error) {
 			dpt[e.PageID] = e.RecLSN
 		}
 	}
-	it := logrec.NewIterator(opts.Log[scanFrom:], scanFrom)
+	res.ScannedBytes = int64(len(opts.Log)) - int64(scanFrom.Sub(base))
+	it := logrec.NewIterator(opts.Log[scanFrom.Sub(base):], scanFrom)
 	for {
 		rec, ok := it.Next()
 		if !ok {
@@ -128,7 +149,7 @@ func Recover(opts Options) (*Result, error) {
 	}
 	// A gap mid-log (not just a truncated tail) would mean corruption
 	// before the durable horizon; report it rather than recover wrongly.
-	if err := it.Err(); err != nil && it.Offset()+int(scanFrom) < len(opts.Log) {
+	if err := it.Err(); err != nil && int(scanFrom.Sub(base))+it.Offset() < len(opts.Log) {
 		return nil, fmt.Errorf("recovery: analysis: %w", err)
 	}
 
@@ -139,8 +160,14 @@ func Recover(opts Options) (*Result, error) {
 			redoFrom = rec
 		}
 	}
-	if redoFrom.Valid() && int(redoFrom) < len(opts.Log) {
-		it := logrec.NewIterator(opts.Log[redoFrom:], redoFrom)
+	if redoFrom.Valid() && redoFrom < base {
+		// recLSNs below the truncation horizon belong to pages the
+		// checkpointer archived before releasing the log behind them;
+		// their images are in the archive, so redo starts at the base.
+		redoFrom = base
+	}
+	if redoFrom.Valid() && redoFrom.Sub(base) < uint64(len(opts.Log)) {
+		it := logrec.NewIterator(opts.Log[redoFrom.Sub(base):], redoFrom)
 		for {
 			rec, ok := it.Next()
 			if !ok {
@@ -187,7 +214,7 @@ func Recover(opts Options) (*Result, error) {
 	res.Losers = append(res.Losers, losers...)
 
 	// Synthetic LSNs for unlogged undo keep pageLSN monotonic.
-	synth := lsn.LSN(len(opts.Log))
+	synth := base.Add(len(opts.Log))
 	undoChain := make(map[uint64]lsn.LSN, len(losers))
 	for _, id := range losers {
 		undoChain[id] = att[id].lastLSN
@@ -218,7 +245,7 @@ func Recover(opts Options) (*Result, error) {
 			delete(undoChain, id)
 			continue
 		}
-		rec, err := recordAt(opts.Log, cur)
+		rec, err := recordAt(opts.Log, base, cur)
 		if err != nil {
 			return nil, fmt.Errorf("recovery: undo read at %v: %w", cur, err)
 		}
@@ -261,12 +288,16 @@ func Recover(opts Options) (*Result, error) {
 	return res, nil
 }
 
-// recordAt decodes the record whose LSN (byte offset) is at.
-func recordAt(log []byte, at lsn.LSN) (logrec.Record, error) {
-	if int(at) >= len(log) {
-		return logrec.Record{}, fmt.Errorf("recovery: LSN %v beyond durable log (%d bytes)", at, len(log))
+// recordAt decodes the record whose LSN (byte offset) is at, in a log
+// whose first byte sits at base.
+func recordAt(log []byte, base, at lsn.LSN) (logrec.Record, error) {
+	if at < base {
+		return logrec.Record{}, fmt.Errorf("recovery: LSN %v below truncation base %v", at, base)
 	}
-	rec, _, err := logrec.Decode(log[at:])
+	if at.Sub(base) >= uint64(len(log)) {
+		return logrec.Record{}, fmt.Errorf("recovery: LSN %v beyond durable log (%d bytes from %v)", at, len(log), base)
+	}
+	rec, _, err := logrec.Decode(log[at.Sub(base):])
 	if err != nil {
 		return logrec.Record{}, err
 	}
@@ -274,12 +305,12 @@ func recordAt(log []byte, at lsn.LSN) (logrec.Record, error) {
 	return rec, nil
 }
 
-// findLastCheckpoint scans the whole log for the newest complete
+// findLastCheckpoint scans the durable log for the newest complete
 // checkpoint and returns its begin LSN and decoded payload.
-func findLastCheckpoint(log []byte) (lsn.LSN, logrec.CheckpointPayload) {
+func findLastCheckpoint(log []byte, base lsn.LSN) (lsn.LSN, logrec.CheckpointPayload) {
 	begin := lsn.Undefined
 	var payload logrec.CheckpointPayload
-	it := logrec.NewIterator(log, 0)
+	it := logrec.NewIterator(log, base)
 	for {
 		rec, ok := it.Next()
 		if !ok {

@@ -1,0 +1,96 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"aether/internal/fsutil"
+)
+
+// FileArchive is a directory-backed Archive: each page image lives in
+// its own file, installed atomically (write-temp, fsync, rename). It is
+// the minimal persistent database file — and the piece a *truncated*
+// log cannot live without: once checkpoints recycle the log behind the
+// release horizon, archived page images are the only copy of old data,
+// so the archive has to survive the process.
+type FileArchive struct {
+	dir string
+}
+
+// OpenFileArchive opens (creating if needed) a page archive directory.
+func OpenFileArchive(dir string) (*FileArchive, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create archive %s: %w", dir, err)
+	}
+	return &FileArchive{dir: dir}, nil
+}
+
+func (a *FileArchive) pagePath(pid uint64) string {
+	return filepath.Join(a.dir, fmt.Sprintf("%016x.page", pid))
+}
+
+// Put implements Archive. The image is crash-installed (synced temp
+// file, then rename): a torn write can only leave the temp file behind,
+// never a half-written page. Sweeps are serialized by the checkpoint
+// mutex, so a fixed per-page temp name cannot collide.
+func (a *FileArchive) Put(pid uint64, img []byte) error {
+	tmp := a.pagePath(pid) + ".tmp"
+	if err := fsutil.WriteFileSync(tmp, img, 0o644); err != nil {
+		return fmt.Errorf("storage: archive put: %w", err)
+	}
+	if err := os.Rename(tmp, a.pagePath(pid)); err != nil {
+		return fmt.Errorf("storage: archive put: %w", err)
+	}
+	return nil
+}
+
+// Flush makes every previous Put's directory entry durable — one
+// directory fsync per checkpoint sweep instead of one per page. The
+// sweep must Flush before cleaning pages: only then is the archive the
+// reliable copy the truncated log hands over to.
+func (a *FileArchive) Flush() error {
+	if err := fsutil.SyncDir(a.dir); err != nil {
+		return fmt.Errorf("storage: archive flush: %w", err)
+	}
+	return nil
+}
+
+// Get implements Archive ((nil, nil) on a page never archived).
+func (a *FileArchive) Get(pid uint64) ([]byte, error) {
+	img, err := os.ReadFile(a.pagePath(pid))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: archive get: %w", err)
+	}
+	return img, nil
+}
+
+// Pages implements Archive.
+func (a *FileArchive) Pages() ([]uint64, error) {
+	entries, err := os.ReadDir(a.dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: archive list: %w", err)
+	}
+	var out []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".page") {
+			continue
+		}
+		pid, perr := strconv.ParseUint(strings.TrimSuffix(name, ".page"), 16, 64)
+		if perr != nil {
+			continue
+		}
+		out = append(out, pid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+var _ Archive = (*FileArchive)(nil)

@@ -1,0 +1,55 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFileArchiveRoundTrip(t *testing.T) {
+	a, err := OpenFileArchive(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := a.Get(42); got != nil || err != nil {
+		t.Fatalf("Get on empty archive = %v, %v", got, err)
+	}
+	img1 := []byte("page-one-image")
+	img2 := []byte("page-two-image")
+	if err := a.Put(42, img1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put(7, img2); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite is atomic-install, last write wins.
+	img1b := []byte("page-one-image-v2")
+	if err := a.Put(42, img1b); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := a.Get(42); err != nil || !bytes.Equal(got, img1b) {
+		t.Fatalf("Get(42) = %q, %v", got, err)
+	}
+	if got, err := a.Get(7); err != nil || !bytes.Equal(got, img2) {
+		t.Fatalf("Get(7) = %q, %v", got, err)
+	}
+	pages, err := a.Pages()
+	if err != nil || len(pages) != 2 || pages[0] != 7 || pages[1] != 42 {
+		t.Fatalf("Pages = %v (%v), want [7 42]", pages, err)
+	}
+
+	// A second handle on the same directory sees everything — the
+	// process-restart property the truncated log depends on.
+	b, err := OpenFileArchive(a.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := b.Get(42); err != nil || !bytes.Equal(got, img1b) {
+		t.Fatalf("reopened Get(42) = %q, %v", got, err)
+	}
+	st := NewStore()
+	if err := st.LoadArchive(b); err == nil {
+		// Images here aren't real page snapshots, so LoadSnapshot should
+		// reject them; the point is only that Pages/Get round-trip.
+		t.Log("LoadArchive accepted synthetic images")
+	}
+}

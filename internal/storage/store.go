@@ -197,12 +197,16 @@ func (s *Store) PageIDs() []uint64 {
 // a page to the archive must respect the WAL rule: the caller checks
 // pageLSN ≤ durable LSN before archiving.
 type Archive interface {
-	// Put stores the page image.
-	Put(pid uint64, img []byte)
-	// Get returns the archived image, or nil.
-	Get(pid uint64) []byte
+	// Put stores the page image. A failed Put must be reported: the
+	// caller keeps the page dirty so the log behind it cannot be
+	// truncated away.
+	Put(pid uint64, img []byte) error
+	// Get returns the archived image (nil, nil for a page that was
+	// never archived). An I/O failure must be an error, not a silent
+	// miss: a missing-but-listed page is lost committed data.
+	Get(pid uint64) ([]byte, error)
 	// Pages lists archived page IDs.
-	Pages() []uint64
+	Pages() ([]uint64, error)
 }
 
 // MemArchive is an in-memory Archive (a simulated database file that
@@ -218,23 +222,24 @@ func NewMemArchive() *MemArchive {
 }
 
 // Put implements Archive.
-func (a *MemArchive) Put(pid uint64, img []byte) {
+func (a *MemArchive) Put(pid uint64, img []byte) error {
 	cp := make([]byte, len(img))
 	copy(cp, img)
 	a.mu.Lock()
 	a.pages[pid] = cp
 	a.mu.Unlock()
+	return nil
 }
 
 // Get implements Archive.
-func (a *MemArchive) Get(pid uint64) []byte {
+func (a *MemArchive) Get(pid uint64) ([]byte, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.pages[pid]
+	return a.pages[pid], nil
 }
 
 // Pages implements Archive.
-func (a *MemArchive) Pages() []uint64 {
+func (a *MemArchive) Pages() ([]uint64, error) {
 	a.mu.Lock()
 	out := make([]uint64, 0, len(a.pages))
 	for pid := range a.pages {
@@ -242,18 +247,35 @@ func (a *MemArchive) Pages() []uint64 {
 	}
 	a.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return out, nil
+}
+
+// ArchiveFlusher is the optional Archive extension for batched
+// durability: Put may defer directory-entry durability until Flush.
+type ArchiveFlusher interface {
+	Flush() error
 }
 
 // ArchiveDirtyPages writes every dirty page whose pageLSN is at or below
 // durable to the archive and cleans it in the DPT. It returns how many
 // pages were written. This is the checkpointer's page-cleaning sweep;
 // the durable bound is the write-ahead rule.
+//
+// Pages are cleaned only after the whole batch is flushed, and only if
+// their pageLSN is unchanged since the snapshot: a page re-dirtied
+// mid-sweep stays in the DPT (under its old, conservative recLSN) so the
+// log that rebuilds its newest updates keeps pinning the truncation
+// horizon until the next sweep archives them.
 func (s *Store) ArchiveDirtyPages(a Archive, durable lsn.LSN) int {
 	if a == nil {
 		return 0
 	}
-	written := 0
+	type archived struct {
+		pid  uint64
+		page *Page
+		lsn  lsn.LSN
+	}
+	var done []archived
 	for _, e := range s.DirtyPages() {
 		p := s.Get(e.PageID)
 		if p == nil {
@@ -268,18 +290,49 @@ func (s *Store) ArchiveDirtyPages(a Archive, durable lsn.LSN) int {
 		}
 		p.Latch.RUnlock()
 		if img != nil {
-			a.Put(e.PageID, img)
-			s.MarkClean(e.PageID)
+			if err := a.Put(e.PageID, img); err != nil {
+				// Keep the page dirty: its recLSN stays in the DPT and
+				// pins the truncation horizon, so the log that rebuilds
+				// it cannot be recycled until a later sweep succeeds.
+				continue
+			}
+			done = append(done, archived{pid: e.PageID, page: p, lsn: pl})
+		}
+	}
+	if f, ok := a.(ArchiveFlusher); ok && len(done) > 0 {
+		if err := f.Flush(); err != nil {
+			// Nothing is cleaned: every page stays dirty and the
+			// horizon stays put until a flush succeeds.
+			return 0
+		}
+	}
+	written := 0
+	for _, e := range done {
+		// Check-and-clean under the page latch: writers bump pageLSN
+		// under the exclusive latch (MarkDirty may land after unlock),
+		// so either we see the bump (page stays dirty) or our clean
+		// completes first and their MarkDirty re-adds a fresh entry.
+		e.page.Latch.RLock()
+		if e.page.LSN() == e.lsn {
+			s.MarkClean(e.pid)
 			written++
 		}
+		e.page.Latch.RUnlock()
 	}
 	return written
 }
 
 // LoadArchive populates the store from an archive (restart).
 func (s *Store) LoadArchive(a Archive) error {
-	for _, pid := range a.Pages() {
-		img := a.Get(pid)
+	pids, err := a.Pages()
+	if err != nil {
+		return err
+	}
+	for _, pid := range pids {
+		img, err := a.Get(pid)
+		if err != nil {
+			return err
+		}
 		p := s.GetOrCreate(pid)
 		if err := p.LoadSnapshot(img); err != nil {
 			return err

@@ -360,6 +360,9 @@ func TestDoubleCrashRecovery(t *testing.T) {
 // the recovered state must equal the replay of exactly the transactions
 // whose commit records made it to the durable log.
 func TestCrashRecoveryRandomized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test: 8 randomized crash/recovery rounds; run without -short")
+	}
 	for round := 0; round < 8; round++ {
 		round := round
 		t.Run("", func(t *testing.T) {

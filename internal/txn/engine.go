@@ -117,6 +117,9 @@ type Stats struct {
 	Aborts      metrics.Counter
 	ReadOnly    metrics.Counter
 	Checkpoints metrics.Counter
+	// TruncateFailures counts checkpoints whose (best-effort) log
+	// truncation failed; the horizon stays put until the next one.
+	TruncateFailures metrics.Counter
 }
 
 // Engine is the transactional storage manager.
@@ -269,6 +272,7 @@ func (a *Agent) Begin() *Txn {
 	id := a.eng.nextTxn.Add(1)
 	t := &Txn{eng: a.eng, agent: a, id: id, locker: a.eng.locks.NewLocker(id, a.cache)}
 	t.last.Store(lsn.Undefined)
+	t.first.Store(lsn.Undefined)
 	a.eng.mu.Lock()
 	a.eng.att[id] = t
 	a.eng.mu.Unlock()
@@ -322,6 +326,38 @@ func (e *Engine) Checkpoint() error {
 	if e.archive != nil {
 		e.store.ArchiveDirtyPages(e.archive, e.log.Durable())
 	}
+	if _, err := e.log.Truncate(e.releaseLSN(beginAt)); err != nil {
+		// The checkpoint itself is durable and the sweep succeeded;
+		// failed truncation only means the horizon stays put and the
+		// next checkpoint retries. Report it as a counter, not as a
+		// failed checkpoint.
+		e.stats.TruncateFailures.Inc()
+	}
 	e.stats.Checkpoints.Inc()
 	return nil
+}
+
+// releaseLSN computes the truncation horizon after a checkpoint whose
+// begin record sits at ckptBegin: the log below
+//
+//	min(checkpoint begin, oldest active-txn first LSN, oldest dirty-page recLSN)
+//
+// is dead. Undo never needs it (every live transaction's records start
+// at or above its first LSN), redo never needs it (pages dirtied below
+// it were archived by the page-cleaning sweep), and analysis never needs
+// it (it starts at this — now newest — checkpoint). Devices that cannot
+// truncate ignore the horizon.
+func (e *Engine) releaseLSN(ckptBegin lsn.LSN) lsn.LSN {
+	release := ckptBegin
+	e.mu.Lock()
+	for _, t := range e.att {
+		if f := t.first.Load(); f.Valid() && f < release {
+			release = f
+		}
+	}
+	e.mu.Unlock()
+	if m := e.store.MinRecLSN(); m.Valid() && m < release {
+		release = m
+	}
+	return release
 }

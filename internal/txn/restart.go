@@ -30,7 +30,10 @@ type RestartConfig struct {
 // CLRs into the restarted log), and hand back the engine. The caller must
 // re-create its tables in the original order and then call RebuildTables.
 func Restart(cfg RestartConfig) (*Engine, *recovery.Result, error) {
-	logData, err := logdev.ReadAll(cfg.Device)
+	// Read only the live tail: a truncated device recycled everything
+	// below its base, and recovery is O(log-since-checkpoint) because of
+	// it. LSNs are stable, so the new buffer resumes at base+len(tail).
+	logData, base, err := logdev.ReadTail(cfg.Device)
 	if err != nil {
 		return nil, nil, fmt.Errorf("txn: reading log: %w", err)
 	}
@@ -42,13 +45,14 @@ func Restart(cfg RestartConfig) (*Engine, *recovery.Result, error) {
 	}
 	lcfg := cfg.LogConfig
 	lcfg.Device = cfg.Device
-	lcfg.Buffer.Base = lsn.LSN(len(logData))
+	lcfg.Buffer.Base = lsn.LSN(base).Add(len(logData))
 	lm, err := core.New(lcfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	res, err := recovery.Recover(recovery.Options{
 		Log:      logData,
+		Base:     lsn.LSN(base),
 		Store:    store,
 		Appender: lm.NewAppender(),
 	})

@@ -39,6 +39,7 @@ type Txn struct {
 	locker *lockmgr.Locker
 
 	last  lsn.Atomic   // most recent log record (atomic: checkpoint reads it)
+	first lsn.Atomic   // first log record (atomic: truncation horizon reads it)
 	state atomic.Int32 // atomic: checkpoint and daemon callbacks read it
 
 	lastEnd   lsn.LSN // end LSN of the most recent record
@@ -57,10 +58,22 @@ func (t *Txn) Writes() int { return t.writes }
 // physiological update record, chain PrevLSN, and remember the undo.
 func (t *Txn) logUpdate(pageID uint64, up logrec.UpdatePayload) (lsn.LSN, lsn.LSN, error) {
 	prev := t.last.Load()
+	if prev == lsn.Undefined {
+		// Publish a conservative first-LSN lower bound before the insert
+		// reserves a real address. The durable horizon can never exceed a
+		// future insert's LSN, so a checkpoint that observes this bound
+		// (or observes Undefined, meaning our insert hasn't started and
+		// will land above its begin record) can never set the truncation
+		// horizon past our first record.
+		t.first.Store(t.eng.log.Durable())
+	}
 	rec := logrec.NewUpdate(t.id, prev, pageID, up)
 	at, end, err := t.agent.ap.Append(rec)
 	if err != nil {
 		return 0, 0, err
+	}
+	if prev == lsn.Undefined {
+		t.first.Store(at)
 	}
 	// Deep-copy the images: the payload aliases page memory that will
 	// change, and rollback needs the originals.
@@ -252,9 +265,13 @@ func (t *Txn) Commit(mode CommitMode, whenDone func(error)) error {
 		return err
 
 	case CommitAsync:
-		// Unsafe: reply before durability (lost on crash).
+		// Unsafe: reply before durability (lost on crash). The txn must
+		// stay in the ATT until the commit record hardens, though: the
+		// truncation horizon treats ATT absence as "durably finished",
+		// and recycling this txn's records while it can still come back
+		// as a recovery loser would leave its undo chain unreadable.
 		t.locker.ReleaseAll()
-		t.finishCommit(true)
+		t.eng.log.OnDurable(end, func(err error) { t.finishCommit(err == nil) })
 		if whenDone != nil {
 			whenDone(nil)
 		}
@@ -346,9 +363,25 @@ func (t *Txn) Abort() error {
 			t.indexUndo[i]()
 		}
 		endRec := logrec.NewEnd(t.id, t.last.Load())
-		if at, _, err := t.agent.ap.Append(endRec); err == nil {
-			t.last.Store(at)
+		at, endEnd, aerr := t.agent.ap.Append(endRec)
+		t.state.Store(stAborted)
+		t.locker.ReleaseAll()
+		t.eng.stats.Aborts.Inc()
+		if aerr != nil {
+			// No end record: stay in the ATT so the txn's first LSN
+			// keeps pinning the truncation horizon — a crash must still
+			// find the whole undo chain.
+			return aerr
 		}
+		t.last.Store(at)
+		// Leave the ATT only once the rollback is durable: until then
+		// the txn's first LSN must keep pinning the truncation horizon,
+		// or a crash could find a loser whose undo chain was recycled.
+		// Capture only what the callback needs, not the whole Txn with
+		// its deep-copied undo images.
+		eng, id := t.eng, t.id
+		t.eng.log.OnDurable(endEnd, func(error) { eng.attRemove(id) })
+		return nil
 	}
 
 	t.state.Store(stAborted)

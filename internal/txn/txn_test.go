@@ -370,8 +370,8 @@ func TestCheckpointRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The archive received the dirty pages and the DPT drained.
-	if len(h.arch.Pages()) == 0 {
-		t.Fatal("checkpoint archived nothing")
+	if pages, err := h.arch.Pages(); err != nil || len(pages) == 0 {
+		t.Fatalf("checkpoint archived nothing (%v)", err)
 	}
 	if len(h.eng.Store().DirtyPages()) != 0 {
 		t.Fatal("DPT not drained by checkpoint")
