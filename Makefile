@@ -1,7 +1,7 @@
-# Tier-1 verification is `make ci` (build + vet + test).
+# Tier-1 verification is `make ci` (build + vet + test + bench smoke).
 GO ?= go
 
-.PHONY: build test test-short test-race vet ci
+.PHONY: build test test-short test-race vet bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -22,4 +22,11 @@ test-race:
 vet:
 	$(GO) vet ./...
 
-ci: build vet test
+# Small-scale perf smoke: vet plus a quick aetherbench run that
+# refreshes BENCH_pr2.json, so the perf trajectory (throughput, sweep
+# fsyncs, sweep duration) is tracked on every CI pass. The heavier bench
+# assertions in the test suite respect -short, keeping tier-1 fast.
+bench-smoke: vet
+	$(GO) run ./cmd/aetherbench -quick -json
+
+ci: build vet test bench-smoke

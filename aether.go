@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
+	"os"
 	"path/filepath"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"aether/internal/lockmgr"
 	"aether/internal/logbuf"
 	"aether/internal/logdev"
+	"aether/internal/metrics"
 	"aether/internal/recovery"
 	"aether/internal/storage"
 	"aether/internal/txn"
@@ -131,6 +134,14 @@ type Options struct {
 	// Mode is the default commit protocol for Tx.Commit. Default
 	// CommitPipelined.
 	Mode CommitMode
+	// CheckpointEveryBytes, if > 0, runs the background incremental
+	// checkpointer: a goroutine takes a fuzzy checkpoint — page-cleaning
+	// sweep, log truncation and all — every time roughly this many bytes
+	// have been appended to the log. The log stays bounded (Stats.LogBase
+	// keeps advancing) with zero Checkpoint() calls and zero commit-path
+	// stalls; explicit Checkpoint() calls remain allowed and serialize
+	// with it.
+	CheckpointEveryBytes int64
 	// DeadlockTimeout bounds lock waits (default 500ms).
 	DeadlockTimeout time.Duration
 	// DisableSLI turns off speculative lock inheritance.
@@ -169,9 +180,11 @@ func Open(opts Options) (*DB, error) {
 		}
 		db.dev, db.segDev = s, s
 		// A truncated log's dead prefix only exists as archived page
-		// images, so a file-backed segmented database needs a page
-		// archive that survives the process alongside the segments.
-		arch, err := storage.OpenFileArchive(filepath.Join(opts.LogPath, "pages"))
+		// images, so a file-backed segmented database needs a database
+		// file that survives the process alongside the segments.
+		arch, err := openPageArchive(
+			filepath.Join(opts.LogPath, "pagefile.db"),
+			filepath.Join(opts.LogPath, "pages"))
 		if err != nil {
 			s.Close()
 			return nil, err
@@ -186,8 +199,8 @@ func Open(opts Options) (*DB, error) {
 		// Page images must survive the process even for the single-file
 		// log: checkpoints remove archived pages from the DPT, so a
 		// reopen's redo pass will not rebuild them from the (complete)
-		// log — the archive is their only copy.
-		arch, err := storage.OpenFileArchive(opts.LogPath + ".pages")
+		// log — the database file is their only copy.
+		arch, err := openPageArchive(opts.LogPath+".pagefile", opts.LogPath+".pages")
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -202,7 +215,33 @@ func Open(opts Options) (*DB, error) {
 		db.dev, db.memDev = m, m
 		db.archive = storage.NewMemArchive()
 	}
-	return db.start()
+	if _, err := db.start(); err != nil {
+		// Release the descriptors the failed open acquired, or a caller
+		// retrying Open on a damaged database leaks them every attempt.
+		db.dev.Close()
+		if c, ok := db.archive.(io.Closer); ok {
+			c.Close()
+		}
+		return nil, err
+	}
+	return db, nil
+}
+
+// openPageArchive opens the paged database file, first importing (once)
+// a legacy one-file-per-page archive directory if a previous version of
+// the library left one behind.
+func openPageArchive(pfPath, legacyDir string) (*storage.PageFile, error) {
+	pf, err := storage.OpenPageFile(pfPath)
+	if err != nil {
+		return nil, err
+	}
+	if st, serr := os.Stat(legacyDir); serr == nil && st.IsDir() {
+		if err := pf.ImportLegacy(legacyDir); err != nil {
+			pf.Close()
+			return nil, err
+		}
+	}
+	return pf, nil
 }
 
 // start builds the engine over the device via the recovery path (a
@@ -218,6 +257,7 @@ func (db *DB) start() (*DB, error) {
 			DeadlockTimeout: db.opts.DeadlockTimeout,
 			SLI:             !db.opts.DisableSLI,
 		},
+		CheckpointEveryBytes: db.opts.CheckpointEveryBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -227,13 +267,21 @@ func (db *DB) start() (*DB, error) {
 }
 
 // Close flushes and stops the database and closes the log device (a
-// file-backed log releases its descriptors). The durable log contents
-// stay intact, so a file-backed database can be reopened; Close is safe
-// to call more than once.
+// file-backed log releases its descriptors) and the database file. The
+// durable contents stay intact, so a file-backed database can be
+// reopened; Close is safe to call more than once.
 func (db *DB) Close() error {
+	// Stop the background checkpointer first: it appends to the log and
+	// sweeps into the archive, both of which are about to close.
+	db.eng.Close()
 	err := db.eng.Log().Close()
 	if cerr := db.dev.Close(); err == nil {
 		err = cerr
+	}
+	if c, ok := db.archive.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }
@@ -286,6 +334,7 @@ func (db *DB) Crash() error {
 		return errors.New("aether: Crash is only supported for in-memory devices")
 	}
 	db.memDev.CrashFreeze()
+	db.eng.Close()
 	db.eng.Log().Close()
 	db.memDev.Remount()
 	if _, err := db.start(); err != nil {
@@ -321,6 +370,17 @@ type Stats struct {
 	// LogBase is the current truncation horizon: restart recovery reads
 	// the log from here, never from byte 0.
 	LogBase int64
+	// AutoCheckpoints counts checkpoints taken by the background
+	// incremental checkpointer (Options.CheckpointEveryBytes).
+	AutoCheckpoints int64
+	// SweepPages counts page images written by checkpoint sweeps into
+	// the database file.
+	SweepPages int64
+	// SweepFsyncs counts device fsyncs charged to checkpoint sweeps —
+	// O(1) per sweep on the paged database file.
+	SweepFsyncs int64
+	// SweepDuration summarizes checkpoint-sweep wall-clock times.
+	SweepDuration metrics.HistogramSnapshot
 }
 
 // Stats returns current counters.
@@ -337,6 +397,10 @@ func (db *DB) Stats() Stats {
 		LogTruncations:    ls.Truncations.Load(),
 		LogTruncatedBytes: ls.TruncatedBytes.Load(),
 		LogBase:           int64(db.eng.Log().Base()),
+		AutoCheckpoints:   es.AutoCheckpoints.Load(),
+		SweepPages:        es.SweepPages.Load(),
+		SweepFsyncs:       es.SweepFsyncs.Load(),
+		SweepDuration:     es.SweepDuration.Snapshot(),
 	}
 	if db.segDev != nil {
 		segs, _ := db.segDev.TruncStats()

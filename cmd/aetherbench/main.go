@@ -7,23 +7,31 @@
 //	aetherbench -fig fig8left -quick # one figure, fast parameters
 //	aetherbench -all                 # everything, in paper order
 //	aetherbench -list                # list experiment names
+//	aetherbench -json                # machine-readable perf report → BENCH_pr2.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
+	"aether"
 	"aether/internal/bench"
+	"aether/internal/metrics"
 )
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "figure to run (fig2, fig3, fig4, fig5, fig7, fig8left, fig8right, fig9, fig11, fig12, fig13)")
-		all   = flag.Bool("all", false, "run every figure")
-		quick = flag.Bool("quick", false, "use fast, test-scale parameters")
-		list  = flag.Bool("list", false, "list experiment names and exit")
+		fig     = flag.String("fig", "", "figure to run (fig2, fig3, fig4, fig5, fig7, fig8left, fig8right, fig9, fig11, fig12, fig13)")
+		all     = flag.Bool("all", false, "run every figure")
+		quick   = flag.Bool("quick", false, "use fast, test-scale parameters")
+		list    = flag.Bool("list", false, "list experiment names and exit")
+		jsonOut = flag.Bool("json", false, "run the perf-tracking suite and write machine-readable results")
+		outPath = flag.String("out", "BENCH_pr2.json", "output file for -json")
 	)
 	flag.Parse()
 
@@ -35,6 +43,11 @@ func main() {
 	}
 	scale := bench.Scale{Quick: *quick}
 	switch {
+	case *jsonOut:
+		if err := writeJSONReport(*outPath, scale); err != nil {
+			fmt.Fprintln(os.Stderr, "aetherbench:", err)
+			os.Exit(1)
+		}
 	case *all:
 		start := time.Now()
 		tables, err := bench.AllFigures(scale)
@@ -57,4 +70,126 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// perfReport is the machine-readable result file tracking the perf
+// trajectory across PRs: commit throughput on a file-backed database
+// with the background checkpointer running, plus the checkpoint-sweep
+// microbenchmark (batched pagefile vs per-page archive).
+type perfReport struct {
+	GeneratedAt string  `json:"generated_at"`
+	Quick       bool    `json:"quick"`
+	Throughput  tputRun `json:"throughput"`
+	Sweep       struct {
+		bench.SweepResult
+		Speedup float64 `json:"speedup"`
+	} `json:"sweep"`
+}
+
+// tputRun reports the sustained-commit workload.
+type tputRun struct {
+	Clients         int                       `json:"clients"`
+	Commits         int64                     `json:"commits"`
+	ElapsedMs       int64                     `json:"elapsed_ms"`
+	TPS             float64                   `json:"tps"`
+	AutoCheckpoints int64                     `json:"auto_checkpoints"`
+	SweepPages      int64                     `json:"sweep_pages"`
+	SweepFsyncs     int64                     `json:"sweep_fsyncs"`
+	SweepDuration   metrics.HistogramSnapshot `json:"sweep_duration"`
+	LogBase         int64                     `json:"log_base"`
+}
+
+// runThroughput hammers a file-backed segmented database with inserts
+// while the background incremental checkpointer bounds the log.
+func runThroughput(dir string, dur time.Duration, clients int, segSize int64) (tputRun, error) {
+	db, err := aether.Open(aether.Options{
+		LogPath:              filepath.Join(dir, "wal.d"),
+		SegmentSize:          segSize,
+		CheckpointEveryBytes: 2 * segSize,
+	})
+	if err != nil {
+		return tputRun{}, err
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable("bench")
+	if err != nil {
+		return tputRun{}, err
+	}
+	payload := make([]byte, 128)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			s := db.Session()
+			defer s.Close()
+			// +1: row key 0 aliases the table lock (never insert it).
+			for k := uint64(c)<<40 + 1; time.Since(start) < dur; k++ {
+				tx := s.Begin()
+				if err := tx.Insert(tbl, k, aether.Row(k, payload)); err != nil {
+					tx.Abort()
+					continue
+				}
+				_ = tx.Commit()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	st := db.Stats()
+	return tputRun{
+		Clients:         clients,
+		Commits:         st.Commits,
+		ElapsedMs:       elapsed.Milliseconds(),
+		TPS:             float64(st.Commits) / elapsed.Seconds(),
+		AutoCheckpoints: st.AutoCheckpoints,
+		SweepPages:      st.SweepPages,
+		SweepFsyncs:     st.SweepFsyncs,
+		SweepDuration:   st.SweepDuration,
+		LogBase:         st.LogBase,
+	}, nil
+}
+
+func writeJSONReport(outPath string, scale bench.Scale) error {
+	dir, err := os.MkdirTemp("", "aetherbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	dur, clients, pages, segSize := 2*time.Second, 8, 1000, int64(1<<20)
+	if scale.Quick {
+		dur, clients, pages, segSize = 300*time.Millisecond, 4, 200, 32<<10
+	}
+	var rep perfReport
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.Quick = scale.Quick
+	rep.Throughput, err = runThroughput(dir, dur, clients, segSize)
+	if err != nil {
+		return fmt.Errorf("throughput run: %w", err)
+	}
+	sweep, err := bench.RunSweep(bench.SweepConfig{
+		Pages:       pages,
+		Dir:         dir,
+		SyncLatency: 100 * time.Microsecond, // flash-class device
+	})
+	if err != nil {
+		return fmt.Errorf("sweep run: %w", err)
+	}
+	rep.Sweep.SweepResult = sweep
+	rep.Sweep.Speedup = sweep.Speedup()
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("throughput: %.0f commits/s (%d clients, %d auto checkpoints, log base %d)\n",
+		rep.Throughput.TPS, rep.Throughput.Clients, rep.Throughput.AutoCheckpoints, rep.Throughput.LogBase)
+	fmt.Println(sweep)
+	fmt.Println("wrote", outPath)
+	return nil
 }

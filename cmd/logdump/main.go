@@ -2,7 +2,9 @@
 // the debugging companion every WAL implementation needs. It stops at
 // the first gap, exactly where recovery would. Pointed at a directory,
 // it decodes a segmented log and prints the segment layout and base
-// offset first.
+// offset first, plus a summary of the paged database file if one lives
+// next to the log. Pointed at a pagefile itself, it dumps the slot
+// table.
 //
 // Usage:
 //
@@ -10,22 +12,26 @@
 //	logdump -f wal.d              # segmented log directory
 //	logdump -f wal.log -txn 42    # one transaction's chain
 //	logdump -f wal.log -stats     # kind histogram + volume only
+//	logdump -f wal.d/pagefile.db  # pagefile slot table
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
 	"aether/internal/logdev"
 	"aether/internal/logrec"
 	"aether/internal/lsn"
+	"aether/internal/storage"
 )
 
 func main() {
 	var (
-		path  = flag.String("f", "", "log file (or segmented log directory) to dump")
+		path  = flag.String("f", "", "log file, segmented log directory, or pagefile to dump")
 		txn   = flag.Uint64("txn", 0, "show only this transaction (0 = all)")
 		stats = flag.Bool("stats", false, "print only summary statistics")
 	)
@@ -34,10 +40,65 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if isPageFile(*path) {
+		if err := dumpPageFile(*path, true); err != nil {
+			fmt.Fprintln(os.Stderr, "logdump:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*path, *txn, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "logdump:", err)
 		os.Exit(1)
 	}
+}
+
+// isPageFile recognizes the paged database file by name (the two names
+// Open uses), so pointing logdump at one dumps slots instead of
+// misreading page images as log records.
+func isPageFile(path string) bool {
+	base := filepath.Base(path)
+	return base == "pagefile.db" || strings.HasSuffix(base, ".pagefile")
+}
+
+// pageFileFor returns the pagefile path Open would pair with this log
+// path, or "" if none exists.
+func pageFileFor(logPath string) string {
+	st, err := os.Stat(logPath)
+	var pf string
+	if err == nil && st.IsDir() {
+		pf = filepath.Join(logPath, "pagefile.db")
+	} else {
+		pf = logPath + ".pagefile"
+	}
+	if _, err := os.Stat(pf); err != nil {
+		return ""
+	}
+	return pf
+}
+
+// dumpPageFile prints the database file's summary (and, when verbose,
+// its slot table). It is strictly read-only — the owning process may
+// have the database open, so logdump must never replay or truncate the
+// double-write journal; it only reports a pending one.
+func dumpPageFile(path string, verbose bool) error {
+	info, err := storage.ReadPageFileInfo(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pagefile %s: %d pages, %d bytes", path, info.Pages, info.SizeBytes)
+	if info.JournalPending > 0 {
+		fmt.Printf(" (journal pending: %d pages, replayed on next open)", info.JournalPending)
+	}
+	fmt.Println()
+	if !verbose {
+		return nil
+	}
+	for _, s := range info.Slots {
+		fmt.Printf("  slot %6d  page %-12d space=%-4d version=%d\n",
+			s.Slot, s.PageID, storage.PageSpace(s.PageID), s.Version)
+	}
+	return nil
 }
 
 // openDevice opens path as a segmented log directory or a plain log file.
@@ -64,6 +125,12 @@ func run(path string, txnFilter uint64, statsOnly bool) error {
 				live = "  (partially dead: below base)"
 			}
 			fmt.Printf("  segment %6d  [%d, %d)%s\n", si.Index, si.Start, si.End, live)
+		}
+		fmt.Println()
+	}
+	if pfPath := pageFileFor(path); pfPath != "" {
+		if err := dumpPageFile(pfPath, false); err != nil {
+			fmt.Printf("pagefile %s: unreadable: %v\n", pfPath, err)
 		}
 		fmt.Println()
 	}

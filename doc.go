@@ -46,6 +46,30 @@
 // from byte 0. LSNs are stable log addresses and never restart, so a
 // truncated log resumes exactly where it left off.
 //
+// With Options.CheckpointEveryBytes set, a background incremental
+// checkpointer takes those checkpoints automatically: a goroutine fires
+// every N bytes of appended log, runs the fuzzy checkpoint and the
+// page-cleaning sweep, and advances the truncation horizon concurrently
+// with foreground commits — the log stays bounded with zero client
+// Checkpoint calls and zero commit-path stalls.
+//
+// # Paged database file
+//
+// File-backed databases persist page images in a single paged, slotted,
+// checksummed database file (pagefile.db next to a segmented log,
+// LogPath+".pagefile" next to a plain one). Each 8KiB page occupies a
+// fixed slot addressed by file offset, prefixed by a 32-byte header
+// (pageID, version, CRC-32C over identity plus image) that is verified
+// on every read. A checkpoint sweep writes all dirty pages sorted by
+// file offset in large coalesced writes, guarded against torn pages by
+// a double-write journal: the whole batch goes to pagefile.db.journal
+// and is fsynced once, then the images are written in place and fsynced
+// once — O(1) device fsyncs per sweep, however many pages it cleans.
+// Open replays a committed journal (crash after the journal fsync) or
+// discards a torn one (crash before it); either way every slot ends
+// consistent. Databases created by older versions with a one-file-per-
+// page pages/ directory are imported into the pagefile once on Open.
+//
 // See the examples/ directory for complete programs and DESIGN.md for
 // the architecture and paper-to-code map.
 package aether

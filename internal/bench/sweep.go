@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"aether/internal/lsn"
+	"aether/internal/storage"
+)
+
+// SweepConfig parameterizes the checkpoint-sweep microbenchmark: the
+// same dirty set is archived once through the paged database file
+// (batched writeback, O(1) fsyncs) and once through the legacy
+// one-file-per-page FileArchive (one fsync per page).
+type SweepConfig struct {
+	// Pages is the dirty-set size.
+	Pages int
+	// Dir is a scratch directory for both archives.
+	Dir string
+	// SyncLatency is the simulated per-fsync device response time, the
+	// log devices' methodology applied to the database file (the paper's
+	// 100µs flash / 1ms disk series). With it the comparison is
+	// deterministic: the per-page protocol pays it Pages times, the
+	// batched protocol twice. 0 measures the host filesystem alone.
+	SyncLatency time.Duration
+}
+
+// SweepSide reports one archive's sweep.
+type SweepSide struct {
+	Duration time.Duration `json:"duration_ns"`
+	Fsyncs   int64         `json:"fsyncs"`
+	Pages    int           `json:"pages"`
+}
+
+// SweepResult compares the two writeback strategies.
+type SweepResult struct {
+	Pages       int       `json:"pages"`
+	PageFile    SweepSide `json:"pagefile"`
+	FileArchive SweepSide `json:"filearchive"`
+}
+
+// Speedup is FileArchive sweep time over PageFile sweep time.
+func (r SweepResult) Speedup() float64 {
+	if r.PageFile.Duration <= 0 {
+		return 0
+	}
+	return float64(r.FileArchive.Duration) / float64(r.PageFile.Duration)
+}
+
+func (r SweepResult) String() string {
+	return fmt.Sprintf("sweep %d pages: pagefile %v (%d fsyncs) vs filearchive %v (%d fsyncs) — %.1fx",
+		r.Pages, r.PageFile.Duration.Round(time.Microsecond), r.PageFile.Fsyncs,
+		r.FileArchive.Duration.Round(time.Microsecond), r.FileArchive.Fsyncs, r.Speedup())
+}
+
+// newDirtyStore builds a store with n archivable dirty pages.
+func newDirtyStore(n int) (*storage.Store, []uint64) {
+	st := storage.NewStore()
+	pids := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		p := st.GetOrCreate(storage.MakePageID(1, uint64(i+1)))
+		_ = p.Insert(0, []byte(fmt.Sprintf("sweep-bench-row-%08d", i)))
+		p.SetLSN(1)
+		st.MarkDirty(p.ID(), 1)
+		pids[i] = p.ID()
+	}
+	return st, pids
+}
+
+func redirty(st *storage.Store, pids []uint64) {
+	for _, pid := range pids {
+		st.MarkDirty(pid, 1)
+	}
+}
+
+// RunSweep executes the microbenchmark. durable is far above every
+// pageLSN, so the whole dirty set is archivable both times.
+func RunSweep(cfg SweepConfig) (SweepResult, error) {
+	if cfg.Pages <= 0 {
+		cfg.Pages = 1000
+	}
+	res := SweepResult{Pages: cfg.Pages}
+	st, pids := newDirtyStore(cfg.Pages)
+	durable := lsn.LSN(1) << 40
+
+	pf, err := storage.OpenPageFile(filepath.Join(cfg.Dir, "sweep-pagefile.db"))
+	if err != nil {
+		return res, err
+	}
+	defer pf.Close()
+	pf.SetSyncDelay(cfg.SyncLatency)
+	pfF0 := pf.Fsyncs() // exclude the one-time header fsync at create
+	t0 := time.Now()
+	n := st.ArchiveDirtyPages(pf, durable)
+	res.PageFile = SweepSide{Duration: time.Since(t0), Fsyncs: pf.Fsyncs() - pfF0, Pages: n}
+	if n != cfg.Pages {
+		return res, fmt.Errorf("bench: pagefile sweep wrote %d pages, want %d", n, cfg.Pages)
+	}
+
+	redirty(st, pids)
+	fa, err := storage.OpenFileArchive(filepath.Join(cfg.Dir, "sweep-pages"))
+	if err != nil {
+		return res, err
+	}
+	fa.SetSyncDelay(cfg.SyncLatency)
+	t0 = time.Now()
+	n = st.ArchiveDirtyPages(fa, durable)
+	res.FileArchive = SweepSide{Duration: time.Since(t0), Fsyncs: fa.Fsyncs(), Pages: n}
+	if n != cfg.Pages {
+		return res, fmt.Errorf("bench: filearchive sweep wrote %d pages, want %d", n, cfg.Pages)
+	}
+	return res, nil
+}

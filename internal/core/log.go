@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aether/internal/logbuf"
@@ -108,6 +109,11 @@ type LogManager struct {
 	stats Stats
 
 	durable lsn.Atomic
+
+	// Appended-bytes notification (the background checkpointer's
+	// trigger): fn fires once per notify-interval of inserted bytes.
+	notify     atomic.Pointer[appendNotify]
+	notifyNext atomic.Int64
 
 	mu       sync.Mutex
 	waiters  waiterHeap
@@ -205,6 +211,46 @@ func (lm *LogManager) maybeWakeForBytes() {
 	start, end := lm.rd.Pending()
 	if int(end.Sub(start)) >= lm.cfg.FlushBytes {
 		lm.wake()
+	}
+	lm.maybeNotifyAppend()
+}
+
+// appendNotify is one registered appended-bytes subscription.
+type appendNotify struct {
+	every int64
+	fn    func()
+}
+
+// SetAppendNotify arranges for fn to run each time roughly every more
+// bytes have been inserted since the last firing — the background
+// checkpointer's "checkpoint every N log bytes" trigger. fn runs on an
+// appender goroutine and must not block (nudge a channel, don't work).
+// every <= 0 or a nil fn clears the subscription.
+func (lm *LogManager) SetAppendNotify(every int64, fn func()) {
+	if every <= 0 || fn == nil {
+		lm.notify.Store(nil)
+		return
+	}
+	lm.notifyNext.Store(lm.stats.InsertBytes.Load() + every)
+	lm.notify.Store(&appendNotify{every: every, fn: fn})
+}
+
+// maybeNotifyAppend fires the appended-bytes subscription when the
+// insert volume crosses its next threshold. The CAS elects exactly one
+// of the racing appenders to fire and advances the threshold past the
+// bytes already inserted, so a burst cannot queue up redundant firings.
+func (lm *LogManager) maybeNotifyAppend() {
+	n := lm.notify.Load()
+	if n == nil {
+		return
+	}
+	total := lm.stats.InsertBytes.Load()
+	next := lm.notifyNext.Load()
+	if total < next {
+		return
+	}
+	if lm.notifyNext.CompareAndSwap(next, total+n.every) {
+		n.fn()
 	}
 }
 

@@ -121,6 +121,25 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return time.Duration(int64(1) << histBuckets)
 }
 
+// HistogramSnapshot is a point-in-time, JSON-friendly view of a
+// Histogram (machine-readable benchmark output).
+type HistogramSnapshot struct {
+	Count  int64 `json:"count"`
+	MeanNs int64 `json:"mean_ns"`
+	P50Ns  int64 `json:"p50_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+}
+
+// Snapshot captures the histogram's summary statistics.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count:  h.Count(),
+		MeanNs: int64(h.Mean()),
+		P50Ns:  int64(h.Quantile(0.50)),
+		P99Ns:  int64(h.Quantile(0.99)),
+	}
+}
+
 // Reset clears the histogram.
 func (h *Histogram) Reset() {
 	h.count.Store(0)

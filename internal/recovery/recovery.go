@@ -50,6 +50,15 @@ type Options struct {
 	// a log whose base LSN is Base+len(Log). If nil, undo applies
 	// inverses without logging (single-crash recovery only).
 	Appender *core.Appender
+	// VerifyArchive, if set, asserts that every page already in Store
+	// (i.e. loaded from the archive) carries a pageLSN at or below the
+	// durable log's end. The checkpoint sweep only archives pages whose
+	// pageLSN is durable, so an image from beyond the log is a WAL
+	// violation or a corrupt database file — redoing on top of it would
+	// silently skip updates. Leave unset for stores that were not
+	// archive-loaded (pages stamped by unlogged undo legitimately carry
+	// synthetic LSNs past the log end).
+	VerifyArchive bool
 }
 
 // txnStatus is an analysis-phase ATT entry.
@@ -79,6 +88,9 @@ type Result struct {
 	Losers []uint64
 	// UndoApplied is the number of updates rolled back.
 	UndoApplied int
+	// ArchivedPages is how many pages entered recovery from the archive
+	// (the database file), i.e. were present before redo ran.
+	ArchivedPages int
 }
 
 // Recover runs the three ARIES passes. It is idempotent: recovering an
@@ -89,6 +101,22 @@ func Recover(opts Options) (*Result, error) {
 	}
 	base := opts.Base
 	res := &Result{CheckpointLSN: lsn.Undefined, LogBase: base}
+
+	// ---- Pass 0: verify the archive-loaded pages against the log. ----
+	// (Slot checksums were already verified by the archive's read path;
+	// this is the cross-check between the two durable artifacts.)
+	logEnd := base.Add(len(opts.Log))
+	res.ArchivedPages = len(opts.Store.PageIDs())
+	if opts.VerifyArchive {
+		for _, pid := range opts.Store.PageIDs() {
+			p := opts.Store.Get(pid)
+			if pl := p.LSN(); pl > logEnd {
+				return nil, fmt.Errorf(
+					"recovery: archived page %d has pageLSN %v beyond the durable log end %v (archive ahead of log: WAL violation or corruption)",
+					pid, pl, logEnd)
+			}
+		}
+	}
 
 	// ---- Pass 0: locate the last complete checkpoint. ----
 	ckptBegin, ckptPayload := findLastCheckpoint(opts.Log, base)

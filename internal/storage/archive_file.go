@@ -7,26 +7,61 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"aether/internal/fsutil"
 )
 
 // FileArchive is a directory-backed Archive: each page image lives in
-// its own file, installed atomically (write-temp, fsync, rename). It is
-// the minimal persistent database file — and the piece a *truncated*
-// log cannot live without: once checkpoints recycle the log behind the
-// release horizon, archived page images are the only copy of old data,
-// so the archive has to survive the process.
+// its own file, installed atomically (write-temp, fsync, rename). It
+// pays one fsync per page, which is why checkpoint sweeps now go to the
+// PageFile instead; FileArchive is kept as the legacy on-disk layout
+// (imported once by PageFile.ImportLegacy) and as the per-page baseline
+// the sweep microbenchmark compares against.
 type FileArchive struct {
 	dir string
+
+	syncDelay time.Duration // simulated device sync latency (benchmarks)
+	fsyncs    atomic.Int64
 }
 
 // OpenFileArchive opens (creating if needed) a page archive directory.
+// Orphan temp files — left behind by a crash between a Put's temp write
+// and its rename — are swept out: they were never installed, so their
+// pages are still dirty (or already re-archived) and the temps are junk
+// that would otherwise accumulate forever.
 func OpenFileArchive(dir string) (*FileArchive, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: create archive %s: %w", dir, err)
 	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open archive %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil && !os.IsNotExist(err) {
+				return nil, fmt.Errorf("storage: sweep stale temp %s: %w", e.Name(), err)
+			}
+		}
+	}
 	return &FileArchive{dir: dir}, nil
+}
+
+// SetSyncDelay adds a simulated per-fsync device latency (benchmarks;
+// 0 disables). Not safe to change concurrently with Put/Flush.
+func (a *FileArchive) SetSyncDelay(d time.Duration) { a.syncDelay = d }
+
+// Fsyncs returns how many device fsyncs the archive has issued (one per
+// Put, one per Flush — the O(dirty pages) cost the PageFile eliminates).
+func (a *FileArchive) Fsyncs() int64 { return a.fsyncs.Load() }
+
+func (a *FileArchive) countSync() {
+	a.fsyncs.Add(1)
+	if a.syncDelay > 0 {
+		time.Sleep(a.syncDelay)
+	}
 }
 
 func (a *FileArchive) pagePath(pid uint64) string {
@@ -42,6 +77,7 @@ func (a *FileArchive) Put(pid uint64, img []byte) error {
 	if err := fsutil.WriteFileSync(tmp, img, 0o644); err != nil {
 		return fmt.Errorf("storage: archive put: %w", err)
 	}
+	a.countSync()
 	if err := os.Rename(tmp, a.pagePath(pid)); err != nil {
 		return fmt.Errorf("storage: archive put: %w", err)
 	}
@@ -56,6 +92,7 @@ func (a *FileArchive) Flush() error {
 	if err := fsutil.SyncDir(a.dir); err != nil {
 		return fmt.Errorf("storage: archive flush: %w", err)
 	}
+	a.countSync()
 	return nil
 }
 

@@ -2,6 +2,8 @@ package storage
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -51,5 +53,40 @@ func TestFileArchiveRoundTrip(t *testing.T) {
 		// Images here aren't real page snapshots, so LoadSnapshot should
 		// reject them; the point is only that Pages/Get round-trip.
 		t.Log("LoadArchive accepted synthetic images")
+	}
+}
+
+// TestFileArchiveSweepsOrphanTemps: a crash between a Put's temp-file
+// write and its rename leaves a *.tmp orphan; OpenFileArchive must sweep
+// it out without touching installed pages.
+func TestFileArchiveSweepsOrphanTemps(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenFileArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put(1, []byte("installed")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash window: temp files that never got renamed.
+	for _, name := range []string{"0000000000000002.page.tmp", "junk.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	b, err := OpenFileArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil || len(left) != 0 {
+		t.Fatalf("stale temps survived reopen: %v (%v)", left, err)
+	}
+	if got, err := b.Get(1); err != nil || !bytes.Equal(got, []byte("installed")) {
+		t.Fatalf("installed page damaged by temp sweep: %q, %v", got, err)
+	}
+	if pages, err := b.Pages(); err != nil || len(pages) != 1 {
+		t.Fatalf("Pages after sweep = %v (%v), want [1]", pages, err)
 	}
 }

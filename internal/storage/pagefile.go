@@ -1,0 +1,771 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aether/internal/fsutil"
+)
+
+// PageFile is the real database file: a single, page-slotted, checksummed
+// file replacing the one-file-per-page FileArchive. Pages live in fixed
+// slots addressed by file offset; each slot carries a header (pageID,
+// version, checksum) verified on every read. A checkpoint sweep hands the
+// whole dirty set to PutBatch, which writes it with O(1) device fsyncs
+// regardless of batch size — the double-write journal protocol:
+//
+//  1. the entire batch (slot headers + images) is written sequentially to
+//     a side journal and fsynced once — the batch's atomic commit point;
+//  2. the images are written in place, sorted by file offset and coalesced
+//     into large contiguous writes, and the pagefile is fsynced once.
+//
+// A crash between (1) and (2) tears nothing: Open finds a journal with a
+// valid batch checksum and replays it (idempotent — it holds the newest
+// image of every slot it mentions). A crash during (1) leaves a journal
+// that fails its checksum, which Open discards: the in-place writes never
+// started, so the pagefile still holds the previous, fully-applied batch.
+//
+// On-disk layout (little-endian):
+//
+//	file header (4096 B): magic "AEPF", format version, page size
+//	slot i at 4096 + i*(32+PageSize):
+//	  0  pageID   uint64
+//	  8  version  uint64  (monotonic write sequence, debugging aid)
+//	 16  checksum uint32  (CRC-32C over pageID ‖ version ‖ image)
+//	 20  flags    uint32  (1 = in use)
+//	 24  reserved 8 B
+//	 32  page image (PageSize B)
+//
+// Journal file (path + ".journal"):
+//
+//	header (32 B): magic "AEPJ", version, entry count, page size,
+//	               CRC-32C over the entry region
+//	entry: slot uint64, pageID uint64, version uint64, checksum uint32,
+//	       pad 4 B, then the page image
+type PageFile struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	jf   *os.File
+
+	slots map[uint64]pfSlot // pageID → slot (installed pages only)
+	// assigned reserves slots handed to batches that later failed: a
+	// retried sweep must reuse the same slot, or the page would end up
+	// flagged used in two slots and the file would never reopen.
+	assigned map[uint64]uint64 // pageID → reserved slot
+	nextSlot uint64
+	seq      uint64 // version sequence (max seen at open)
+
+	journalReplayed int // pages restored from the journal at Open
+
+	closed bool
+	// crashAfterJournal simulates a process kill between the journal
+	// fsync and the in-place writes (crash tests).
+	crashAfterJournal bool
+	// applyFailed is set when a batch failed after its journal committed:
+	// the journal on disk is that batch's only intact copy (its in-place
+	// writes may be partial and unsynced), so the next PutBatch must
+	// re-apply it before overwriting the journal with a new batch.
+	applyFailed bool
+	// failApply, if non-nil, makes PutBatch return this error after the
+	// journal phase without applying — a transient in-place I/O failure
+	// the caller will retry (tests the stable-slot-reservation rule).
+	failApply error
+
+	syncDelay time.Duration // simulated device sync latency (benchmarks)
+
+	fsyncs     atomic.Int64
+	batchPuts  atomic.Int64
+	pagesPut   atomic.Int64
+	slotWrites atomic.Int64 // coalesced in-place writes issued
+}
+
+// pfSlot is the in-memory directory entry for one page.
+type pfSlot struct {
+	slot    uint64
+	version uint64
+}
+
+const (
+	pfMagic      = 0x41455046 // "AEPF"
+	pfVersion    = 1
+	pfHeaderSize = 4096
+	pfSlotHdr    = 32
+	pfSlotSize   = pfSlotHdr + PageSize
+
+	pfJournalMagic = 0x4145504A // "AEPJ"
+	pfJnlHdrSize   = 32
+	pfJnlEntryHdr  = 32
+	pfJnlEntrySize = pfJnlEntryHdr + PageSize
+
+	pfFlagUsed = 1
+)
+
+// ErrSimulatedCrash is returned by PutBatch when the crash-after-journal
+// failpoint is armed: the journal is durable but no in-place write ran.
+var ErrSimulatedCrash = errors.New("storage: simulated crash after journal write")
+
+var pfCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// pageChecksum covers the slot's identity and its image, so a misdirected
+// or torn write is caught no matter which part it corrupted.
+func pageChecksum(pid, version uint64, img []byte) uint32 {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], pid)
+	binary.LittleEndian.PutUint64(hdr[8:16], version)
+	c := crc32.Update(0, pfCRC, hdr[:])
+	return crc32.Update(c, pfCRC, img)
+}
+
+func pfSlotOff(slot uint64) int64 { return pfHeaderSize + int64(slot)*pfSlotSize }
+
+// OpenPageFile opens (creating if needed) a paged database file, replaying
+// or discarding its double-write journal first, then building the pageID
+// directory from the slot headers.
+func OpenPageFile(path string) (*PageFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open pagefile: %w", err)
+	}
+	pf := &PageFile{
+		path:     path,
+		f:        f,
+		slots:    make(map[uint64]pfSlot),
+		assigned: make(map[uint64]uint64),
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: open pagefile: %w", err)
+	}
+	if st.Size() <= pfHeaderSize {
+		// Empty, or a torn initial header write: no slot can exist until
+		// the header's fsync has returned (PutBatch only runs after a
+		// successful Open), so (re)writing the header is always safe and
+		// un-bricks a database whose first-ever Open lost power mid-way.
+		if err := pf.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if err := pf.readHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	jf, err := os.OpenFile(path+".journal", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: open pagefile journal: %w", err)
+	}
+	pf.jf = jf
+	// Both files themselves must survive a crash, not just their bytes:
+	// the double-write guarantee is void if the journal's directory
+	// entry can vanish after its data was fsynced.
+	if err := fsutil.SyncDir(filepath.Dir(path)); err != nil {
+		pf.closeFiles()
+		return nil, fmt.Errorf("storage: sync pagefile dir: %w", err)
+	}
+	if err := pf.recoverJournal(); err != nil {
+		pf.closeFiles()
+		return nil, err
+	}
+	if err := pf.scanSlots(); err != nil {
+		pf.closeFiles()
+		return nil, err
+	}
+	return pf, nil
+}
+
+func (pf *PageFile) writeHeader() error {
+	hdr := make([]byte, pfHeaderSize)
+	binary.LittleEndian.PutUint32(hdr[0:4], pfMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], pfVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], PageSize)
+	if _, err := pf.f.WriteAt(hdr, 0); err != nil {
+		return fmt.Errorf("storage: pagefile header: %w", err)
+	}
+	if err := pf.fsync(pf.f); err != nil {
+		return fmt.Errorf("storage: pagefile header: %w", err)
+	}
+	return nil
+}
+
+func (pf *PageFile) readHeader() error {
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(io.NewSectionReader(pf.f, 0, 12), hdr); err != nil {
+		return fmt.Errorf("storage: pagefile header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != pfMagic {
+		return fmt.Errorf("storage: %s is not a pagefile (magic %#x)", pf.path, m)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != pfVersion {
+		return fmt.Errorf("storage: pagefile format version %d, want %d", v, pfVersion)
+	}
+	if ps := binary.LittleEndian.Uint32(hdr[8:12]); ps != PageSize {
+		return fmt.Errorf("storage: pagefile page size %d, want %d", ps, PageSize)
+	}
+	return nil
+}
+
+// parseJournal validates a journal image and returns its entry region
+// and entry count. ok is false for a foreign, short or torn journal —
+// the shared gate between the owner's replay (recoverJournal) and the
+// read-only inspector (ReadPageFileInfo), so the two can never disagree
+// about what counts as a committed batch.
+func parseJournal(buf []byte) (body []byte, count int, ok bool) {
+	if len(buf) < pfJnlHdrSize ||
+		binary.LittleEndian.Uint32(buf[0:4]) != pfJournalMagic ||
+		binary.LittleEndian.Uint32(buf[4:8]) != pfVersion ||
+		binary.LittleEndian.Uint32(buf[12:16]) != PageSize {
+		return nil, 0, false
+	}
+	count = int(binary.LittleEndian.Uint32(buf[8:12]))
+	body = buf[pfJnlHdrSize:]
+	if count <= 0 || len(body) < count*pfJnlEntrySize {
+		return nil, 0, false
+	}
+	body = body[:count*pfJnlEntrySize]
+	if binary.LittleEndian.Uint32(buf[16:20]) != crc32.Checksum(body, pfCRC) {
+		return nil, 0, false
+	}
+	return body, count, true
+}
+
+// jnlEntry is one decoded journal entry's identity.
+type jnlEntry struct {
+	slot    uint64
+	pid     uint64
+	version uint64
+}
+
+// replayJournal re-applies the on-disk journal if it holds a committed
+// batch, fsyncs the pagefile and clears the journal, returning the
+// entries it installed. Replay is idempotent: the journal holds the
+// newest image of every slot it mentions, so repeating it after a
+// second crash is safe. A torn journal is discarded (its batch's fsync
+// never returned, so no in-place write started).
+func (pf *PageFile) replayJournal() ([]jnlEntry, error) {
+	st, err := pf.jf.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("storage: pagefile journal: %w", err)
+	}
+	if st.Size() == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, st.Size())
+	if _, err := io.ReadFull(io.NewSectionReader(pf.jf, 0, st.Size()), buf); err != nil {
+		return nil, fmt.Errorf("storage: pagefile journal read: %w", err)
+	}
+	body, count, ok := parseJournal(buf)
+	if !ok {
+		return nil, pf.clearJournal()
+	}
+	entries := make([]jnlEntry, count)
+	for i := 0; i < count; i++ {
+		e := body[i*pfJnlEntrySize:]
+		ent := jnlEntry{
+			slot:    binary.LittleEndian.Uint64(e[0:8]),
+			pid:     binary.LittleEndian.Uint64(e[8:16]),
+			version: binary.LittleEndian.Uint64(e[16:24]),
+		}
+		sum := binary.LittleEndian.Uint32(e[24:28])
+		img := e[pfJnlEntryHdr:pfJnlEntrySize]
+		if sum != pageChecksum(ent.pid, ent.version, img) {
+			return nil, fmt.Errorf("storage: pagefile journal entry %d (page %d) fails its checksum", i, ent.pid)
+		}
+		if err := pf.writeSlot(ent.slot, ent.pid, ent.version, sum, img); err != nil {
+			return nil, fmt.Errorf("storage: pagefile journal replay: %w", err)
+		}
+		entries[i] = ent
+	}
+	if err := pf.fsync(pf.f); err != nil {
+		return nil, fmt.Errorf("storage: pagefile journal replay: %w", err)
+	}
+	return entries, pf.clearJournal()
+}
+
+// recoverJournal is the Open-time replay (the slot directory is rebuilt
+// afterwards by scanSlots, which will see the replayed slots).
+func (pf *PageFile) recoverJournal() error {
+	entries, err := pf.replayJournal()
+	if err != nil {
+		return err
+	}
+	pf.journalReplayed = len(entries)
+	return nil
+}
+
+// clearJournal empties the journal after it has been applied (or proven
+// torn) and makes the truncation durable.
+func (pf *PageFile) clearJournal() error {
+	if err := pf.jf.Truncate(0); err != nil {
+		return fmt.Errorf("storage: pagefile journal clear: %w", err)
+	}
+	if err := pf.fsync(pf.jf); err != nil {
+		return fmt.Errorf("storage: pagefile journal clear: %w", err)
+	}
+	return nil
+}
+
+// writeSlot writes one slot (header + image) in place.
+func (pf *PageFile) writeSlot(slot, pid, version uint64, sum uint32, img []byte) error {
+	buf := make([]byte, pfSlotSize)
+	putSlotHdr(buf, pid, version, sum)
+	copy(buf[pfSlotHdr:], img)
+	_, err := pf.f.WriteAt(buf, pfSlotOff(slot))
+	return err
+}
+
+func putSlotHdr(dst []byte, pid, version uint64, sum uint32) {
+	binary.LittleEndian.PutUint64(dst[0:8], pid)
+	binary.LittleEndian.PutUint64(dst[8:16], version)
+	binary.LittleEndian.PutUint32(dst[16:20], sum)
+	binary.LittleEndian.PutUint32(dst[20:24], pfFlagUsed)
+}
+
+// scanSlotHeaders walks every allocated slot in f (whose size is size)
+// and invokes fn for each slot flagged used — the single reader of the
+// on-disk slot-header layout, shared by the owner's directory build and
+// the read-only inspector.
+func scanSlotHeaders(f *os.File, size int64, fn func(slot, pid, version uint64) error) (nSlots uint64, err error) {
+	n := (size - pfHeaderSize) / pfSlotSize
+	if n < 0 {
+		n = 0
+	}
+	hdr := make([]byte, pfSlotHdr)
+	for slot := int64(0); slot < n; slot++ {
+		if _, err := io.ReadFull(io.NewSectionReader(f, pfSlotOff(uint64(slot)), pfSlotHdr), hdr); err != nil {
+			return 0, fmt.Errorf("storage: pagefile scan slot %d: %w", slot, err)
+		}
+		if binary.LittleEndian.Uint32(hdr[20:24])&pfFlagUsed == 0 {
+			continue
+		}
+		if err := fn(uint64(slot),
+			binary.LittleEndian.Uint64(hdr[0:8]),
+			binary.LittleEndian.Uint64(hdr[8:16])); err != nil {
+			return 0, err
+		}
+	}
+	return uint64(n), nil
+}
+
+// scanSlots builds the pageID directory from the slot headers. Image
+// checksums are verified lazily on Get, as the read path always does.
+func (pf *PageFile) scanSlots() error {
+	st, err := pf.f.Stat()
+	if err != nil {
+		return fmt.Errorf("storage: pagefile scan: %w", err)
+	}
+	nSlots, err := scanSlotHeaders(pf.f, st.Size(), func(slot, pid, version uint64) error {
+		if prev, dup := pf.slots[pid]; dup {
+			return fmt.Errorf("storage: pagefile corrupt: page %d in slots %d and %d", pid, prev.slot, slot)
+		}
+		pf.slots[pid] = pfSlot{slot: slot, version: version}
+		if version > pf.seq {
+			pf.seq = version
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	pf.nextSlot = nSlots
+	return nil
+}
+
+// fsync syncs one file and counts it, modeling the configured device
+// latency (the same simulated-device methodology the log devices use).
+func (pf *PageFile) fsync(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	pf.fsyncs.Add(1)
+	if pf.syncDelay > 0 {
+		time.Sleep(pf.syncDelay)
+	}
+	return nil
+}
+
+// SetSyncDelay adds a simulated per-fsync device latency (benchmarks
+// model flash/disk sync cost deterministically; 0 disables).
+func (pf *PageFile) SetSyncDelay(d time.Duration) {
+	pf.mu.Lock()
+	pf.syncDelay = d
+	pf.mu.Unlock()
+}
+
+// Fsyncs returns how many device fsyncs the pagefile has issued — the
+// counter the O(1)-fsyncs-per-sweep property is asserted against.
+func (pf *PageFile) Fsyncs() int64 { return pf.fsyncs.Load() }
+
+// PagesWritten returns how many page images PutBatch has written.
+func (pf *PageFile) PagesWritten() int64 { return pf.pagesPut.Load() }
+
+// JournalReplayed returns how many page images the last Open restored
+// from the double-write journal (0 for a clean shutdown).
+func (pf *PageFile) JournalReplayed() int { return pf.journalReplayed }
+
+// Path returns the pagefile's path.
+func (pf *PageFile) Path() string { return pf.path }
+
+// SizeBytes returns the pagefile's current size.
+func (pf *PageFile) SizeBytes() int64 {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	st, err := pf.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
+
+// SlotInfo describes one occupied pagefile slot (logdump, tests).
+type SlotInfo struct {
+	Slot    uint64
+	PageID  uint64
+	Version uint64
+}
+
+// Slots lists occupied slots in file order.
+func (pf *PageFile) Slots() []SlotInfo {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	out := make([]SlotInfo, 0, len(pf.slots))
+	for pid, s := range pf.slots {
+		out = append(out, SlotInfo{Slot: s.slot, PageID: pid, Version: s.version})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Slot < out[j].Slot })
+	return out
+}
+
+// PutBatch implements ArchiveBatcher: the checkpoint sweep's batched
+// writeback. The whole batch becomes durable with exactly two device
+// fsyncs (journal, then pagefile) no matter how many pages it holds; a
+// failed batch installs nothing the caller may rely on.
+func (pf *PageFile) PutBatch(batch []PageImage) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return errors.New("storage: pagefile closed")
+	}
+	for _, e := range batch {
+		if len(e.Img) != PageSize {
+			return fmt.Errorf("storage: pagefile put: image is %d bytes, want %d", len(e.Img), PageSize)
+		}
+	}
+	if pf.applyFailed {
+		// A previous batch committed its journal but failed phase 2: the
+		// journal is the only intact copy of its pages (their in-place
+		// writes may be partial and unsynced). Re-apply it before this
+		// batch's journal overwrites it — otherwise a page of that batch
+		// absent from this one could persist torn with no journal left
+		// to repair it.
+		entries, err := pf.replayJournal()
+		if err != nil {
+			return fmt.Errorf("storage: pagefile re-apply pending journal: %w", err)
+		}
+		for _, e := range entries {
+			pf.slots[e.pid] = pfSlot{slot: e.slot, version: e.version}
+			delete(pf.assigned, e.pid)
+		}
+		pf.applyFailed = false
+	}
+
+	// Assign slots (new pages extend the file) and stamp versions.
+	type write struct {
+		slot    uint64
+		pid     uint64
+		version uint64
+		sum     uint32
+		img     []byte
+	}
+	writes := make([]write, len(batch))
+	for i, e := range batch {
+		var slot uint64
+		if s, ok := pf.slots[e.PID]; ok {
+			slot = s.slot
+		} else if res, ok := pf.assigned[e.PID]; ok {
+			slot = res // a failed batch reserved it: reuse, never reassign
+		} else {
+			slot = pf.nextSlot
+			pf.nextSlot++
+			// Reserve before any I/O: if this batch fails partway, the
+			// page may already be flagged used at this slot on disk, so
+			// a retry must come back to it.
+			pf.assigned[e.PID] = slot
+		}
+		pf.seq++
+		w := write{slot: slot, pid: e.PID, version: pf.seq, img: e.Img}
+		w.sum = pageChecksum(w.pid, w.version, w.img)
+		writes[i] = w
+	}
+	// Sort by file offset: the journal replays in place in offset order,
+	// and the in-place pass coalesces adjacent slots into single writes.
+	sort.Slice(writes, func(i, j int) bool { return writes[i].slot < writes[j].slot })
+
+	// Phase 1: journal the batch, one fsync. This is the commit point.
+	jnl := make([]byte, pfJnlHdrSize+len(writes)*pfJnlEntrySize)
+	for i, w := range writes {
+		e := jnl[pfJnlHdrSize+i*pfJnlEntrySize:]
+		binary.LittleEndian.PutUint64(e[0:8], w.slot)
+		binary.LittleEndian.PutUint64(e[8:16], w.pid)
+		binary.LittleEndian.PutUint64(e[16:24], w.version)
+		binary.LittleEndian.PutUint32(e[24:28], w.sum)
+		copy(e[pfJnlEntryHdr:], w.img)
+	}
+	binary.LittleEndian.PutUint32(jnl[0:4], pfJournalMagic)
+	binary.LittleEndian.PutUint32(jnl[4:8], pfVersion)
+	binary.LittleEndian.PutUint32(jnl[8:12], uint32(len(writes)))
+	binary.LittleEndian.PutUint32(jnl[12:16], PageSize)
+	binary.LittleEndian.PutUint32(jnl[16:20], crc32.Checksum(jnl[pfJnlHdrSize:], pfCRC))
+	if _, err := pf.jf.WriteAt(jnl, 0); err != nil {
+		return fmt.Errorf("storage: pagefile journal write: %w", err)
+	}
+	if err := pf.fsync(pf.jf); err != nil {
+		return fmt.Errorf("storage: pagefile journal sync: %w", err)
+	}
+	if pf.crashAfterJournal {
+		// The batch is committed in the journal but never applied — the
+		// window the double-write protocol exists for. Drop the handles
+		// as a killed process would.
+		pf.closed = true
+		pf.closeFiles()
+		return ErrSimulatedCrash
+	}
+	if pf.failApply != nil {
+		err := pf.failApply
+		pf.failApply = nil
+		pf.applyFailed = true
+		return err
+	}
+
+	// Phase 2: write in place, coalescing contiguous slot runs into
+	// large sequential writes, then one pagefile fsync.
+	for i := 0; i < len(writes); {
+		j := i + 1
+		for j < len(writes) && writes[j].slot == writes[j-1].slot+1 {
+			j++
+		}
+		run := make([]byte, (j-i)*pfSlotSize)
+		for k := i; k < j; k++ {
+			w := writes[k]
+			dst := run[(k-i)*pfSlotSize:]
+			putSlotHdr(dst, w.pid, w.version, w.sum)
+			copy(dst[pfSlotHdr:], w.img)
+		}
+		if _, err := pf.f.WriteAt(run, pfSlotOff(writes[i].slot)); err != nil {
+			pf.applyFailed = true
+			return fmt.Errorf("storage: pagefile write: %w", err)
+		}
+		pf.slotWrites.Add(1)
+		i = j
+	}
+	if err := pf.fsync(pf.f); err != nil {
+		pf.applyFailed = true
+		return fmt.Errorf("storage: pagefile sync: %w", err)
+	}
+	// The journal is now dead weight; empty it without an fsync — if the
+	// truncation is lost in a crash, Open just replays the batch it
+	// already applied, which is idempotent.
+	if err := pf.jf.Truncate(0); err != nil {
+		return fmt.Errorf("storage: pagefile journal clear: %w", err)
+	}
+
+	for _, w := range writes {
+		pf.slots[w.pid] = pfSlot{slot: w.slot, version: w.version}
+		delete(pf.assigned, w.pid)
+	}
+	pf.batchPuts.Add(1)
+	pf.pagesPut.Add(int64(len(writes)))
+	return nil
+}
+
+// Put implements Archive for single pages (legacy import, tests); sweeps
+// go through PutBatch.
+func (pf *PageFile) Put(pid uint64, img []byte) error {
+	return pf.PutBatch([]PageImage{{PID: pid, Img: img}})
+}
+
+// Get implements Archive ((nil, nil) for a page never archived). The
+// slot header and checksum are verified on every read.
+func (pf *PageFile) Get(pid uint64) ([]byte, error) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return nil, errors.New("storage: pagefile closed")
+	}
+	s, ok := pf.slots[pid]
+	if !ok {
+		return nil, nil
+	}
+	buf := make([]byte, pfSlotSize)
+	if _, err := io.ReadFull(io.NewSectionReader(pf.f, pfSlotOff(s.slot), pfSlotSize), buf); err != nil {
+		return nil, fmt.Errorf("storage: pagefile read page %d: %w", pid, err)
+	}
+	gotPID := binary.LittleEndian.Uint64(buf[0:8])
+	version := binary.LittleEndian.Uint64(buf[8:16])
+	sum := binary.LittleEndian.Uint32(buf[16:20])
+	img := buf[pfSlotHdr:]
+	if gotPID != pid {
+		return nil, fmt.Errorf("storage: pagefile slot %d holds page %d, want %d (misdirected write)", s.slot, gotPID, pid)
+	}
+	if sum != pageChecksum(pid, version, img) {
+		return nil, fmt.Errorf("storage: pagefile page %d fails its checksum (torn or corrupt slot %d)", pid, s.slot)
+	}
+	return img, nil
+}
+
+// Pages implements Archive.
+func (pf *PageFile) Pages() ([]uint64, error) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return nil, errors.New("storage: pagefile closed")
+	}
+	out := make([]uint64, 0, len(pf.slots))
+	for pid := range pf.slots {
+		out = append(out, pid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// importChunk bounds ImportLegacy's per-PutBatch size (a batch holds
+// the images, the journal buffer, and the coalesced run buffers at
+// once — ~3× the images' size in peak memory).
+const importChunk = 1024
+
+// ImportLegacy performs the one-time migration from a FileArchive
+// directory: every page the pagefile does not already hold is batched in
+// (in bounded chunks), then the directory is removed. Skipping
+// already-present pages makes a crashed import safe to repeat — by the
+// time it reruns, the pagefile may hold newer images that must not be
+// clobbered with stale ones.
+func (pf *PageFile) ImportLegacy(dir string) error {
+	fa, err := OpenFileArchive(dir)
+	if err != nil {
+		return fmt.Errorf("storage: legacy import: %w", err)
+	}
+	pids, err := fa.Pages()
+	if err != nil {
+		return fmt.Errorf("storage: legacy import: %w", err)
+	}
+	batch := make([]PageImage, 0, importChunk)
+	for _, pid := range pids {
+		pf.mu.Lock()
+		_, have := pf.slots[pid]
+		pf.mu.Unlock()
+		if have {
+			continue
+		}
+		img, err := fa.Get(pid)
+		if err != nil {
+			return fmt.Errorf("storage: legacy import: %w", err)
+		}
+		batch = append(batch, PageImage{PID: pid, Img: img})
+		if len(batch) == importChunk {
+			if err := pf.PutBatch(batch); err != nil {
+				return fmt.Errorf("storage: legacy import: %w", err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := pf.PutBatch(batch); err != nil {
+		return fmt.Errorf("storage: legacy import: %w", err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("storage: legacy import cleanup: %w", err)
+	}
+	if err := fsutil.SyncDir(filepath.Dir(dir)); err != nil {
+		return fmt.Errorf("storage: legacy import cleanup: %w", err)
+	}
+	return nil
+}
+
+// PageFileInfo is a read-only summary of a pagefile on disk (logdump).
+type PageFileInfo struct {
+	// Pages is the number of occupied slots.
+	Pages int
+	// SizeBytes is the pagefile's size.
+	SizeBytes int64
+	// Slots lists occupied slots in file order. With a pending journal,
+	// slot contents may predate the journaled batch.
+	Slots []SlotInfo
+	// JournalPending is the page count of a committed-but-unapplied
+	// double-write journal (replayed by the owner's next OpenPageFile);
+	// 0 when the journal is empty or torn.
+	JournalPending int
+}
+
+// ReadPageFileInfo inspects a pagefile without modifying anything — no
+// journal replay, no truncation — so it is safe to run against a
+// database another process has open. (OpenPageFile, by contrast, takes
+// ownership: it replays or discards the journal.)
+func ReadPageFileInfo(path string) (*PageFileInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: read pagefile: %w", err)
+	}
+	defer f.Close()
+	pf := &PageFile{path: path, f: f}
+	if err := pf.readHeader(); err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("storage: read pagefile: %w", err)
+	}
+	info := &PageFileInfo{SizeBytes: st.Size()}
+	if _, err := scanSlotHeaders(f, st.Size(), func(slot, pid, version uint64) error {
+		info.Slots = append(info.Slots, SlotInfo{Slot: slot, PageID: pid, Version: version})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	info.Pages = len(info.Slots)
+	if jnl, err := os.ReadFile(path + ".journal"); err == nil {
+		if _, count, ok := parseJournal(jnl); ok {
+			info.JournalPending = count
+		}
+	}
+	return info, nil
+}
+
+func (pf *PageFile) closeFiles() {
+	pf.f.Close()
+	if pf.jf != nil {
+		pf.jf.Close()
+	}
+}
+
+// Close releases the file handles; safe to call more than once. All
+// completed batches are already durable, so Close has nothing to flush.
+func (pf *PageFile) Close() error {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return nil
+	}
+	pf.closed = true
+	err := pf.f.Close()
+	if cerr := pf.jf.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+var (
+	_ Archive        = (*PageFile)(nil)
+	_ ArchiveBatcher = (*PageFile)(nil)
+)

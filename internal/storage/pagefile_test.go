@@ -1,0 +1,369 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aether/internal/lsn"
+)
+
+// pfTestImage builds a valid, distinctive page image for pid.
+func pfTestImage(pid uint64, fill byte) []byte {
+	img := make([]byte, PageSize)
+	binary.LittleEndian.PutUint64(img[0:8], pid)
+	for i := hdrSize; i < PageSize; i++ {
+		img[i] = fill
+	}
+	return img
+}
+
+func openPF(t *testing.T, path string) *PageFile {
+	t.Helper()
+	pf, err := OpenPageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	return pf
+}
+
+func TestPageFileRoundTripAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pagefile.db")
+	pf := openPF(t, path)
+
+	if img, err := pf.Get(42); img != nil || err != nil {
+		t.Fatalf("Get on empty pagefile = %v, %v", img, err)
+	}
+	batch := []PageImage{
+		{PID: 42, Img: pfTestImage(42, 0xAA)},
+		{PID: 7, Img: pfTestImage(7, 0xBB)},
+		{PID: 99, Img: pfTestImage(99, 0xCC)},
+	}
+	if err := pf.PutBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite in a second batch: same slot, new version.
+	v2 := pfTestImage(42, 0xAD)
+	if err := pf.Put(42, v2); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := pf.Get(42); err != nil || !bytes.Equal(got, v2) {
+		t.Fatalf("Get(42) after overwrite: err=%v match=%v", err, bytes.Equal(got, v2))
+	}
+	pages, err := pf.Pages()
+	if err != nil || len(pages) != 3 || pages[0] != 7 || pages[1] != 42 || pages[2] != 99 {
+		t.Fatalf("Pages = %v (%v), want [7 42 99]", pages, err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	// Reopen: directory rebuilt from slot headers, images verified on read.
+	pf2 := openPF(t, path)
+	if pf2.JournalReplayed() != 0 {
+		t.Fatalf("clean reopen replayed %d journal pages", pf2.JournalReplayed())
+	}
+	if got, err := pf2.Get(42); err != nil || !bytes.Equal(got, v2) {
+		t.Fatalf("reopened Get(42): err=%v match=%v", err, bytes.Equal(got, v2))
+	}
+	if got, err := pf2.Get(7); err != nil || !bytes.Equal(got, pfTestImage(7, 0xBB)) {
+		t.Fatalf("reopened Get(7): err=%v", err)
+	}
+	// A page written twice keeps one slot: 3 pages, 3 slots.
+	if slots := pf2.Slots(); len(slots) != 3 {
+		t.Fatalf("slots = %v, want 3 entries", slots)
+	}
+}
+
+// TestPageFileCrashBetweenJournalAndInPlace is the satellite crash test:
+// the process dies after the journal fsync but before any in-place
+// write; reopening must replay the journal and restore every image with
+// passing checksums.
+func TestPageFileCrashBetweenJournalAndInPlace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pagefile.db")
+	pf := openPF(t, path)
+	// An initial durable batch the crash must not disturb.
+	if err := pf.Put(1, pfTestImage(1, 0x11)); err != nil {
+		t.Fatal(err)
+	}
+	pf.crashAfterJournal = true
+	batch := []PageImage{
+		{PID: 1, Img: pfTestImage(1, 0x12)}, // overwrite
+		{PID: 2, Img: pfTestImage(2, 0x22)}, // new page
+		{PID: 3, Img: pfTestImage(3, 0x33)}, // new page
+	}
+	if err := pf.PutBatch(batch); err != ErrSimulatedCrash {
+		t.Fatalf("PutBatch with crash point = %v, want ErrSimulatedCrash", err)
+	}
+
+	pf2 := openPF(t, path)
+	if pf2.JournalReplayed() != 3 {
+		t.Fatalf("reopen replayed %d pages, want 3", pf2.JournalReplayed())
+	}
+	want := map[uint64]byte{1: 0x12, 2: 0x22, 3: 0x33}
+	for pid, fill := range want {
+		got, err := pf2.Get(pid)
+		if err != nil {
+			t.Fatalf("Get(%d) after replay: %v", pid, err)
+		}
+		if !bytes.Equal(got, pfTestImage(pid, fill)) {
+			t.Fatalf("page %d image wrong after journal replay", pid)
+		}
+	}
+	// A second reopen must not replay again (journal was cleared).
+	pf2.Close()
+	pf3 := openPF(t, path)
+	if pf3.JournalReplayed() != 0 {
+		t.Fatalf("journal survived its replay: %d pages replayed again", pf3.JournalReplayed())
+	}
+}
+
+// TestPageFileTornInitialHeaderRecovered: power loss during the very
+// first header write leaves a short/garbage header; since no slot can
+// exist before the header fsync returns, Open must rewrite it instead
+// of bricking the database.
+func TestPageFileTornInitialHeaderRecovered(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pagefile.db")
+	if err := os.WriteFile(path, []byte("torn-partial-head"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pf := openPF(t, path)
+	if err := pf.Put(1, pfTestImage(1, 0x10)); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+	pf2 := openPF(t, path)
+	if got, err := pf2.Get(1); err != nil || !bytes.Equal(got, pfTestImage(1, 0x10)) {
+		t.Fatalf("pagefile unusable after torn-header recovery: %v", err)
+	}
+}
+
+// TestPageFileTornJournalDiscarded: a crash mid-journal-write (before the
+// journal fsync returned) leaves a checksum-invalid journal; Open must
+// discard it and keep the previous batch intact.
+func TestPageFileTornJournalDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pagefile.db")
+	pf := openPF(t, path)
+	if err := pf.Put(5, pfTestImage(5, 0x55)); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+
+	// Hand-craft a torn journal: valid header shape, corrupt entry bytes.
+	jnl := make([]byte, pfJnlHdrSize+pfJnlEntrySize)
+	binary.LittleEndian.PutUint32(jnl[0:4], pfJournalMagic)
+	binary.LittleEndian.PutUint32(jnl[4:8], pfVersion)
+	binary.LittleEndian.PutUint32(jnl[8:12], 1)
+	binary.LittleEndian.PutUint32(jnl[12:16], PageSize)
+	binary.LittleEndian.PutUint32(jnl[16:20], 0xDEADBEEF) // wrong batch CRC
+	if err := os.WriteFile(path+".journal", jnl, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pf2 := openPF(t, path)
+	if pf2.JournalReplayed() != 0 {
+		t.Fatal("torn journal was replayed")
+	}
+	if got, err := pf2.Get(5); err != nil || !bytes.Equal(got, pfTestImage(5, 0x55)) {
+		t.Fatalf("previous batch damaged by torn journal: err=%v", err)
+	}
+	if st, err := os.Stat(path + ".journal"); err != nil || st.Size() != 0 {
+		t.Fatalf("torn journal not cleared: %v, %v", st, err)
+	}
+}
+
+// TestPageFileRetryAfterFailedBatchReusesSlot: a batch that fails after
+// slot assignment (transient I/O error) must not strand its slots — the
+// retry has to land the same pages in the same slots, or the file would
+// hold one page in two used slots and never reopen.
+func TestPageFileRetryAfterFailedBatchReusesSlot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pagefile.db")
+	pf := openPF(t, path)
+	if err := pf.Put(1, pfTestImage(1, 0x01)); err != nil {
+		t.Fatal(err)
+	}
+	simErr := errors.New("simulated transient write failure")
+	pf.failApply = simErr
+	batch := []PageImage{
+		{PID: 2, Img: pfTestImage(2, 0x02)},
+		{PID: 3, Img: pfTestImage(3, 0x03)},
+	}
+	if err := pf.PutBatch(batch); err != simErr {
+		t.Fatalf("PutBatch = %v, want the injected failure", err)
+	}
+	// A *different* later batch must first re-apply the stranded journal
+	// (the failed batch's only intact copy) instead of overwriting it:
+	// pages 2 and 3 have to surface even though no retry included them.
+	if err := pf.PutBatch([]PageImage{{PID: 4, Img: pfTestImage(4, 0x04)}}); err != nil {
+		t.Fatal(err)
+	}
+	for pid, fill := range map[uint64]byte{2: 0x02, 3: 0x03, 4: 0x04} {
+		if got, err := pf.Get(pid); err != nil || !bytes.Equal(got, pfTestImage(pid, fill)) {
+			t.Fatalf("page %d lost after stranded-journal re-apply: %v", pid, err)
+		}
+	}
+	// Re-putting the once-failed pages reuses their reserved slots.
+	if err := pf.PutBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	slots := pf.Slots()
+	if len(slots) != 4 {
+		t.Fatalf("slots after retry = %v, want exactly 4", slots)
+	}
+	if pf.nextSlot != 4 {
+		t.Fatalf("nextSlot = %d after retry, want 4 (no slot leaked)", pf.nextSlot)
+	}
+	pf.Close()
+	// The file must reopen cleanly: no page in two slots.
+	pf2 := openPF(t, path)
+	if pages, err := pf2.Pages(); err != nil || len(pages) != 4 {
+		t.Fatalf("reopen after retried batch: %v, %v", pages, err)
+	}
+	if got, err := pf2.Get(3); err != nil || !bytes.Equal(got, pfTestImage(3, 0x03)) {
+		t.Fatalf("retried page unreadable: %v", err)
+	}
+}
+
+func TestPageFileChecksumCatchesCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pagefile.db")
+	pf := openPF(t, path)
+	if err := pf.Put(9, pfTestImage(9, 0x99)); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+
+	// Flip a byte in the page body on disk.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, pfHeaderSize+pfSlotHdr+100); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	pf2 := openPF(t, path)
+	if _, err := pf2.Get(9); err == nil {
+		t.Fatal("corrupted page image passed its checksum")
+	}
+}
+
+// TestSweepFsyncsO1 is the tentpole's acceptance property: archiving
+// N ≥ 1000 dirty pages in one checkpoint sweep costs O(1) device fsyncs
+// (two: journal, pagefile) instead of O(N).
+func TestSweepFsyncsO1(t *testing.T) {
+	const pages = 1200
+	st := NewStore()
+	for i := 1; i <= pages; i++ {
+		p := st.GetOrCreate(MakePageID(1, uint64(i)))
+		p.SetLSN(1)
+		st.MarkDirty(p.ID(), 1)
+	}
+	pf := openPF(t, filepath.Join(t.TempDir(), "pagefile.db"))
+
+	before := pf.Fsyncs()
+	n := st.ArchiveDirtyPages(pf, lsn.LSN(1))
+	if n != pages {
+		t.Fatalf("sweep archived %d pages, want %d", n, pages)
+	}
+	if got := pf.Fsyncs() - before; got > 2 {
+		t.Fatalf("sweep of %d pages cost %d fsyncs, want ≤ 2", pages, got)
+	}
+	if len(st.DirtyPages()) != 0 {
+		t.Fatal("sweep left pages dirty")
+	}
+	// And everything is readable back with passing checksums.
+	pids, err := pf.Pages()
+	if err != nil || len(pids) != pages {
+		t.Fatalf("Pages = %d entries (%v), want %d", len(pids), err, pages)
+	}
+	for _, pid := range []uint64{pids[0], pids[pages/2], pids[pages-1]} {
+		if _, err := pf.Get(pid); err != nil {
+			t.Fatalf("Get(%d) after sweep: %v", pid, err)
+		}
+	}
+}
+
+func TestPageFileImportLegacy(t *testing.T) {
+	dir := t.TempDir()
+	legacy := filepath.Join(dir, "pages")
+	fa, err := OpenFileArchive(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid := uint64(1); pid <= 5; pid++ {
+		if err := fa.Put(pid, pfTestImage(pid, byte(pid))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pf := openPF(t, filepath.Join(dir, "pagefile.db"))
+	// Page 3 already lives in the pagefile with a NEWER image; a re-run
+	// of a crashed import must not clobber it with the stale legacy copy.
+	newer := pfTestImage(3, 0xF3)
+	if err := pf.Put(3, newer); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.ImportLegacy(legacy); err != nil {
+		t.Fatal(err)
+	}
+	pids, err := pf.Pages()
+	if err != nil || len(pids) != 5 {
+		t.Fatalf("after import: Pages = %v (%v), want 5 pages", pids, err)
+	}
+	if got, _ := pf.Get(3); !bytes.Equal(got, newer) {
+		t.Fatal("import clobbered a newer pagefile image with the legacy copy")
+	}
+	if got, _ := pf.Get(1); !bytes.Equal(got, pfTestImage(1, 1)) {
+		t.Fatal("import lost a legacy page")
+	}
+	if _, err := os.Stat(legacy); !os.IsNotExist(err) {
+		t.Fatalf("legacy directory survived the import: %v", err)
+	}
+	// Importing again (directory gone) is a no-op, not an error — the
+	// one-time migration leaves nothing behind.
+	if err := pf.ImportLegacy(legacy); err != nil {
+		t.Fatalf("re-import after cleanup: %v", err)
+	}
+	_ = os.RemoveAll(legacy)
+}
+
+func TestStoreLoadArchiveFromPageFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pagefile.db")
+	pf := openPF(t, path)
+
+	st := NewStore()
+	p := st.GetOrCreate(MakePageID(2, 1))
+	if err := p.Insert(0, []byte("hello-pagefile")); err != nil {
+		t.Fatal(err)
+	}
+	p.SetLSN(7)
+	st.MarkDirty(p.ID(), 7)
+	if n := st.ArchiveDirtyPages(pf, lsn.LSN(7)); n != 1 {
+		t.Fatalf("sweep archived %d pages, want 1", n)
+	}
+	pf.Close()
+
+	pf2 := openPF(t, path)
+	st2 := NewStore()
+	if err := st2.LoadArchive(pf2); err != nil {
+		t.Fatal(err)
+	}
+	p2 := st2.Get(MakePageID(2, 1))
+	if p2 == nil {
+		t.Fatal("archived page not restored")
+	}
+	if got, err := p2.Get(0); err != nil || string(got) != "hello-pagefile" {
+		t.Fatalf("restored record = %q, %v", got, err)
+	}
+	if p2.LSN() != 7 {
+		t.Fatalf("restored pageLSN = %v, want 7", p2.LSN())
+	}
+}

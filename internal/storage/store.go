@@ -256,6 +256,26 @@ type ArchiveFlusher interface {
 	Flush() error
 }
 
+// PageImage is one page bound for the archive.
+type PageImage struct {
+	PID uint64
+	Img []byte
+}
+
+// ArchiveBatcher is the optional Archive extension the checkpoint sweep
+// prefers: PutBatch installs many page images with O(1) device fsyncs
+// (the PageFile's double-write protocol). A failed PutBatch installs
+// nothing the caller may rely on — every page stays dirty.
+type ArchiveBatcher interface {
+	PutBatch(batch []PageImage) error
+}
+
+// FsyncCounter is implemented by archives that count their device fsyncs;
+// the checkpointer charges the delta to its sweep-fsync counter.
+type FsyncCounter interface {
+	Fsyncs() int64
+}
+
 // ArchiveDirtyPages writes every dirty page whose pageLSN is at or below
 // durable to the archive and cleans it in the DPT. It returns how many
 // pages were written. This is the checkpointer's page-cleaning sweep;
@@ -275,7 +295,9 @@ func (s *Store) ArchiveDirtyPages(a Archive, durable lsn.LSN) int {
 		page *Page
 		lsn  lsn.LSN
 	}
+	batcher, batched := a.(ArchiveBatcher)
 	var done []archived
+	var batch []PageImage // images held only for the batched path
 	for _, e := range s.DirtyPages() {
 		p := s.Get(e.PageID)
 		if p == nil {
@@ -289,17 +311,32 @@ func (s *Store) ArchiveDirtyPages(a Archive, durable lsn.LSN) int {
 			img = p.Snapshot()
 		}
 		p.Latch.RUnlock()
-		if img != nil {
-			if err := a.Put(e.PageID, img); err != nil {
-				// Keep the page dirty: its recLSN stays in the DPT and
-				// pins the truncation horizon, so the log that rebuilds
-				// it cannot be recycled until a later sweep succeeds.
-				continue
-			}
-			done = append(done, archived{pid: e.PageID, page: p, lsn: pl})
+		if img == nil {
+			continue
 		}
+		if batched {
+			// Collect: the whole sweep lands in one PutBatch below.
+			batch = append(batch, PageImage{PID: e.PageID, Img: img})
+		} else if err := a.Put(e.PageID, img); err != nil {
+			// Keep the page dirty: its recLSN stays in the DPT and
+			// pins the truncation horizon, so the log that rebuilds
+			// it cannot be recycled until a later sweep succeeds.
+			// (Streaming Put also keeps peak memory at one image.)
+			continue
+		}
+		done = append(done, archived{pid: e.PageID, page: p, lsn: pl})
 	}
-	if f, ok := a.(ArchiveFlusher); ok && len(done) > 0 {
+	if len(done) == 0 {
+		return 0
+	}
+	if batched {
+		// Batched writeback: O(1) fsyncs for the whole sweep. A failed
+		// batch installs nothing — every page stays dirty and the next
+		// sweep retries.
+		if err := batcher.PutBatch(batch); err != nil {
+			return 0
+		}
+	} else if f, ok := a.(ArchiveFlusher); ok {
 		if err := f.Flush(); err != nil {
 			// Nothing is cleaned: every page stays dirty and the
 			// horizon stays put until a flush succeeds.

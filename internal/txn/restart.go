@@ -23,6 +23,9 @@ type RestartConfig struct {
 	LogConfig core.Config
 	// LockConfig configures the new lock manager.
 	LockConfig lockmgr.Config
+	// CheckpointEveryBytes enables the engine's background incremental
+	// checkpointer (see txn.Config.CheckpointEveryBytes).
+	CheckpointEveryBytes int64
 }
 
 // Restart performs crash recovery and returns a ready engine: read the
@@ -55,6 +58,9 @@ func Restart(cfg RestartConfig) (*Engine, *recovery.Result, error) {
 		Base:     lsn.LSN(base),
 		Store:    store,
 		Appender: lm.NewAppender(),
+		// Every page in the store came from the archive; reject images
+		// the durable log cannot account for (archive ahead of log).
+		VerifyArchive: cfg.Archive != nil,
 	})
 	if err != nil {
 		lm.Close()
@@ -65,10 +71,11 @@ func Restart(cfg RestartConfig) (*Engine, *recovery.Result, error) {
 	// compensation vanished.
 	lm.Flush()
 	eng, err := NewEngine(Config{
-		Log:     lm,
-		Locks:   lockmgr.New(cfg.LockConfig),
-		Store:   store,
-		Archive: cfg.Archive,
+		Log:                  lm,
+		Locks:                lockmgr.New(cfg.LockConfig),
+		Store:                store,
+		Archive:              cfg.Archive,
+		CheckpointEveryBytes: cfg.CheckpointEveryBytes,
 	})
 	if err != nil {
 		lm.Close()
