@@ -1,7 +1,7 @@
-# Tier-1 verification is `make ci` (build + vet + test + bench smoke).
+# Tier-1 verification is `make ci` (build + vet + docs + test + bench smoke).
 GO ?= go
 
-.PHONY: build test test-short test-race vet bench-smoke ci
+.PHONY: build test test-short test-race vet docs bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,15 @@ test-race:
 vet:
 	$(GO) vet ./...
 
+# Documentation lint: formatting, vet, every example and command builds,
+# and the godoc-coverage check — exported identifiers in the promised
+# packages (logdev, storage) must carry doc comments.
+docs: vet
+	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) build ./examples/... ./cmd/...
+	$(GO) run ./cmd/doccheck ./internal/logdev ./internal/storage
+
 # Small-scale perf smoke: vet plus a quick aetherbench run that
 # refreshes BENCH_pr2.json, so the perf trajectory (throughput, sweep
 # fsyncs, sweep duration) is tracked on every CI pass. The heavier bench
@@ -29,4 +38,4 @@ vet:
 bench-smoke: vet
 	$(GO) run ./cmd/aetherbench -quick -json
 
-ci: build vet test bench-smoke
+ci: build vet docs test bench-smoke

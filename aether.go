@@ -127,6 +127,14 @@ type Options struct {
 	// files plus a persistent page archive (pages/) — the recycled
 	// log's data lives on as archived page images.
 	SegmentSize int64
+	// ArchiveDir, if set (requires SegmentSize > 0), enables log
+	// archiving: dead segments are copied and fsynced into this
+	// cold-storage directory by a background archiver goroutine before
+	// their slots are recycled, so the hot log stays bounded while the
+	// full history remains restorable (RestoreTail, logdump). The
+	// conventional location for a file-backed log is
+	// filepath.Join(LogPath, "archive").
+	ArchiveDir string
 	// Device is the simulated device class for in-memory logs.
 	Device DeviceProfile
 	// Buffer selects the log-buffer algorithm. Default BufferCD.
@@ -157,13 +165,14 @@ type crashSim interface {
 
 // DB is an open database.
 type DB struct {
-	opts    Options
-	dev     logdev.Device
-	memDev  crashSim          // non-nil only for in-memory devices
-	segDev  *logdev.Segmented // non-nil only with Options.SegmentSize
-	archive storage.Archive
-	eng     *txn.Engine
-	tables  []string
+	opts     Options
+	dev      logdev.Device
+	memDev   crashSim          // non-nil only for in-memory devices
+	segDev   *logdev.Segmented // non-nil only with Options.SegmentSize
+	archiver logdev.Archiver   // non-nil only with Options.ArchiveDir
+	archive  storage.Archive
+	eng      *txn.Engine
+	tables   []string
 }
 
 // Open creates (or reopens, for a file-backed log with existing
@@ -172,6 +181,9 @@ type DB struct {
 // table contents reappear automatically.
 func Open(opts Options) (*DB, error) {
 	db := &DB{opts: opts}
+	if opts.ArchiveDir != "" && opts.SegmentSize <= 0 {
+		return nil, errors.New("aether: Options.ArchiveDir requires Options.SegmentSize (only segmented logs archive dead segments)")
+	}
 	switch {
 	case opts.LogPath != "" && opts.SegmentSize > 0:
 		s, err := logdev.OpenSegmentedDir(opts.LogPath, opts.SegmentSize)
@@ -214,6 +226,22 @@ func Open(opts Options) (*DB, error) {
 		m := logdev.NewMem(opts.Device.internal())
 		db.dev, db.memDev = m, m
 		db.archive = storage.NewMemArchive()
+	}
+	if opts.ArchiveDir != "" {
+		// Attach cold storage before the engine starts: the archiver
+		// must be in place before the first truncation parks a dead
+		// segment, and the engine only starts its background archiver
+		// goroutine if the log can archive at engine construction.
+		a, err := logdev.OpenDirArchiver(opts.ArchiveDir)
+		if err != nil {
+			db.dev.Close()
+			if c, ok := db.archive.(io.Closer); ok {
+				c.Close()
+			}
+			return nil, err
+		}
+		db.archiver = a
+		db.segDev.SetArchiver(a)
 	}
 	if _, err := db.start(); err != nil {
 		// Release the descriptors the failed open acquired, or a caller
@@ -367,6 +395,18 @@ type Stats struct {
 	// LogSegmentsRecycled counts whole segments recycled (deleted files
 	// or released memory regions); 0 without Options.SegmentSize.
 	LogSegmentsRecycled int64
+	// LogSegmentsArchived counts dead segments shipped to cold storage
+	// (Options.ArchiveDir) before their slots were recycled.
+	LogSegmentsArchived int64
+	// LogSegmentsPendingArchive is how many dead segments currently
+	// await the background archiver; they stay on disk until cold
+	// storage has them.
+	LogSegmentsPendingArchive int64
+	// LogTornTailRepaired counts bytes the last Open discarded while
+	// repairing a torn tail: unsynced bytes a power loss happened to
+	// persist beyond the durable watermark. Committed work is never
+	// among them.
+	LogTornTailRepaired int64
 	// LogBase is the current truncation horizon: restart recovery reads
 	// the log from here, never from byte 0.
 	LogBase int64
@@ -405,8 +445,48 @@ func (db *DB) Stats() Stats {
 	if db.segDev != nil {
 		segs, _ := db.segDev.TruncStats()
 		s.LogSegmentsRecycled = segs
+		s.LogSegmentsArchived = db.segDev.ArchivedSegments()
+		s.LogSegmentsPendingArchive = int64(len(db.segDev.PendingArchive()))
+		s.LogTornTailRepaired = db.segDev.RepairedTailBytes()
 	}
 	return s
+}
+
+// RestoreTail reads the log from logical offset from (a record-aligned
+// LSN; 0 for the beginning of time) through the durable end, stitching
+// archived history below Stats.LogBase — restored on demand from the
+// Options.ArchiveDir cold store — to the live tail. It returns the raw
+// log bytes and the offset the first returned byte actually sits at:
+// from itself when the archive and device cover it contiguously, else
+// Stats.LogBase (history the archive cannot reach would begin
+// mid-record at a segment boundary, so it is withheld rather than
+// returned unparseable; without an archiver this is always the case
+// for from below the base). Dead segments still awaiting the
+// background archiver are drained first, so the archive is contiguous
+// up to the hot log.
+func (db *DB) RestoreTail(from int64) ([]byte, int64, error) {
+	if db.segDev != nil {
+		data, start, err := db.segDev.RestoreLog(db.archiver, from)
+		if err != nil {
+			return nil, 0, fmt.Errorf("aether: restoring log: %w", err)
+		}
+		return data, start, nil
+	}
+	if from < 0 {
+		from = 0
+	}
+	tail, base, err := logdev.ReadTail(db.dev)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := base
+	if from > start {
+		start = from
+	}
+	if end := base + int64(len(tail)); start > end {
+		start = end
+	}
+	return tail[start-base:], start, nil
 }
 
 // RecoveryInfo describes what a reopen had to do (file-backed opens).

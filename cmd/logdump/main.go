@@ -6,16 +6,27 @@
 // next to the log. Pointed at a pagefile itself, it dumps the slot
 // table.
 //
+// Cold-storage awareness: a segmented log whose dead segments were
+// archived (aether.Options.ArchiveDir) keeps only the hot tail on the
+// device. logdump lists the archived segments and, when the archive is
+// reachable, stitches the archived history below the truncation base
+// to the live tail so the dump covers the full log from offset 0 —
+// including segments already recycled from the hot directory. The
+// archive is auto-detected at <dir>/archive (the conventional
+// location) or named explicitly with -archive.
+//
 // Usage:
 //
-//	logdump -f wal.log            # every record
-//	logdump -f wal.d              # segmented log directory
-//	logdump -f wal.log -txn 42    # one transaction's chain
-//	logdump -f wal.log -stats     # kind histogram + volume only
-//	logdump -f wal.d/pagefile.db  # pagefile slot table
+//	logdump -f wal.log              # every record
+//	logdump -f wal.d                # segmented log directory (+ archive, if present)
+//	logdump -f wal.d -archive cold  # segmented log with an explicit cold store
+//	logdump -f wal.log -txn 42      # one transaction's chain
+//	logdump -f wal.log -stats       # kind histogram + volume only
+//	logdump -f wal.d/pagefile.db    # pagefile slot table
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,12 +40,41 @@ import (
 	"aether/internal/storage"
 )
 
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), `logdump decodes an Aether write-ahead log and prints its records.
+
+Usage:
+  logdump -f <path> [-archive <dir>] [-txn <id>] [-stats]
+
+The path may be:
+  a log file            every record, in LSN order
+  a segmented log dir   segment layout + base first; archived segments
+                        (auto-detected at <dir>/archive, or -archive)
+                        are listed and stitched below the base so the
+                        dump covers history already recycled from the
+                        hot directory
+  a pagefile            the paged database file's slot table
+
+Flags:
+`)
+	flag.PrintDefaults()
+	fmt.Fprintf(flag.CommandLine.Output(), `
+Examples:
+  logdump -f wal.d                 dump a segmented log and its archive
+  logdump -f wal.d -stats          kind histogram and volume only
+  logdump -f wal.d -archive /cold  cold store in a non-default location
+  logdump -f wal.d/pagefile.db     slot table of the database file
+`)
+}
+
 func main() {
 	var (
-		path  = flag.String("f", "", "log file, segmented log directory, or pagefile to dump")
-		txn   = flag.Uint64("txn", 0, "show only this transaction (0 = all)")
-		stats = flag.Bool("stats", false, "print only summary statistics")
+		path    = flag.String("f", "", "log file, segmented log directory, or pagefile to dump")
+		archDir = flag.String("archive", "", "cold-storage directory holding archived segments (default: <dir>/archive when present)")
+		txn     = flag.Uint64("txn", 0, "show only this transaction (0 = all)")
+		stats   = flag.Bool("stats", false, "print only summary statistics")
 	)
+	flag.Usage = usage
 	flag.Parse()
 	if *path == "" {
 		flag.Usage()
@@ -47,7 +87,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*path, *txn, *stats); err != nil {
+	if err := run(*path, *archDir, *txn, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "logdump:", err)
 		os.Exit(1)
 	}
@@ -101,24 +141,48 @@ func dumpPageFile(path string, verbose bool) error {
 	return nil
 }
 
-// openDevice opens path as a segmented log directory or a plain log file.
+// openDevice opens path as a segmented log directory or a plain log
+// file. Directories open strictly read-only: logdump is a diagnostic
+// and must never repair, seed metadata, or unlink what it inspects.
 func openDevice(path string) (logdev.Device, error) {
 	st, err := os.Stat(path)
 	if err == nil && st.IsDir() {
-		return logdev.OpenSegmentedDir(path, 0) // segment size from MANIFEST
+		return logdev.OpenSegmentedDirRO(path)
 	}
 	return logdev.OpenFile(path)
 }
 
-func run(path string, txnFilter uint64, statsOnly bool) error {
+// archiverFor opens the cold store for a segmented log: the explicit
+// -archive directory, or <logPath>/archive when it exists. Returns nil
+// when there is no archive — the dump then covers only the hot log.
+// The handle never creates the directory or sweeps temp files (a live
+// archiver may own them).
+func archiverFor(logPath, archDir string) (*logdev.DirArchiver, error) {
+	if archDir == "" {
+		candidate := filepath.Join(logPath, "archive")
+		if st, err := os.Stat(candidate); err != nil || !st.IsDir() {
+			return nil, nil
+		}
+		archDir = candidate
+	}
+	return logdev.DirArchiverAt(archDir)
+}
+
+func run(path, archDir string, txnFilter uint64, statsOnly bool) error {
 	dev, err := openDevice(path)
 	if err != nil {
 		return err
 	}
 	defer dev.Close()
+
+	var data []byte
+	var base int64
 	if seg, ok := dev.(*logdev.Segmented); ok {
 		fmt.Printf("segmented log: segsize=%d base=%d durable=%d\n",
 			seg.SegmentSize(), seg.Base(), seg.DurableSize())
+		if repaired := seg.RepairedTailBytes(); repaired > 0 {
+			fmt.Printf("  torn tail: %d unsynced bytes beyond the durable watermark (left on disk; a read-write open repairs them)\n", repaired)
+		}
 		for _, si := range seg.Segments() {
 			live := ""
 			if si.Start < seg.Base() {
@@ -126,17 +190,50 @@ func run(path string, txnFilter uint64, statsOnly bool) error {
 			}
 			fmt.Printf("  segment %6d  [%d, %d)%s\n", si.Index, si.Start, si.End, live)
 		}
+		if pend := seg.PendingArchive(); len(pend) > 0 {
+			fmt.Printf("  pending archive: %v  (dead, recycled only after cold storage has them)\n", pend)
+		}
+		arch, aerr := archiverFor(path, archDir)
+		if aerr != nil {
+			return aerr
+		}
+		if arch != nil {
+			idxs, lerr := arch.Segments()
+			if lerr != nil {
+				return lerr
+			}
+			fmt.Printf("archive %s: %d segments\n", arch.Dir(), len(idxs))
+			for _, idx := range idxs {
+				fmt.Printf("  archived segment %6d  [%d, %d)\n",
+					idx, idx*seg.SegmentSize(), (idx+1)*seg.SegmentSize())
+			}
+		}
 		fmt.Println()
+		// Read-only device + read-only archive handle: RestoreLog skips
+		// the drain and stitches what is already archived to the bytes
+		// still on the device (parked dead segments included).
+		var a logdev.Archiver
+		if arch != nil {
+			a = arch
+		}
+		data, base, err = seg.RestoreLog(a, 0)
+		if err != nil {
+			return err
+		}
+	} else {
+		if archDir != "" {
+			return errors.New("-archive only applies to segmented log directories")
+		}
+		data, base, err = logdev.ReadTail(dev)
+		if err != nil {
+			return err
+		}
 	}
 	if pfPath := pageFileFor(path); pfPath != "" {
 		if err := dumpPageFile(pfPath, false); err != nil {
 			fmt.Printf("pagefile %s: unreadable: %v\n", pfPath, err)
 		}
 		fmt.Println()
-	}
-	data, base, err := logdev.ReadTail(dev)
-	if err != nil {
-		return err
 	}
 
 	it := logrec.NewIterator(data, lsn.LSN(base))
@@ -165,7 +262,7 @@ func run(path string, txnFilter uint64, statsOnly bool) error {
 		fmt.Printf("-- log gap: %v (recovery stops here)\n", err)
 	}
 
-	fmt.Printf("\n%d records, %d live bytes (base %d), %d distinct transactions\n",
+	fmt.Printf("\n%d records, %d restorable bytes (from offset %d), %d distinct transactions\n",
 		n, len(data), base, len(txns))
 	kinds := make([]logrec.Kind, 0, len(kindCount))
 	for k := range kindCount {

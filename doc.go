@@ -53,6 +53,31 @@
 // with foreground commits — the log stays bounded with zero client
 // Checkpoint calls and zero commit-path stalls.
 //
+// # Durable watermark and torn-tail repair
+//
+// A segmented log directory persists a durable watermark
+// (MANIFEST.durable, two CRC-protected ping-pong slots) on every Sync
+// batch, after the data fsyncs and before durability is acknowledged.
+// On reopen the watermark — not the segment file sizes — is the durable
+// horizon, which lets Open tell two failure shapes apart: bytes beyond
+// the watermark are a torn tail (a power loss persisted unsynced bytes,
+// possibly in a later segment while dropping an earlier one's) and are
+// discarded, with the count reported in Stats.LogTornTailRepaired;
+// bytes missing below the watermark are real corruption and Open fails
+// loudly rather than silently dropping acknowledged commits.
+//
+// # Log archiving (cold storage)
+//
+// With Options.ArchiveDir set, dead segments are not deleted at
+// truncation: a background archiver goroutine copies and fsyncs each
+// one into the cold-storage directory first, and only then recycles its
+// slot — the hot log stays tiny while the full history survives.
+// DB.RestoreTail stitches archived segments back to the live tail on
+// demand (and cmd/logdump does the same), so the log remains readable
+// from offset 0 for audit and replay. Stats.LogSegmentsArchived and
+// Stats.LogSegmentsPendingArchive track the pipeline; while cold
+// storage is unreachable, dead segments simply wait on disk.
+//
 // # Paged database file
 //
 // File-backed databases persist page images in a single paged, slotted,
@@ -70,6 +95,8 @@
 // consistent. Databases created by older versions with a one-file-per-
 // page pages/ directory are imported into the pagefile once on Open.
 //
-// See the examples/ directory for complete programs and DESIGN.md for
-// the architecture and paper-to-code map.
+// See the examples/ directory for complete programs, README.md for the
+// quickstart and feature matrix, and ARCHITECTURE.md for the
+// architecture, the paper-to-code map, and the segment-lifecycle and
+// fsync-ordering invariants.
 package aether

@@ -391,6 +391,27 @@ func (lm *LogManager) Base() lsn.LSN {
 	return lsn.LSN(logdev.BaseOffset(lm.dev))
 }
 
+// CanArchive reports whether the device ships dead segments to cold
+// storage before recycling them — i.e. it is an
+// logdev.ArchivingTruncator with an archiver attached. The engine's
+// background archiver goroutine starts only when this is true.
+func (lm *LogManager) CanArchive() bool {
+	a, ok := lm.dev.(logdev.ArchivingTruncator)
+	return ok && a.HasArchiver()
+}
+
+// ArchivePending forwards to the device's archive-then-recycle drain:
+// every dead segment parked by a truncation is durably copied to cold
+// storage and only then has its slot recycled. Devices without
+// archiving make this a no-op.
+func (lm *LogManager) ArchivePending() (int, error) {
+	a, ok := lm.dev.(logdev.ArchivingTruncator)
+	if !ok {
+		return 0, nil
+	}
+	return a.ArchivePending()
+}
+
 // Flush asks the daemon to flush everything released so far without
 // waiting for it to complete. Combine with WaitDurable to force.
 func (lm *LogManager) Flush() {

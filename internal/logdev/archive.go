@@ -1,0 +1,384 @@
+package logdev
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"aether/internal/fsutil"
+)
+
+// Archiver is cold storage for dead log segments — the BtrLog-style
+// archive-before-recycle lifecycle. A Segmented device with an archiver
+// attached never deletes a dead segment until Archive has returned for
+// it, so the full log history survives below the truncation base: the
+// hot log stays tiny while audit/replay readers restore archived
+// segments on demand (RestoreRange, aether.RestoreTail, logdump).
+//
+// Implementations must make Archive durable before returning (the
+// segment file is unlinked right after) and should be idempotent: a
+// crash between Archive and the recycle re-archives the same segment on
+// the next pass. DirArchiver is the in-tree local-directory cold store;
+// the interface is deliberately small enough for S3-style backends.
+type Archiver interface {
+	// Archive durably stores the full contents of dead segment idx.
+	// data is exactly one segment (SegmentSize bytes). Archiving the
+	// same idx twice with identical contents must succeed.
+	Archive(idx int64, data []byte) error
+	// Retrieve returns segment idx's archived contents, or
+	// ErrNotArchived if idx was never archived.
+	Retrieve(idx int64) ([]byte, error)
+	// Segments lists archived segment indexes in ascending order.
+	Segments() ([]int64, error)
+}
+
+// ErrNotArchived is returned by Archiver.Retrieve for a segment the
+// archive does not hold.
+var ErrNotArchived = errors.New("logdev: segment not archived")
+
+// DirArchiver is the local-directory Archiver: each dead segment is a
+// file <dir>/<index>.seg, installed atomically (synced temp file, then
+// rename, then directory fsync) so a crash mid-archive can never leave
+// a half-written segment that a restore would trust.
+type DirArchiver struct {
+	dir string
+}
+
+// OpenDirArchiver opens (creating if needed) a local cold-storage
+// directory. Orphan temp files from a crash mid-archive are swept out.
+func OpenDirArchiver(dir string) (*DirArchiver, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("logdev: create archive %s: %w", dir, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("logdev: open archive %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil && !os.IsNotExist(err) {
+				return nil, fmt.Errorf("logdev: sweep stale temp %s: %w", e.Name(), err)
+			}
+		}
+	}
+	return &DirArchiver{dir: dir}, nil
+}
+
+// DirArchiverAt returns a handle on an existing cold-storage directory
+// without creating it or sweeping temp files — the read-side open for
+// diagnostic tools (logdump) that must not mutate a live archiver's
+// directory. Retrieve and Segments work as usual; Archive still writes,
+// so writers should use OpenDirArchiver.
+func DirArchiverAt(dir string) (*DirArchiver, error) {
+	st, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("logdev: open archive %s: %w", dir, err)
+	}
+	if !st.IsDir() {
+		return nil, fmt.Errorf("logdev: archive %s is not a directory", dir)
+	}
+	return &DirArchiver{dir: dir}, nil
+}
+
+// Dir returns the cold-storage directory path.
+func (a *DirArchiver) Dir() string { return a.dir }
+
+func (a *DirArchiver) segPath(idx int64) string {
+	return filepath.Join(a.dir, fmt.Sprintf("%016d.seg", idx))
+}
+
+// Archive implements Archiver. The segment is crash-installed: bytes
+// are fsynced in a temp file, renamed into place, and the directory
+// entry is fsynced before Archive returns — only then may the caller
+// unlink the hot copy.
+func (a *DirArchiver) Archive(idx int64, data []byte) error {
+	path := a.segPath(idx)
+	if st, err := os.Stat(path); err == nil && st.Size() == int64(len(data)) {
+		// Already archived (a crash interrupted the recycle): the
+		// archive is immutable history, so an existing full-size copy
+		// is the same bytes.
+		return nil
+	}
+	tmp := path + ".tmp"
+	if err := fsutil.WriteFileSync(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("logdev: archive segment %d: %w", idx, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("logdev: install archived segment %d: %w", idx, err)
+	}
+	if err := fsutil.SyncDir(a.dir); err != nil {
+		return fmt.Errorf("logdev: sync archive dir: %w", err)
+	}
+	return nil
+}
+
+// Retrieve implements Archiver.
+func (a *DirArchiver) Retrieve(idx int64) ([]byte, error) {
+	data, err := os.ReadFile(a.segPath(idx))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("logdev: segment %d: %w", idx, ErrNotArchived)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("logdev: retrieve segment %d: %w", idx, err)
+	}
+	return data, nil
+}
+
+// Segments implements Archiver.
+func (a *DirArchiver) Segments() ([]int64, error) {
+	entries, err := os.ReadDir(a.dir)
+	if err != nil {
+		return nil, fmt.Errorf("logdev: list archive %s: %w", a.dir, err)
+	}
+	var out []int64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		idx, perr := strconv.ParseInt(strings.TrimSuffix(name, ".seg"), 10, 64)
+		if perr != nil {
+			continue
+		}
+		out = append(out, idx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// MemArchiver is an in-memory Archiver for tests and simulated
+// deployments: cold storage that survives the simulated crashes the
+// memory-backed Segmented device models.
+type MemArchiver struct {
+	mu   sync.Mutex
+	segs map[int64][]byte
+	fail error
+}
+
+// NewMemArchiver returns an empty in-memory archive.
+func NewMemArchiver() *MemArchiver {
+	return &MemArchiver{segs: make(map[int64][]byte)}
+}
+
+// FailWith injects err into every subsequent Archive call until cleared
+// with FailWith(nil) — tests use it to prove dead segments are never
+// recycled while the cold store is down.
+func (a *MemArchiver) FailWith(err error) {
+	a.mu.Lock()
+	a.fail = err
+	a.mu.Unlock()
+}
+
+// Archive implements Archiver.
+func (a *MemArchiver) Archive(idx int64, data []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.fail != nil {
+		return a.fail
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	a.segs[idx] = cp
+	return nil
+}
+
+// Retrieve implements Archiver.
+func (a *MemArchiver) Retrieve(idx int64) ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	data, ok := a.segs[idx]
+	if !ok {
+		return nil, fmt.Errorf("logdev: segment %d: %w", idx, ErrNotArchived)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// Segments implements Archiver.
+func (a *MemArchiver) Segments() ([]int64, error) {
+	a.mu.Lock()
+	out := make([]int64, 0, len(a.segs))
+	for idx := range a.segs {
+		out = append(out, idx)
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+var (
+	_ Archiver = (*DirArchiver)(nil)
+	_ Archiver = (*MemArchiver)(nil)
+)
+
+// ArchivingTruncator is the optional Truncator extension for devices
+// whose dead segments are shipped to cold storage before their slots
+// are recycled. The log manager forwards the background archiver's
+// drain calls through it.
+type ArchivingTruncator interface {
+	Truncator
+	// ArchivePending ships every dead segment awaiting recycle to the
+	// attached archiver and recycles it, returning how many were
+	// archived this pass.
+	ArchivePending() (int, error)
+	// HasArchiver reports whether an archiver is attached.
+	HasArchiver() bool
+}
+
+// RestoreRange reads the archived log bytes covering [from, to) from a,
+// whose segments are segSize bytes each. Only the newest contiguous run
+// of archived segments ending at `to` is restorable: if the oldest
+// requested bytes are missing — because from predates the archive, or
+// because a hole interrupts it — the range is clamped up and the
+// returned start is the first offset of that contiguous run, with data
+// holding [start, to). Callers needing record-aligned output must
+// treat start > from as "older history unavailable" (a segment
+// boundary is not a record boundary); Archiver.Segments still lists
+// any orphaned segments stranded below a hole.
+func RestoreRange(a Archiver, segSize, from, to int64) (data []byte, start int64, err error) {
+	if segSize <= 0 {
+		return nil, 0, fmt.Errorf("logdev: restore: segment size %d", segSize)
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from >= to {
+		return nil, to, nil
+	}
+	have, err := a.Segments()
+	if err != nil {
+		return nil, 0, fmt.Errorf("logdev: restore: %w", err)
+	}
+	present := make(map[int64]bool, len(have))
+	for _, idx := range have {
+		present[idx] = true
+	}
+	firstIdx, lastIdx := from/segSize, (to-1)/segSize
+	// Walk from the newest needed segment down: the first gap bounds
+	// how far back history can be restored contiguously.
+	startIdx := firstIdx
+	for idx := lastIdx; idx >= firstIdx; idx-- {
+		if !present[idx] {
+			if idx == lastIdx {
+				return nil, to, nil // nothing restorable in range
+			}
+			startIdx = idx + 1
+			break
+		}
+	}
+	start = startIdx * segSize
+	if start < from {
+		start = from
+	}
+	data = make([]byte, 0, to-start)
+	for idx := startIdx; idx <= lastIdx; idx++ {
+		seg, err := a.Retrieve(idx)
+		if err != nil {
+			return nil, 0, fmt.Errorf("logdev: restore segment %d: %w", idx, err)
+		}
+		if int64(len(seg)) != segSize {
+			return nil, 0, fmt.Errorf("logdev: archived segment %d is %d bytes, want %d", idx, len(seg), segSize)
+		}
+		lo, hi := int64(0), segSize
+		if segStart := idx * segSize; segStart < start {
+			lo = start - segStart
+		}
+		if segStart := idx * segSize; segStart+segSize > to {
+			hi = to - segStart
+		}
+		data = append(data, seg[lo:hi]...)
+	}
+	return data, start, nil
+}
+
+// RestoreLog returns the log bytes [start, durable end), stitching
+// archived history below the hot log to the live bytes on the device.
+// start is `from` itself when the archive and the device cover it
+// contiguously; otherwise the truncation base — the oldest
+// record-aligned offset the hot log guarantees. (Archived segment
+// boundaries are not record boundaries, so partially restorable
+// history cannot be handed to a record iterator; rather than return
+// bytes that begin mid-record, RestoreLog falls back to the base.)
+// from itself must be a record boundary: 0, the base, or an LSN a
+// previous call returned.
+//
+// The whole operation — draining pending dead segments to arch (when
+// non-nil), then reading — runs under the archive mutex: a concurrent
+// truncation can park segments mid-restore (they stay readable on the
+// device) but never recycle one out from under the read.
+func (s *Segmented) RestoreLog(arch Archiver, from int64) ([]byte, int64, error) {
+	if from < 0 {
+		from = 0
+	}
+	s.archMu.Lock()
+	defer s.archMu.Unlock()
+	if arch != nil && !s.readOnly {
+		if _, err := s.archivePendingLocked(); err != nil {
+			return nil, 0, fmt.Errorf("logdev: draining pending segments: %w", err)
+		}
+	}
+	s.mu.Lock()
+	durable := s.durable
+	base := s.base
+	// The device's oldest physically-present byte: live segments plus
+	// any dead segments still parked for the archiver (readable through
+	// the pending fallback) — a failed or read-only drain must not cost
+	// the restore their bytes.
+	liveStart := s.size
+	for idx := range s.segs {
+		if o := idx * s.segSize; o < liveStart {
+			liveStart = o
+		}
+	}
+	for idx := range s.pending {
+		if o := idx * s.segSize; o < liveStart {
+			liveStart = o
+		}
+	}
+	s.mu.Unlock()
+	if from > durable {
+		from = durable
+	}
+	start := from
+	var archData []byte
+	if from < liveStart {
+		if arch != nil {
+			var err error
+			archData, start, err = RestoreRange(arch, s.segSize, from, liveStart)
+			if err != nil {
+				return nil, 0, err
+			}
+		} else {
+			start = liveStart
+		}
+	}
+	if start > from {
+		// The archive cannot reach back to from: anything it could
+		// restore would begin mid-record at a segment boundary. Hand
+		// back the hot log from its record-aligned base instead.
+		archData, start = nil, base
+	}
+	rawFrom := liveStart
+	if start > rawFrom {
+		rawFrom = start
+	}
+	live := make([]byte, durable-rawFrom)
+	for off := rawFrom; off < durable; {
+		n, err := s.RawReadAt(live[off-rawFrom:], off)
+		off += int64(n)
+		if err != nil {
+			if err == io.EOF && off == durable {
+				break
+			}
+			return nil, 0, err
+		}
+	}
+	return append(archData, live...), start, nil
+}

@@ -1,0 +1,568 @@
+package logdev
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// segFile returns the path of segment idx in dir (16-digit zero-padded,
+// matching dirSegBackend.segPath).
+func segFile(dir string, idx int64) string {
+	return filepath.Join(dir, fmt.Sprintf("%016d.seg", idx))
+}
+
+// TestTornTailRepairedFromWatermark is the headline crash test: a power
+// loss whose writeback persisted unsynced bytes in segment N+1 but not
+// in segment N used to read as a mid-log gap ("corruption") and fail
+// Open. With the durable watermark in the segment directory, Open
+// clamps the log back to the watermark — discarding only bytes no
+// completed Sync ever covered — and the synced prefix reads back intact.
+func TestTornTailRepairedFromWatermark(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmentedDir(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fill(150, 'w') // segments 0,1 full; segment 2 holds 22 bytes
+	appendSync(t, s, want) // watermark hardens at 150
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulated power loss mid-append: the device's write cache flushed
+	// a later segment's unsynced bytes (a brand-new segment 3 appears,
+	// fully written) but dropped the earlier segment 2's tail (it stays
+	// at its synced 22 bytes). File sizes now lie about durability.
+	if err := os.WriteFile(segFile(dir, 3), fill(64, 'J'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenSegmentedDir(dir, 0)
+	if err != nil {
+		t.Fatalf("Open failed on a repairable torn tail: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.DurableSize(); got != 150 {
+		t.Fatalf("DurableSize = %d after repair, want the watermark 150", got)
+	}
+	if got := s2.RepairedTailBytes(); got != 64 { // segment 3's junk; the hole holds nothing
+		t.Fatalf("RepairedTailBytes = %d, want 64", got)
+	}
+	got := make([]byte, 150)
+	if _, err := s2.ReadAt(got, 0); err != nil {
+		t.Fatalf("ReadAt after repair: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("synced prefix corrupted by the repair")
+	}
+	if _, err := os.Stat(segFile(dir, 3)); !os.IsNotExist(err) {
+		t.Fatal("torn segment 3 survived the repair")
+	}
+	// The log keeps working where the watermark left it.
+	appendSync(t, s2, fill(10, 'n'))
+	if got := s2.DurableSize(); got != 160 {
+		t.Fatalf("DurableSize after post-repair append = %d, want 160", got)
+	}
+}
+
+// A torn tail inside the last synced segment (unsynced bytes persisted
+// beyond the watermark in segment N itself) is trimmed back.
+func TestTornTailTrimsPartialSegment(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmentedDir(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fill(90, 'p') // segment 1 holds 26 synced bytes
+	appendSync(t, s, want)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Unsynced bytes the crash happened to persist in the tail segment.
+	f, err := os.OpenFile(segFile(dir, 1), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(fill(20, 'X')); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := OpenSegmentedDir(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.DurableSize(); got != 90 {
+		t.Fatalf("DurableSize = %d, want 90", got)
+	}
+	if got := s2.RepairedTailBytes(); got != 20 {
+		t.Fatalf("RepairedTailBytes = %d, want 20", got)
+	}
+	got := make([]byte, 90)
+	if _, err := s2.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("synced bytes corrupted by trim")
+	}
+}
+
+// Bytes the watermark covers that the segment files no longer hold are
+// NOT a torn tail: that is mid-log corruption (bit rot, truncated or
+// deleted files) and Open must fail loudly instead of silently
+// discarding acknowledged commits.
+func TestWatermarkRejectsMidLogCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmentedDir(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendSync(t, s, fill(150, 'c'))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated segment", func(t *testing.T) {
+		if err := os.Truncate(segFile(dir, 1), 10); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenSegmentedDir(dir, 0); err == nil {
+			t.Fatal("Open accepted a log missing bytes below the durable watermark")
+		}
+		if err := os.WriteFile(segFile(dir, 1), fill(64, 'c')[:64], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("missing segment", func(t *testing.T) {
+		saved, err := os.ReadFile(segFile(dir, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Remove(segFile(dir, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenSegmentedDir(dir, 0); err == nil {
+			t.Fatal("Open accepted a log with a whole segment missing below the watermark")
+		}
+		if err := os.WriteFile(segFile(dir, 1), saved, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// A directory written before watermarks existed still opens: the file
+// sizes are adopted as the durable horizon exactly as before, and the
+// watermark file is seeded so the next open has the real thing.
+func TestLegacyDirWithoutWatermark(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmentedDir(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fill(100, 'l')
+	appendSync(t, s, want)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, watermarkName)); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenSegmentedDir(dir, 0)
+	if err != nil {
+		t.Fatalf("legacy dir rejected: %v", err)
+	}
+	if got := s2.DurableSize(); got != 100 {
+		t.Fatalf("DurableSize = %d on legacy open, want 100", got)
+	}
+	s2.Close()
+	if _, err := os.Stat(filepath.Join(dir, watermarkName)); err != nil {
+		t.Fatalf("watermark not seeded on legacy open: %v", err)
+	}
+}
+
+// A torn update of the watermark file itself (one slot scribbled) falls
+// back to the other slot — always a safe, merely conservative horizon:
+// a torn slot write means the Sync recording it was never acknowledged,
+// so clamping to the surviving (older) slot discards only
+// unacknowledged bytes.
+func TestWatermarkSurvivesTornSlot(t *testing.T) {
+	// Each scenario gets a fresh directory: the repair that follows a
+	// torn slot legitimately rewrites the segment files.
+	for slot := int64(0); slot < wmSlots; slot++ {
+		dir := t.TempDir()
+		s, err := OpenSegmentedDir(dir, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendSync(t, s, fill(64, 'a')) // watermark 64 in one slot
+		appendSync(t, s, fill(64, 'b')) // watermark 128 in the other
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, watermarkName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		torn := append([]byte(nil), data...)
+		copy(torn[slot*wmSlotSize:(slot+1)*wmSlotSize], fill(wmSlotSize, 'T'))
+		if err := os.WriteFile(filepath.Join(dir, watermarkName), torn, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := OpenSegmentedDir(dir, 0)
+		if err != nil {
+			t.Fatalf("torn slot %d rejected the directory: %v", slot, err)
+		}
+		// Whichever slot survived, the open must repair to one of the
+		// two persisted watermarks, never fail.
+		if got := s2.DurableSize(); got != 64 && got != 128 {
+			t.Fatalf("DurableSize = %d with torn slot %d, want 64 or 128", got, slot)
+		}
+		s2.Close()
+	}
+}
+
+func TestDirArchiverRoundtripAndIdempotency(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenDirArchiver(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fill(64, 'z')
+	if err := a.Archive(7, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Archive(7, want); err != nil {
+		t.Fatalf("re-archiving the same segment: %v", err)
+	}
+	got, err := a.Retrieve(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("archived segment mismatch")
+	}
+	if _, err := a.Retrieve(8); !errors.Is(err, ErrNotArchived) {
+		t.Fatalf("Retrieve of missing segment: %v, want ErrNotArchived", err)
+	}
+	segs, err := a.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0] != 7 {
+		t.Fatalf("Segments = %v, want [7]", segs)
+	}
+	// Orphan temps are swept on open.
+	if err := os.WriteFile(filepath.Join(dir, "0000000000000009.seg.tmp"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDirArchiver(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "0000000000000009.seg.tmp")); !os.IsNotExist(err) {
+		t.Fatal("stale temp survived reopen")
+	}
+}
+
+// TestArchiveBeforeRecycle is the lifecycle test: with an archiver
+// attached, Truncate parks dead segments instead of deleting them, and
+// every one of them reaches cold storage (byte-identical) before its
+// file is removed. While the cold store is down, nothing is recycled.
+func TestArchiveBeforeRecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmentedDir(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	arch := NewMemArchiver()
+	s.SetArchiver(arch)
+
+	want := fill(300, 'q') // segments 0..4
+	appendSync(t, s, want)
+	if err := s.Truncate(200); err != nil { // segments 0,1,2 dead
+		t.Fatal(err)
+	}
+	if got := s.PendingArchive(); len(got) != 3 {
+		t.Fatalf("PendingArchive = %v, want 3 dead segments", got)
+	}
+	for idx := int64(0); idx < 3; idx++ {
+		if _, err := os.Stat(segFile(dir, idx)); err != nil {
+			t.Fatalf("dead segment %d recycled before archiving: %v", idx, err)
+		}
+	}
+	segs, _ := s.TruncStats()
+	if segs != 0 {
+		t.Fatalf("TruncStats counted %d recycled segments before the archive ran", segs)
+	}
+
+	// Cold store down: the drain fails and every slot stays occupied.
+	arch.FailWith(errors.New("cold storage unreachable"))
+	if n, err := s.ArchivePending(); err == nil || n != 0 {
+		t.Fatalf("ArchivePending with cold store down: n=%d err=%v", n, err)
+	}
+	for idx := int64(0); idx < 3; idx++ {
+		if _, err := os.Stat(segFile(dir, idx)); err != nil {
+			t.Fatalf("segment %d recycled while the archiver was failing", idx)
+		}
+	}
+
+	// Cold store back: segments ship, then (and only then) recycle.
+	arch.FailWith(nil)
+	n, err := s.ArchivePending()
+	if err != nil || n != 3 {
+		t.Fatalf("ArchivePending = (%d, %v), want (3, nil)", n, err)
+	}
+	if got := s.PendingArchive(); len(got) != 0 {
+		t.Fatalf("PendingArchive = %v after drain, want empty", got)
+	}
+	if got := s.ArchivedSegments(); got != 3 {
+		t.Fatalf("ArchivedSegments = %d, want 3", got)
+	}
+	if segs, _ := s.TruncStats(); segs != 3 {
+		t.Fatalf("TruncStats = %d recycled after drain, want 3", segs)
+	}
+	for idx := int64(0); idx < 3; idx++ {
+		if _, err := os.Stat(segFile(dir, idx)); !os.IsNotExist(err) {
+			t.Fatalf("segment %d not recycled after archiving", idx)
+		}
+		got, err := arch.Retrieve(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want[idx*64:(idx+1)*64]) {
+			t.Fatalf("archived segment %d contents mismatch", idx)
+		}
+	}
+
+	// Restore-on-demand: the archived history below the base reassembles
+	// byte-identically.
+	data, start, err := RestoreRange(arch, 64, 0, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 0 || !bytes.Equal(data, want[:192]) {
+		t.Fatalf("RestoreRange start=%d len=%d, want full archived history", start, len(data))
+	}
+	// A range predating the archive clamps up to the first restorable byte.
+	delete(arch.segs, 0)
+	data, start, err = RestoreRange(arch, 64, 0, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 64 || !bytes.Equal(data, want[64:192]) {
+		t.Fatalf("clamped RestoreRange start=%d, want 64", start)
+	}
+}
+
+// RestoreLog must never hand back bytes that begin mid-record: when the
+// archive cannot reach the requested offset, it falls back to the
+// record-aligned truncation base rather than a segment boundary.
+func TestRestoreLogFallsBackToRecordAlignedBase(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmentedDir(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	want := fill(300, 'f')
+	appendSync(t, s, want)
+	if err := s.Truncate(200); err != nil { // recycles 0,1,2; base 200
+		t.Fatal(err)
+	}
+
+	// No archive at all: only the hot log from its base is returnable.
+	data, start, err := s.RestoreLog(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 200 || !bytes.Equal(data, want[200:]) {
+		t.Fatalf("RestoreLog(nil, 0) start=%d len=%d, want the base 200", start, len(data))
+	}
+
+	// Partial archive (hole below segment 2): restorable bytes would
+	// begin at a segment boundary mid-record, so the base wins again.
+	arch := NewMemArchiver()
+	if err := arch.Archive(2, want[128:192]); err != nil {
+		t.Fatal(err)
+	}
+	data, start, err = s.RestoreLog(arch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 200 || !bytes.Equal(data, want[200:]) {
+		t.Fatalf("partial archive: start=%d, want fallback to base 200", start)
+	}
+
+	// Complete archive: the full history comes back from offset 0.
+	if err := arch.Archive(0, want[0:64]); err != nil {
+		t.Fatal(err)
+	}
+	if err := arch.Archive(1, want[64:128]); err != nil {
+		t.Fatal(err)
+	}
+	data, start, err = s.RestoreLog(arch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 0 || !bytes.Equal(data, want) {
+		t.Fatalf("complete archive: start=%d len=%d, want the full history", start, len(data))
+	}
+}
+
+// A read-only open (logdump's path) must leave a crashed directory
+// byte-identical: no repair, no watermark seeding, no unlinking — while
+// still presenting the repaired view in memory.
+func TestOpenSegmentedDirRODoesNotMutate(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmentedDir(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fill(150, 'o')
+	appendSync(t, s, want)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The torn-tail crash shape: junk segment 3 persisted.
+	if err := os.WriteFile(segFile(dir, 3), fill(64, 'J'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := func() map[string]int64 {
+		out := make(map[string]int64)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			info, err := e.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[e.Name()] = info.Size()
+		}
+		return out
+	}
+	before := snapshot()
+
+	ro, err := OpenSegmentedDirRO(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ro.DurableSize(); got != 150 {
+		t.Fatalf("RO DurableSize = %d, want the watermark 150", got)
+	}
+	if got := ro.RepairedTailBytes(); got != 64 {
+		t.Fatalf("RO RepairedTailBytes = %d, want 64", got)
+	}
+	got := make([]byte, 150)
+	if _, err := ro.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("RO read mismatch")
+	}
+	if _, err := ro.Append([]byte("x")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("RO Append: %v, want ErrReadOnly", err)
+	}
+	if err := ro.Sync(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("RO Sync: %v, want ErrReadOnly", err)
+	}
+	if err := ro.Truncate(100); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("RO Truncate: %v, want ErrReadOnly", err)
+	}
+	if err := ro.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after := snapshot()
+	if len(before) != len(after) {
+		t.Fatalf("RO open changed the directory: %v → %v", before, after)
+	}
+	for name, size := range before {
+		if after[name] != size {
+			t.Fatalf("RO open resized %s: %d → %d", name, size, after[name])
+		}
+	}
+	// Legacy dir (clean, no watermark): RO adopts the file sizes in
+	// memory and must not seed a watermark file.
+	legacy := t.TempDir()
+	s2, err := OpenSegmentedDir(legacy, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendSync(t, s2, fill(100, 'l'))
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(legacy, watermarkName)); err != nil {
+		t.Fatal(err)
+	}
+	ro2, err := OpenSegmentedDirRO(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ro2.DurableSize(); got != 100 {
+		t.Fatalf("legacy RO DurableSize = %d, want 100", got)
+	}
+	ro2.Close()
+	if _, err := os.Stat(filepath.Join(legacy, watermarkName)); !os.IsNotExist(err) {
+		t.Fatal("RO open seeded a watermark file")
+	}
+}
+
+// A crash between parking dead segments and the archive drain leaves
+// them on disk below the base; a reopen re-parks them and the next
+// drain ships them.
+func TestReopenDrainsPendingDeadSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmentedDir(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := NewMemArchiver()
+	s.SetArchiver(arch)
+	want := fill(300, 'r')
+	appendSync(t, s, want)
+	if err := s.Truncate(200); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash" before ArchivePending ran: close with segments parked.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenSegmentedDir(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.PendingArchive(); len(got) != 3 {
+		t.Fatalf("PendingArchive after reopen = %v, want the 3 dead segments", got)
+	}
+	// Reads of the live tail are unaffected by parked segments.
+	p := make([]byte, 100)
+	if _, err := s2.ReadAt(p, 200); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, want[200:]) {
+		t.Fatal("live tail mismatch with parked segments")
+	}
+	s2.SetArchiver(arch)
+	if n, err := s2.ArchivePending(); err != nil || n != 3 {
+		t.Fatalf("drain after reopen = (%d, %v), want (3, nil)", n, err)
+	}
+	for idx := int64(0); idx < 3; idx++ {
+		got, err := arch.Retrieve(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want[idx*64:(idx+1)*64]) {
+			t.Fatalf("archived segment %d mismatch after reopen drain", idx)
+		}
+	}
+}

@@ -45,10 +45,14 @@ type Device interface {
 // Stats counts device operations. Figures 4 and 5 use Syncs to show group
 // commit batching (fewer, larger I/Os as load grows).
 type Stats struct {
-	Appends      metrics.Counter
-	Syncs        metrics.Counter
+	// Appends counts Append calls (write-cache fills).
+	Appends metrics.Counter
+	// Syncs counts completed Sync calls (durability barriers).
+	Syncs metrics.Counter
+	// BytesWritten counts bytes accepted by Append.
 	BytesWritten metrics.Counter
-	SyncTime     metrics.Histogram
+	// SyncTime records the wall-clock latency of each Sync.
+	SyncTime metrics.Histogram
 }
 
 // ErrClosed is returned after Close.

@@ -99,6 +99,11 @@ type segBackend interface {
 	// before any removal, so a crash can never leave the recorded base
 	// below a recycled segment.
 	setBase(base int64) error
+	// setDurable durably records the watermark: how many logical bytes
+	// completed Syncs cover. Called by Sync after the data fsyncs and
+	// before durability is acknowledged, so the recorded watermark can
+	// never exceed what is actually on stable storage.
+	setDurable(d int64) error
 	// syncMeta makes segment creations durable (directory fsync);
 	// called by Sync before durability is acknowledged whenever new
 	// segments were opened since the last sync.
@@ -123,21 +128,31 @@ type Segmented struct {
 
 	mu      sync.Mutex
 	segs    map[int64]segment
-	base    int64 // truncation horizon: first valid logical offset
-	size    int64 // logical append end (monotonic across truncation)
+	pending map[int64]segment // dead segments awaiting archive-then-recycle
+	base    int64             // truncation horizon: first valid logical offset
+	size    int64             // logical append end (monotonic across truncation)
 	durable int64
 	newSegs bool // segments created since the last completed Sync
 	closed  bool
 	failErr error
 
+	archiver Archiver   // nil: dead segments are recycled immediately
+	archMu   sync.Mutex // serializes ArchivePending passes
+	readOnly bool       // diagnostic open: no writes, no repair on disk
+
 	truncatedSegments int64
 	truncatedBytes    int64
+	archivedSegments  int64
+	repairedTail      int64 // torn-tail bytes discarded by Open
 	lowRead           int64 // lowest offset ever passed to ReadAt
 
 	stats Stats
 }
 
-var _ Truncator = (*Segmented)(nil)
+var (
+	_ Truncator          = (*Segmented)(nil)
+	_ ArchivingTruncator = (*Segmented)(nil)
+)
 
 // memSegBackend keeps segments as heap buffers.
 type memSegBackend struct{ segSize int64 }
@@ -149,6 +164,7 @@ func (b *memSegBackend) open(int64) (segment, error) {
 }
 func (b *memSegBackend) remove(int64, segment) error { return nil }
 func (b *memSegBackend) setBase(int64) error         { return nil }
+func (b *memSegBackend) setDurable(int64) error      { return nil }
 func (b *memSegBackend) syncMeta() error             { return nil }
 func (b *memSegBackend) close() error                { return nil }
 
@@ -181,14 +197,19 @@ func NewSegmentedMem(p Profile, segSize int64) *Segmented {
 		segSize: segSize,
 		backend: &memSegBackend{segSize: segSize},
 		segs:    make(map[int64]segment),
+		pending: make(map[int64]segment),
 		lowRead: math.MaxInt64,
 	}
 }
 
-// dirSegBackend stores each segment as dir/<index>.seg plus a MANIFEST.
+// dirSegBackend stores each segment as dir/<index>.seg plus a MANIFEST
+// (segment size + truncation horizon) and a MANIFEST.durable watermark
+// file (how many logical bytes completed Syncs cover).
 type dirSegBackend struct {
 	dir     string
 	segSize int64
+	wm      *watermarkFile
+	ro      bool // diagnostic open: never write or unlink anything
 }
 
 type fileSegment struct{ f *os.File }
@@ -198,7 +219,11 @@ func (b *dirSegBackend) segPath(idx int64) string {
 }
 
 func (b *dirSegBackend) open(idx int64) (segment, error) {
-	f, err := os.OpenFile(b.segPath(idx), os.O_RDWR|os.O_CREATE, 0o644)
+	flags := os.O_RDWR | os.O_CREATE
+	if b.ro {
+		flags = os.O_RDONLY
+	}
+	f, err := os.OpenFile(b.segPath(idx), flags, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("logdev: open segment: %w", err)
 	}
@@ -221,9 +246,16 @@ func (b *dirSegBackend) setBase(base int64) error {
 	return writeManifest(b.dir, b.segSize, base)
 }
 
+func (b *dirSegBackend) setDurable(d int64) error { return b.wm.set(d) }
+
 func (b *dirSegBackend) syncMeta() error { return fsutil.SyncDir(b.dir) }
 
-func (b *dirSegBackend) close() error { return nil }
+func (b *dirSegBackend) close() error {
+	if b.wm != nil {
+		return b.wm.close()
+	}
+	return nil
+}
 
 func writeManifest(dir string, segSize, base int64) error {
 	tmp := filepath.Join(dir, manifestName+".tmp")
@@ -305,7 +337,31 @@ func (s *fileSegment) close() error       { return s.f.Close() }
 // with OpenFile. segSize must match the directory's manifest if one
 // exists; pass 0 to adopt the manifest's value (reopen / logdump).
 func OpenSegmentedDir(dir string, segSize int64) (*Segmented, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return openSegmentedDir(dir, segSize, false)
+}
+
+// ErrReadOnly is returned for mutating operations on a device opened
+// with OpenSegmentedDirRO.
+var ErrReadOnly = errors.New("logdev: device opened read-only")
+
+// OpenSegmentedDirRO opens an existing segmented log directory strictly
+// for inspection (logdump): segment files open read-only, a missing
+// watermark is adopted in memory without being seeded, and a torn tail
+// is clamped in memory without trimming or unlinking anything on disk —
+// the crash evidence stays exactly as the crash left it. Append, Sync
+// and Truncate return ErrReadOnly.
+func OpenSegmentedDirRO(dir string) (*Segmented, error) {
+	return openSegmentedDir(dir, 0, true)
+}
+
+func openSegmentedDir(dir string, segSize int64, ro bool) (*Segmented, error) {
+	if ro {
+		if st, err := os.Stat(dir); err != nil {
+			return nil, fmt.Errorf("logdev: open %s: %w", dir, err)
+		} else if !st.IsDir() {
+			return nil, fmt.Errorf("logdev: %s is not a segmented log directory", dir)
+		}
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("logdev: create %s: %w", dir, err)
 	}
 	msz, mbase, haveManifest, err := readManifest(dir)
@@ -317,6 +373,8 @@ func OpenSegmentedDir(dir string, segSize int64) (*Segmented, error) {
 		segSize = msz
 	case haveManifest && segSize != msz:
 		return nil, fmt.Errorf("logdev: segment size %d does not match manifest's %d in %s", segSize, msz, dir)
+	case !haveManifest && ro:
+		return nil, fmt.Errorf("logdev: %s has no MANIFEST (not a segmented log)", dir)
 	case !haveManifest && segSize <= 0:
 		return nil, fmt.Errorf("logdev: segment size required for new segmented log %s", dir)
 	case !haveManifest:
@@ -329,14 +387,26 @@ func OpenSegmentedDir(dir string, segSize int64) (*Segmented, error) {
 	if err != nil {
 		return nil, fmt.Errorf("logdev: read %s: %w", dir, err)
 	}
+	backend := &dirSegBackend{dir: dir, segSize: segSize, ro: ro}
 	s := &Segmented{
-		segSize: segSize,
-		backend: &dirSegBackend{dir: dir, segSize: segSize},
-		segs:    make(map[int64]segment),
-		base:    mbase,
-		lowRead: math.MaxInt64,
+		segSize:  segSize,
+		backend:  backend,
+		segs:     make(map[int64]segment),
+		pending:  make(map[int64]segment),
+		base:     mbase,
+		lowRead:  math.MaxInt64,
+		readOnly: ro,
+	}
+	if ro {
+		s.failErr = ErrReadOnly
+	}
+	fail := func(err error) (*Segmented, error) {
+		s.closeSegmentsLocked()
+		backend.close()
+		return nil, err
 	}
 	minIdx, maxIdx := int64(math.MaxInt64), int64(-1)
+	sizes := make(map[int64]int64)
 	var lastLen int64
 	for _, e := range entries {
 		name := e.Name()
@@ -345,23 +415,21 @@ func OpenSegmentedDir(dir string, segSize int64) (*Segmented, error) {
 		}
 		idx, perr := strconv.ParseInt(strings.TrimSuffix(name, ".seg"), 10, 64)
 		if perr != nil {
-			return nil, fmt.Errorf("logdev: stray file %s in segmented log %s", name, dir)
+			return fail(fmt.Errorf("logdev: stray file %s in segmented log %s", name, dir))
 		}
 		info, ierr := e.Info()
 		if ierr != nil {
-			s.closeSegmentsLocked()
-			return nil, ierr
+			return fail(ierr)
 		}
 		if info.Size() > segSize {
-			s.closeSegmentsLocked()
-			return nil, fmt.Errorf("logdev: segment %s is %d bytes, larger than segment size %d", name, info.Size(), segSize)
+			return fail(fmt.Errorf("logdev: segment %s is %d bytes, larger than segment size %d", name, info.Size(), segSize))
 		}
 		seg, oerr := s.backend.open(idx)
 		if oerr != nil {
-			s.closeSegmentsLocked()
-			return nil, oerr
+			return fail(oerr)
 		}
 		s.segs[idx] = seg
+		sizes[idx] = info.Size()
 		if idx < minIdx {
 			minIdx = idx
 		}
@@ -379,10 +447,115 @@ func OpenSegmentedDir(dir string, segSize int64) (*Segmented, error) {
 			s.base = sb
 		}
 	}
-	s.durable = s.size
+
+	// The durable watermark decides where acknowledged durability ends.
+	// On-disk file sizes are NOT that boundary: a power loss can persist
+	// unsynced bytes in a later segment while dropping them from an
+	// earlier one. The watermark, written before every Sync is
+	// acknowledged, distinguishes the two failure shapes: bytes beyond
+	// it are a torn tail (discard), bytes missing below it are real
+	// corruption (fail loudly).
+	var wmVal int64
+	if ro {
+		v, haveWM, rerr := readWatermark(dir)
+		if rerr != nil {
+			return fail(rerr)
+		}
+		wmVal = v
+		if !haveWM {
+			wmVal = s.size // legacy assumption, adopted in memory only
+		}
+	} else {
+		wm, v, haveWM, werr := openWatermark(dir)
+		if werr != nil {
+			return fail(werr)
+		}
+		backend.wm = wm
+		wmVal = v
+		if !haveWM {
+			// Directory written before watermarks existed (or a crash
+			// beat the very first Sync): the file sizes are the only
+			// durable horizon available — the legacy assumption, kept
+			// for one more open, then replaced by a live watermark.
+			if err := wm.set(s.size); err != nil {
+				return fail(err)
+			}
+			if err := fsutil.SyncDir(dir); err != nil {
+				return fail(fmt.Errorf("logdev: sync watermark dir: %w", err))
+			}
+			wmVal = s.size
+		}
+	}
+	if wmVal < s.base {
+		return fail(fmt.Errorf("logdev: durable watermark %d below truncation base %d in %s (metadata corruption)", wmVal, s.base, dir))
+	}
+	for idx := s.base / segSize; idx*segSize < wmVal; idx++ {
+		need := min(segSize, wmVal-idx*segSize)
+		if sizes[idx] < need {
+			return fail(fmt.Errorf(
+				"logdev: segment %d holds %d bytes but the durable watermark %d requires %d — mid-log corruption, refusing to repair",
+				idx, sizes[idx], wmVal, need))
+		}
+	}
+	if s.size > wmVal {
+		// Torn tail: everything beyond the watermark was never covered
+		// by a completed Sync, so no committed work can live there.
+		// Clamp the log back to the watermark and make the repair
+		// durable before acknowledging the open. repairedTail counts
+		// the bytes actually on disk beyond the watermark (a crash can
+		// persist a later segment while dropping an earlier one's tail,
+		// so the span size-wmVal may include holes that hold nothing).
+		removed := false
+		for idx, seg := range s.segs {
+			segStart := idx * segSize
+			switch {
+			case segStart >= wmVal:
+				s.repairedTail += sizes[idx]
+				if ro {
+					// Leave the crash evidence on disk; just stop
+					// serving the torn segment.
+					seg.close()
+					delete(s.segs, idx)
+					continue
+				}
+				if err := s.backend.remove(idx, seg); err != nil {
+					return fail(fmt.Errorf("logdev: discard torn segment %d: %w", idx, err))
+				}
+				delete(s.segs, idx)
+				removed = true
+			case segStart+sizes[idx] > wmVal:
+				s.repairedTail += segStart + sizes[idx] - wmVal
+				if ro {
+					continue // clamped in memory via size/durable below
+				}
+				if err := seg.trim(wmVal - segStart); err != nil {
+					return fail(fmt.Errorf("logdev: trim torn segment %d: %w", idx, err))
+				}
+				if err := seg.sync(); err != nil {
+					return fail(fmt.Errorf("logdev: sync trimmed segment %d: %w", idx, err))
+				}
+			}
+		}
+		if removed {
+			if err := s.backend.syncMeta(); err != nil {
+				return fail(err)
+			}
+		}
+		s.size = wmVal
+	}
+	s.durable = wmVal
 	if s.base > s.size {
-		s.closeSegmentsLocked()
-		return nil, fmt.Errorf("logdev: manifest base %d beyond log end %d in %s", s.base, s.size, dir)
+		return fail(fmt.Errorf("logdev: manifest base %d beyond log end %d in %s", s.base, s.size, dir))
+	}
+	// Segments wholly below the base are dead: a crash interrupted
+	// archive-then-recycle (or plain recycle). They hold only released
+	// history, so they wait in the pending set for ArchivePending to
+	// ship them to cold storage (or drop them) rather than serving reads.
+	for idx, seg := range s.segs {
+		if (idx+1)*segSize <= s.base {
+			s.pending[idx] = seg
+			delete(s.segs, idx)
+		}
 	}
 	return s, nil
 }
@@ -529,6 +702,15 @@ func (s *Segmented) Sync() error {
 			return err
 		}
 	}
+	// Persist the durable watermark before acknowledging: it is what a
+	// reopen trusts over file sizes, so it must advance with every Sync
+	// batch — after the data fsyncs (never ahead of the bytes it
+	// covers) and before durability is published (never behind an
+	// acknowledged commit). A no-op when the target did not advance.
+	if err := s.backend.setDurable(target); err != nil {
+		restoreNewSegs()
+		return err
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -576,6 +758,45 @@ func (s *Segmented) ReadAt(p []byte, off int64) (int, error) {
 	if off < s.base {
 		return 0, fmt.Errorf("logdev: offset %d below truncation base %d", off, s.base)
 	}
+	return s.readLocked(p, off)
+}
+
+// LiveStart returns the logical offset of the first byte still held by
+// a live segment — at or below Base(), since the segment containing the
+// base usually starts before it. Bytes in [LiveStart, Base) are dead to
+// ReadAt but physically present; restore paths read them with RawReadAt
+// instead of round-tripping them through cold storage.
+func (s *Segmented) LiveStart() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := s.size
+	for idx := range s.segs {
+		if o := idx * s.segSize; o < start {
+			start = o
+		}
+	}
+	return start
+}
+
+// RawReadAt reads the durable prefix ignoring the truncation horizon:
+// offsets down to LiveStart() are served even when below Base().
+// Restore-on-demand uses it to stitch archived history to the hot log;
+// recovery never does (it must prove it reads only the live tail).
+func (s *Segmented) RawReadAt(p []byte, off int64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("logdev: negative offset %d", off)
+	}
+	return s.readLocked(p, off)
+}
+
+// readLocked serves a read from the live segments. Caller holds s.mu
+// and has validated off against its chosen lower bound.
+func (s *Segmented) readLocked(p []byte, off int64) (int, error) {
 	if off >= s.durable {
 		return 0, io.EOF
 	}
@@ -590,6 +811,11 @@ func (s *Segmented) ReadAt(p []byte, off int64) (int, error) {
 		segOff := cur % s.segSize
 		chunk := min(s.segSize-segOff, end-cur)
 		seg := s.segs[idx]
+		if seg == nil {
+			// A dead segment parked for the archiver is still on the
+			// device; restore reads (below the base) serve from it.
+			seg = s.pending[idx]
+		}
 		if seg == nil {
 			return n, fmt.Errorf("logdev: segment %d missing (holds offset %d)", idx, cur)
 		}
@@ -607,6 +833,9 @@ func (s *Segmented) ReadAt(p []byte, off int64) (int, error) {
 // Truncate implements Truncator: advance the horizon and recycle every
 // segment wholly below it. The newest segment is always retained so a
 // reopened directory can recompute the logical layout from what remains.
+// With an Archiver attached, dead segments are not recycled here: they
+// move to the pending set, where ArchivePending ships them to cold
+// storage before freeing their slots (archive-before-recycle).
 // Callers are expected to serialize Truncate (the checkpointer does);
 // Append/Sync/ReadAt stay concurrent — the manifest fsyncs and unlinks
 // run outside the device mutex so the flush daemon never stalls behind
@@ -629,6 +858,7 @@ func (s *Segmented) Truncate(before int64) error {
 		s.mu.Unlock()
 		return nil
 	}
+	archiving := s.archiver != nil
 	var maxIdx int64 = -1
 	for idx := range s.segs {
 		if idx > maxIdx {
@@ -657,32 +887,164 @@ func (s *Segmented) Truncate(before int64) error {
 		if err := s.backend.setBase(before); err != nil {
 			return err
 		}
-		for _, idx := range dead {
-			if err := s.backend.remove(idx, deadSegs[idx]); err != nil {
-				// The horizon stays put, so a retry at the same horizon
-				// re-enters and picks up the remaining dead segments.
-				ioErr = err
-				break
+		if !archiving {
+			for _, idx := range dead {
+				if err := s.backend.remove(idx, deadSegs[idx]); err != nil {
+					// The horizon stays put, so a retry at the same horizon
+					// re-enters and picks up the remaining dead segments.
+					ioErr = err
+					break
+				}
+				recycled = append(recycled, idx)
 			}
-			recycled = append(recycled, idx)
 		}
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, idx := range recycled {
-		delete(s.segs, idx)
-		s.truncatedSegments++
+	if archiving {
+		// Park the dead segments for the background archiver: their
+		// bytes are dead to readers (below the horizon) but their slots
+		// stay occupied until cold storage has them.
+		for _, idx := range dead {
+			s.pending[idx] = deadSegs[idx]
+			delete(s.segs, idx)
+		}
+	} else {
+		for _, idx := range recycled {
+			delete(s.segs, idx)
+			s.truncatedSegments++
+		}
 	}
 	if ioErr != nil {
 		return ioErr
 	}
-	// Advance the in-memory horizon only once the recycle completed.
+	// Advance the in-memory horizon only once the recycle (or the
+	// handoff to the pending set) completed.
 	if before > s.base {
 		s.truncatedBytes += before - s.base
 		s.base = before
 	}
 	return nil
+}
+
+// SetArchiver attaches cold storage for dead segments: from now on
+// Truncate parks dead segments in the pending set instead of deleting
+// them, and ArchivePending ships them to a before recycling. Attach the
+// archiver right after Open, before the first Truncate; a nil a detaches
+// it (pending segments then drain as plain recycles).
+func (s *Segmented) SetArchiver(a Archiver) {
+	s.mu.Lock()
+	s.archiver = a
+	s.mu.Unlock()
+}
+
+// HasArchiver implements ArchivingTruncator.
+func (s *Segmented) HasArchiver() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.archiver != nil
+}
+
+// ArchivePending implements ArchivingTruncator: every pending dead
+// segment is copied to the archiver (durably — Archive must not return
+// before its bytes are safe) and only then recycled. A failed archive
+// leaves the segment pending: its slot is never reused until cold
+// storage holds its history. Safe to call concurrently with appends,
+// syncs and truncations; passes serialize among themselves.
+func (s *Segmented) ArchivePending() (int, error) {
+	s.archMu.Lock()
+	defer s.archMu.Unlock()
+	return s.archivePendingLocked()
+}
+
+// archivePendingLocked is ArchivePending's body; caller holds s.archMu.
+func (s *Segmented) archivePendingLocked() (int, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if s.readOnly {
+		s.mu.Unlock()
+		return 0, ErrReadOnly
+	}
+	arch := s.archiver
+	segSize := s.segSize
+	idxs := make([]int64, 0, len(s.pending))
+	pend := make(map[int64]segment, len(s.pending))
+	for idx, seg := range s.pending {
+		idxs = append(idxs, idx)
+		pend[idx] = seg
+	}
+	s.mu.Unlock()
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+
+	archived := 0
+	for _, idx := range idxs {
+		seg := pend[idx]
+		if arch != nil {
+			data := make([]byte, segSize)
+			if err := seg.readAt(data, 0); err != nil {
+				return archived, fmt.Errorf("logdev: read dead segment %d: %w", idx, err)
+			}
+			if err := arch.Archive(idx, data); err != nil {
+				// Cold storage is down: the segment stays pending and
+				// on disk. Recycling without the archive would erase
+				// the only copy of its history.
+				return archived, err
+			}
+		}
+		if err := s.backend.remove(idx, seg); err != nil {
+			return archived, err
+		}
+		s.mu.Lock()
+		delete(s.pending, idx)
+		s.truncatedSegments++
+		if arch != nil {
+			s.archivedSegments++
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if arch != nil {
+			archived++
+		}
+		if closed {
+			break
+		}
+	}
+	return archived, nil
+}
+
+// PendingArchive lists the dead segments awaiting archive-then-recycle,
+// in logical order. Tests and logdump use it to prove no slot is reused
+// before its history reaches cold storage.
+func (s *Segmented) PendingArchive() []int64 {
+	s.mu.Lock()
+	out := make([]int64, 0, len(s.pending))
+	for idx := range s.pending {
+		out = append(out, idx)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ArchivedSegments returns how many dead segments ArchivePending has
+// shipped to cold storage over the device's lifetime.
+func (s *Segmented) ArchivedSegments() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.archivedSegments
+}
+
+// RepairedTailBytes returns how many torn-tail bytes OpenSegmentedDir
+// discarded when it clamped the log to the durable watermark (0 for a
+// clean open).
+func (s *Segmented) RepairedTailBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repairedTail
 }
 
 // trimToDurableLocked discards everything beyond the durable horizon —
@@ -752,10 +1114,13 @@ func (s *Segmented) FailWith(err error) {
 	s.failErr = err
 }
 
-// closeSegmentsLocked closes every open segment. Caller holds s.mu (or
-// has exclusive access during construction).
+// closeSegmentsLocked closes every open segment, live and pending.
+// Caller holds s.mu (or has exclusive access during construction).
 func (s *Segmented) closeSegmentsLocked() {
 	for _, seg := range s.segs {
+		seg.close()
+	}
+	for _, seg := range s.pending {
 		seg.close()
 	}
 }

@@ -1,0 +1,147 @@
+package logdev
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// watermarkName is the durable-watermark file kept next to the MANIFEST
+// in a segment directory. It records, after every completed Sync batch,
+// exactly how many logical log bytes the device has acknowledged as
+// durable. On reopen it is what lets Open distinguish a torn tail
+// (bytes a crash persisted without a completed Sync — repairable by
+// clamping to the watermark) from real mid-log corruption (bytes the
+// watermark covers but the segment files no longer hold — fatal).
+const watermarkName = "MANIFEST.durable"
+
+// The watermark file holds two fixed 16-byte slots, updated
+// alternately in place (ping-pong): 8-byte little-endian value,
+// 4-byte CRC-32C of the value, 4 bytes of zero padding. A torn or
+// interrupted update can damage at most the slot being written; the
+// other still holds the previous watermark, which is always a safe
+// (merely conservative) durable horizon. Readers take the highest
+// slot whose CRC verifies.
+const (
+	wmSlotSize = 16
+	wmSlots    = 2
+	wmFileSize = wmSlotSize * wmSlots
+)
+
+var wmCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// watermarkFile is an open durable-watermark file. One in-place write
+// plus one fsync per set — the per-Sync-batch cost of torn-tail repair.
+type watermarkFile struct {
+	f      *os.File
+	next   int   // slot the next set overwrites (never the best one)
+	last   int64 // highest value persisted so far
+	seeded bool  // at least one valid slot is on disk
+}
+
+// encodeWMSlot fills a 16-byte slot with value+CRC.
+func encodeWMSlot(dst []byte, v int64) {
+	binary.LittleEndian.PutUint64(dst[0:8], uint64(v))
+	binary.LittleEndian.PutUint32(dst[8:12], crc32.Checksum(dst[0:8], wmCRC))
+	binary.LittleEndian.PutUint32(dst[12:16], 0)
+}
+
+// decodeWMSlot returns the slot's value and whether its CRC verifies.
+func decodeWMSlot(src []byte) (int64, bool) {
+	v := binary.LittleEndian.Uint64(src[0:8])
+	if crc32.Checksum(src[0:8], wmCRC) != binary.LittleEndian.Uint32(src[8:12]) {
+		return 0, false
+	}
+	return int64(v), true
+}
+
+// openWatermark opens (creating if needed) dir's watermark file and
+// returns the recorded watermark. ok reports whether any slot held a
+// valid record: false means the file is new (or both slots are torn),
+// i.e. a directory written before watermarks existed — the caller
+// falls back to the legacy durable=file-size assumption and seeds the
+// file. A newly created file's dentry is NOT yet durable; the caller
+// must SyncDir after seeding it.
+func openWatermark(dir string) (w *watermarkFile, val int64, ok bool, err error) {
+	f, err := os.OpenFile(filepath.Join(dir, watermarkName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("logdev: open watermark: %w", err)
+	}
+	buf := make([]byte, wmFileSize)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		// Only a short read (just-created or crash-before-first-set
+		// file, missing bytes stay zero ⇒ invalid slots) may fall back
+		// to the legacy durable=file-size assumption. A real I/O error
+		// must fail the open: treating it as "fresh file" would bless a
+		// torn tail as acknowledged data and overwrite the surviving
+		// watermark slot.
+		f.Close()
+		return nil, 0, false, fmt.Errorf("logdev: read watermark: %w", err)
+	}
+	w = &watermarkFile{f: f}
+	best := -1
+	for i := 0; i < wmSlots; i++ {
+		if v, valid := decodeWMSlot(buf[i*wmSlotSize : (i+1)*wmSlotSize]); valid && (best < 0 || v > w.last) {
+			w.last, best = v, i
+		}
+	}
+	if best < 0 {
+		return w, 0, false, nil
+	}
+	// Never overwrite the slot holding the best record.
+	w.next = (best + 1) % wmSlots
+	w.seeded = true
+	return w, w.last, true, nil
+}
+
+// set durably records d as the watermark (one write + one fsync).
+// Values at or below the last persisted watermark are free no-ops,
+// except that the very first set always writes: a new file must hold a
+// valid slot (even for 0) so a later open trusts it over file sizes.
+func (w *watermarkFile) set(d int64) error {
+	if w.seeded && d <= w.last {
+		return nil
+	}
+	var slot [wmSlotSize]byte
+	encodeWMSlot(slot[:], d)
+	if _, err := w.f.WriteAt(slot[:], int64(w.next)*wmSlotSize); err != nil {
+		return fmt.Errorf("logdev: write watermark: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("logdev: sync watermark: %w", err)
+	}
+	if d > w.last {
+		w.last = d
+	}
+	w.seeded = true
+	w.next = (w.next + 1) % wmSlots
+	return nil
+}
+
+// close releases the file handle.
+func (w *watermarkFile) close() error { return w.f.Close() }
+
+// readWatermark reads dir's watermark without opening the file for
+// writing — the diagnostic (read-only) path. ok is false when the file
+// does not exist or holds no valid slot.
+func readWatermark(dir string) (val int64, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, watermarkName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("logdev: read watermark: %w", err)
+	}
+	buf := make([]byte, wmFileSize)
+	copy(buf, data)
+	for i := 0; i < wmSlots; i++ {
+		if v, valid := decodeWMSlot(buf[i*wmSlotSize : (i+1)*wmSlotSize]); valid && (!ok || v > val) {
+			val, ok = v, true
+		}
+	}
+	return val, ok, nil
+}

@@ -1,0 +1,41 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The in-memory archive takes the same batched sweep path as the
+// PageFile: one PutBatch installs every image, and later mutation of
+// the caller's buffers must not leak into the archive.
+func TestMemArchivePutBatch(t *testing.T) {
+	a := NewMemArchive()
+	img1 := []byte{1, 2, 3}
+	img2 := []byte{4, 5, 6}
+	if err := a.PutBatch([]PageImage{{PID: 1, Img: img1}, {PID: 2, Img: img2}}); err != nil {
+		t.Fatal(err)
+	}
+	img1[0] = 99 // the archive must hold its own copy
+	got, err := a.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Get(1) = %v after caller mutation, want the snapshotted copy", got)
+	}
+	pids, err := a.Pages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pids) != 2 || pids[0] != 1 || pids[1] != 2 {
+		t.Fatalf("Pages = %v, want [1 2]", pids)
+	}
+	// A batched put overwrites like a plain Put would.
+	if err := a.PutBatch([]PageImage{{PID: 2, Img: []byte{7}}}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = a.Get(2)
+	if !bytes.Equal(got, []byte{7}) {
+		t.Fatalf("Get(2) = %v after overwrite, want [7]", got)
+	}
+}

@@ -54,6 +54,9 @@ var (
 // physical latch (distinct from logical locks); callers latch before
 // touching page contents.
 type Page struct {
+	// Latch is the short-term physical latch: shared for reads of page
+	// contents, exclusive for mutations. It orders pageLSN bumps
+	// against the checkpoint sweep's check-and-clean.
 	Latch sync.RWMutex
 	buf   [PageSize]byte
 }

@@ -429,8 +429,11 @@ func (pf *PageFile) SizeBytes() int64 {
 
 // SlotInfo describes one occupied pagefile slot (logdump, tests).
 type SlotInfo struct {
-	Slot    uint64
-	PageID  uint64
+	// Slot is the slot's position in the file (offset = header + slot*slotSize).
+	Slot uint64
+	// PageID is the page stored in the slot.
+	PageID uint64
+	// Version is the slot's write version, bumped on every rewrite.
 	Version uint64
 }
 

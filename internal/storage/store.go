@@ -11,7 +11,9 @@ import (
 
 // RID identifies a record: page plus slot.
 type RID struct {
+	// Page is the owning page's ID.
 	Page uint64
+	// Slot is the record's index in the page's slot directory.
 	Slot uint16
 }
 
@@ -250,6 +252,26 @@ func (a *MemArchive) Pages() ([]uint64, error) {
 	return out, nil
 }
 
+// PutBatch implements ArchiveBatcher: the whole sweep lands under one
+// lock acquisition, so in-memory benchmark runs take the same batched
+// path as the PageFile instead of the per-page Put loop. Memory writes
+// cannot half-fail, so the batch trivially installs atomically.
+func (a *MemArchive) PutBatch(batch []PageImage) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, pi := range batch {
+		cp := make([]byte, len(pi.Img))
+		copy(cp, pi.Img)
+		a.pages[pi.PID] = cp
+	}
+	return nil
+}
+
+var (
+	_ Archive        = (*MemArchive)(nil)
+	_ ArchiveBatcher = (*MemArchive)(nil)
+)
+
 // ArchiveFlusher is the optional Archive extension for batched
 // durability: Put may defer directory-entry durability until Flush.
 type ArchiveFlusher interface {
@@ -258,7 +280,9 @@ type ArchiveFlusher interface {
 
 // PageImage is one page bound for the archive.
 type PageImage struct {
+	// PID is the page's ID.
 	PID uint64
+	// Img is the page's snapshotted image.
 	Img []byte
 }
 

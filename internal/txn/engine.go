@@ -142,6 +142,12 @@ type Stats struct {
 	SweepFsyncs metrics.Counter
 	// SweepDuration records wall-clock time per page-cleaning sweep.
 	SweepDuration metrics.Histogram
+	// SegmentsArchived counts dead log segments the background archiver
+	// shipped to cold storage before recycling their slots.
+	SegmentsArchived metrics.Counter
+	// ArchiveFailures counts background archive passes that errored
+	// (cold storage down); the affected segments stay pending on disk.
+	ArchiveFailures metrics.Counter
 }
 
 // Engine is the transactional storage manager.
@@ -164,9 +170,16 @@ type Engine struct {
 	ckptAp *core.Appender
 
 	// Background incremental checkpointer (nil channels when disabled).
-	ckptTrig  chan struct{}
-	ckptStop  chan struct{}
-	ckptDone  chan struct{}
+	ckptTrig chan struct{}
+	ckptStop chan struct{}
+	ckptDone chan struct{}
+
+	// Background segment archiver (nil channels when the log device has
+	// no archiver attached).
+	archTrig chan struct{}
+	archStop chan struct{}
+	archDone chan struct{}
+
 	closeOnce sync.Once
 }
 
@@ -187,6 +200,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if cfg.CheckpointEveryBytes > 0 {
 		e.startAutoCheckpoint(cfg.CheckpointEveryBytes)
+	}
+	if cfg.Log.CanArchive() {
+		e.startArchiver()
 	}
 	return e, nil
 }
@@ -233,18 +249,76 @@ func (e *Engine) autoCheckpointLoop() {
 	}
 }
 
-// Close stops the background incremental checkpointer, waiting for an
-// in-flight checkpoint to finish. Call it before closing the log. It is
-// idempotent and a no-op for engines without auto-checkpointing.
-func (e *Engine) Close() {
-	if e.ckptStop == nil {
+// startArchiver wires the background segment archiver: a goroutine
+// that drains the log device's pending-dead set — copying each dead
+// segment to cold storage, then recycling its slot — whenever a
+// checkpoint's truncation parks new ones. It runs alongside (and
+// independently of) the checkpointer, so a slow cold store never
+// stalls a checkpoint, let alone a commit. The initial nudge drains
+// segments a previous incarnation left pending at the crash.
+func (e *Engine) startArchiver() {
+	e.archTrig = make(chan struct{}, 1)
+	e.archStop = make(chan struct{})
+	e.archDone = make(chan struct{})
+	go e.archiverLoop()
+	e.nudgeArchiver()
+}
+
+// nudgeArchiver asks the background archiver for a drain pass
+// (non-blocking, coalescing; no-op without an archiver).
+func (e *Engine) nudgeArchiver() {
+	if e.archTrig == nil {
 		return
 	}
+	select {
+	case e.archTrig <- struct{}{}:
+	default: // one already pending: coalesce
+	}
+}
+
+func (e *Engine) archiverLoop() {
+	defer close(e.archDone)
+	for {
+		select {
+		case <-e.archStop:
+			return
+		case <-e.archTrig:
+			// A stop racing a pending trigger must win, or Close would
+			// block behind a cold-storage copy nobody needs.
+			select {
+			case <-e.archStop:
+				return
+			default:
+			}
+			n, err := e.log.ArchivePending()
+			e.stats.SegmentsArchived.Add(int64(n))
+			if err != nil {
+				e.stats.ArchiveFailures.Inc()
+			}
+		}
+	}
+}
+
+// Close stops the background incremental checkpointer and the segment
+// archiver, waiting for in-flight work to finish. Call it before
+// closing the log. It is idempotent and a no-op for engines running
+// neither daemon.
+func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
-		e.log.SetAppendNotify(0, nil)
-		close(e.ckptStop)
+		if e.ckptStop != nil {
+			e.log.SetAppendNotify(0, nil)
+			close(e.ckptStop)
+		}
+		if e.archStop != nil {
+			close(e.archStop)
+		}
 	})
-	<-e.ckptDone
+	if e.ckptDone != nil {
+		<-e.ckptDone
+	}
+	if e.archDone != nil {
+		<-e.archDone
+	}
 }
 
 // Log returns the engine's log manager.
@@ -439,6 +513,9 @@ func (e *Engine) Checkpoint() error {
 		// failed checkpoint.
 		e.stats.TruncateFailures.Inc()
 	}
+	// Truncation parks dead segments; the archiver goroutine ships them
+	// to cold storage and recycles their slots off the checkpoint path.
+	e.nudgeArchiver()
 	e.stats.Checkpoints.Inc()
 	return nil
 }
