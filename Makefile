@@ -15,27 +15,29 @@ test-short:
 	$(GO) test -short ./...
 
 # Race-checks the concurrency-heavy packages: the log manager, the log
-# buffer variants, and the transaction engine.
+# buffer variants, the transaction engine, and the buffer pool's
+# eviction/pin machinery in storage.
 test-race:
-	$(GO) test -race -short ./internal/core ./internal/logbuf ./internal/txn ./internal/logdev
+	$(GO) test -race -short ./internal/core ./internal/logbuf ./internal/txn ./internal/logdev ./internal/storage
 
 vet:
 	$(GO) vet ./...
 
 # Documentation lint: formatting, vet, every example and command builds,
 # and the godoc-coverage check — exported identifiers in the promised
-# packages (logdev, storage) must carry doc comments.
+# packages (logdev, storage, core, txn) must carry doc comments.
 docs: vet
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) build ./examples/... ./cmd/...
-	$(GO) run ./cmd/doccheck ./internal/logdev ./internal/storage
+	$(GO) run ./cmd/doccheck ./internal/logdev ./internal/storage ./internal/core ./internal/txn
 
 # Small-scale perf smoke: vet plus a quick aetherbench run that
-# refreshes BENCH_pr2.json, so the perf trajectory (throughput, sweep
-# fsyncs, sweep duration) is tracked on every CI pass. The heavier bench
-# assertions in the test suite respect -short, keeping tier-1 fast.
+# refreshes BENCH_pr4.json, so the perf trajectory (throughput, sweep
+# fsyncs/duration, larger-than-memory miss rate and steal writes) is
+# tracked on every CI pass. The heavier bench assertions in the test
+# suite respect -short, keeping tier-1 fast.
 bench-smoke: vet
 	$(GO) run ./cmd/aetherbench -quick -json
 
-ci: build vet docs test bench-smoke
+ci: build vet docs test test-race bench-smoke

@@ -150,6 +150,18 @@ type Options struct {
 	// stalls; explicit Checkpoint() calls remain allowed and serialize
 	// with it.
 	CheckpointEveryBytes int64
+	// CachePages, if > 0, bounds the buffer pool: at most this many
+	// pages stay resident in RAM, and the rest live in the database
+	// file, faulted in on demand (CRC-verified) and evicted by a clock
+	// policy to make room. Evicting a dirty page first forces the log up
+	// to its pageLSN (the WAL rule), then writes the image back through
+	// the double-write journal. 0 leaves the store fully memory-resident
+	// (today's behavior). Databases larger than RAM become usable at the
+	// cost of page-fault I/O on cache misses.
+	CachePages int
+	// CacheBytes expresses the same budget in bytes (rounded down to
+	// whole 8KiB pages, minimum one). Ignored when CachePages is set.
+	CacheBytes int64
 	// DeadlockTimeout bounds lock waits (default 500ms).
 	DeadlockTimeout time.Duration
 	// DisableSLI turns off speculative lock inheritance.
@@ -272,6 +284,22 @@ func openPageArchive(pfPath, legacyDir string) (*storage.PageFile, error) {
 	return pf, nil
 }
 
+// cachePages resolves the CachePages/CacheBytes pair to a page budget
+// (0 = unbounded).
+func (o Options) cachePages() int64 {
+	if o.CachePages > 0 {
+		return int64(o.CachePages)
+	}
+	if o.CacheBytes > 0 {
+		n := o.CacheBytes / storage.PageSize
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	return 0
+}
+
 // start builds the engine over the device via the recovery path (a
 // fresh device just recovers an empty log).
 func (db *DB) start() (*DB, error) {
@@ -286,6 +314,7 @@ func (db *DB) start() (*DB, error) {
 			SLI:             !db.opts.DisableSLI,
 		},
 		CheckpointEveryBytes: db.opts.CheckpointEveryBytes,
+		CachePages:           db.opts.cachePages(),
 	})
 	if err != nil {
 		return nil, err
@@ -421,12 +450,27 @@ type Stats struct {
 	SweepFsyncs int64
 	// SweepDuration summarizes checkpoint-sweep wall-clock times.
 	SweepDuration metrics.HistogramSnapshot
+	// CacheResident is how many pages are currently in RAM. With
+	// Options.CachePages set it stays within the budget whenever an
+	// unpinned victim exists.
+	CacheResident int64
+	// PageMisses counts page faults served by reading the database file
+	// (demand paging; 0 for a fully resident store).
+	PageMisses int64
+	// PageEvictions counts pages dropped from RAM to stay within the
+	// cache budget.
+	PageEvictions int64
+	// StealWrites counts dirty evictions: page images written back
+	// through the double-write journal (after forcing the log) so their
+	// frame could be reclaimed before the next checkpoint sweep.
+	StealWrites int64
 }
 
 // Stats returns current counters.
 func (db *DB) Stats() Stats {
 	ls := db.eng.Log().Stats()
 	es := db.eng.Stats()
+	cs := db.eng.Store().CacheStats()
 	s := Stats{
 		Commits:           es.Commits.Load(),
 		Aborts:            es.Aborts.Load(),
@@ -441,6 +485,10 @@ func (db *DB) Stats() Stats {
 		SweepPages:        es.SweepPages.Load(),
 		SweepFsyncs:       es.SweepFsyncs.Load(),
 		SweepDuration:     es.SweepDuration.Snapshot(),
+		CacheResident:     cs.Resident,
+		PageMisses:        cs.Misses,
+		PageEvictions:     cs.Evictions,
+		StealWrites:       cs.StealWrites,
 	}
 	if db.segDev != nil {
 		segs, _ := db.segDev.TruncStats()

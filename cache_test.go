@@ -1,0 +1,236 @@
+package aether
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// wideRow pads a row so ~5 fit per 8KiB page: modest key counts span
+// many pages and a small CachePages budget is real memory pressure.
+func wideRow(k, v uint64) []byte {
+	return Row(k, append(make([]byte, 1500), byte(v)))
+}
+
+// TestLargerThanMemoryWorkload is the PR's acceptance scenario: with
+// CachePages far below the working set, a workload whose data exceeds
+// the cache budget completes correctly while residency never exceeds the
+// budget and the paging counters move; a crash afterwards recovers the
+// exact committed state.
+func TestLargerThanMemoryWorkload(t *testing.T) {
+	const budget = 8
+	db, err := Open(Options{CachePages: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := db.Session()
+	defer s.Close()
+	const keys = 200 // ≈ 40 pages: 5× the budget
+	model := make(map[uint64]uint64, keys)
+	for k := uint64(1); k <= keys; k++ {
+		tx := s.Begin()
+		if err := tx.Insert(tbl, k, wideRow(k, k%251)); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("commit %d: %v", k, err)
+		}
+		model[k] = k % 251
+		if r := db.Stats().CacheResident; r > budget {
+			t.Fatalf("resident %d exceeds budget %d", r, budget)
+		}
+	}
+	// Update a stripe (faults evicted pages back in).
+	for k := uint64(1); k <= keys; k += 5 {
+		k := k
+		tx := s.Begin()
+		err := tx.Update(tbl, k, func([]byte) ([]byte, error) {
+			return wideRow(k, 7), nil
+		})
+		if err != nil {
+			t.Fatalf("update %d: %v", k, err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		model[k] = 7
+	}
+
+	st := db.Stats()
+	if st.PageMisses == 0 || st.PageEvictions == 0 || st.StealWrites == 0 {
+		t.Fatalf("paging counters flat under pressure: %+v", st)
+	}
+	if st.CacheResident > budget {
+		t.Fatalf("resident %d exceeds budget %d", st.CacheResident, budget)
+	}
+
+	verify := func() {
+		tx := s.Begin()
+		for k := uint64(1); k <= keys; k++ {
+			got, err := tx.Read(tbl, k)
+			if err != nil {
+				t.Fatalf("key %d: %v", k, err)
+			}
+			if v := got[len(got)-1]; uint64(v) != model[k] {
+				t.Fatalf("key %d: value %d, want %d", k, v, model[k])
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	verify()
+
+	// Crash + recover under the same budget: exact committed state, and
+	// recovery itself stayed within bounds (lazy fault-in, no eager
+	// archive load).
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err = db.LookupTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = db.Session()
+	verify()
+	if r := db.Stats().CacheResident; r > budget {
+		t.Fatalf("post-recovery resident %d exceeds budget %d", r, budget)
+	}
+}
+
+// TestLargerThanMemoryFileBacked drives the steal path through the real
+// pagefile: dirty pages evicted under pressure land in pagefile slots
+// via the double-write journal, and a reopen (fresh process state) faults
+// them back CRC-verified.
+func TestLargerThanMemoryFileBacked(t *testing.T) {
+	dir := t.TempDir()
+	const budget = 6
+	open := func() *DB {
+		db, err := Open(Options{LogPath: filepath.Join(dir, "wal"), CachePages: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	db := open()
+	tbl, err := db.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session()
+	const keys = 150
+	for k := uint64(1); k <= keys; k++ {
+		tx := s.Begin()
+		if err := tx.Insert(tbl, k, wideRow(k, k%97)); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if st.StealWrites == 0 || st.CacheResident > budget {
+		t.Fatalf("file-backed paging counters: %+v", st)
+	}
+	s.Close()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := open()
+	defer db2.Close()
+	tbl2, err := db2.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.RebuildAfterRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := db2.Session()
+	defer s2.Close()
+	tx := s2.Begin()
+	for k := uint64(1); k <= keys; k++ {
+		got, err := tx.Read(tbl2, k)
+		if err != nil {
+			t.Fatalf("key %d lost across reopen: %v", k, err)
+		}
+		if v := got[len(got)-1]; uint64(v) != k%97 {
+			t.Fatalf("key %d: value %d, want %d", k, v, k%97)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if r := db2.Stats().CacheResident; r > budget {
+		t.Fatalf("post-reopen resident %d exceeds budget %d", r, budget)
+	}
+}
+
+// TestCacheBytesOption: the byte-denominated budget rounds down to whole
+// pages and behaves like CachePages.
+func TestCacheBytesOption(t *testing.T) {
+	db, err := Open(Options{CacheBytes: 6 * 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session()
+	defer s.Close()
+	for k := uint64(1); k <= 120; k++ {
+		tx := s.Begin()
+		if err := tx.Insert(tbl, k, wideRow(k, k)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if st.CacheResident > 6 {
+		t.Fatalf("resident %d pages with a 6-page byte budget", st.CacheResident)
+	}
+	if st.PageEvictions == 0 {
+		t.Fatal("no evictions under a byte-denominated budget")
+	}
+}
+
+// TestUnsetCacheStaysResident: without the option nothing pages out —
+// today's fully resident behavior is preserved bit for bit.
+func TestUnsetCacheStaysResident(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session()
+	defer s.Close()
+	for k := uint64(1); k <= 150; k++ {
+		tx := s.Begin()
+		if err := tx.Insert(tbl, k, wideRow(k, k)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if st.PageEvictions != 0 || st.StealWrites != 0 {
+		t.Fatalf("unbounded store paged out: %+v", st)
+	}
+	if st.CacheResident == 0 {
+		t.Fatal("resident counter not tracking the unbounded store")
+	}
+}

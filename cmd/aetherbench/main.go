@@ -7,7 +7,7 @@
 //	aetherbench -fig fig8left -quick # one figure, fast parameters
 //	aetherbench -all                 # everything, in paper order
 //	aetherbench -list                # list experiment names
-//	aetherbench -json                # machine-readable perf report → BENCH_pr2.json
+//	aetherbench -json                # machine-readable perf report → BENCH_pr4.json
 package main
 
 import (
@@ -31,7 +31,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "use fast, test-scale parameters")
 		list    = flag.Bool("list", false, "list experiment names and exit")
 		jsonOut = flag.Bool("json", false, "run the perf-tracking suite and write machine-readable results")
-		outPath = flag.String("out", "BENCH_pr2.json", "output file for -json")
+		outPath = flag.String("out", "BENCH_pr4.json", "output file for -json")
 	)
 	flag.Parse()
 
@@ -74,8 +74,9 @@ func main() {
 
 // perfReport is the machine-readable result file tracking the perf
 // trajectory across PRs: commit throughput on a file-backed database
-// with the background checkpointer running, plus the checkpoint-sweep
-// microbenchmark (batched pagefile vs per-page archive).
+// with the background checkpointer running, the checkpoint-sweep
+// microbenchmark (batched pagefile vs per-page archive), and the
+// larger-than-memory scenario (bounded buffer pool vs fully resident).
 type perfReport struct {
 	GeneratedAt string  `json:"generated_at"`
 	Quick       bool    `json:"quick"`
@@ -84,6 +85,7 @@ type perfReport struct {
 		bench.SweepResult
 		Speedup float64 `json:"speedup"`
 	} `json:"sweep"`
+	Cache bench.CacheResult `json:"cache"`
 }
 
 // tputRun reports the sustained-commit workload.
@@ -180,6 +182,19 @@ func writeJSONReport(outPath string, scale bench.Scale) error {
 	rep.Sweep.SweepResult = sweep
 	rep.Sweep.Speedup = sweep.Speedup()
 
+	cacheRows, cachePages := 4000, 24
+	if scale.Quick {
+		cacheRows, cachePages = 800, 12
+	}
+	rep.Cache, err = bench.RunCache(bench.CacheConfig{
+		Dir:        dir,
+		Rows:       cacheRows,
+		CachePages: cachePages,
+	})
+	if err != nil {
+		return fmt.Errorf("cache run: %w", err)
+	}
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -190,6 +205,7 @@ func writeJSONReport(outPath string, scale bench.Scale) error {
 	fmt.Printf("throughput: %.0f commits/s (%d clients, %d auto checkpoints, log base %d)\n",
 		rep.Throughput.TPS, rep.Throughput.Clients, rep.Throughput.AutoCheckpoints, rep.Throughput.LogBase)
 	fmt.Println(sweep)
+	fmt.Println(rep.Cache)
 	fmt.Println("wrote", outPath)
 	return nil
 }

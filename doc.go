@@ -13,7 +13,8 @@
 //     durability subscriptions (flush pipelining's detach/re-attach)
 //   - internal/lockmgr — hierarchical 2PL with Early Lock Release and
 //     Speculative Lock Inheritance
-//   - internal/storage — slotted pages, heap files, B+Tree, page store
+//   - internal/storage — slotted pages, heap files, B+Tree, and the
+//     demand-paged buffer pool over the database file
 //   - internal/txn — transactions, commit protocols, checkpoints
 //   - internal/recovery — ARIES analysis/redo/undo
 //   - internal/workload, internal/bench — the paper's benchmarks and
@@ -94,6 +95,20 @@
 // discards a torn one (crash before it); either way every slot ends
 // consistent. Databases created by older versions with a one-file-per-
 // page pages/ directory are imported into the pagefile once on Open.
+//
+// # Bounded buffer pool (databases larger than RAM)
+//
+// With Options.CachePages (or CacheBytes) set, the page store becomes a
+// bounded cache over the database file instead of holding every page in
+// RAM: at most that many pages stay resident, misses fault the page in
+// through the checksummed read path, and a clock policy evicts to make
+// room. Evicting a dirty page is a steal in the ARIES sense — the log
+// is forced up to the page's LSN first (the write-ahead rule), the
+// image goes through the double-write journal, and only then is the
+// frame reclaimed. Recovery faults pages lazily too, so restart memory
+// is O(working set) rather than O(database). Stats.CacheResident,
+// PageMisses, PageEvictions and StealWrites expose the pool; with the
+// option unset the store stays fully memory-resident as before.
 //
 // See the examples/ directory for complete programs, README.md for the
 // quickstart and feature matrix, and ARCHITECTURE.md for the

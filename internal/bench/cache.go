@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"aether"
+)
+
+// CacheConfig parameterizes the larger-than-memory scenario: a table
+// several times bigger than the page-cache budget, hammered with random
+// point reads, against the same table fully resident.
+type CacheConfig struct {
+	// Dir is scratch space for the two file-backed databases.
+	Dir string
+	// Rows is the table size (wide rows, ~5 per 8KiB page).
+	Rows int
+	// CachePages is the bounded run's budget; the baseline runs
+	// unbounded. Must be well below Rows/5 to mean anything.
+	CachePages int
+	// Reads is how many random point reads each phase performs.
+	Reads int
+}
+
+// CacheResult reports the larger-than-memory scenario.
+type CacheResult struct {
+	// Rows is the table size in rows.
+	Rows int `json:"rows"`
+	// DataPages is how many pages the table occupies (from the
+	// unbounded run's resident count) — the working set.
+	DataPages int64 `json:"data_pages"`
+	// CachePages is the bounded run's budget.
+	CachePages int `json:"cache_pages"`
+	// Reads is the number of random point reads per phase.
+	Reads int `json:"reads"`
+	// ResidentTPS is reads/s with everything in RAM (the baseline).
+	ResidentTPS float64 `json:"resident_tps"`
+	// BoundedTPS is reads/s with the bounded cache paging on misses.
+	BoundedTPS float64 `json:"bounded_tps"`
+	// MissRate is page faults per read during the bounded read phase.
+	MissRate float64 `json:"miss_rate"`
+	// Misses, Evictions and StealWrites snapshot the bounded run's
+	// paging counters over the whole run (load + reads).
+	Misses int64 `json:"misses"`
+	// Evictions is the bounded run's total evictions.
+	Evictions int64 `json:"evictions"`
+	// StealWrites is the bounded run's dirty write-backs.
+	StealWrites int64 `json:"steal_writes"`
+	// Resident is the bounded run's final resident-page count; it must
+	// not exceed CachePages.
+	Resident int64 `json:"resident"`
+}
+
+func (r CacheResult) String() string {
+	return fmt.Sprintf("cache: %d rows on %d pages, budget %d: %.0f reads/s bounded vs %.0f resident (%.2f misses/read, %d steals, %d resident)",
+		r.Rows, r.DataPages, r.CachePages, r.BoundedTPS, r.ResidentTPS, r.MissRate, r.StealWrites, r.Resident)
+}
+
+// xorshift is a tiny deterministic PRNG so both phases read the same key
+// sequence.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := *x
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = v
+	return uint64(v)
+}
+
+// runCachePhase loads a table of cfg.Rows wide rows and times cfg.Reads
+// random point reads, returning the read throughput, the page faults
+// incurred by the read phase alone, and the database's final stats.
+func runCachePhase(dir string, cfg CacheConfig, cachePages int) (float64, int64, aether.Stats, error) {
+	fail := func(err error) (float64, int64, aether.Stats, error) {
+		return 0, 0, aether.Stats{}, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fail(err)
+	}
+	db, err := aether.Open(aether.Options{
+		LogPath:    filepath.Join(dir, "wal"),
+		CachePages: cachePages,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable("cache")
+	if err != nil {
+		return fail(err)
+	}
+	s := db.Session()
+	defer s.Close()
+	pad := make([]byte, 1500)
+	for k := uint64(1); k <= uint64(cfg.Rows); k++ {
+		tx := s.Begin()
+		if err := tx.Insert(tbl, k, aether.Row(k, pad)); err != nil {
+			return fail(fmt.Errorf("bench cache load %d: %w", k, err))
+		}
+		if err := tx.Commit(); err != nil {
+			return fail(err)
+		}
+	}
+	rng := xorshift(0x9E3779B97F4A7C15)
+	readMisses0 := db.Stats().PageMisses
+	t0 := time.Now()
+	for i := 0; i < cfg.Reads; i++ {
+		k := rng.next()%uint64(cfg.Rows) + 1
+		tx := s.Begin()
+		row, err := tx.Read(tbl, k)
+		if err != nil {
+			return fail(fmt.Errorf("bench cache read %d: %w", k, err))
+		}
+		if len(row) != 8+len(pad) {
+			return fail(fmt.Errorf("bench cache read %d: row is %d bytes", k, len(row)))
+		}
+		if err := tx.Commit(); err != nil {
+			return fail(err)
+		}
+	}
+	elapsed := time.Since(t0)
+	stats := db.Stats()
+	return float64(cfg.Reads) / elapsed.Seconds(), stats.PageMisses - readMisses0, stats, nil
+}
+
+// RunCache executes the larger-than-memory scenario: identical load and
+// random-read phases, once fully resident and once with CachePages set
+// far below the working set. The bounded run must stay within its
+// budget and page on misses; the result quantifies what that costs
+// (throughput degrades gracefully instead of the process OOMing).
+func RunCache(cfg CacheConfig) (CacheResult, error) {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 2000
+	}
+	if cfg.CachePages <= 0 {
+		cfg.CachePages = 16
+	}
+	if cfg.Reads <= 0 {
+		cfg.Reads = cfg.Rows
+	}
+	res := CacheResult{Rows: cfg.Rows, CachePages: cfg.CachePages, Reads: cfg.Reads}
+
+	residentTPS, _, fullStats, err := runCachePhase(filepath.Join(cfg.Dir, "cache-resident"), cfg, 0)
+	if err != nil {
+		return res, err
+	}
+	res.ResidentTPS = residentTPS
+	res.DataPages = fullStats.CacheResident
+	if fullStats.PageEvictions != 0 {
+		return res, fmt.Errorf("bench cache: unbounded run evicted %d pages", fullStats.PageEvictions)
+	}
+
+	boundedTPS, readMisses, boundedStats, err := runCachePhase(filepath.Join(cfg.Dir, "cache-bounded"), cfg, cfg.CachePages)
+	if err != nil {
+		return res, err
+	}
+	res.BoundedTPS = boundedTPS
+	res.Misses = boundedStats.PageMisses
+	res.Evictions = boundedStats.PageEvictions
+	res.StealWrites = boundedStats.StealWrites
+	res.Resident = boundedStats.CacheResident
+	if res.Resident > int64(cfg.CachePages) {
+		return res, fmt.Errorf("bench cache: resident %d exceeds budget %d", res.Resident, cfg.CachePages)
+	}
+	if res.Evictions == 0 || res.Misses == 0 {
+		return res, fmt.Errorf("bench cache: bounded run did not page (misses=%d evictions=%d)", res.Misses, res.Evictions)
+	}
+	res.MissRate = float64(readMisses) / float64(cfg.Reads)
+	return res, nil
+}

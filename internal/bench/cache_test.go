@@ -1,0 +1,36 @@
+package bench
+
+import "testing"
+
+// TestCacheScenario runs the larger-than-memory scenario at test scale
+// and asserts its acceptance properties: the bounded run completes
+// correctly (RunCache verifies every read), stays within its budget,
+// and actually pages (non-zero misses and evictions) — i.e. throughput
+// degrades gracefully instead of memory growing with the table.
+func TestCacheScenario(t *testing.T) {
+	rows := 1200
+	if testing.Short() {
+		rows = 500
+	}
+	res, err := RunCache(CacheConfig{
+		Dir:        t.TempDir(),
+		Rows:       rows,
+		CachePages: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if res.Resident > int64(res.CachePages) {
+		t.Fatalf("resident %d exceeds budget %d", res.Resident, res.CachePages)
+	}
+	if res.Misses == 0 || res.Evictions == 0 || res.StealWrites == 0 {
+		t.Fatalf("bounded run did not page: %+v", res)
+	}
+	if res.DataPages <= int64(res.CachePages) {
+		t.Fatalf("scenario invalid: %d data pages fit the %d-page budget", res.DataPages, res.CachePages)
+	}
+	if res.BoundedTPS <= 0 || res.ResidentTPS <= 0 {
+		t.Fatalf("throughputs not measured: %+v", res)
+	}
+}

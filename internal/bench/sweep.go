@@ -59,11 +59,12 @@ func newDirtyStore(n int) (*storage.Store, []uint64) {
 	st := storage.NewStore()
 	pids := make([]uint64, n)
 	for i := 0; i < n; i++ {
-		p := st.GetOrCreate(storage.MakePageID(1, uint64(i+1)))
+		p, _ := st.GetOrCreate(storage.MakePageID(1, uint64(i+1)))
 		_ = p.Insert(0, []byte(fmt.Sprintf("sweep-bench-row-%08d", i)))
 		p.SetLSN(1)
 		st.MarkDirty(p.ID(), 1)
 		pids[i] = p.ID()
+		p.Unpin()
 	}
 	return st, pids
 }

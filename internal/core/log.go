@@ -109,6 +109,10 @@ type LogManager struct {
 	stats Stats
 
 	durable lsn.Atomic
+	// appendEnd is the highest end LSN any Append has returned — the
+	// ceiling Force can ever be satisfied at. Forcing beyond it would
+	// wait for log that nobody is going to write.
+	appendEnd lsn.Atomic
 
 	// Appended-bytes notification (the background checkpointer's
 	// trigger): fn fires once per notify-interval of inserted bytes.
@@ -153,6 +157,7 @@ func New(cfg Config) (*LogManager, error) {
 	// addresses, so the base of a restarted log is the durable size (an
 	// existing log is read by recovery before the manager is built).
 	lm.durable.Store(cfg.Buffer.Base)
+	lm.appendEnd.Store(cfg.Buffer.Base)
 	go lm.daemon()
 	return lm, nil
 }
@@ -202,6 +207,7 @@ func (a *Appender) Append(rec *logrec.Record) (at, end lsn.LSN, err error) {
 	}
 	a.lm.stats.Inserts.Inc()
 	a.lm.stats.InsertBytes.Add(int64(size))
+	a.lm.appendEnd.AdvanceTo(at.Add(size))
 	a.lm.maybeWakeForBytes()
 	return at, at.Add(size), nil
 }
@@ -262,6 +268,7 @@ func (a *Appender) AppendBytes(buf []byte) (at, end lsn.LSN, err error) {
 	}
 	a.lm.stats.Inserts.Inc()
 	a.lm.stats.InsertBytes.Add(int64(len(buf)))
+	a.lm.appendEnd.AdvanceTo(at.Add(len(buf)))
 	a.lm.maybeWakeForBytes()
 	return at, at.Add(len(buf)), nil
 }
@@ -275,10 +282,19 @@ type waiter struct {
 // waiterHeap is a min-heap of waiters by end LSN.
 type waiterHeap []waiter
 
-func (h waiterHeap) Len() int            { return len(h) }
-func (h waiterHeap) Less(i, j int) bool  { return h[i].end < h[j].end }
-func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+// Len implements heap.Interface.
+func (h waiterHeap) Len() int { return len(h) }
+
+// Less implements heap.Interface (ordering by end LSN).
+func (h waiterHeap) Less(i, j int) bool { return h[i].end < h[j].end }
+
+// Swap implements heap.Interface.
+func (h waiterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push implements heap.Interface.
 func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(waiter)) }
+
+// Pop implements heap.Interface.
 func (h *waiterHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
@@ -358,6 +374,27 @@ func burnCPU(d time.Duration) {
 	deadline := time.Now().Add(d)
 	for time.Now().Before(deadline) {
 	}
+}
+
+// Force makes the log durable at least through upTo, blocking until it
+// is. This is the buffer pool's flush-before-steal hook (the WAL rule:
+// no dirty page image may reach the database file before the log that
+// produced it), and with storage.WAL it is how the pool cross-checks
+// faulted images against the durable horizon.
+//
+// Forcing beyond the appended log end is an error, not a wait: no flush
+// can ever satisfy it (a page stamped with a synthetic LSN by unlogged
+// recovery undo would otherwise hang its evictor forever; the error
+// makes the steal decline and the page stay resident).
+func (lm *LogManager) Force(upTo lsn.LSN) error {
+	if lm.durable.Load() >= upTo {
+		return nil
+	}
+	if end := lm.appendEnd.Load(); upTo > end {
+		return fmt.Errorf("core: Force(%v) beyond the appended log end %v", upTo, end)
+	}
+	lm.Flush()
+	return lm.WaitDurable(upTo)
 }
 
 // Truncate releases the log prefix below before: the checkpointer's

@@ -42,22 +42,27 @@ type Options struct {
 	// oldest active-transaction first LSN, oldest dirty-page recLSN)
 	// guarantees everything below it is already archived or finished.
 	Base lsn.LSN
-	// Store is the page store, already loaded from the archive (or
-	// empty if there is no archive).
+	// Store is the page store. With an archive backend attached
+	// (storage.Store.SetBackend) it starts empty and faults pages in
+	// lazily as redo and undo touch them — restart memory is O(working
+	// set); a store pre-loaded via LoadArchive recovers identically.
 	Store *storage.Store
 	// Appender, if non-nil, receives the CLRs and end records that undo
 	// generates, making recovery itself recoverable. It must append into
 	// a log whose base LSN is Base+len(Log). If nil, undo applies
 	// inverses without logging (single-crash recovery only).
 	Appender *core.Appender
-	// VerifyArchive, if set, asserts that every page already in Store
-	// (i.e. loaded from the archive) carries a pageLSN at or below the
-	// durable log's end. The checkpoint sweep only archives pages whose
-	// pageLSN is durable, so an image from beyond the log is a WAL
-	// violation or a corrupt database file — redoing on top of it would
-	// silently skip updates. Leave unset for stores that were not
-	// archive-loaded (pages stamped by unlogged undo legitimately carry
-	// synthetic LSNs past the log end).
+	// VerifyArchive, if set, asserts that every page already resident in
+	// Store when recovery starts carries a pageLSN at or below the
+	// durable log's end. The checkpoint sweep and the steal path only
+	// archive pages whose pageLSN is durable, so an image from beyond
+	// the log is a WAL violation or a corrupt database file — redoing on
+	// top of it would silently skip updates. Pages faulted lazily from
+	// an attached backend get the same check at fault time (with a WAL
+	// attached to the store), so this flag covers only the pre-resident
+	// set. Leave unset for stores that were not archive-loaded (pages
+	// stamped by unlogged undo legitimately carry synthetic LSNs past
+	// the log end).
 	VerifyArchive bool
 }
 
@@ -88,8 +93,9 @@ type Result struct {
 	Losers []uint64
 	// UndoApplied is the number of updates rolled back.
 	UndoApplied int
-	// ArchivedPages is how many pages entered recovery from the archive
-	// (the database file), i.e. were present before redo ran.
+	// ArchivedPages is how many pages recovery served from the archive
+	// (the database file): pages resident before the passes ran plus
+	// pages faulted in from the backend during them.
 	ArchivedPages int
 }
 
@@ -102,21 +108,36 @@ func Recover(opts Options) (*Result, error) {
 	base := opts.Base
 	res := &Result{CheckpointLSN: lsn.Undefined, LogBase: base}
 
-	// ---- Pass 0: verify the archive-loaded pages against the log. ----
+	// ---- Pass 0: verify the pre-resident pages against the log. ----
 	// (Slot checksums were already verified by the archive's read path;
-	// this is the cross-check between the two durable artifacts.)
+	// this is the cross-check between the two durable artifacts. Pages
+	// faulted lazily from a backend during redo/undo get the same check
+	// at fault time.)
 	logEnd := base.Add(len(opts.Log))
 	res.ArchivedPages = len(opts.Store.PageIDs())
+	faults0 := opts.Store.CacheStats().Misses
 	if opts.VerifyArchive {
 		for _, pid := range opts.Store.PageIDs() {
-			p := opts.Store.Get(pid)
-			if pl := p.LSN(); pl > logEnd {
+			p, err := opts.Store.Get(pid)
+			if err != nil {
+				return nil, fmt.Errorf("recovery: verify: %w", err)
+			}
+			if p == nil {
+				continue
+			}
+			pl := p.LSN()
+			p.Unpin()
+			if pl > logEnd {
 				return nil, fmt.Errorf(
 					"recovery: archived page %d has pageLSN %v beyond the durable log end %v (archive ahead of log: WAL violation or corruption)",
 					pid, pl, logEnd)
 			}
 		}
 	}
+	// Count the lazily faulted pages into ArchivedPages on the way out.
+	defer func() {
+		res.ArchivedPages += int(opts.Store.CacheStats().Misses - faults0)
+	}()
 
 	// ---- Pass 0: locate the last complete checkpoint. ----
 	ckptBegin, ckptPayload := findLastCheckpoint(opts.Log, base)
@@ -208,22 +229,36 @@ func Recover(opts Options) (*Result, error) {
 			if !inDPT || rec.LSN < recLSN {
 				continue
 			}
-			page := opts.Store.GetOrCreate(rec.PageID)
+			// Lazy fault-in: a page archived before the crash (including
+			// one stolen by the eviction path) comes back from the
+			// backend here; a page never archived materializes empty.
+			page, err := opts.Store.GetOrCreate(rec.PageID)
+			if err != nil {
+				return nil, fmt.Errorf("recovery: redo fault at %v: %w", rec.LSN, err)
+			}
 			// Pages carry the END LSN of the last applied record, so the
 			// redo test is a strict comparison with no LSN-0 ambiguity:
 			// skip iff the page already reflects the log past this record's
 			// start.
 			if page.LSN() > rec.LSN {
+				page.Unpin()
 				continue
 			}
 			up, err := logrec.DecodeUpdate(rec.Payload)
 			if err != nil {
+				page.Unpin()
 				return nil, fmt.Errorf("recovery: redo decode at %v: %w", rec.LSN, err)
 			}
-			if err := page.Apply(up, rec.LSN.Add(int(rec.TotalLen))); err != nil {
+			err = page.Apply(up, rec.LSN.Add(int(rec.TotalLen)))
+			if err == nil {
+				// Mark dirty before unpinning: a page must never be
+				// evictable while modified but not yet in the DPT.
+				opts.Store.MarkDirty(rec.PageID, rec.LSN)
+			}
+			page.Unpin()
+			if err != nil {
 				return nil, fmt.Errorf("recovery: redo apply at %v: %w", rec.LSN, err)
 			}
-			opts.Store.MarkDirty(rec.PageID, rec.LSN)
 			res.RedoApplied++
 		}
 	}
@@ -298,11 +333,18 @@ func Recover(opts Options) (*Result, error) {
 				synth += logrec.HeaderSize
 				clrEnd = synth
 			}
-			page := opts.Store.GetOrCreate(rec.PageID)
-			if err := page.Apply(inv, clrEnd); err != nil {
-				return nil, fmt.Errorf("recovery: undo apply at %v: %w", cur, err)
+			page, err := opts.Store.GetOrCreate(rec.PageID)
+			if err != nil {
+				return nil, fmt.Errorf("recovery: undo fault at %v: %w", cur, err)
 			}
-			opts.Store.MarkDirty(rec.PageID, clrStart)
+			applyErr := page.Apply(inv, clrEnd)
+			if applyErr == nil {
+				opts.Store.MarkDirty(rec.PageID, clrStart)
+			}
+			page.Unpin()
+			if applyErr != nil {
+				return nil, fmt.Errorf("recovery: undo apply at %v: %w", cur, applyErr)
+			}
 			res.UndoApplied++
 			undoChain[id] = rec.PrevLSN
 		case logrec.KindCLR:

@@ -24,6 +24,21 @@ func (b *logBuilder) add(t *testing.T, rec *logrec.Record) (at, end lsn.LSN) {
 	return at, lsn.LSN(len(b.buf))
 }
 
+// mustPage fetches pid (unpinned immediately: these tests are
+// single-threaded and never evict).
+func mustPage(t *testing.T, st *storage.Store, pid uint64) *storage.Page {
+	t.Helper()
+	p, err := st.Get(pid)
+	if err != nil {
+		t.Fatalf("get page %d: %v", pid, err)
+	}
+	if p == nil {
+		t.Fatalf("page %d not rebuilt", pid)
+	}
+	p.Unpin()
+	return p
+}
+
 func TestRecoverEmptyLog(t *testing.T) {
 	st := storage.NewStore()
 	res, err := Recover(Options{Log: nil, Store: st})
@@ -56,11 +71,7 @@ func TestRecoverRedoWinner(t *testing.T) {
 	if res.RedoApplied != 1 || len(res.Winners) != 1 || res.Winners[0] != 7 {
 		t.Fatalf("result: %+v", res)
 	}
-	page := st.Get(pid)
-	if page == nil {
-		t.Fatal("page not rebuilt")
-	}
-	got, err := page.Get(0)
+	got, err := mustPage(t, st, pid).Get(0)
 	if err != nil || string(got) != "hello" {
 		t.Fatalf("row: %q %v", got, err)
 	}
@@ -87,7 +98,7 @@ func TestRecoverUndoLoser(t *testing.T) {
 	if res.UndoApplied != 1 {
 		t.Fatalf("undo applied: %d", res.UndoApplied)
 	}
-	got, err := st.Get(pid).Get(0)
+	got, err := mustPage(t, st, pid).Get(0)
 	if err != nil || string(got) != "base" {
 		t.Fatalf("row after undo: %q %v", got, err)
 	}
@@ -114,8 +125,7 @@ func TestRecoverCLRSkipsAlreadyUndone(t *testing.T) {
 	if res.UndoApplied != 1 {
 		t.Fatalf("undo applied: %d, want 1", res.UndoApplied)
 	}
-	page := st.Get(pid)
-	if _, err := page.Get(0); err == nil {
+	if _, err := mustPage(t, st, pid).Get(0); err == nil {
 		t.Fatal("loser's insert survived")
 	}
 }
@@ -150,7 +160,7 @@ func TestRecoverUsesCheckpointATT(t *testing.T) {
 	if len(res.Losers) != 1 || res.Losers[0] != 3 {
 		t.Fatalf("losers: %v", res.Losers)
 	}
-	if _, err := st.Get(pid).Get(0); err == nil {
+	if _, err := mustPage(t, st, pid).Get(0); err == nil {
 		t.Fatal("pre-checkpoint loser update survived")
 	}
 }
@@ -181,7 +191,7 @@ func TestRecoverPrecommittedInCheckpointIsWinner(t *testing.T) {
 	if len(res.Winners) != 1 || res.Winners[0] != 9 || len(res.Losers) != 0 {
 		t.Fatalf("result: winners=%v losers=%v", res.Winners, res.Losers)
 	}
-	got, err := st.Get(pid).Get(0)
+	got, err := mustPage(t, st, pid).Get(0)
 	if err != nil || string(got) != "keep" {
 		t.Fatalf("winner's row: %q %v", got, err)
 	}
@@ -225,7 +235,7 @@ func TestRecoverIdempotent(t *testing.T) {
 	if res2.RedoApplied != 0 {
 		t.Fatalf("second recovery redid %d records", res2.RedoApplied)
 	}
-	got, err := st.Get(pid).Get(0)
+	got, err := mustPage(t, st, pid).Get(0)
 	if err != nil || string(got) != "x" {
 		t.Fatalf("row: %q %v", got, err)
 	}
@@ -254,10 +264,10 @@ func TestRecoverMultipleLosersInterleaved(t *testing.T) {
 	if len(res.Losers) != 2 || res.UndoApplied != 4 {
 		t.Fatalf("result: %+v", res)
 	}
-	if _, err := st.Get(p1).Get(0); err == nil {
+	if _, err := mustPage(t, st, p1).Get(0); err == nil {
 		t.Fatal("loser 10 insert survived")
 	}
-	if _, err := st.Get(p2).Get(0); err == nil {
+	if _, err := mustPage(t, st, p2).Get(0); err == nil {
 		t.Fatal("loser 11 insert survived")
 	}
 }

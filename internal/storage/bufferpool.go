@@ -1,0 +1,407 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"aether/internal/lsn"
+)
+
+// WAL is the write-ahead-log contract the buffer pool depends on. The
+// steal path may write a dirty page image to the backend only after the
+// log covering it is durable; the fault path cross-checks every image it
+// reads against the durable horizon (a pageLSN beyond it means the
+// database file ran ahead of the log — a WAL violation or corruption).
+//
+// core.LogManager implements it.
+type WAL interface {
+	// Durable returns the durable horizon: every log record whose end
+	// LSN is at or below it has reached stable storage.
+	Durable() lsn.LSN
+	// Force makes the log durable at least through upTo, blocking until
+	// it is (the flush-before-steal hook).
+	Force(upTo lsn.LSN) error
+}
+
+// ArchiveContains is the optional Archive extension the buffer pool
+// prefers on the miss path: a cheap existence probe, so looking up a
+// page that exists nowhere does not first evict (and possibly steal) an
+// innocent resident page to make room for nothing.
+type ArchiveContains interface {
+	// Contains reports whether the archive holds an image for pid.
+	Contains(pid uint64) bool
+}
+
+// CacheStats is a point-in-time snapshot of the buffer pool's counters.
+type CacheStats struct {
+	// Resident is how many pages are currently in RAM.
+	Resident int64
+	// Budget is the configured cap on Resident (0 = unbounded).
+	Budget int64
+	// Misses counts faults that read a page image from the backend
+	// (demand paging at work; 0 for a fully resident store).
+	Misses int64
+	// Evictions counts pages dropped from RAM to stay within Budget.
+	Evictions int64
+	// StealWrites counts dirty evictions: pages whose image had to be
+	// written back to the backend (after forcing the log) before the
+	// frame could be reclaimed.
+	StealWrites int64
+}
+
+// SetBackend attaches the page archive as the store's backing home:
+// pages absent from RAM are faulted in from it on demand, and evicted
+// dirty pages are stolen back to it. It also advances every space's
+// page allocator past the backend's existing IDs, so freshly allocated
+// pages can never collide with archived ones that have not been faulted
+// yet. Call it once, before the store is shared between goroutines.
+func (s *Store) SetBackend(a Archive) error {
+	if s.backend == a {
+		return nil // already attached: skip the O(database) ID scan
+	}
+	s.backend = a
+	if a == nil {
+		return nil
+	}
+	pids, err := a.Pages()
+	if err != nil {
+		return fmt.Errorf("storage: reading backend page ids: %w", err)
+	}
+	for _, pid := range pids {
+		s.advanceSeq(pid)
+	}
+	return nil
+}
+
+// AttachWAL wires the log manager into the buffer pool: dirty steals
+// force the log up to the victim's pageLSN first, and faulted images are
+// verified against the durable horizon. Call it once at setup, before
+// the store is shared between goroutines; without it dirty pages are
+// never stolen (the pool overshoots its budget instead of violating the
+// WAL rule).
+func (s *Store) AttachWAL(w WAL) { s.wal = w }
+
+// SetCachePages bounds the buffer pool to at most n resident pages
+// (0 = unbounded, the fully memory-resident mode). The bound is honored
+// whenever an unpinned victim exists; if every resident page is pinned
+// or unstealable the pool overshoots rather than deadlocks. Call it
+// once at setup, before the store is shared between goroutines.
+func (s *Store) SetCachePages(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	s.budget = n
+}
+
+// CacheStats returns the buffer pool counters.
+func (s *Store) CacheStats() CacheStats {
+	return CacheStats{
+		Resident:    s.resident.Load(),
+		Budget:      s.budget,
+		Misses:      s.misses.Load(),
+		Evictions:   s.evictions.Load(),
+		StealWrites: s.steals.Load(),
+	}
+}
+
+// getResident returns the page if it is in RAM, pinned and with its
+// reference bit set; nil on a cache miss. The pin is taken under the
+// shard lock, which is what excludes it against eviction.
+func (s *Store) getResident(pid uint64) *Page {
+	sh := s.shard(pid)
+	sh.mu.RLock()
+	p := sh.pages[pid]
+	if p != nil {
+		p.pins.Add(1)
+		p.ref.Store(true)
+	}
+	sh.mu.RUnlock()
+	return p
+}
+
+// fault brings a non-resident page into RAM: read its image from the
+// backend (CRC-verified by the backend's own read path), cross-check its
+// pageLSN against the durable log, make room within the cache budget,
+// and install it pinned. With create set, a page the backend has never
+// seen materializes empty (redo rebuilding a never-archived page); the
+// space allocator is advanced past it.
+//
+// The backend read happens under the shard's exclusive lock. That is
+// what makes the read-install pair atomic against a full concurrent
+// install → modify → steal → evict cycle of the same page: without it,
+// an image read before the cycle could be installed after it, silently
+// reviving the pre-steal state. It also serializes concurrent faults of
+// the same page (one read, no duplicate-install race). The cost is the
+// backend read (directory lookup + pread + CRC, no fsync) blocking the
+// shard's other 1/64th of lookups for its duration; eviction I/O, which
+// does fsync, runs before the lock is taken.
+func (s *Store) fault(pid uint64, create bool) (*Page, error) {
+	if !create {
+		if c, ok := s.backend.(ArchiveContains); ok && !c.Contains(pid) {
+			// Nothing to fault: don't evict a real page to make room
+			// for a lookup that was always going to come back empty.
+			// (A concurrent materialization of pid is indistinguishable
+			// from this lookup having run a moment earlier.)
+			return nil, nil
+		}
+	}
+	s.reserveFrame()
+	sh := s.shard(pid)
+	sh.mu.Lock()
+	if cur := sh.pages[pid]; cur != nil {
+		// Installed while we waited for the lock.
+		cur.pins.Add(1)
+		cur.ref.Store(true)
+		sh.mu.Unlock()
+		s.releaseFrame()
+		return cur, nil
+	}
+	var img []byte
+	if s.backend != nil {
+		var err error
+		img, err = s.backend.Get(pid)
+		if err != nil {
+			sh.mu.Unlock()
+			s.releaseFrame()
+			return nil, fmt.Errorf("storage: faulting page %d: %w", pid, err)
+		}
+	}
+	if img == nil && !create {
+		sh.mu.Unlock()
+		s.releaseFrame()
+		return nil, nil
+	}
+	p := NewPage(pid)
+	if img != nil {
+		if len(img) != PageSize {
+			// Validate the length before touching any header field: a
+			// torn or truncated image from a backend without its own
+			// framing must fail loudly, not panic on the LSN read.
+			sh.mu.Unlock()
+			s.releaseFrame()
+			return nil, fmt.Errorf("storage: faulted page %d image is %d bytes, want %d", pid, len(img), PageSize)
+		}
+		if s.wal != nil {
+			// VerifyArchive at fault granularity: the sweep and the
+			// steal path only write images whose pageLSN is durable, so
+			// an image past the durable horizon is a WAL violation or a
+			// corrupt database file; redoing on top of it would
+			// silently skip updates.
+			if pl := lsn.LSN(binary.LittleEndian.Uint64(img[8:16])); pl > s.wal.Durable() {
+				sh.mu.Unlock()
+				s.releaseFrame()
+				return nil, fmt.Errorf(
+					"storage: faulted page %d has pageLSN %v beyond the durable log end %v (archive ahead of log: WAL violation or corruption)",
+					pid, pl, s.wal.Durable())
+			}
+		}
+		if err := p.LoadSnapshot(img); err != nil {
+			sh.mu.Unlock()
+			s.releaseFrame()
+			return nil, err
+		}
+	}
+	p.pins.Store(1)
+	p.ref.Store(true)
+	sh.pages[pid] = p
+	if img != nil {
+		s.misses.Add(1)
+	} else {
+		s.advanceSeq(pid)
+	}
+	// noteResident takes evictMu, so it runs after the shard lock drops
+	// (lock order is evictMu → shard, never the reverse). The page is
+	// findable — and pinned — the moment the lock drops; it merely
+	// joins the clock a beat later.
+	sh.mu.Unlock()
+	s.noteResident(pid)
+	return p, nil
+}
+
+// noteResident registers a newly installed page with the clock (its
+// frame was already counted by reserveFrame).
+func (s *Store) noteResident(pid uint64) {
+	s.evictMu.Lock()
+	s.clock = append(s.clock, pid)
+	s.evictMu.Unlock()
+}
+
+// reserveFrame counts an incoming page into the residency total BEFORE
+// its install and evicts until the total fits the budget again. Counting
+// first is what makes the bound hold under concurrent faults: each
+// faulter sees the others' reservations, so two racing misses at
+// resident == budget-1 cannot both conclude there is room. A caller
+// whose install does not happen (error, lost race) must releaseFrame.
+// The reservation is abandoned (transient overshoot) only when no
+// unpinned, stealable victim exists — the alternative would be
+// deadlocking a fault against its own caller's pins.
+func (s *Store) reserveFrame() {
+	s.resident.Add(1)
+	if s.budget <= 0 {
+		return
+	}
+	for s.resident.Load() > s.budget {
+		if !s.evictOne() {
+			return
+		}
+	}
+}
+
+// releaseFrame returns an unused reservation taken by reserveFrame.
+func (s *Store) releaseFrame() {
+	s.resident.Add(-1)
+}
+
+// evictOne runs the clock hand until it reclaims one frame: referenced
+// pages lose their second-chance bit, pinned pages are skipped, and the
+// first quiet candidate is evicted (stealing it to the backend first if
+// dirty). Two full rotations without a victim means everything is pinned
+// or unstealable; report failure so the caller can overshoot.
+func (s *Store) evictOne() bool {
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	for scanned, limit := 0, 2*len(s.clock); scanned <= limit; scanned++ {
+		if len(s.clock) == 0 {
+			return false
+		}
+		if s.hand >= len(s.clock) {
+			s.hand = 0
+		}
+		pid := s.clock[s.hand]
+		sh := s.shard(pid)
+		sh.mu.RLock()
+		p := sh.pages[pid]
+		sh.mu.RUnlock()
+		if p == nil {
+			// Stale entry (defensive: eviction removes entries in step
+			// with frames, but a duplicate could alias a recycled pid).
+			s.clockRemoveAtHand()
+			continue
+		}
+		if p.pins.Load() > 0 || p.ref.CompareAndSwap(true, false) {
+			s.hand++
+			continue
+		}
+		if s.tryEvict(pid, p) {
+			s.clockRemoveAtHand()
+			return true
+		}
+		s.hand++
+	}
+	return false
+}
+
+// clockRemoveAtHand drops the clock entry under the hand in O(1) by
+// swapping the last entry into its place (clock order is approximate
+// anyway; an O(resident) splice here would sit on the fault hot path).
+// Caller holds evictMu.
+func (s *Store) clockRemoveAtHand() {
+	last := len(s.clock) - 1
+	s.clock[s.hand] = s.clock[last]
+	s.clock = s.clock[:last]
+}
+
+// tryEvict attempts to reclaim one specific frame. A clean victim is
+// dropped outright: its current image is either in the backend (the
+// sweep or a previous steal cleaned it) or trivially empty (allocated
+// but never modified — no log record, no archived copy, nothing to
+// lose). A dirty victim is stolen: the log is forced up to its pageLSN
+// (the WAL rule), its image written back through the backend's
+// double-write path, and only then is the frame dropped.
+//
+// The read latch is held across the whole decision — including the
+// steal's force and write — so the page cannot advance past the state
+// being validated (writers need the exclusive latch): the stolen image
+// is the page's current image when the frame drops, and a steal can
+// never land a stale image over a newer one. The mirror-image hazard (a
+// slow checkpoint sweep landing its older snapshot over a fresher
+// stolen image) is excluded by the sweep's pins: a page is pinned from
+// sweep snapshot to check-and-clean, and a pinned page is never
+// evicted. A pin taken mid-steal (pins need only the shard lock) is
+// caught by the final check and the frame stays put; the extra archive
+// write was wasted, not wrong.
+func (s *Store) tryEvict(pid uint64, p *Page) bool {
+	p.Latch.RLock()
+	defer p.Latch.RUnlock()
+	dirty := s.isDirty(pid)
+	if dirty {
+		if s.backend == nil || s.wal == nil {
+			return false // nowhere safe to steal to: keep it resident
+		}
+		if err := s.wal.Force(p.LSN()); err != nil {
+			return false
+		}
+		if err := s.backend.Put(pid, p.Snapshot()); err != nil {
+			// The page stays dirty; its recLSN keeps pinning the
+			// truncation horizon until a later steal or sweep succeeds.
+			return false
+		}
+		s.steals.Add(1)
+	}
+
+	// Final validation under the shard lock (new pins are taken under
+	// it, so pins == 0 here means no reference can appear before the
+	// delete below).
+	sh := s.shard(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.pages[pid] != p || p.pins.Load() > 0 {
+		return false
+	}
+	if dirty {
+		s.MarkClean(pid)
+	}
+	delete(sh.pages, pid)
+	s.resident.Add(-1)
+	s.evictions.Add(1)
+	return true
+}
+
+// isDirty reports whether pid is in the dirty-page table.
+func (s *Store) isDirty(pid uint64) bool {
+	s.dirtyMu.Lock()
+	_, ok := s.dirty[pid]
+	s.dirtyMu.Unlock()
+	return ok
+}
+
+// advanceSeq keeps a space's page allocator ahead of an explicitly
+// materialized page ID, so Allocate never hands out a colliding ID.
+func (s *Store) advanceSeq(pid uint64) {
+	c := s.spaceSeq(PageSpace(pid))
+	seq := pageSeq(pid)
+	for {
+		cur := c.Load()
+		if cur >= seq || c.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// AllPageIDs returns every page the store knows about — resident pages
+// plus everything in the backend — sorted and deduplicated. This is the
+// restart path's page universe: with demand paging the resident set
+// alone no longer enumerates the database.
+func (s *Store) AllPageIDs() ([]uint64, error) {
+	ids := s.PageIDs()
+	if s.backend == nil {
+		return ids, nil
+	}
+	archived, err := s.backend.Pages()
+	if err != nil {
+		return nil, fmt.Errorf("storage: listing backend pages: %w", err)
+	}
+	seen := make(map[uint64]struct{}, len(ids)+len(archived))
+	out := make([]uint64, 0, len(ids)+len(archived))
+	for _, set := range [][]uint64{ids, archived} {
+		for _, pid := range set {
+			if _, dup := seen[pid]; dup {
+				continue
+			}
+			seen[pid] = struct{}{}
+			out = append(out, pid)
+		}
+	}
+	sortPageIDs(out)
+	return out, nil
+}

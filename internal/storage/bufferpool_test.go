@@ -1,0 +1,307 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+
+	"aether/internal/logrec"
+	"aether/internal/lsn"
+)
+
+// fakeWAL is a WAL stub: Force "flushes" by advancing the durable
+// horizon, recording every call.
+type fakeWAL struct {
+	mu      sync.Mutex
+	durable lsn.LSN
+	forced  []lsn.LSN
+}
+
+func (w *fakeWAL) Durable() lsn.LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.durable
+}
+
+func (w *fakeWAL) Force(upTo lsn.LSN) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.forced = append(w.forced, upTo)
+	if upTo > w.durable {
+		w.durable = upTo
+	}
+	return nil
+}
+
+// seqLog is a LogFunc handing out monotonically increasing LSNs, as the
+// real appender would.
+type seqLog struct {
+	mu   sync.Mutex
+	next lsn.LSN
+}
+
+func (l *seqLog) log(pageID uint64, up logrec.UpdatePayload) (lsn.LSN, lsn.LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.next++
+	return l.next, l.next + 1, nil
+}
+
+// walCheckingArchive wraps MemArchive and fails the test if a page image
+// lands in the archive before the log covering it is durable — the WAL
+// rule the steal path must uphold.
+type walCheckingArchive struct {
+	*MemArchive
+	wal *fakeWAL
+	t   *testing.T
+}
+
+func (a *walCheckingArchive) Put(pid uint64, img []byte) error {
+	if pl := lsn.LSN(binary.LittleEndian.Uint64(img[8:16])); pl > a.wal.Durable() {
+		a.t.Errorf("WAL violation: page %d stolen at pageLSN %v with durable horizon %v", pid, pl, a.wal.Durable())
+	}
+	return a.MemArchive.Put(pid, img)
+}
+
+// poolHarness builds a bounded store over a WAL-checked MemArchive with
+// one heap on it.
+func poolHarness(t *testing.T, budget int64) (*Store, *HeapFile, *walCheckingArchive, *fakeWAL, *seqLog) {
+	t.Helper()
+	wal := &fakeWAL{}
+	arch := &walCheckingArchive{MemArchive: NewMemArchive(), wal: wal, t: t}
+	st := NewStore()
+	if err := st.SetBackend(arch); err != nil {
+		t.Fatal(err)
+	}
+	st.AttachWAL(wal)
+	st.SetCachePages(budget)
+	return st, NewHeapFile(st, 1, "t"), arch, wal, &seqLog{}
+}
+
+// bigRow builds a row large enough that few fit per page, so small
+// insert counts span many pages.
+func bigRow(i int) []byte {
+	return []byte(fmt.Sprintf("row-%06d-%s", i, string(make([]byte, 1500))))
+}
+
+func TestBufferPoolBoundedResidency(t *testing.T) {
+	const budget = 4
+	st, h, arch, _, sl := poolHarness(t, budget)
+
+	const rows = 120 // ≈ 24 pages at ~5 rows/page: 6× the budget
+	rids := make([]RID, rows)
+	for i := 0; i < rows; i++ {
+		rid, err := h.Insert(bigRow(i), sl.log)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		rids[i] = rid
+		if r := st.CacheStats().Resident; r > budget {
+			t.Fatalf("insert %d: resident %d exceeds budget %d", i, r, budget)
+		}
+	}
+	cs := st.CacheStats()
+	if cs.Evictions == 0 || cs.StealWrites == 0 {
+		t.Fatalf("no eviction pressure: %+v", cs)
+	}
+	if got := len(st.PageIDs()); int64(got) > budget {
+		t.Fatalf("%d resident pages, budget %d", got, budget)
+	}
+
+	// Every row reads back exactly, faulting evicted pages from the
+	// archive (a page may be resident or stolen — both must serve).
+	misses0 := cs.Misses
+	for i, rid := range rids {
+		got, err := h.Read(rid)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if want := bigRow(i); string(got) != string(want) {
+			t.Fatalf("row %d corrupted after paging", i)
+		}
+		if r := st.CacheStats().Resident; r > budget {
+			t.Fatalf("read %d: resident %d exceeds budget %d", i, r, budget)
+		}
+	}
+	if st.CacheStats().Misses == misses0 {
+		t.Fatal("reads of evicted pages recorded no misses")
+	}
+
+	// The archive holds the stolen images even though no checkpoint ran.
+	pids, err := arch.Pages()
+	if err != nil || len(pids) == 0 {
+		t.Fatalf("no stolen images in the archive: %d (%v)", len(pids), err)
+	}
+}
+
+func TestBufferPoolPinBlocksEviction(t *testing.T) {
+	const budget = 2
+	st, h, _, _, sl := poolHarness(t, budget)
+
+	rid, err := h.Insert(bigRow(0), sl.log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := st.Get(rid.Page)
+	if err != nil || pinned == nil {
+		t.Fatalf("pin target: %v", err)
+	}
+	// Pressure the pool far past the budget; the pinned page must never
+	// be reclaimed while the pin is held.
+	for i := 1; i < 60; i++ {
+		if _, err := h.Insert(bigRow(i), sl.log); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	found := false
+	for _, pid := range st.PageIDs() {
+		if pid == rid.Page {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("pinned page was evicted")
+	}
+	pinned.Unpin()
+}
+
+func TestBufferPoolNoWALRefusesDirtySteal(t *testing.T) {
+	// Without a WAL hook the pool cannot order the steal after the log,
+	// so dirty pages must stay resident (overshoot) rather than reach
+	// the archive unprotected.
+	arch := NewMemArchive()
+	st := NewStore()
+	if err := st.SetBackend(arch); err != nil {
+		t.Fatal(err)
+	}
+	st.SetCachePages(2)
+	h := NewHeapFile(st, 1, "t")
+	sl := &seqLog{}
+	for i := 0; i < 40; i++ {
+		if _, err := h.Insert(bigRow(i), sl.log); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := st.CacheStats()
+	if cs.StealWrites != 0 {
+		t.Fatalf("%d steals without a WAL", cs.StealWrites)
+	}
+	if pids, _ := arch.Pages(); len(pids) != 0 {
+		t.Fatalf("%d dirty images reached the archive without a WAL", len(pids))
+	}
+	if cs.Resident <= 2 {
+		t.Fatalf("expected overshoot with unstealable dirty pages, resident=%d", cs.Resident)
+	}
+}
+
+func TestBufferPoolCleanEvictionNeedsNoSteal(t *testing.T) {
+	const budget = 4
+	st, h, _, wal, sl := poolHarness(t, budget)
+	const rows = 60
+	rids := make([]RID, rows)
+	for i := 0; i < rows; i++ {
+		rid, err := h.Insert(bigRow(i), sl.log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	// Sweep everything clean, then fault pages back in read-only: the
+	// evictions that follow must be free (no new steal writes).
+	wal.Force(sl.next + 1)
+	if n := st.ArchiveDirtyPages(st.backend, wal.Durable()); n == 0 {
+		t.Fatal("sweep archived nothing")
+	}
+	steals0 := st.CacheStats().StealWrites
+	for i, rid := range rids {
+		if _, err := h.Read(rid); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if got := st.CacheStats().StealWrites; got != steals0 {
+		t.Fatalf("read-only paging performed %d steal writes", got-steals0)
+	}
+}
+
+func TestBufferPoolFaultRejectsImageBeyondDurable(t *testing.T) {
+	wal := &fakeWAL{durable: 10}
+	arch := NewMemArchive()
+	// An image claiming pageLSN 100 with the log durable only to 10:
+	// the database file ran ahead of the log.
+	pid := MakePageID(1, 1)
+	img := NewPage(pid)
+	img.SetLSN(100)
+	if err := arch.Put(pid, img.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	st := NewStore()
+	if err := st.SetBackend(arch); err != nil {
+		t.Fatal(err)
+	}
+	st.AttachWAL(wal)
+	if _, err := st.Get(pid); err == nil {
+		t.Fatal("fault accepted an image beyond the durable log end")
+	}
+	// Once the log catches up the fault succeeds.
+	wal.Force(100)
+	p, err := st.Get(pid)
+	if err != nil || p == nil {
+		t.Fatalf("fault after catch-up: %v", err)
+	}
+	p.Unpin()
+}
+
+func TestBufferPoolConcurrentPaging(t *testing.T) {
+	// Race-detector fodder: concurrent inserts and reads over a pool
+	// far smaller than the working set.
+	const budget = 8
+	st, h, _, _, sl := poolHarness(t, budget)
+	const perG, goroutines = 40, 4
+
+	rids := make([][]RID, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		rids[g] = make([]RID, perG)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				rid, err := h.Insert(bigRow(g*perG+i), sl.log)
+				if err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				rids[g][i] = rid
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				got, err := h.Read(rids[g][i])
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				if want := bigRow(g*perG + i); string(got) != string(want) {
+					t.Errorf("row %d/%d corrupted", g, i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	cs := st.CacheStats()
+	if cs.Evictions == 0 || cs.Misses == 0 {
+		t.Fatalf("no paging under pressure: %+v", cs)
+	}
+}

@@ -84,38 +84,49 @@ func (h *HeapFile) Insert(data []byte, log LogFunc) (RID, error) {
 		return RID{}, ErrRecordTooBig
 	}
 	for {
-		p := h.pickPage(len(data))
+		p, err := h.pickPage(len(data))
+		if err != nil {
+			return RID{}, err
+		}
 		p.Latch.Lock()
 		slot := p.FindInsertSlot()
 		if !p.CanFit(slot, len(data)) {
 			p.Latch.Unlock()
 			h.dropAvail(p.ID())
+			p.Unpin()
 			continue
 		}
 		up := logrec.UpdatePayload{Op: logrec.OpInsert, Slot: uint16(slot), After: data}
 		at, end, err := log(p.ID(), up)
 		if err != nil {
 			p.Latch.Unlock()
+			p.Unpin()
 			return RID{}, err
 		}
 		if err := p.Apply(up, end); err != nil {
 			p.Latch.Unlock()
+			p.Unpin()
 			return RID{}, fmt.Errorf("storage: heap insert apply: %w", err)
 		}
 		h.store.MarkDirty(p.ID(), at)
 		rid := RID{Page: p.ID(), Slot: uint16(slot)}
 		p.Latch.Unlock()
+		p.Unpin()
 		return rid, nil
 	}
 }
 
-// pickPage returns a page that may fit size bytes, allocating if needed.
-func (h *HeapFile) pickPage(size int) *Page {
+// pickPage returns a pinned page that may fit size bytes, allocating if
+// needed; the caller unpins it.
+func (h *HeapFile) pickPage(size int) (*Page, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for len(h.avail) > 0 {
 		pid := h.avail[len(h.avail)-1]
-		p := h.store.Get(pid)
+		p, err := h.store.Get(pid)
+		if err != nil {
+			return nil, err
+		}
 		if p == nil {
 			h.avail = h.avail[:len(h.avail)-1]
 			continue
@@ -124,14 +135,15 @@ func (h *HeapFile) pickPage(size int) *Page {
 		fits := p.CanFit(p.FindInsertSlot(), size)
 		p.Latch.RUnlock()
 		if fits {
-			return p
+			return p, nil
 		}
+		p.Unpin()
 		h.avail = h.avail[:len(h.avail)-1]
 	}
 	p := h.store.Allocate(h.space)
 	h.avail = append(h.avail, p.ID())
 	h.allocated = append(h.allocated, p.ID())
-	return p
+	return p, nil
 }
 
 // dropAvail removes pid from the available list (it filled up between
@@ -147,12 +159,17 @@ func (h *HeapFile) dropAvail(pid uint64) {
 	h.mu.Unlock()
 }
 
-// Read returns a copy of the record at rid.
+// Read returns a copy of the record at rid. A failed page fault (I/O
+// error, corruption) is reported as its own error, never as ErrNotFound.
 func (h *HeapFile) Read(rid RID) ([]byte, error) {
-	p := h.store.Get(rid.Page)
+	p, err := h.store.Get(rid.Page)
+	if err != nil {
+		return nil, err
+	}
 	if p == nil {
 		return nil, ErrNotFound
 	}
+	defer p.Unpin()
 	p.Latch.RLock()
 	defer p.Latch.RUnlock()
 	data, err := p.Get(int(rid.Slot))
@@ -167,10 +184,14 @@ func (h *HeapFile) Update(rid RID, data []byte, log LogFunc) error {
 	if len(data) > MaxRecordSize {
 		return ErrRecordTooBig
 	}
-	p := h.store.Get(rid.Page)
+	p, err := h.store.Get(rid.Page)
+	if err != nil {
+		return err
+	}
 	if p == nil {
 		return ErrNotFound
 	}
+	defer p.Unpin()
 	p.Latch.Lock()
 	defer p.Latch.Unlock()
 	before, err := p.view(int(rid.Slot))
@@ -194,10 +215,14 @@ func (h *HeapFile) Update(rid RID, data []byte, log LogFunc) error {
 // race of Read-then-Update and is the hot path the workloads use
 // (read-modify-write of a balance field).
 func (h *HeapFile) Mutate(rid RID, log LogFunc, fn func(cur []byte) ([]byte, error)) error {
-	p := h.store.Get(rid.Page)
+	p, err := h.store.Get(rid.Page)
+	if err != nil {
+		return err
+	}
 	if p == nil {
 		return ErrNotFound
 	}
+	defer p.Unpin()
 	p.Latch.Lock()
 	defer p.Latch.Unlock()
 	before, err := p.view(int(rid.Slot))
@@ -222,10 +247,14 @@ func (h *HeapFile) Mutate(rid RID, log LogFunc, fn func(cur []byte) ([]byte, err
 
 // Delete removes the record at rid, logging its before image.
 func (h *HeapFile) Delete(rid RID, log LogFunc) error {
-	p := h.store.Get(rid.Page)
+	p, err := h.store.Get(rid.Page)
+	if err != nil {
+		return err
+	}
 	if p == nil {
 		return ErrNotFound
 	}
+	defer p.Unpin()
 	p.Latch.Lock()
 	before, err := p.view(int(rid.Slot))
 	if err != nil {
@@ -264,10 +293,15 @@ func (h *HeapFile) Delete(rid RID, log LogFunc) error {
 }
 
 // Scan calls fn for every live record in the heap (in page, slot order).
-// fn receives a copy it may retain.
-func (h *HeapFile) Scan(fn func(rid RID, data []byte) bool) {
+// fn receives a copy it may retain. Pages fault in and out as the scan
+// walks, so memory stays within the cache budget even for heaps far
+// larger than RAM; a failed fault aborts the scan with its error.
+func (h *HeapFile) Scan(fn func(rid RID, data []byte) bool) error {
 	for _, pid := range h.Pages() {
-		p := h.store.Get(pid)
+		p, err := h.store.Get(pid)
+		if err != nil {
+			return err
+		}
 		if p == nil {
 			continue
 		}
@@ -284,10 +318,12 @@ func (h *HeapFile) Scan(fn func(rid RID, data []byte) bool) {
 			}
 		}
 		p.Latch.RUnlock()
+		p.Unpin()
 		for _, it := range items {
 			if !fn(it.rid, it.data) {
-				return
+				return nil
 			}
 		}
 	}
+	return nil
 }

@@ -264,11 +264,14 @@ func TestStoreDirtyPageTable(t *testing.T) {
 
 func TestStoreGetOrCreate(t *testing.T) {
 	st := NewStore()
-	p := st.GetOrCreate(500)
+	p, err := st.GetOrCreate(500)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p.ID() != 500 {
 		t.Fatalf("page id %d", p.ID())
 	}
-	if st.GetOrCreate(500) != p {
+	if q, _ := st.GetOrCreate(500); q != p {
 		t.Fatal("GetOrCreate not idempotent")
 	}
 	// The allocator must now hand out IDs above 500.
@@ -300,9 +303,9 @@ func TestArchiveRoundTrip(t *testing.T) {
 	if err := st2.LoadArchive(arch); err != nil {
 		t.Fatal(err)
 	}
-	p := st2.Get(rid.Page)
-	if p == nil {
-		t.Fatal("page missing after restore")
+	p, err := st2.Get(rid.Page)
+	if err != nil || p == nil {
+		t.Fatalf("page missing after restore: %v", err)
 	}
 	got, err := p.Get(int(rid.Slot))
 	if err != nil || string(got) != "archived row" {

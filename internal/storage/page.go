@@ -1,14 +1,19 @@
-// Package storage is the in-memory, page-based storage engine the
-// workloads run on: slotted pages with page LSNs, a sharded page store
-// with a dirty-page table, heap files with record IDs, and a B+Tree
-// index. Every mutation is expressed as a physiological UpdatePayload so
-// the same code path serves normal forward processing, transaction
-// rollback and ARIES redo.
+// Package storage is the page-based storage engine the workloads run
+// on: slotted pages with page LSNs, a sharded page store that doubles
+// as a demand-paged buffer pool over an Archive backend (residency,
+// pin/unpin, clock eviction with WAL-ordered dirty steal), a dirty-page
+// table, heap files with record IDs, and a B+Tree index. Every mutation
+// is expressed as a physiological UpdatePayload so the same code path
+// serves normal forward processing, transaction rollback and ARIES
+// redo.
 //
 // The paper's experiments use memory-resident datasets ("modern
 // transaction processing workloads are largely memory resident", §6.1)
 // with the log providing durability; this package plays the role
-// Shore-MT's buffer manager and storage structures play there.
+// Shore-MT's buffer manager and storage structures play there. Without
+// a cache budget the store behaves exactly that way — fully resident;
+// with Store.SetCachePages it bounds RAM and pages against the
+// database file.
 package storage
 
 import (
@@ -16,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"aether/internal/logrec"
 	"aether/internal/lsn"
@@ -58,8 +64,28 @@ type Page struct {
 	// contents, exclusive for mutations. It orders pageLSN bumps
 	// against the checkpoint sweep's check-and-clean.
 	Latch sync.RWMutex
-	buf   [PageSize]byte
+
+	// pins counts live references handed out by Store.Get/GetOrCreate/
+	// Allocate; the buffer pool never evicts a pinned page. Pins are
+	// taken under the owning shard's lock, so an evictor holding that
+	// lock exclusively and observing pins == 0 knows no reference can
+	// appear until it releases the lock.
+	pins atomic.Int32
+	// ref is the clock algorithm's second-chance bit, set on every
+	// Store.Get hit and cleared by one sweep of the clock hand.
+	ref atomic.Bool
+
+	buf [PageSize]byte
 }
+
+// Unpin releases one reference taken by Store.Get, Store.GetOrCreate or
+// Store.Allocate, making the page evictable again once all pins are
+// gone. Every pinned page must be unpinned exactly once.
+func (p *Page) Unpin() { p.pins.Add(-1) }
+
+// Pinned reports whether any reference currently pins the page (tests,
+// diagnostics; inherently racy for anything else).
+func (p *Page) Pinned() bool { return p.pins.Load() > 0 }
 
 // NewPage returns an initialized empty page.
 func NewPage(id uint64) *Page {

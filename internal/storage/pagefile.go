@@ -116,6 +116,16 @@ var ErrSimulatedCrash = errors.New("storage: simulated crash after journal write
 
 var pfCRC = crc32.MakeTable(crc32.Castagnoli)
 
+// pfMaxSlot is the largest slot index whose byte range still fits in an
+// int64 file offset. Any larger index read from disk (a journal entry,
+// a slot header) is a corrupt or hostile value, not a real slot: honoring
+// it would overflow the offset arithmetic or balloon the file.
+const pfMaxSlot = (1<<63 - 1 - pfHeaderSize - pfSlotSize) / pfSlotSize
+
+// pfSlotValid bounds slot indices taken from on-disk structures before
+// they reach pfSlotOff.
+func pfSlotValid(slot uint64) bool { return slot <= pfMaxSlot }
+
 // pageChecksum covers the slot's identity and its image, so a misdirected
 // or torn write is caught no matter which part it corrupted.
 func pageChecksum(pid, version uint64, img []byte) uint32 {
@@ -126,7 +136,15 @@ func pageChecksum(pid, version uint64, img []byte) uint32 {
 	return crc32.Update(c, pfCRC, img)
 }
 
-func pfSlotOff(slot uint64) int64 { return pfHeaderSize + int64(slot)*pfSlotSize }
+// pfSlotOff converts a slot index to its file offset. Callers must
+// validate untrusted indices with pfSlotValid first; the panic is the
+// backstop for in-memory state, which is always in range.
+func pfSlotOff(slot uint64) int64 {
+	if !pfSlotValid(slot) {
+		panic(fmt.Sprintf("storage: pagefile slot %d out of range", slot))
+	}
+	return pfHeaderSize + int64(slot)*pfSlotSize
+}
 
 // OpenPageFile opens (creating if needed) a paged database file, replaying
 // or discarding its double-write journal first, then building the pageID
@@ -268,6 +286,21 @@ func (pf *PageFile) replayJournal() ([]jnlEntry, error) {
 	if !ok {
 		return nil, pf.clearJournal()
 	}
+	// Bound every journaled slot index before any write: a batch only
+	// ever appends to the end of the file, so a committed journal's
+	// slots all lie below (slots currently in the file) + (entries in
+	// the batch). Anything larger — or past the int64 offset range — is
+	// a corrupt journal, and honoring it would balloon the pagefile or
+	// overflow the offset arithmetic. Fail loudly instead.
+	fst, err := pf.f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("storage: pagefile journal: %w", err)
+	}
+	maxSlot := uint64(0)
+	if fst.Size() > pfHeaderSize {
+		maxSlot = uint64((fst.Size() - pfHeaderSize) / pfSlotSize)
+	}
+	maxSlot += uint64(count)
 	entries := make([]jnlEntry, count)
 	for i := 0; i < count; i++ {
 		e := body[i*pfJnlEntrySize:]
@@ -275,6 +308,10 @@ func (pf *PageFile) replayJournal() ([]jnlEntry, error) {
 			slot:    binary.LittleEndian.Uint64(e[0:8]),
 			pid:     binary.LittleEndian.Uint64(e[8:16]),
 			version: binary.LittleEndian.Uint64(e[16:24]),
+		}
+		if !pfSlotValid(ent.slot) || ent.slot >= maxSlot {
+			return nil, fmt.Errorf("storage: pagefile journal entry %d names absurd slot %d (file holds %d slots, batch %d entries): corrupt journal",
+				i, ent.slot, maxSlot-uint64(count), count)
 		}
 		sum := binary.LittleEndian.Uint32(e[24:28])
 		img := e[pfJnlEntryHdr:pfJnlEntrySize]
@@ -339,6 +376,12 @@ func scanSlotHeaders(f *os.File, size int64, fn func(slot, pid, version uint64) 
 	n := (size - pfHeaderSize) / pfSlotSize
 	if n < 0 {
 		n = 0
+	}
+	if n > pfMaxSlot+1 {
+		// A size this large cannot be a real pagefile (the offset of the
+		// slot past pfMaxSlot would overflow int64); clamp rather than
+		// let the loop feed pfSlotOff out-of-range indices.
+		n = pfMaxSlot + 1
 	}
 	hdr := make([]byte, pfSlotHdr)
 	for slot := int64(0); slot < n; slot++ {
@@ -629,6 +672,15 @@ func (pf *PageFile) Get(pid uint64) ([]byte, error) {
 	return img, nil
 }
 
+// Contains implements ArchiveContains: a map lookup against the slot
+// directory, no I/O — the buffer pool's cheap miss-path existence probe.
+func (pf *PageFile) Contains(pid uint64) bool {
+	pf.mu.Lock()
+	_, ok := pf.slots[pid]
+	pf.mu.Unlock()
+	return ok
+}
+
 // Pages implements Archive.
 func (pf *PageFile) Pages() ([]uint64, error) {
 	pf.mu.Lock()
@@ -769,6 +821,7 @@ func (pf *PageFile) Close() error {
 }
 
 var (
-	_ Archive        = (*PageFile)(nil)
-	_ ArchiveBatcher = (*PageFile)(nil)
+	_ Archive         = (*PageFile)(nil)
+	_ ArchiveBatcher  = (*PageFile)(nil)
+	_ ArchiveContains = (*PageFile)(nil)
 )

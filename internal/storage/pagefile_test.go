@@ -262,9 +262,10 @@ func TestSweepFsyncsO1(t *testing.T) {
 	const pages = 1200
 	st := NewStore()
 	for i := 1; i <= pages; i++ {
-		p := st.GetOrCreate(MakePageID(1, uint64(i)))
+		p, _ := st.GetOrCreate(MakePageID(1, uint64(i)))
 		p.SetLSN(1)
 		st.MarkDirty(p.ID(), 1)
+		p.Unpin()
 	}
 	pf := openPF(t, filepath.Join(t.TempDir(), "pagefile.db"))
 
@@ -340,7 +341,8 @@ func TestStoreLoadArchiveFromPageFile(t *testing.T) {
 	pf := openPF(t, path)
 
 	st := NewStore()
-	p := st.GetOrCreate(MakePageID(2, 1))
+	p, _ := st.GetOrCreate(MakePageID(2, 1))
+	defer p.Unpin()
 	if err := p.Insert(0, []byte("hello-pagefile")); err != nil {
 		t.Fatal(err)
 	}
@@ -356,10 +358,11 @@ func TestStoreLoadArchiveFromPageFile(t *testing.T) {
 	if err := st2.LoadArchive(pf2); err != nil {
 		t.Fatal(err)
 	}
-	p2 := st2.Get(MakePageID(2, 1))
-	if p2 == nil {
-		t.Fatal("archived page not restored")
+	p2, err := st2.Get(MakePageID(2, 1))
+	if err != nil || p2 == nil {
+		t.Fatalf("archived page not restored: %v", err)
 	}
+	defer p2.Unpin()
 	if got, err := p2.Get(0); err != nil || string(got) != "hello-pagefile" {
 		t.Fatalf("restored record = %q, %v", got, err)
 	}

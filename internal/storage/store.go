@@ -27,9 +27,13 @@ func UnpackRID(v uint64) RID { return RID{Page: v >> 16, Slot: uint16(v & 0xFFFF
 // storeShards is the page-map shard count.
 const storeShards = 64
 
-// Store is the page store: the "buffer pool" of a memory-resident
-// database. It owns page lookup/creation, the dirty-page table (DPT) used
-// by checkpoints, and page-image archival.
+// Store is the page store: a demand-paged buffer pool over an optional
+// Archive backend. It owns page lookup/creation/fault-in, residency and
+// pinning, the clock eviction policy with WAL-correct dirty steal, the
+// dirty-page table (DPT) used by checkpoints, and page-image archival.
+// Without a backend (SetBackend) it degenerates to the original fully
+// memory-resident store; without a budget (SetCachePages) nothing is
+// ever evicted.
 //
 // Page IDs encode their owning space (table) in the top 24 bits:
 // pid = space<<40 | seq. Recovery relies on this to reattach redo-created
@@ -42,6 +46,20 @@ type Store struct {
 
 	dirtyMu sync.Mutex
 	dirty   map[uint64]lsn.LSN // pageID → recLSN (first LSN that dirtied it)
+
+	// Buffer pool state (bufferpool.go).
+	backend Archive // home of pages; nil = RAM is the only copy
+	wal     WAL     // flush-before-steal + fault verification; may be nil
+	budget  int64   // max resident pages; 0 = unbounded
+
+	evictMu sync.Mutex // serializes evictions; guards clock+hand
+	clock   []uint64   // resident pids in install order (clock order)
+	hand    int        // clock hand position
+
+	resident  atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	steals    atomic.Int64
 }
 
 // PageSpace extracts the owning space from a page ID.
@@ -88,52 +106,46 @@ func (s *Store) spaceSeq(space uint32) *atomic.Uint64 {
 	return c
 }
 
-// Allocate creates a fresh page in the given space and returns it.
+// Allocate creates a fresh page in the given space and returns it
+// pinned; call Unpin when done. Room is made within the cache budget
+// first (best-effort: allocation itself never fails).
 func (s *Store) Allocate(space uint32) *Page {
+	s.reserveFrame()
 	pid := MakePageID(space, s.spaceSeq(space).Add(1))
 	p := NewPage(pid)
+	p.pins.Store(1)
+	p.ref.Store(true)
 	sh := s.shard(pid)
 	sh.mu.Lock()
 	sh.pages[pid] = p
 	sh.mu.Unlock()
+	s.noteResident(pid)
 	return p
 }
 
-// Get returns the page with the given ID, or nil if absent.
-func (s *Store) Get(pid uint64) *Page {
-	sh := s.shard(pid)
-	sh.mu.RLock()
-	p := sh.pages[pid]
-	sh.mu.RUnlock()
-	return p
+// Get returns the page with the given ID, pinned — faulting it in from
+// the backend on a cache miss — or (nil, nil) if it exists neither in
+// RAM nor in the backend. A non-nil error is a failed or rejected fault
+// (backend I/O error, checksum failure, image beyond the durable log);
+// it must not be treated as "absent". Call Unpin when done.
+func (s *Store) Get(pid uint64) (*Page, error) {
+	if p := s.getResident(pid); p != nil {
+		return p, nil
+	}
+	if s.backend == nil {
+		return nil, nil
+	}
+	return s.fault(pid, false)
 }
 
-// GetOrCreate returns the page, creating an empty one if absent (redo
-// uses this to rebuild pages never archived).
-func (s *Store) GetOrCreate(pid uint64) *Page {
-	if p := s.Get(pid); p != nil {
-		return p
+// GetOrCreate returns the page pinned, faulting it from the backend or
+// creating an empty one if it exists nowhere (redo uses this to rebuild
+// pages never archived). Call Unpin when done.
+func (s *Store) GetOrCreate(pid uint64) (*Page, error) {
+	if p := s.getResident(pid); p != nil {
+		return p, nil
 	}
-	sh := s.shard(pid)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if p := sh.pages[pid]; p != nil {
-		return p
-	}
-	p := NewPage(pid)
-	sh.pages[pid] = p
-	// Keep the space's allocator ahead of any explicitly materialized
-	// page (redo may rebuild pages the allocator never handed out in
-	// this incarnation).
-	c := s.spaceSeq(PageSpace(pid))
-	seq := pageSeq(pid)
-	for {
-		cur := c.Load()
-		if cur >= seq || c.CompareAndSwap(cur, seq) {
-			break
-		}
-	}
-	return p
+	return s.fault(pid, true)
 }
 
 // MarkDirty records that pid was modified at recLSN, if it is not
@@ -180,7 +192,9 @@ func (s *Store) MinRecLSN() lsn.LSN {
 	return min
 }
 
-// PageIDs returns all page IDs (sorted), for archival sweeps and tests.
+// PageIDs returns the IDs of the pages currently resident in RAM
+// (sorted). With a backend attached this is the cached subset, not the
+// database; use AllPageIDs to enumerate everything.
 func (s *Store) PageIDs() []uint64 {
 	var out []uint64
 	for i := range s.shards {
@@ -191,8 +205,13 @@ func (s *Store) PageIDs() []uint64 {
 		}
 		sh.mu.RUnlock()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sortPageIDs(out)
 	return out
+}
+
+// sortPageIDs sorts page IDs ascending.
+func sortPageIDs(ids []uint64) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 }
 
 // Archive is persistent page-image storage (the database file). Writing
@@ -240,6 +259,15 @@ func (a *MemArchive) Get(pid uint64) ([]byte, error) {
 	return a.pages[pid], nil
 }
 
+// Contains implements ArchiveContains (no I/O to save, but it keeps the
+// in-memory archive's miss path on par with the pagefile's).
+func (a *MemArchive) Contains(pid uint64) bool {
+	a.mu.Lock()
+	_, ok := a.pages[pid]
+	a.mu.Unlock()
+	return ok
+}
+
 // Pages implements Archive.
 func (a *MemArchive) Pages() ([]uint64, error) {
 	a.mu.Lock()
@@ -268,8 +296,9 @@ func (a *MemArchive) PutBatch(batch []PageImage) error {
 }
 
 var (
-	_ Archive        = (*MemArchive)(nil)
-	_ ArchiveBatcher = (*MemArchive)(nil)
+	_ Archive         = (*MemArchive)(nil)
+	_ ArchiveBatcher  = (*MemArchive)(nil)
+	_ ArchiveContains = (*MemArchive)(nil)
 )
 
 // ArchiveFlusher is the optional Archive extension for batched
@@ -321,11 +350,30 @@ func (s *Store) ArchiveDirtyPages(a Archive, durable lsn.LSN) int {
 	}
 	batcher, batched := a.(ArchiveBatcher)
 	var done []archived
+	// Pages stay pinned from snapshot to check-and-clean: a concurrent
+	// eviction must not reclaim (or re-steal) a frame the sweep is mid-
+	// way through archiving.
+	defer func() {
+		for _, e := range done {
+			e.page.Unpin()
+		}
+	}()
 	var batch []PageImage // images held only for the batched path
 	for _, e := range s.DirtyPages() {
-		p := s.Get(e.PageID)
+		// Resident-only lookup: a dirty page is always resident (the
+		// only way out of RAM is a steal, which cleans it first), so a
+		// non-resident entry is stale — faulting it back just to
+		// re-archive the image the steal already wrote would waste a
+		// read, a cache frame and a write.
+		p := s.getResident(e.PageID)
 		if p == nil {
-			s.MarkClean(e.PageID)
+			if s.isDirty(e.PageID) {
+				// Still in the live DPT yet nowhere in RAM or reachable
+				// state: a vanished page (legacy stores without a
+				// backend). Clean it so it cannot pin the truncation
+				// horizon forever.
+				s.MarkClean(e.PageID)
+			}
 			continue
 		}
 		p.Latch.RLock()
@@ -336,6 +384,7 @@ func (s *Store) ArchiveDirtyPages(a Archive, durable lsn.LSN) int {
 		}
 		p.Latch.RUnlock()
 		if img == nil {
+			p.Unpin()
 			continue
 		}
 		if batched {
@@ -346,6 +395,7 @@ func (s *Store) ArchiveDirtyPages(a Archive, durable lsn.LSN) int {
 			// pins the truncation horizon, so the log that rebuilds
 			// it cannot be recycled until a later sweep succeeds.
 			// (Streaming Put also keeps peak memory at one image.)
+			p.Unpin()
 			continue
 		}
 		done = append(done, archived{pid: e.PageID, page: p, lsn: pl})
@@ -370,9 +420,9 @@ func (s *Store) ArchiveDirtyPages(a Archive, durable lsn.LSN) int {
 	written := 0
 	for _, e := range done {
 		// Check-and-clean under the page latch: writers bump pageLSN
-		// under the exclusive latch (MarkDirty may land after unlock),
-		// so either we see the bump (page stays dirty) or our clean
-		// completes first and their MarkDirty re-adds a fresh entry.
+		// and mark dirty under the exclusive latch, so either we see
+		// the bump (page stays dirty) or our clean completes first and
+		// their MarkDirty re-adds a fresh entry.
 		e.page.Latch.RLock()
 		if e.page.LSN() == e.lsn {
 			s.MarkClean(e.pid)
@@ -383,19 +433,44 @@ func (s *Store) ArchiveDirtyPages(a Archive, durable lsn.LSN) int {
 	return written
 }
 
-// LoadArchive populates the store from an archive (restart).
+// LoadArchive populates the store from an archive eagerly, faulting
+// every page into RAM at once. The restart path no longer uses it
+// (pages fault in lazily through the backend); it remains for tests and
+// tools that want a fully materialized store. Pages load through the
+// normal fault path, so a cache budget still bounds residency.
 func (s *Store) LoadArchive(a Archive) error {
 	pids, err := a.Pages()
 	if err != nil {
 		return err
 	}
 	for _, pid := range pids {
+		if s.backend == a {
+			if p := s.getResident(pid); p != nil {
+				// Already resident: fall through to the overwrite path
+				// below (LoadArchive's contract is archive-wins).
+				p.Unpin()
+			} else {
+				// GetOrCreate faults the image from this very archive;
+				// a separate a.Get here would read it twice.
+				p, err := s.GetOrCreate(pid)
+				if err != nil {
+					return err
+				}
+				p.Unpin()
+				continue
+			}
+		}
 		img, err := a.Get(pid)
 		if err != nil {
 			return err
 		}
-		p := s.GetOrCreate(pid)
-		if err := p.LoadSnapshot(img); err != nil {
+		p, err := s.GetOrCreate(pid)
+		if err != nil {
+			return err
+		}
+		err = p.LoadSnapshot(img)
+		p.Unpin()
+		if err != nil {
 			return err
 		}
 	}

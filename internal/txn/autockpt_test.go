@@ -98,9 +98,10 @@ func TestSweepFsyncCounterO1(t *testing.T) {
 	const pages = 1000
 	st := eng.Store()
 	for i := 1; i <= pages; i++ {
-		p := st.GetOrCreate(storage.MakePageID(1, uint64(i)))
+		p, _ := st.GetOrCreate(storage.MakePageID(1, uint64(i)))
 		p.SetLSN(1)
 		st.MarkDirty(p.ID(), 1)
+		p.Unpin()
 	}
 	if err := eng.Checkpoint(); err != nil {
 		t.Fatal(err)

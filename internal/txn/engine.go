@@ -94,9 +94,14 @@ func DefaultKeyOf(row []byte) uint64 {
 // Table is one logical table: a logged heap plus a volatile primary
 // index (rebuilt at restart from the heap).
 type Table struct {
-	Name  string
+	// Name is the table's registered name.
+	Name string
+	// Space is the page space (top 24 bits of every page ID) the
+	// table's heap allocates from.
 	Space uint32
-	Heap  *storage.HeapFile
+	// Heap holds the table's rows.
+	Heap *storage.HeapFile
+	// Index is the volatile primary index over Heap.
 	Index *storage.BTree
 	// KeyOf recovers a row's primary key during index rebuild.
 	KeyOf func([]byte) uint64
@@ -104,8 +109,12 @@ type Table struct {
 
 // Config assembles an Engine.
 type Config struct {
-	Log   *core.LogManager
+	// Log is the Aether log manager (required).
+	Log *core.LogManager
+	// Locks is the lock manager (required).
 	Locks *lockmgr.Manager
+	// Store is the page store; NewEngine wires Archive and Log into it
+	// as the buffer pool's backend and WAL hook (required).
 	Store *storage.Store
 	// Archive, if set, receives page images at checkpoints (the
 	// simulated database file).
@@ -120,9 +129,13 @@ type Config struct {
 
 // Stats exposes engine counters.
 type Stats struct {
-	Commits     metrics.Counter
-	Aborts      metrics.Counter
-	ReadOnly    metrics.Counter
+	// Commits counts committed transactions.
+	Commits metrics.Counter
+	// Aborts counts aborted transactions.
+	Aborts metrics.Counter
+	// ReadOnly counts read-only commits (no log flush needed).
+	ReadOnly metrics.Counter
+	// Checkpoints counts completed fuzzy checkpoints.
 	Checkpoints metrics.Counter
 	// TruncateFailures counts checkpoints whose (best-effort) log
 	// truncation failed; the horizon stays put until the next one.
@@ -198,6 +211,17 @@ func NewEngine(cfg Config) (*Engine, error) {
 		att:     make(map[uint64]*Txn),
 		ckptAp:  cfg.Log.NewAppender(),
 	}
+	// Thread the WAL into the buffer pool: evicting a dirty page forces
+	// the log up to its pageLSN before the image may be stolen to the
+	// archive, and faulted images are checked against the durable
+	// horizon. (Restart wires the same hooks before recovery; repeating
+	// them here is idempotent and covers directly constructed engines.)
+	if cfg.Archive != nil {
+		if err := cfg.Store.SetBackend(cfg.Archive); err != nil {
+			return nil, err
+		}
+	}
+	cfg.Store.AttachWAL(cfg.Log)
 	if cfg.CheckpointEveryBytes > 0 {
 		e.startAutoCheckpoint(cfg.CheckpointEveryBytes)
 	}
@@ -377,13 +401,21 @@ func (e *Engine) Tables() []*Table {
 	return out
 }
 
-// RebuildTables reattaches store pages to their heaps and rebuilds every
-// table's index by scanning heap rows. Called after recovery.
+// RebuildTables reattaches pages to their heaps and rebuilds every
+// table's index by scanning heap rows. Called after recovery. The page
+// universe is the resident set plus everything in the archive backend:
+// with demand paging, most pages are not in RAM at this point — they
+// fault in (and are evicted again) as the rebuild walks them, so the
+// scan is O(database) time but O(cache budget) memory.
 func (e *Engine) RebuildTables() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	all, err := e.store.AllPageIDs()
+	if err != nil {
+		return fmt.Errorf("txn: listing pages for rebuild: %w", err)
+	}
 	bySpace := make(map[uint32][]uint64)
-	for _, pid := range e.store.PageIDs() {
+	for _, pid := range all {
 		sp := storage.PageSpace(pid)
 		bySpace[sp] = append(bySpace[sp], pid)
 	}
@@ -392,14 +424,30 @@ func (e *Engine) RebuildTables() error {
 		if t == nil {
 			return fmt.Errorf("txn: recovered pages for unknown space %d (tables must be created in the same order as before the crash)", sp)
 		}
-		for _, pid := range pids { // PageIDs() is sorted
-			p := e.store.Get(pid)
+		for _, pid := range pids { // AllPageIDs() is sorted
+			p, err := e.store.Get(pid)
+			if err != nil {
+				return fmt.Errorf("txn: rebuild fault: %w", err)
+			}
+			if p == nil {
+				continue
+			}
 			t.Heap.Adopt(p)
+			// Index the page's rows while it is resident and pinned: a
+			// separate Heap.Scan afterwards would fault the whole
+			// database a second time.
+			p.Latch.RLock()
+			for slot, n := 0, p.NumSlots(); slot < n; slot++ {
+				row, err := p.Get(slot)
+				if err != nil {
+					continue // dead slot
+				}
+				rid := storage.RID{Page: pid, Slot: uint16(slot)}
+				t.Index.Put(t.KeyOf(row), rid.Pack())
+			}
+			p.Latch.RUnlock()
+			p.Unpin()
 		}
-		t.Heap.Scan(func(rid storage.RID, row []byte) bool {
-			t.Index.Put(t.KeyOf(row), rid.Pack())
-			return true
-		})
 	}
 	return nil
 }

@@ -26,12 +26,21 @@ type RestartConfig struct {
 	// CheckpointEveryBytes enables the engine's background incremental
 	// checkpointer (see txn.Config.CheckpointEveryBytes).
 	CheckpointEveryBytes int64
+	// CachePages, if > 0, bounds the page store to at most this many
+	// resident pages: pages beyond the budget fault in from Archive on
+	// demand and are evicted (dirty ones stolen back through the
+	// archive after the log is forced) to make room. 0 keeps the
+	// original fully memory-resident behavior. Requires Archive.
+	CachePages int64
 }
 
 // Restart performs crash recovery and returns a ready engine: read the
-// durable log, load the archive, run ARIES analysis/redo/undo (logging
-// CLRs into the restarted log), and hand back the engine. The caller must
-// re-create its tables in the original order and then call RebuildTables.
+// durable log, attach the archive as the page store's demand-paging
+// backend, run ARIES analysis/redo/undo (logging CLRs into the restarted
+// log), and hand back the engine. Pages are no longer loaded eagerly at
+// open — redo faults exactly the pages it touches, so restart memory is
+// O(working set), not O(database). The caller must re-create its tables
+// in the original order and then call RebuildTables.
 func Restart(cfg RestartConfig) (*Engine, *recovery.Result, error) {
 	// Read only the live tail: a truncated device recycled everything
 	// below its base, and recovery is O(log-since-checkpoint) because of
@@ -42,9 +51,12 @@ func Restart(cfg RestartConfig) (*Engine, *recovery.Result, error) {
 	}
 	store := storage.NewStore()
 	if cfg.Archive != nil {
-		if err := store.LoadArchive(cfg.Archive); err != nil {
-			return nil, nil, fmt.Errorf("txn: loading archive: %w", err)
+		if err := store.SetBackend(cfg.Archive); err != nil {
+			return nil, nil, fmt.Errorf("txn: attaching archive: %w", err)
 		}
+	}
+	if cfg.CachePages > 0 {
+		store.SetCachePages(cfg.CachePages)
 	}
 	lcfg := cfg.LogConfig
 	lcfg.Device = cfg.Device
@@ -53,13 +65,18 @@ func Restart(cfg RestartConfig) (*Engine, *recovery.Result, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// The WAL hook must be in place before recovery faults its first
+	// page: faulted images are verified against the durable horizon, and
+	// any eviction during redo may need to steal through it.
+	store.AttachWAL(lm)
 	res, err := recovery.Recover(recovery.Options{
 		Log:      logData,
 		Base:     lsn.LSN(base),
 		Store:    store,
 		Appender: lm.NewAppender(),
-		// Every page in the store came from the archive; reject images
-		// the durable log cannot account for (archive ahead of log).
+		// Pages reaching the store through the archive are verified at
+		// fault time against the durable horizon; this flag covers any
+		// page already resident when recovery starts.
 		VerifyArchive: cfg.Archive != nil,
 	})
 	if err != nil {

@@ -347,17 +347,26 @@ func (t *Txn) Abort() error {
 				return fmt.Errorf("txn: logging CLR: %w", err)
 			}
 			t.last.Store(at)
-			page := t.eng.store.Get(e.pageID)
+			page, ferr := t.eng.store.Get(e.pageID)
+			if ferr != nil {
+				return fmt.Errorf("txn: undo fault: %w", ferr)
+			}
 			if page == nil {
 				return fmt.Errorf("txn: undo lost page %d", e.pageID)
 			}
 			page.Latch.Lock()
 			applyErr := page.Apply(inv, end)
+			if applyErr == nil {
+				// Mark dirty under the latch: the eviction path decides
+				// clean-vs-steal from (pageLSN, DPT) read under the
+				// latch, so the two must change together.
+				t.eng.store.MarkDirty(e.pageID, at)
+			}
 			page.Latch.Unlock()
+			page.Unpin()
 			if applyErr != nil {
 				return fmt.Errorf("txn: undo apply: %w", applyErr)
 			}
-			t.eng.store.MarkDirty(e.pageID, at)
 		}
 		for i := len(t.indexUndo) - 1; i >= 0; i-- {
 			t.indexUndo[i]()
