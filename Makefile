@@ -24,20 +24,27 @@ vet:
 	$(GO) vet ./...
 
 # Documentation lint: formatting, vet, every example and command builds,
-# and the godoc-coverage check — exported identifiers in the promised
-# packages (logdev, storage, core, txn) must carry doc comments.
+# and the godoc-coverage check — exported identifiers in EVERY internal
+# package must carry doc comments.
 docs: vet
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) build ./examples/... ./cmd/...
-	$(GO) run ./cmd/doccheck ./internal/logdev ./internal/storage ./internal/core ./internal/txn
+	$(GO) run ./cmd/doccheck \
+		./internal/bench ./internal/core ./internal/distlog \
+		./internal/fsutil ./internal/lockmgr ./internal/logbuf \
+		./internal/logdev ./internal/logrec ./internal/lsn \
+		./internal/metrics ./internal/recovery ./internal/storage \
+		./internal/txn ./internal/workload
 
 # Small-scale perf smoke: vet plus a quick aetherbench run that
-# refreshes BENCH_pr4.json, so the perf trajectory (throughput, sweep
-# fsyncs/duration, larger-than-memory miss rate and steal writes) is
-# tracked on every CI pass. The heavier bench assertions in the test
-# suite respect -short, keeping tier-1 fast.
+# refreshes BENCH_pr5.json, so the perf trajectory (throughput, sweep
+# fsyncs/duration, larger-than-memory miss rate, demand steals vs
+# cleaner writes) is tracked on every CI pass — and the fresh run's
+# demand-steal rate is diffed against the committed baseline, failing
+# on regression. The heavier bench assertions in the test suite respect
+# -short, keeping tier-1 fast.
 bench-smoke: vet
-	$(GO) run ./cmd/aetherbench -quick -json
+	$(GO) run ./cmd/aetherbench -quick -json -baseline BENCH_pr5.json
 
 ci: build vet docs test test-race bench-smoke

@@ -153,15 +153,31 @@ type Options struct {
 	// CachePages, if > 0, bounds the buffer pool: at most this many
 	// pages stay resident in RAM, and the rest live in the database
 	// file, faulted in on demand (CRC-verified) and evicted by a clock
-	// policy to make room. Evicting a dirty page first forces the log up
-	// to its pageLSN (the WAL rule), then writes the image back through
-	// the double-write journal. 0 leaves the store fully memory-resident
-	// (today's behavior). Databases larger than RAM become usable at the
+	// policy to make room. A clean victim is evicted by simply dropping
+	// its frame; a dirty victim must first be written back WAL-correctly
+	// (log forced up to its pageLSN, image through the double-write
+	// journal) — by the background cleaner ahead of demand when
+	// CleanerPages is armed, or by the faulting caller itself (a demand
+	// steal) when not. 0 leaves the store fully memory-resident (the
+	// original behavior). Databases larger than RAM become usable at the
 	// cost of page-fault I/O on cache misses.
 	CachePages int
 	// CacheBytes expresses the same budget in bytes (rounded down to
 	// whole 8KiB pages, minimum one). Ignored when CachePages is set.
 	CacheBytes int64
+	// CleanerPages, if > 0 (meaningful only with a bounded cache), arms
+	// the background page cleaner: a goroutine that pre-cleans dirty,
+	// unpinned, cold pages — forcing the log, then batching the images
+	// through the double-write journal with O(1) fsyncs per pass —
+	// whenever fewer than this many frames are free or clean. Faults
+	// under memory pressure then find clean victims and eviction is a
+	// frame drop; demand steals (Stats.StealWrites) drop to near zero.
+	// A good default is half the cache budget.
+	CleanerPages int
+	// CleanerInterval is the cleaner's polling cadence (default 2ms).
+	// Demand steals also nudge the cleaner awake immediately, so this
+	// only bounds how stale its headroom view can get between bursts.
+	CleanerInterval time.Duration
 	// DeadlockTimeout bounds lock waits (default 500ms).
 	DeadlockTimeout time.Duration
 	// DisableSLI turns off speculative lock inheritance.
@@ -315,6 +331,8 @@ func (db *DB) start() (*DB, error) {
 		},
 		CheckpointEveryBytes: db.opts.CheckpointEveryBytes,
 		CachePages:           db.opts.cachePages(),
+		CleanerPages:         db.opts.CleanerPages,
+		CleanerInterval:      db.opts.CleanerInterval,
 	})
 	if err != nil {
 		return nil, err
@@ -460,10 +478,18 @@ type Stats struct {
 	// PageEvictions counts pages dropped from RAM to stay within the
 	// cache budget.
 	PageEvictions int64
-	// StealWrites counts dirty evictions: page images written back
-	// through the double-write journal (after forcing the log) so their
-	// frame could be reclaimed before the next checkpoint sweep.
+	// StealWrites counts demand steals only: evictions that found a
+	// dirty victim and had to write its image back (forcing the log
+	// first) on the faulting caller's own critical path. Pages written
+	// back ahead of demand by the background cleaner are counted in
+	// CleanerWrites instead, and their eviction is a plain frame drop.
+	// With Options.CleanerPages armed this should stay near zero.
 	StealWrites int64
+	// CleanerWrites counts page images the background page cleaner
+	// (Options.CleanerPages) wrote back ahead of demand.
+	CleanerWrites int64
+	// CleanerPasses counts cleaner passes that wrote at least one page.
+	CleanerPasses int64
 }
 
 // Stats returns current counters.
@@ -489,6 +515,8 @@ func (db *DB) Stats() Stats {
 		PageMisses:        cs.Misses,
 		PageEvictions:     cs.Evictions,
 		StealWrites:       cs.StealWrites,
+		CleanerWrites:     cs.CleanerWrites,
+		CleanerPasses:     cs.CleanerPasses,
 	}
 	if db.segDev != nil {
 		segs, _ := db.segDev.TruncStats()

@@ -6,8 +6,9 @@
 //	aetherbench -fig fig3            # one figure, full scale
 //	aetherbench -fig fig8left -quick # one figure, fast parameters
 //	aetherbench -all                 # everything, in paper order
+//	aetherbench -json                # machine-readable perf report → BENCH_pr5.json
+//	aetherbench -json -baseline BENCH_pr5.json  # …and diff demand steals vs the committed baseline
 //	aetherbench -list                # list experiment names
-//	aetherbench -json                # machine-readable perf report → BENCH_pr4.json
 package main
 
 import (
@@ -26,12 +27,13 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure to run (fig2, fig3, fig4, fig5, fig7, fig8left, fig8right, fig9, fig11, fig12, fig13)")
-		all     = flag.Bool("all", false, "run every figure")
-		quick   = flag.Bool("quick", false, "use fast, test-scale parameters")
-		list    = flag.Bool("list", false, "list experiment names and exit")
-		jsonOut = flag.Bool("json", false, "run the perf-tracking suite and write machine-readable results")
-		outPath = flag.String("out", "BENCH_pr4.json", "output file for -json")
+		fig      = flag.String("fig", "", "figure to run (fig2, fig3, fig4, fig5, fig7, fig8left, fig8right, fig9, fig11, fig12, fig13)")
+		all      = flag.Bool("all", false, "run every figure")
+		quick    = flag.Bool("quick", false, "use fast, test-scale parameters")
+		list     = flag.Bool("list", false, "list experiment names and exit")
+		jsonOut  = flag.Bool("json", false, "run the perf-tracking suite and write machine-readable results")
+		outPath  = flag.String("out", "BENCH_pr5.json", "output file for -json")
+		baseline = flag.String("baseline", "", "existing report to diff demand-steal counts against (regression check, used by make bench-smoke)")
 	)
 	flag.Parse()
 
@@ -44,7 +46,7 @@ func main() {
 	scale := bench.Scale{Quick: *quick}
 	switch {
 	case *jsonOut:
-		if err := writeJSONReport(*outPath, scale); err != nil {
+		if err := writeJSONReport(*outPath, *baseline, scale); err != nil {
 			fmt.Fprintln(os.Stderr, "aetherbench:", err)
 			os.Exit(1)
 		}
@@ -85,7 +87,8 @@ type perfReport struct {
 		bench.SweepResult
 		Speedup float64 `json:"speedup"`
 	} `json:"sweep"`
-	Cache bench.CacheResult `json:"cache"`
+	Cache   bench.CacheResult   `json:"cache"`
+	Cleaner bench.CleanerResult `json:"cleaner"`
 }
 
 // tputRun reports the sustained-commit workload.
@@ -153,7 +156,7 @@ func runThroughput(dir string, dur time.Duration, clients int, segSize int64) (t
 	}, nil
 }
 
-func writeJSONReport(outPath string, scale bench.Scale) error {
+func writeJSONReport(outPath, baselinePath string, scale bench.Scale) error {
 	dir, err := os.MkdirTemp("", "aetherbench")
 	if err != nil {
 		return err
@@ -195,6 +198,23 @@ func writeJSONReport(outPath string, scale bench.Scale) error {
 		return fmt.Errorf("cache run: %w", err)
 	}
 
+	cleanerRows, cleanerUpdates := 2000, 4000
+	if scale.Quick {
+		cleanerRows, cleanerUpdates = 600, 1200
+	}
+	rep.Cleaner, err = bench.RunCleaner(bench.CleanerConfig{
+		Dir:        dir,
+		Rows:       cleanerRows,
+		CachePages: cachePages,
+		Updates:    cleanerUpdates,
+	})
+	if err != nil {
+		return fmt.Errorf("cleaner run: %w", err)
+	}
+	if err := diffBaseline(baselinePath, rep.Cleaner); err != nil {
+		return err
+	}
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -206,6 +226,47 @@ func writeJSONReport(outPath string, scale bench.Scale) error {
 		rep.Throughput.TPS, rep.Throughput.Clients, rep.Throughput.AutoCheckpoints, rep.Throughput.LogBase)
 	fmt.Println(sweep)
 	fmt.Println(rep.Cache)
+	fmt.Println(rep.Cleaner)
 	fmt.Println("wrote", outPath)
+	return nil
+}
+
+// diffBaseline compares the fresh cleaner scenario's demand-steal count
+// against a committed baseline report, failing on regression: the armed
+// run stealing substantially more than the baseline recorded means
+// writebacks crept back onto the fault path. A missing or pre-cleaner
+// baseline file only prints a notice (first run on a branch). Counts
+// are normalized per update so quick and full runs remain comparable.
+func diffBaseline(path string, fresh bench.CleanerResult) error {
+	if path == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Printf("baseline: %s not found; skipping demand-steal diff\n", path)
+		return nil
+	}
+	var base perfReport
+	if err := json.Unmarshal(raw, &base); err != nil || base.Cleaner.Updates == 0 {
+		fmt.Printf("baseline: %s has no cleaner scenario; skipping demand-steal diff\n", path)
+		return nil
+	}
+	baseRate := float64(base.Cleaner.CleanedSteals) / float64(base.Cleaner.Updates)
+	freshRate := float64(fresh.CleanedSteals) / float64(fresh.Updates)
+	fmt.Printf("baseline: %.3f demand steals/update armed (baseline %.3f from %s)\n",
+		freshRate, baseRate, path)
+	// Generous slack: steal residue is scheduler-dependent noise around
+	// a small mean (observed 0.07–0.16 steals/update across quick
+	// runs); only a step change (cleaner stopped keeping up) should
+	// fail CI. Because bench-smoke refreshes the baseline file it just
+	// diffed against, this relative check alone could ratchet if
+	// successively worse baselines were committed — the absolute
+	// backstop is RunCleaner's own assertion, which bounds armed steals
+	// against the SAME RUN's cleaner-off baseline and fails long before
+	// repeated 2.5x creep could compound.
+	if freshRate > 2.5*baseRate+0.1 {
+		return fmt.Errorf("demand-steal regression: %.3f steals/update armed vs %.3f in baseline %s",
+			freshRate, baseRate, path)
+	}
 	return nil
 }

@@ -110,6 +110,20 @@
 // PageMisses, PageEvictions and StealWrites expose the pool; with the
 // option unset the store stays fully memory-resident as before.
 //
+// # Background page cleaner
+//
+// With Options.CleanerPages set on a bounded pool, dirty writebacks
+// leave the fault path entirely: a cleaner goroutine watches the
+// free-frame headroom and pre-cleans dirty, unpinned, cold pages in
+// batches — one log force covering the batch, one pass through the
+// double-write journal (O(1) fsyncs however many pages), then
+// mark-clean — so the clock hand almost always finds clean victims and
+// eviction is a frame drop. Demand steals (Stats.StealWrites) collapse
+// toward zero and are replaced by batched Stats.CleanerWrites; a steal
+// that does happen nudges the cleaner awake immediately. Write-heavy
+// workloads over databases larger than RAM go from fsync-bound to
+// cache-bound.
+//
 // See the examples/ directory for complete programs, README.md for the
 // quickstart and feature matrix, and ARCHITECTURE.md for the
 // architecture, the paper-to-code map, and the segment-lifecycle and

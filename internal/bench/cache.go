@@ -53,6 +53,7 @@ type CacheResult struct {
 	Resident int64 `json:"resident"`
 }
 
+// String renders the one-line summary the CLI prints.
 func (r CacheResult) String() string {
 	return fmt.Sprintf("cache: %d rows on %d pages, budget %d: %.0f reads/s bounded vs %.0f resident (%.2f misses/read, %d steals, %d resident)",
 		r.Rows, r.DataPages, r.CachePages, r.BoundedTPS, r.ResidentTPS, r.MissRate, r.StealWrites, r.Resident)

@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"aether"
+)
+
+// CleanerConfig parameterizes the write-heavy larger-than-memory
+// scenario: a table several times bigger than the page-cache budget,
+// hammered with concurrent random point updates, once with eviction
+// writebacks on the fault path (demand steals — the PR 4 behavior) and
+// once with the background page cleaner writing ahead of demand.
+type CleanerConfig struct {
+	// Dir is scratch space for the two file-backed databases.
+	Dir string
+	// Rows is the table size (wide rows, ~5 per 8KiB page).
+	Rows int
+	// CachePages is the buffer-pool budget for both runs. Must be well
+	// below Rows/5 to mean anything.
+	CachePages int
+	// CleanerPages is the armed run's free-or-clean headroom target
+	// (default CachePages: keep the whole pool clean, DB2-style).
+	CleanerPages int
+	// Updates is how many random point updates are performed per phase,
+	// spread over Clients.
+	Updates int
+	// Clients is the number of concurrent update sessions (default 4).
+	// Concurrency is the point: demand steals used to serialize every
+	// faulting client behind one victim's fsyncs.
+	Clients int
+}
+
+// CleanerResult reports the write-heavy larger-than-memory scenario.
+// The headline numbers: with the cleaner armed, StealWrites (dirty
+// writebacks on the faulting caller's critical path) collapse while
+// CleanerWrites absorbs them in the background, batched — and update
+// throughput rises, because faults stop paying (and queueing behind)
+// per-victim fsyncs.
+type CleanerResult struct {
+	// Rows is the table size in rows.
+	Rows int `json:"rows"`
+	// CachePages is both runs' buffer-pool budget.
+	CachePages int `json:"cache_pages"`
+	// CleanerPages is the armed run's headroom target.
+	CleanerPages int `json:"cleaner_pages"`
+	// Updates is the number of random point updates per phase.
+	Updates int `json:"updates"`
+	// Clients is the number of concurrent update sessions.
+	Clients int `json:"clients"`
+	// BaselineTPS is updates/s with demand steals only (cleaner off).
+	BaselineTPS float64 `json:"baseline_tps"`
+	// CleanedTPS is updates/s with the background cleaner armed.
+	CleanedTPS float64 `json:"cleaned_tps"`
+	// BaselineSteals is the cleaner-off run's demand-steal count.
+	BaselineSteals int64 `json:"baseline_steals"`
+	// CleanedSteals is the armed run's demand-steal count (≈ 0).
+	CleanedSteals int64 `json:"cleaned_steals"`
+	// CleanerWrites is how many images the armed run's cleaner wrote
+	// back ahead of demand.
+	CleanerWrites int64 `json:"cleaner_writes"`
+	// CleanerPasses is how many batched cleaner passes those writes
+	// took (each pass = at most one log force + one journaled archive
+	// batch, O(1) fsyncs regardless of batch size).
+	CleanerPasses int64 `json:"cleaner_passes"`
+}
+
+// String renders the one-line summary the CLI prints.
+func (r CleanerResult) String() string {
+	return fmt.Sprintf("cleaner: %d rows, budget %d, %d clients: %.0f upd/s and %d demand steals armed vs %.0f upd/s and %d steals bare (%d cleaner writes in %d passes)",
+		r.Rows, r.CachePages, r.Clients, r.CleanedTPS, r.CleanedSteals, r.BaselineTPS, r.BaselineSteals, r.CleanerWrites, r.CleanerPasses)
+}
+
+// runCleanerPhase loads a table of cfg.Rows wide rows and times
+// cfg.Updates concurrent random point updates under the given cleaner
+// setting, returning update throughput and the run's stats.
+func runCleanerPhase(dir string, cfg CleanerConfig, cleanerPages int) (float64, aether.Stats, error) {
+	fail := func(err error) (float64, aether.Stats, error) {
+		return 0, aether.Stats{}, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fail(err)
+	}
+	db, err := aether.Open(aether.Options{
+		LogPath:         filepath.Join(dir, "wal"),
+		CachePages:      cfg.CachePages,
+		CleanerPages:    cleanerPages,
+		CleanerInterval: time.Millisecond,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable("cleaner")
+	if err != nil {
+		return fail(err)
+	}
+	loader := db.Session()
+	pad := make([]byte, 1500)
+	for k := uint64(1); k <= uint64(cfg.Rows); k++ {
+		tx := loader.Begin()
+		if err := tx.Insert(tbl, k, aether.Row(k, pad)); err != nil {
+			loader.Close()
+			return fail(fmt.Errorf("bench cleaner load %d: %w", k, err))
+		}
+		if err := tx.Commit(); err != nil {
+			loader.Close()
+			return fail(err)
+		}
+	}
+	loader.Close()
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	per := cfg.Updates / cfg.Clients
+	t0 := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			s := db.Session()
+			defer s.Close()
+			// Per-client deterministic key stream (decorrelated seeds).
+			rng := xorshift(0x2545F4914F6CDD1D + uint64(c)*0x9E3779B97F4A7C15)
+			for i := 0; i < per; i++ {
+				k := rng.next()%uint64(cfg.Rows) + 1
+				tx := s.Begin()
+				err := tx.Update(tbl, k, func(row []byte) ([]byte, error) {
+					row[8]++ // touch the payload: a real, logged change
+					return row, nil
+				})
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("bench cleaner update %d: %w", k, err)
+					}
+					errMu.Unlock()
+					tx.Abort()
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	if firstErr != nil {
+		return fail(firstErr)
+	}
+	done := per * cfg.Clients
+	return float64(done) / elapsed.Seconds(), db.Stats(), nil
+}
+
+// RunCleaner executes the write-heavy larger-than-memory scenario:
+// identical load and concurrent random-update phases, once with demand
+// steals only and once with the background page cleaner armed. The
+// armed run must do essentially all of its dirty writebacks in the
+// background — demand steals collapsing toward zero, replaced by
+// batched cleaner writes — without losing update throughput.
+func RunCleaner(cfg CleanerConfig) (CleanerResult, error) {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 2000
+	}
+	if cfg.CachePages <= 0 {
+		cfg.CachePages = 16
+	}
+	if cfg.CleanerPages <= 0 {
+		cfg.CleanerPages = cfg.CachePages
+	}
+	if cfg.Updates <= 0 {
+		cfg.Updates = 2 * cfg.Rows
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	res := CleanerResult{
+		Rows:         cfg.Rows,
+		CachePages:   cfg.CachePages,
+		CleanerPages: cfg.CleanerPages,
+		Updates:      cfg.Updates,
+		Clients:      cfg.Clients,
+	}
+
+	baseTPS, baseStats, err := runCleanerPhase(filepath.Join(cfg.Dir, "cleaner-off"), cfg, 0)
+	if err != nil {
+		return res, err
+	}
+	res.BaselineTPS = baseTPS
+	res.BaselineSteals = baseStats.StealWrites
+	if baseStats.CleanerWrites != 0 {
+		return res, fmt.Errorf("bench cleaner: un-armed run recorded %d cleaner writes", baseStats.CleanerWrites)
+	}
+	if res.BaselineSteals == 0 {
+		return res, fmt.Errorf("bench cleaner: baseline run never stole (working set fits the budget?)")
+	}
+
+	armedTPS, armedStats, err := runCleanerPhase(filepath.Join(cfg.Dir, "cleaner-on"), cfg, cfg.CleanerPages)
+	if err != nil {
+		return res, err
+	}
+	res.CleanedTPS = armedTPS
+	res.CleanedSteals = armedStats.StealWrites
+	res.CleanerWrites = armedStats.CleanerWrites
+	res.CleanerPasses = armedStats.CleanerPasses
+	if armedStats.CacheResident > int64(cfg.CachePages) {
+		return res, fmt.Errorf("bench cleaner: resident %d exceeds budget %d", armedStats.CacheResident, cfg.CachePages)
+	}
+	if res.CleanerWrites == 0 {
+		return res, fmt.Errorf("bench cleaner: armed run's cleaner never wrote a page")
+	}
+	// The tentpole claim: writebacks leave the fault path. Allow a small
+	// residue of steals (concurrent bursts can outrun any asynchronous
+	// cleaner for a beat — observed residue is 5–15% of baseline,
+	// scheduler-dependent) but the bulk must move to the cleaner.
+	if allowed := res.BaselineSteals/4 + 48; res.CleanedSteals > allowed {
+		return res, fmt.Errorf("bench cleaner: %d demand steals with the cleaner armed (baseline %d; want ≈ 0)",
+			res.CleanedSteals, res.BaselineSteals)
+	}
+	// Batching: each pass is at most one log force plus one journaled
+	// archive batch, so writes must not trail passes — that would mean
+	// the cleaner degenerated into page-at-a-time steals with extra
+	// scheduling on top.
+	if res.CleanerWrites < res.CleanerPasses {
+		return res, fmt.Errorf("bench cleaner: %d passes for %d writes", res.CleanerPasses, res.CleanerWrites)
+	}
+	// Moving fsyncs off the fault path must not cost throughput (it
+	// reliably gains ~2× here; the 0.9 factor only absorbs CI noise).
+	if res.CleanedTPS < 0.9*res.BaselineTPS {
+		return res, fmt.Errorf("bench cleaner: armed throughput %.0f upd/s below baseline %.0f", res.CleanedTPS, res.BaselineTPS)
+	}
+	return res, nil
+}

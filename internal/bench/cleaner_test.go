@@ -1,0 +1,34 @@
+package bench
+
+import "testing"
+
+// TestCleanerScenario runs the write-heavy larger-than-memory scenario
+// at test scale and asserts the PR's acceptance properties (RunCleaner
+// enforces the hard ones itself): with the background page cleaner
+// armed, demand steals collapse toward zero while the same dirty pages
+// reach the database file through batched cleaner writebacks, and
+// update throughput does not regress meaningfully against the
+// steal-on-fault baseline.
+func TestCleanerScenario(t *testing.T) {
+	rows, updates := 900, 2000
+	if testing.Short() {
+		rows, updates = 500, 1000
+	}
+	res, err := RunCleaner(CleanerConfig{
+		Dir:        t.TempDir(),
+		Rows:       rows,
+		CachePages: 12,
+		Updates:    updates,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if res.CleanedSteals >= res.BaselineSteals/2 {
+		t.Fatalf("cleaner barely moved writebacks off the fault path: %d steals armed vs %d bare",
+			res.CleanedSteals, res.BaselineSteals)
+	}
+	if res.CleanerWrites == 0 || res.CleanerPasses == 0 {
+		t.Fatalf("cleaner counters empty: %+v", res)
+	}
+}

@@ -28,6 +28,7 @@ import (
 // (sub-second runs, small datasets); Full approximates the paper's
 // sweeps within a laptop-class budget.
 type Scale struct {
+	// Quick selects the fast, test-scale parameters.
 	Quick bool
 }
 
@@ -90,19 +91,27 @@ func (s Scale) microThreads() int {
 
 // EngineConfig assembles a full engine for workload experiments.
 type EngineConfig struct {
-	Variant       logbuf.Variant
-	Slots         int
-	Device        logdev.Profile
+	// Variant selects the log-buffer insert algorithm.
+	Variant logbuf.Variant
+	// Slots overrides the consolidation-array width (0 = default).
+	Slots int
+	// Device is the simulated log device latency class.
+	Device logdev.Profile
+	// SwitchPenalty models the scheduler context-switch cost.
 	SwitchPenalty time.Duration
-	SLI           bool
-	// Probes
+	// SLI enables speculative lock inheritance.
+	SLI bool
+	// Breakdown, if set, attaches the time-breakdown probes.
 	Breakdown *metrics.Breakdown
 }
 
 // Rig is an assembled engine plus the probes the experiments read.
 type Rig struct {
-	Eng       *txn.Engine
-	Dev       *logdev.Mem
+	// Eng is the assembled transaction engine.
+	Eng *txn.Engine
+	// Dev is the simulated log device under the engine.
+	Dev *logdev.Mem
+	// Breakdown holds the probes (nil unless configured).
 	Breakdown *metrics.Breakdown
 	lm        *core.LogManager
 }
@@ -177,6 +186,7 @@ type TimeShares struct {
 	Idle float64
 }
 
+// String renders the shares as the paper's breakdown rows.
 func (t TimeShares) String() string {
 	return fmt.Sprintf("other-work %.0f%% | lock-contention %.0f%% | log-work %.0f%% | log-contention %.0f%% | idle %.0f%%",
 		t.OtherWork*100, t.OtherContention*100, t.LogWork*100, t.LogContention*100, t.Idle*100)
@@ -217,9 +227,12 @@ func clamp01(v float64) float64 {
 
 // Table renders aligned experiment output.
 type Table struct {
-	Title   string
+	// Title heads the rendered block.
+	Title string
+	// Columns names the columns.
 	Columns []string
-	Rows    [][]string
+	// Rows holds pre-formatted cells.
+	Rows [][]string
 }
 
 // AddRow appends a formatted row.

@@ -14,7 +14,9 @@ import (
 // slice of the log manager that only inserts — no flush, no transactions
 // — isolating log-buffer behavior exactly as the paper does.
 type MicroConfig struct {
+	// Variant selects the log-buffer insert algorithm.
 	Variant logbuf.Variant
+	// Threads is the inserter count.
 	Threads int
 	// RecordSize is the total encoded record size (≥48).
 	RecordSize int
@@ -27,15 +29,19 @@ type MicroConfig struct {
 	// OutlierEvery inserts an OutlierSize record every N inserts (0 =
 	// never) — the Figure 11 bimodal skew.
 	OutlierEvery int
-	OutlierSize  int
+	// OutlierSize is the outlier record's encoded size.
+	OutlierSize int
 	// BufferSize overrides the ring size (0 = 64MiB).
 	BufferSize int
 }
 
 // MicroResult reports sustained insert bandwidth.
 type MicroResult struct {
+	// Inserts is the number of records inserted.
 	Inserts int64
-	Bytes   int64
+	// Bytes is the total bytes inserted.
+	Bytes int64
+	// Elapsed is the measured wall-clock time.
 	Elapsed time.Duration
 }
 
@@ -55,6 +61,7 @@ func (r MicroResult) InsertsPerSec() float64 {
 	return float64(r.Inserts) / r.Elapsed.Seconds()
 }
 
+// String renders the one-line summary experiment tables print.
 func (r MicroResult) String() string {
 	return fmt.Sprintf("%.3f GB/s (%.2fM inserts/s)", r.GBps(), r.InsertsPerSec()/1e6)
 }

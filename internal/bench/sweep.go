@@ -28,15 +28,21 @@ type SweepConfig struct {
 
 // SweepSide reports one archive's sweep.
 type SweepSide struct {
+	// Duration is the sweep's wall-clock time.
 	Duration time.Duration `json:"duration_ns"`
-	Fsyncs   int64         `json:"fsyncs"`
-	Pages    int           `json:"pages"`
+	// Fsyncs is how many device fsyncs the sweep issued.
+	Fsyncs int64 `json:"fsyncs"`
+	// Pages is how many page images the sweep wrote.
+	Pages int `json:"pages"`
 }
 
 // SweepResult compares the two writeback strategies.
 type SweepResult struct {
-	Pages       int       `json:"pages"`
-	PageFile    SweepSide `json:"pagefile"`
+	// Pages is the dirty-set size both sides sweep.
+	Pages int `json:"pages"`
+	// PageFile is the batched double-write pagefile's side.
+	PageFile SweepSide `json:"pagefile"`
+	// FileArchive is the legacy one-file-per-page side.
 	FileArchive SweepSide `json:"filearchive"`
 }
 
@@ -48,6 +54,7 @@ func (r SweepResult) Speedup() float64 {
 	return float64(r.FileArchive.Duration) / float64(r.PageFile.Duration)
 }
 
+// String renders the one-line summary the CLI prints.
 func (r SweepResult) String() string {
 	return fmt.Sprintf("sweep %d pages: pagefile %v (%d fsyncs) vs filearchive %v (%d fsyncs) — %.1fx",
 		r.Pages, r.PageFile.Duration.Round(time.Microsecond), r.PageFile.Fsyncs,

@@ -23,9 +23,12 @@ import (
 // TraceEntry is one log record of interest: which transaction wrote it,
 // which page it touched, and its size.
 type TraceEntry struct {
-	TxnID  uint64
+	// TxnID is the transaction that wrote the record.
+	TxnID uint64
+	// PageID is the page the record touched.
 	PageID uint64
-	Size   int
+	// Size is the record's encoded size in bytes.
+	Size int
 }
 
 // ExtractTrace pulls the update/CLR stream out of a durable log image.
@@ -101,6 +104,7 @@ func (r Result) TightFraction() float64 {
 	return float64(r.TightDependencies) / float64(r.Dependencies)
 }
 
+// String renders the one-line summary experiment tables print.
 func (r Result) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%d-way split of %d records (%.1fKB, %d txns): ",

@@ -132,11 +132,18 @@ func (s *SimLog) Commit(txn uint64) int {
 
 // SimResult summarizes a simulation.
 type SimResult struct {
-	Logs            int
-	Commits         int
-	TotalFlushes    int
-	ForcedFlushes   int // flushes of *other* logs forced by dependencies
-	FlushesPerTxn   float64
+	// Logs is the number of per-partition logs simulated.
+	Logs int
+	// Commits is how many transactions committed.
+	Commits int
+	// TotalFlushes counts device flushes across every log.
+	TotalFlushes int
+	// ForcedFlushes counts flushes of *other* logs forced by cross-log
+	// commit dependencies.
+	ForcedFlushes int
+	// FlushesPerTxn is TotalFlushes averaged over commits.
+	FlushesPerTxn float64
+	// ForcedPerCommit is ForcedFlushes averaged over commits.
 	ForcedPerCommit float64
 }
 
@@ -161,6 +168,7 @@ func (s *SimLog) Result() SimResult {
 	return r
 }
 
+// String renders the one-line summary experiment tables print.
 func (r SimResult) String() string {
 	return fmt.Sprintf("%d logs: %d commits, %.2f flushes/txn (%.2f forced by cross-log deps)",
 		r.Logs, r.Commits, r.FlushesPerTxn, r.ForcedPerCommit)

@@ -77,7 +77,9 @@ func Covers(a, b Mode) bool { return Supremum(a, b) == a }
 // container); Object identifies a row within it, with Object==0 reserved
 // for the container itself (the hierarchy parent).
 type Key struct {
-	Space  uint32
+	// Space identifies the container (table).
+	Space uint32
+	// Object identifies the row; 0 names the container itself.
 	Object uint64
 }
 

@@ -132,11 +132,19 @@ func newDelegated(r *ring, cfg Config) *delegatedBuf {
 	return d
 }
 
+// Variant implements Buf.
 func (d *delegatedBuf) Variant() Variant { return VariantCDME }
-func (d *delegatedBuf) Capacity() int    { return int(d.r.capacity) }
-func (d *delegatedBuf) MaxRecord() int   { return d.cfg.MaxGroup }
-func (d *delegatedBuf) Reader() *Reader  { return &Reader{r: d.r} }
 
+// Capacity implements Buf.
+func (d *delegatedBuf) Capacity() int { return int(d.r.capacity) }
+
+// MaxRecord implements Buf.
+func (d *delegatedBuf) MaxRecord() int { return d.cfg.MaxGroup }
+
+// Reader implements Buf.
+func (d *delegatedBuf) Reader() *Reader { return &Reader{r: d.r} }
+
+// NewInserter implements Buf.
 func (d *delegatedBuf) NewInserter() Inserter {
 	ins := &delegatedInserter{d: d, rng: newXorshift()}
 	if d.cfg.LocalFill {
@@ -151,6 +159,10 @@ type delegatedInserter struct {
 	local []byte
 }
 
+// Insert implements Inserter — Algorithm 4 (§A.3), delegated buffer
+// release: inserters enqueue their filled regions and leave; a queue
+// leader publishes releases in order so no thread waits on a stalled
+// predecessor.
 func (ins *delegatedInserter) Insert(p []byte) (lsn.LSN, error) {
 	d := ins.d
 	size := int64(len(p))

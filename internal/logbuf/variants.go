@@ -84,11 +84,19 @@ func newBaseline(r *ring, cfg Config) *baselineBuf {
 	return &baselineBuf{r: r, cfg: cfg, next: cfg.Base}
 }
 
+// Variant implements Buf.
 func (b *baselineBuf) Variant() Variant { return VariantBaseline }
-func (b *baselineBuf) Capacity() int    { return int(b.r.capacity) }
-func (b *baselineBuf) MaxRecord() int   { return b.cfg.MaxGroup }
-func (b *baselineBuf) Reader() *Reader  { return &Reader{r: b.r} }
 
+// Capacity implements Buf.
+func (b *baselineBuf) Capacity() int { return int(b.r.capacity) }
+
+// MaxRecord implements Buf.
+func (b *baselineBuf) MaxRecord() int { return b.cfg.MaxGroup }
+
+// Reader implements Buf.
+func (b *baselineBuf) Reader() *Reader { return &Reader{r: b.r} }
+
+// NewInserter implements Buf.
 func (b *baselineBuf) NewInserter() Inserter {
 	ins := &baselineInserter{b: b}
 	if b.cfg.LocalFill {
@@ -102,6 +110,8 @@ type baselineInserter struct {
 	local []byte
 }
 
+// Insert implements Inserter — Algorithm 1: one mutex covers LSN
+// allocation, buffer fill and release.
 func (ins *baselineInserter) Insert(p []byte) (lsn.LSN, error) {
 	b := ins.b
 	if len(p) > b.cfg.MaxGroup {
@@ -150,11 +160,19 @@ func newDecoupled(r *ring, cfg Config) *decoupledBuf {
 	return &decoupledBuf{r: r, cfg: cfg, next: cfg.Base}
 }
 
+// Variant implements Buf.
 func (d *decoupledBuf) Variant() Variant { return VariantD }
-func (d *decoupledBuf) Capacity() int    { return int(d.r.capacity) }
-func (d *decoupledBuf) MaxRecord() int   { return d.cfg.MaxGroup }
-func (d *decoupledBuf) Reader() *Reader  { return &Reader{r: d.r} }
 
+// Capacity implements Buf.
+func (d *decoupledBuf) Capacity() int { return int(d.r.capacity) }
+
+// MaxRecord implements Buf.
+func (d *decoupledBuf) MaxRecord() int { return d.cfg.MaxGroup }
+
+// Reader implements Buf.
+func (d *decoupledBuf) Reader() *Reader { return &Reader{r: d.r} }
+
+// NewInserter implements Buf.
 func (d *decoupledBuf) NewInserter() Inserter {
 	ins := &decoupledInserter{d: d}
 	if d.cfg.LocalFill {
@@ -168,6 +186,9 @@ type decoupledInserter struct {
 	local []byte
 }
 
+// Insert implements Inserter — Algorithm 3, decoupled buffer fill: a
+// short spinlock-protected LSN allocation, then the copy proceeds
+// outside any lock and release is signalled per-record.
 func (ins *decoupledInserter) Insert(p []byte) (lsn.LSN, error) {
 	d := ins.d
 	if len(p) > d.cfg.MaxGroup {
@@ -217,11 +238,19 @@ func newConsolidated(r *ring, cfg Config) *consolidatedBuf {
 	}
 }
 
+// Variant implements Buf.
 func (c *consolidatedBuf) Variant() Variant { return VariantC }
-func (c *consolidatedBuf) Capacity() int    { return int(c.r.capacity) }
-func (c *consolidatedBuf) MaxRecord() int   { return c.cfg.MaxGroup }
-func (c *consolidatedBuf) Reader() *Reader  { return &Reader{r: c.r} }
 
+// Capacity implements Buf.
+func (c *consolidatedBuf) Capacity() int { return int(c.r.capacity) }
+
+// MaxRecord implements Buf.
+func (c *consolidatedBuf) MaxRecord() int { return c.cfg.MaxGroup }
+
+// Reader implements Buf.
+func (c *consolidatedBuf) Reader() *Reader { return &Reader{r: c.r} }
+
+// NewInserter implements Buf.
 func (c *consolidatedBuf) NewInserter() Inserter {
 	ins := &consolidatedInserter{c: c, rng: newXorshift()}
 	if c.cfg.LocalFill {
@@ -236,6 +265,9 @@ type consolidatedInserter struct {
 	local []byte
 }
 
+// Insert implements Inserter — Algorithm 2, consolidation-array
+// backoff: threads that lose the buffer mutex combine their requests
+// in an array slot and one leader inserts the whole group.
 func (ins *consolidatedInserter) Insert(p []byte) (lsn.LSN, error) {
 	c := ins.c
 	size := int64(len(p))
@@ -317,11 +349,19 @@ func newHybrid(r *ring, cfg Config) *hybridBuf {
 	}
 }
 
+// Variant implements Buf.
 func (h *hybridBuf) Variant() Variant { return VariantCD }
-func (h *hybridBuf) Capacity() int    { return int(h.r.capacity) }
-func (h *hybridBuf) MaxRecord() int   { return h.cfg.MaxGroup }
-func (h *hybridBuf) Reader() *Reader  { return &Reader{r: h.r} }
 
+// Capacity implements Buf.
+func (h *hybridBuf) Capacity() int { return int(h.r.capacity) }
+
+// MaxRecord implements Buf.
+func (h *hybridBuf) MaxRecord() int { return h.cfg.MaxGroup }
+
+// Reader implements Buf.
+func (h *hybridBuf) Reader() *Reader { return &Reader{r: h.r} }
+
+// NewInserter implements Buf.
 func (h *hybridBuf) NewInserter() Inserter {
 	ins := &hybridInserter{h: h, rng: newXorshift()}
 	if h.cfg.LocalFill {
@@ -336,6 +376,8 @@ type hybridInserter struct {
 	local []byte
 }
 
+// Insert implements Inserter — the paper's hybrid CD design (§5.3):
+// consolidation-array group formation over decoupled buffer fill.
 func (ins *hybridInserter) Insert(p []byte) (lsn.LSN, error) {
 	h := ins.h
 	size := int64(len(p))

@@ -91,14 +91,25 @@ const MaxPayload = 16 << 20
 //	32  PageID   uint64  — page touched, 0 if not page-related
 //	40  Aux      uint64  — kind-specific (CLR: UndoNextLSN; ckpt-end: begin LSN)
 type Header struct {
+	// TotalLen is the record's full encoded length: header + payload.
 	TotalLen uint32
-	CRC      uint32
-	Kind     Kind
-	Flags    uint16
-	TxnID    uint64
-	PrevLSN  lsn.LSN
-	PageID   uint64
-	Aux      uint64
+	// CRC is the CRC-32C over the encoded bytes after the checksum
+	// field; a mismatch marks a torn write or the post-crash gap.
+	CRC uint32
+	// Kind discriminates the record type (update, commit, CLR, ...).
+	Kind Kind
+	// Flags holds the Flag* bits (e.g. FlagRedoOnly on CLRs).
+	Flags uint16
+	// TxnID is the owning transaction, 0 for system records.
+	TxnID uint64
+	// PrevLSN backchains to the same transaction's previous record
+	// (lsn.Undefined for its first): rollback and undo walk it.
+	PrevLSN lsn.LSN
+	// PageID is the page the record touches, 0 if not page-related.
+	PageID uint64
+	// Aux is kind-specific: a CLR's UndoNextLSN, a checkpoint-end's
+	// begin LSN.
+	Aux uint64
 }
 
 // Flag bits.
@@ -113,7 +124,8 @@ type Record struct {
 	Header
 	// LSN is the address the record was read from or inserted at. It is
 	// not part of the encoding (the position implies it).
-	LSN     lsn.LSN
+	LSN lsn.LSN
+	// Payload is the kind-specific body (e.g. an encoded UpdatePayload).
 	Payload []byte
 }
 

@@ -25,6 +25,7 @@ const (
 	OpDelete
 )
 
+// String names the op for log dumps and errors.
 func (o UpdateOp) String() string {
 	switch o {
 	case OpSet:
@@ -43,10 +44,14 @@ var ErrBadPayload = errors.New("logrec: malformed payload")
 // UpdatePayload is the body of a KindUpdate record: a physiological,
 // slot-level change with both images so it can be redone and undone.
 type UpdatePayload struct {
-	Op     UpdateOp
-	Slot   uint16
+	// Op is the slot operation (set, insert, delete).
+	Op UpdateOp
+	// Slot is the target slot in the page's directory.
+	Slot uint16
+	// Before is the pre-image (empty for inserts): the undo side.
 	Before []byte
-	After  []byte
+	// After is the post-image (empty for deletes): the redo side.
+	After []byte
 }
 
 // updateHdr = op(1) + pad(1) + slot(2) + beforeLen(4) + afterLen(4)
@@ -106,7 +111,10 @@ func (u UpdatePayload) Inverse() UpdatePayload {
 
 // TxnTableEntry is one row of the checkpoint's active-transaction table.
 type TxnTableEntry struct {
-	TxnID   uint64
+	// TxnID identifies the in-flight transaction.
+	TxnID uint64
+	// LastLSN is the transaction's most recent log record, where undo
+	// would start.
 	LastLSN lsn.LSN
 	// Precommitted is true if the transaction has inserted its commit
 	// record (relevant under ELR: such transactions must not be undone).
@@ -115,14 +123,19 @@ type TxnTableEntry struct {
 
 // DirtyPageEntry is one row of the checkpoint's dirty-page table.
 type DirtyPageEntry struct {
+	// PageID is the dirty page.
 	PageID uint64
+	// RecLSN is the first LSN that dirtied it since it was last clean:
+	// redo for this page starts here.
 	RecLSN lsn.LSN
 }
 
 // CheckpointPayload is the body of a KindCheckpointEnd record: the fuzzy
 // snapshot of the active-transaction table and dirty-page table.
 type CheckpointPayload struct {
+	// ActiveTxns snapshots the active-transaction table.
 	ActiveTxns []TxnTableEntry
+	// DirtyPages snapshots the dirty-page table.
 	DirtyPages []DirtyPageEntry
 }
 

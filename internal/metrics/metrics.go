@@ -124,10 +124,14 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 // HistogramSnapshot is a point-in-time, JSON-friendly view of a
 // Histogram (machine-readable benchmark output).
 type HistogramSnapshot struct {
-	Count  int64 `json:"count"`
+	// Count is how many observations the histogram has absorbed.
+	Count int64 `json:"count"`
+	// MeanNs is the mean observation in nanoseconds.
 	MeanNs int64 `json:"mean_ns"`
-	P50Ns  int64 `json:"p50_ns"`
-	P99Ns  int64 `json:"p99_ns"`
+	// P50Ns is the median in nanoseconds (bucketed upper bound).
+	P50Ns int64 `json:"p50_ns"`
+	// P99Ns is the 99th percentile in nanoseconds (bucketed upper bound).
+	P99Ns int64 `json:"p99_ns"`
 }
 
 // Snapshot captures the histogram's summary statistics.

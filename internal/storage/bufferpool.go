@@ -43,10 +43,20 @@ type CacheStats struct {
 	Misses int64
 	// Evictions counts pages dropped from RAM to stay within Budget.
 	Evictions int64
-	// StealWrites counts dirty evictions: pages whose image had to be
-	// written back to the backend (after forcing the log) before the
-	// frame could be reclaimed.
+	// StealWrites counts demand steals only: dirty victims a faulting
+	// caller had to write back itself (force the log, then the image
+	// through the backend) because no clean victim existed when it needed
+	// a frame. With the background cleaner keeping ahead of demand this
+	// stays near zero; pages pre-cleaned by it are counted in
+	// CleanerWrites instead, and their eventual eviction is a plain
+	// frame drop.
 	StealWrites int64
+	// CleanerWrites counts page images written back by background
+	// cleaner passes (CleanBatch) — writebacks that happened ahead of
+	// demand, off every fault path.
+	CleanerWrites int64
+	// CleanerPasses counts cleaner passes that wrote at least one page.
+	CleanerPasses int64
 }
 
 // SetBackend attaches the page archive as the store's backing home:
@@ -73,19 +83,24 @@ func (s *Store) SetBackend(a Archive) error {
 	return nil
 }
 
-// AttachWAL wires the log manager into the buffer pool: dirty steals
-// force the log up to the victim's pageLSN first, and faulted images are
-// verified against the durable horizon. Call it once at setup, before
-// the store is shared between goroutines; without it dirty pages are
-// never stolen (the pool overshoots its budget instead of violating the
-// WAL rule).
+// AttachWAL wires the log manager into the buffer pool: dirty
+// writebacks (demand steals and cleaner passes) force the log up to the
+// victim's pageLSN first, and faulted images are verified against the
+// durable horizon. Call it once at setup, before the store is shared
+// between goroutines; without it dirty pages are never written back —
+// not evictable, not cleanable — and under pressure the pool overshoots
+// its budget rather than violate the WAL rule. The overshoot is
+// transient: the pages become evictable the moment they are cleaned
+// (by a checkpoint sweep), and the budget is enforced again from the
+// next fault on.
 func (s *Store) AttachWAL(w WAL) { s.wal = w }
 
 // SetCachePages bounds the buffer pool to at most n resident pages
 // (0 = unbounded, the fully memory-resident mode). The bound is honored
 // whenever an unpinned victim exists; if every resident page is pinned
-// or unstealable the pool overshoots rather than deadlocks. Call it
-// once at setup, before the store is shared between goroutines.
+// or unstealable the pool overshoots — temporarily exceeds the budget,
+// recovering as soon as a victim frees up — rather than deadlocks. Call
+// it once at setup, before the store is shared between goroutines.
 func (s *Store) SetCachePages(n int64) {
 	if n < 0 {
 		n = 0
@@ -96,11 +111,13 @@ func (s *Store) SetCachePages(n int64) {
 // CacheStats returns the buffer pool counters.
 func (s *Store) CacheStats() CacheStats {
 	return CacheStats{
-		Resident:    s.resident.Load(),
-		Budget:      s.budget,
-		Misses:      s.misses.Load(),
-		Evictions:   s.evictions.Load(),
-		StealWrites: s.steals.Load(),
+		Resident:      s.resident.Load(),
+		Budget:        s.budget,
+		Misses:        s.misses.Load(),
+		Evictions:     s.evictions.Load(),
+		StealWrites:   s.steals.Load(),
+		CleanerWrites: s.cleanerWrites.Load(),
+		CleanerPasses: s.cleanerPasses.Load(),
 	}
 }
 
@@ -253,16 +270,21 @@ func (s *Store) releaseFrame() {
 }
 
 // evictOne runs the clock hand until it reclaims one frame: referenced
-// pages lose their second-chance bit, pinned pages are skipped, and the
-// first quiet candidate is evicted (stealing it to the backend first if
-// dirty). Two full rotations without a victim means everything is pinned
-// or unstealable; report failure so the caller can overshoot.
+// pages lose their second-chance bit, pinned and writeback-claimed pages
+// are skipped, and the first quiet candidate is evicted. A clean victim
+// drops inline under evictMu — pure map work, no I/O. A dirty victim is
+// claimed via its writeback latch and *stolen outside evictMu*: the lock
+// is released across the steal's log force and journaled archive write,
+// so concurrent faults keep finding (and dropping) other victims while
+// one steal's fsyncs are in flight, instead of the whole pool queueing
+// behind them. Two full rotations without a victim means everything is
+// pinned or unstealable; report failure so the caller can overshoot.
 func (s *Store) evictOne() bool {
 	s.evictMu.Lock()
-	defer s.evictMu.Unlock()
-	for scanned, limit := 0, 2*len(s.clock); scanned <= limit; scanned++ {
+	limit := 2 * len(s.clock)
+	for scanned := 0; scanned <= limit; scanned++ {
 		if len(s.clock) == 0 {
-			return false
+			break
 		}
 		if s.hand >= len(s.clock) {
 			s.hand = 0
@@ -278,16 +300,56 @@ func (s *Store) evictOne() bool {
 			s.clockRemoveAtHand()
 			continue
 		}
-		if p.pins.Load() > 0 || p.ref.CompareAndSwap(true, false) {
+		if p.pins.Load() > 0 || p.ref.CompareAndSwap(true, false) || p.wb.Load() {
 			s.hand++
 			continue
 		}
-		if s.tryEvict(pid, p) {
-			s.clockRemoveAtHand()
+		if !s.isDirty(pid) {
+			if s.dropClean(pid, p) {
+				s.clockRemoveAtHand()
+				s.evictMu.Unlock()
+				return true
+			}
+			s.hand++
+			continue
+		}
+		if s.backend == nil || s.wal == nil {
+			// Nowhere safe to steal to: dirty pages are not evictable
+			// (overshoot over a WAL violation).
+			s.hand++
+			continue
+		}
+		if !p.wb.CompareAndSwap(false, true) {
+			// The cleaner or a concurrent steal owns the writeback; once
+			// it finishes the page is clean and trivially evictable.
+			s.hand++
+			continue
+		}
+		// Steal outside evictMu: the force + journaled write can take
+		// milliseconds on a real device, and holding the eviction lock
+		// across them would queue every concurrent fault behind this one
+		// victim's fsyncs (the PR 4 bottleneck). The writeback latch keeps
+		// other evictors and the cleaner off this page meanwhile.
+		//
+		// The victim leaves the clock HERE, under evictMu, not after the
+		// steal: a deferred removal could race a concurrent evictor
+		// collecting the stale entry plus a refault re-installing the
+		// page, and then delete the refaulted page's fresh entry —
+		// leaving a resident page no clock scan would ever visit again.
+		// If the steal fails the page rejoins the clock below.
+		s.clockRemoveAtHand()
+		s.evictMu.Unlock()
+		ok := s.stealAndDrop(pid, p)
+		p.wb.Store(false)
+		if ok {
 			return true
 		}
-		s.hand++
+		// The frame stayed (pinned mid-steal, I/O error, ...): put the
+		// page back on the clock so it remains evictable later.
+		s.noteResident(pid)
+		s.evictMu.Lock()
 	}
+	s.evictMu.Unlock()
 	return false
 }
 
@@ -301,33 +363,52 @@ func (s *Store) clockRemoveAtHand() {
 	s.clock = s.clock[:last]
 }
 
-// tryEvict attempts to reclaim one specific frame. A clean victim is
-// dropped outright: its current image is either in the backend (the
-// sweep or a previous steal cleaned it) or trivially empty (allocated
-// but never modified — no log record, no archived copy, nothing to
-// lose). A dirty victim is stolen: the log is forced up to its pageLSN
-// (the WAL rule), its image written back through the backend's
-// double-write path, and only then is the frame dropped.
+// dropClean reclaims one clean frame: its current image is either in the
+// backend (the cleaner, the sweep or a previous steal wrote it) or
+// trivially empty (allocated but never modified — no log record, no
+// archived copy, nothing to lose). The read latch excludes writers for
+// the duration, so the page cannot be dirtied between the caller's
+// dirty-check and the drop; the shard lock's pin check excludes new
+// references (pins are taken under it). Caller holds evictMu and has
+// verified the page is not in the dirty-page table.
+func (s *Store) dropClean(pid uint64, p *Page) bool {
+	p.Latch.RLock()
+	defer p.Latch.RUnlock()
+	if s.isDirty(pid) {
+		// Dirtied between the caller's check and our latch acquisition.
+		return false
+	}
+	sh := s.shard(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.pages[pid] != p || p.pins.Load() > 0 {
+		return false
+	}
+	delete(sh.pages, pid)
+	s.resident.Add(-1)
+	s.evictions.Add(1)
+	return true
+}
+
+// stealAndDrop writes a dirty victim back WAL-correctly and reclaims its
+// frame: the log is forced up to its pageLSN (the WAL rule, fsync
+// invariant 5a), the image goes through the backend's double-write path,
+// and only then is the frame dropped. The caller owns the page's
+// writeback latch and has already left evictMu.
 //
-// The read latch is held across the whole decision — including the
-// steal's force and write — so the page cannot advance past the state
-// being validated (writers need the exclusive latch): the stolen image
-// is the page's current image when the frame drops, and a steal can
-// never land a stale image over a newer one. The mirror-image hazard (a
-// slow checkpoint sweep landing its older snapshot over a fresher
-// stolen image) is excluded by the sweep's pins: a page is pinned from
-// sweep snapshot to check-and-clean, and a pinned page is never
-// evicted. A pin taken mid-steal (pins need only the shard lock) is
-// caught by the final check and the frame stays put; the extra archive
-// write was wasted, not wrong.
-func (s *Store) tryEvict(pid uint64, p *Page) bool {
+// The read latch is held across the whole steal — force, write and drop
+// — so the page cannot advance past the state being written (writers
+// need the exclusive latch): the stolen image is the page's current
+// image when the frame drops, and a steal can never land a stale image
+// over a newer one. A pin taken mid-steal (pins need only the shard
+// lock) is caught by the final re-validation and the frame stays put;
+// the archive write was wasted, not wrong — the image it wrote is the
+// page's current, log-covered state.
+func (s *Store) stealAndDrop(pid uint64, p *Page) bool {
 	p.Latch.RLock()
 	defer p.Latch.RUnlock()
 	dirty := s.isDirty(pid)
 	if dirty {
-		if s.backend == nil || s.wal == nil {
-			return false // nowhere safe to steal to: keep it resident
-		}
 		if err := s.wal.Force(p.LSN()); err != nil {
 			return false
 		}
@@ -337,9 +418,15 @@ func (s *Store) tryEvict(pid uint64, p *Page) bool {
 			return false
 		}
 		s.steals.Add(1)
+		if s.stealNotify != nil {
+			// Tell the background cleaner demand outran it (non-blocking
+			// on the engine side): the next faults should find pre-cleaned
+			// victims instead of stealing too.
+			s.stealNotify()
+		}
 	}
 
-	// Final validation under the shard lock (new pins are taken under
+	// Final re-validation under the shard lock (new pins are taken under
 	// it, so pins == 0 here means no reference can appear before the
 	// delete below).
 	sh := s.shard(pid)

@@ -1,0 +1,231 @@
+package storage
+
+import (
+	"fmt"
+
+	"aether/internal/lsn"
+)
+
+// This file is the background page cleaner's half of the buffer pool
+// (the DB2 page-cleaner / Shore-MT bf_cleaner idea): write dirty, cold
+// pages back to the archive *ahead of demand*, so the clock hand almost
+// always finds clean victims and eviction degenerates to a frame drop.
+// Without it, every fault arriving at a pool full of dirty pages pays
+// for a demand steal — a log force plus a journaled archive write — on
+// its own critical path.
+//
+// The cleaner preserves the same WAL ordering the steal path does, as
+// one batch (fsync invariant 5b in ARCHITECTURE.md): force the log up
+// to the batch's highest pageLSN, write every image through the
+// backend's double-write journal, and only then mark pages clean —
+// each step ordered after the previous one. Pages re-dirtied mid-pass
+// stay in the dirty-page table; the write was wasted, not wrong.
+
+// SetStealNotify registers fn to be invoked whenever a demand steal
+// happens — the signal that eviction pressure outran the background
+// cleaner. fn must not block (the engine forwards it to a buffered,
+// coalescing channel). Call once at setup, before the store is shared
+// between goroutines.
+func (s *Store) SetStealNotify(fn func()) { s.stealNotify = fn }
+
+// NeedClean reports whether the pool is running out of cheap eviction
+// victims: true when fewer than target frames are free or clean. It is
+// the cleaner's trigger — approximate by design (the DPT may hold a few
+// stale entries; counters are read without a global lock), which only
+// ever makes the cleaner slightly eager or slightly lazy, never
+// incorrect. Always false for an unbounded pool or one that cannot
+// write pages back.
+func (s *Store) NeedClean(target int) bool {
+	if s.budget <= 0 || s.backend == nil || s.wal == nil || target <= 0 {
+		return false
+	}
+	resident := s.resident.Load()
+	free := s.budget - resident
+	s.dirtyMu.Lock()
+	dirty := int64(len(s.dirty))
+	s.dirtyMu.Unlock()
+	clean := resident - dirty
+	if clean < 0 {
+		clean = 0
+	}
+	return free+clean < int64(target)
+}
+
+// cleanVictim is one page a cleaner pass has claimed: pinned, holding
+// its writeback latch, with the image snapshotted under the read latch.
+type cleanVictim struct {
+	pid  uint64
+	page *Page
+	lsn  lsn.LSN
+	img  []byte
+}
+
+// CleanBatch pre-cleans up to max dirty resident pages: it claims cold
+// (second-chance bit clear), unpinned victims first — they are the
+// pages the clock will evict next — falling back to warm ones so a
+// uniformly hot pool still makes progress, forces the log once up to
+// the batch's highest pageLSN, writes every image through the backend's
+// batched double-write path (O(1) archive fsyncs per pass), and marks
+// each page clean if its LSN is unchanged. It returns how many images
+// it wrote. The per-page writeback latch serializes it against the
+// demand-steal path and the checkpoint sweep, so a page's image is
+// never written twice concurrently.
+//
+// A no-op (0, nil) for unbounded pools or stores without a backend and
+// WAL hook.
+func (s *Store) CleanBatch(max int) (int, error) {
+	if s.backend == nil || s.wal == nil || s.budget <= 0 || max <= 0 {
+		return 0, nil
+	}
+	victims := s.claimVictims(max)
+	if len(victims) == 0 {
+		return 0, nil
+	}
+	// Whatever happens below, every claimed page must surrender its
+	// writeback latch and pin, or it would be neither cleanable nor
+	// evictable ever again.
+	defer func() {
+		for _, v := range victims {
+			v.page.wb.Store(false)
+			v.page.Unpin()
+		}
+	}()
+
+	// Force once for the whole batch: each victim's pageLSN is at or
+	// below the maximum, so the WAL rule (no image ahead of the durable
+	// log) holds for every image the batch writes.
+	maxLSN := lsn.Zero
+	for _, v := range victims {
+		if v.lsn > maxLSN {
+			maxLSN = v.lsn
+		}
+	}
+	if err := s.wal.Force(maxLSN); err != nil {
+		return 0, fmt.Errorf("storage: cleaner log force: %w", err)
+	}
+	if batcher, ok := s.backend.(ArchiveBatcher); ok {
+		batch := make([]PageImage, len(victims))
+		for i, v := range victims {
+			batch[i] = PageImage{PID: v.pid, Img: v.img}
+		}
+		if err := batcher.PutBatch(batch); err != nil {
+			return 0, fmt.Errorf("storage: cleaner writeback: %w", err)
+		}
+	} else {
+		for _, v := range victims {
+			if err := s.backend.Put(v.pid, v.img); err != nil {
+				return 0, fmt.Errorf("storage: cleaner writeback: %w", err)
+			}
+		}
+	}
+
+	// Mark-clean under the read latch, exactly like the sweep: writers
+	// bump pageLSN under the exclusive latch, so either we see the bump
+	// (page stays dirty under its conservative recLSN) or our clean
+	// lands first and their MarkDirty re-adds a fresh entry.
+	for _, v := range victims {
+		v.page.Latch.RLock()
+		if v.page.LSN() == v.lsn {
+			s.MarkClean(v.pid)
+		}
+		v.page.Latch.RUnlock()
+	}
+	s.cleanerWrites.Add(int64(len(victims)))
+	s.cleanerPasses.Add(1)
+	return len(victims), nil
+}
+
+// claimVictims picks up to max dirty pages for a cleaner pass, in
+// preference order over a DPT snapshot:
+//
+//  1. cold (reference bit clear — next in line at the clock hand) pages
+//     whose pageLSN the log already covers durably;
+//  2. warm but durably-covered pages, to fill the batch;
+//  3. only if that found nothing: pages whose pageLSN is beyond the
+//     durable horizon, which will cost the pass a real log force.
+//
+// Preferring durably-covered victims keeps the cleaner's log Force a
+// no-op in the steady state — it must not inject extra log fsyncs that
+// serialize with foreground group commit; the freshest pages are also
+// exactly the ones most likely to be re-dirtied, making their writeback
+// the most likely to be wasted. Pages in active use (pinned by anyone
+// but us) are skipped in every round for the same reason.
+func (s *Store) claimVictims(max int) []cleanVictim {
+	var victims []cleanVictim
+	claimed := make(map[uint64]struct{})
+	dirty := s.DirtyPages()
+
+	round := func(wantCold bool, bound lsn.LSN) {
+		for _, e := range dirty {
+			if len(victims) >= max {
+				return
+			}
+			if _, dup := claimed[e.PageID]; dup {
+				continue
+			}
+			p, cold := s.pinNoRef(e.PageID)
+			if p == nil {
+				continue // stale DPT entry; the sweep reconciles those
+			}
+			if (wantCold && !cold) || p.pins.Load() > 1 {
+				p.Unpin()
+				continue
+			}
+			if !p.wb.CompareAndSwap(false, true) {
+				// A steal or the sweep owns this page's writeback.
+				p.Unpin()
+				continue
+			}
+			p.Latch.RLock()
+			if !s.isDirty(e.PageID) || p.LSN() > bound {
+				// Cleaned since the DPT snapshot (a racing steal that
+				// failed its final drop, or a sweep) — or too fresh for
+				// this round's durability bound.
+				p.Latch.RUnlock()
+				p.wb.Store(false)
+				p.Unpin()
+				continue
+			}
+			v := cleanVictim{pid: e.PageID, page: p, lsn: p.LSN(), img: p.Snapshot()}
+			p.Latch.RUnlock()
+			victims = append(victims, v)
+			claimed[e.PageID] = struct{}{}
+		}
+	}
+
+	durable := s.wal.Durable()
+	round(true, durable)
+	round(false, durable)
+	if len(victims) == 0 && s.NeedClean(1) {
+		// Nothing durably covered AND not a single free-or-clean frame
+		// left: the very next fault will steal. Fall back to fresh pages
+		// — this pass's Force becomes a real log flush — rather than
+		// devolve into steals. The urgency gate matters: without it a
+		// freshly dirtied page would be written back the instant it
+		// appeared (its commit still in flight), turning the cleaner
+		// into write-through and its Force into a second group-commit
+		// stream fighting the log daemon's. With it, the normal path
+		// simply waits a tick for the in-flight commit to make the page
+		// durably coverable for free.
+		round(true, lsn.Undefined)
+		round(false, lsn.Undefined)
+	}
+	return victims
+}
+
+// pinNoRef pins a resident page WITHOUT setting its second-chance bit —
+// the cleaner's lookup. Reading a page only to write it back must not
+// make it look hot to the clock, or cleaning a page would shield it
+// from the very eviction the cleaning enables. cold reports whether the
+// reference bit was clear at lookup time.
+func (s *Store) pinNoRef(pid uint64) (p *Page, cold bool) {
+	sh := s.shard(pid)
+	sh.mu.RLock()
+	p = sh.pages[pid]
+	if p != nil {
+		p.pins.Add(1)
+		cold = !p.ref.Load()
+	}
+	sh.mu.RUnlock()
+	return p, cold
+}

@@ -74,6 +74,15 @@ type Page struct {
 	// ref is the clock algorithm's second-chance bit, set on every
 	// Store.Get hit and cleared by one sweep of the clock hand.
 	ref atomic.Bool
+	// wb is the per-page writeback latch: whoever CASes it false→true
+	// owns the exclusive right to write this page's image to the archive
+	// backend and (on success) mark it clean. The background cleaner, the
+	// demand-steal path and the checkpoint sweep all contend for it, so a
+	// page never has two backend writes in flight — the ordering hazard
+	// where a slower writer lands a stale image over a fresher one after
+	// the page was marked clean cannot arise. It is NOT a mutex: losers
+	// skip the page instead of waiting.
+	wb atomic.Bool
 
 	buf [PageSize]byte
 }

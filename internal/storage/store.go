@@ -30,10 +30,11 @@ const storeShards = 64
 // Store is the page store: a demand-paged buffer pool over an optional
 // Archive backend. It owns page lookup/creation/fault-in, residency and
 // pinning, the clock eviction policy with WAL-correct dirty steal, the
-// dirty-page table (DPT) used by checkpoints, and page-image archival.
-// Without a backend (SetBackend) it degenerates to the original fully
-// memory-resident store; without a budget (SetCachePages) nothing is
-// ever evicted.
+// background-cleaner machinery that writes dirty pages back ahead of
+// demand (cleaner.go), the dirty-page table (DPT) used by checkpoints,
+// and page-image archival. Without a backend (SetBackend) it
+// degenerates to the original fully memory-resident store; without a
+// budget (SetCachePages) nothing is ever evicted.
 //
 // Page IDs encode their owning space (table) in the top 24 bits:
 // pid = space<<40 | seq. Recovery relies on this to reattach redo-created
@@ -47,19 +48,27 @@ type Store struct {
 	dirtyMu sync.Mutex
 	dirty   map[uint64]lsn.LSN // pageID → recLSN (first LSN that dirtied it)
 
-	// Buffer pool state (bufferpool.go).
-	backend Archive // home of pages; nil = RAM is the only copy
-	wal     WAL     // flush-before-steal + fault verification; may be nil
-	budget  int64   // max resident pages; 0 = unbounded
+	// Buffer pool state (bufferpool.go, cleaner.go).
+	backend     Archive // home of pages; nil = RAM is the only copy
+	wal         WAL     // flush-before-steal + fault verification; may be nil
+	budget      int64   // max resident pages; 0 = unbounded
+	stealNotify func()  // demand-steal pressure callback; may be nil
 
-	evictMu sync.Mutex // serializes evictions; guards clock+hand
-	clock   []uint64   // resident pids in install order (clock order)
-	hand    int        // clock hand position
+	// evictMu serializes victim selection and guards clock+hand. It is
+	// deliberately NOT held across steal I/O: a dirty victim is claimed
+	// through its per-page writeback latch and written back with the
+	// lock released, so concurrent faults proceed while a steal's fsyncs
+	// are in flight.
+	evictMu sync.Mutex
+	clock   []uint64 // resident pids in install order (clock order)
+	hand    int      // clock hand position
 
-	resident  atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
-	steals    atomic.Int64
+	resident      atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	steals        atomic.Int64
+	cleanerWrites atomic.Int64
+	cleanerPasses atomic.Int64
 }
 
 // PageSpace extracts the owning space from a page ID.
@@ -350,11 +359,14 @@ func (s *Store) ArchiveDirtyPages(a Archive, durable lsn.LSN) int {
 	}
 	batcher, batched := a.(ArchiveBatcher)
 	var done []archived
-	// Pages stay pinned from snapshot to check-and-clean: a concurrent
-	// eviction must not reclaim (or re-steal) a frame the sweep is mid-
-	// way through archiving.
+	// Pages stay pinned from snapshot to check-and-clean (a concurrent
+	// eviction must not reclaim a frame the sweep is mid-way through
+	// archiving) and hold their writeback latch for the same window (so
+	// the background cleaner and the steal path never have a second
+	// write of the same page in flight).
 	defer func() {
 		for _, e := range done {
+			e.page.wb.Store(false)
 			e.page.Unpin()
 		}
 	}()
@@ -364,8 +376,9 @@ func (s *Store) ArchiveDirtyPages(a Archive, durable lsn.LSN) int {
 		// only way out of RAM is a steal, which cleans it first), so a
 		// non-resident entry is stale — faulting it back just to
 		// re-archive the image the steal already wrote would waste a
-		// read, a cache frame and a write.
-		p := s.getResident(e.PageID)
+		// read, a cache frame and a write. pinNoRef, not getResident:
+		// archiving a page must not make it look hot to the clock.
+		p, _ := s.pinNoRef(e.PageID)
 		if p == nil {
 			if s.isDirty(e.PageID) {
 				// Still in the live DPT yet nowhere in RAM or reachable
@@ -376,6 +389,13 @@ func (s *Store) ArchiveDirtyPages(a Archive, durable lsn.LSN) int {
 			}
 			continue
 		}
+		if !p.wb.CompareAndSwap(false, true) {
+			// The cleaner or a steal has this page's writeback in
+			// flight; whichever wins cleans it, and if it is re-dirtied
+			// the next sweep picks it up.
+			p.Unpin()
+			continue
+		}
 		p.Latch.RLock()
 		pl := p.LSN()
 		var img []byte
@@ -384,6 +404,7 @@ func (s *Store) ArchiveDirtyPages(a Archive, durable lsn.LSN) int {
 		}
 		p.Latch.RUnlock()
 		if img == nil {
+			p.wb.Store(false)
 			p.Unpin()
 			continue
 		}
@@ -395,6 +416,7 @@ func (s *Store) ArchiveDirtyPages(a Archive, durable lsn.LSN) int {
 			// pins the truncation horizon, so the log that rebuilds
 			// it cannot be recycled until a later sweep succeeds.
 			// (Streaming Put also keeps peak memory at one image.)
+			p.wb.Store(false)
 			p.Unpin()
 			continue
 		}

@@ -125,6 +125,20 @@ type Config struct {
 	// appended to the log — so the log stays bounded with zero client
 	// Checkpoint calls and zero commit-path stalls. Stop it with Close.
 	CheckpointEveryBytes int64
+	// CleanerPages, if > 0, starts the background page cleaner: a
+	// goroutine that watches the buffer pool's free-frame headroom and
+	// pre-cleans dirty, unpinned, cold pages — forcing the log, then
+	// batching the images through the archive's double-write journal —
+	// whenever fewer than this many frames are free or clean. Faults
+	// then find clean victims and eviction is a frame drop instead of a
+	// demand steal. Meaningful only with a bounded Store (SetCachePages)
+	// over an Archive backend; harmless otherwise. Stop it with Close.
+	CleanerPages int
+	// CleanerInterval is the cleaner's polling cadence (default 2ms).
+	// Demand steals additionally nudge it awake immediately, so the
+	// interval only bounds how stale the headroom view can get between
+	// bursts.
+	CleanerInterval time.Duration
 }
 
 // Stats exposes engine counters.
@@ -161,6 +175,10 @@ type Stats struct {
 	// ArchiveFailures counts background archive passes that errored
 	// (cold storage down); the affected segments stay pending on disk.
 	ArchiveFailures metrics.Counter
+	// CleanerFailures counts background cleaner passes that errored (log
+	// force or archive writeback failed); the affected pages stay dirty
+	// and the next pass — or a demand steal, or the sweep — retries.
+	CleanerFailures metrics.Counter
 }
 
 // Engine is the transactional storage manager.
@@ -192,6 +210,11 @@ type Engine struct {
 	archTrig chan struct{}
 	archStop chan struct{}
 	archDone chan struct{}
+
+	// Background page cleaner (nil channels when disabled).
+	cleanTrig chan struct{}
+	cleanStop chan struct{}
+	cleanDone chan struct{}
 
 	closeOnce sync.Once
 }
@@ -227,6 +250,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if cfg.Log.CanArchive() {
 		e.startArchiver()
+	}
+	if cfg.CleanerPages > 0 {
+		e.startCleaner(cfg.CleanerPages, cfg.CleanerInterval)
 	}
 	return e, nil
 }
@@ -323,10 +349,75 @@ func (e *Engine) archiverLoop() {
 	}
 }
 
-// Close stops the background incremental checkpointer and the segment
-// archiver, waiting for in-flight work to finish. Call it before
-// closing the log. It is idempotent and a no-op for engines running
-// neither daemon.
+// startCleaner wires the background page cleaner: a goroutine that
+// pre-cleans dirty, cold pages whenever the buffer pool's free-or-clean
+// headroom drops below pages. It wakes on a short ticker and — more
+// importantly — on every demand steal (the store's steal-pressure
+// callback), so a burst that outruns the ticker immediately re-arms it.
+// Like the checkpointer and the archiver, its work happens entirely off
+// the agent threads' fault path.
+func (e *Engine) startCleaner(pages int, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Millisecond
+	}
+	e.cleanTrig = make(chan struct{}, 1)
+	e.cleanStop = make(chan struct{})
+	e.cleanDone = make(chan struct{})
+	e.store.SetStealNotify(func() {
+		select {
+		case e.cleanTrig <- struct{}{}:
+		default: // one already pending: coalesce
+		}
+	})
+	go e.cleanerLoop(pages, interval)
+}
+
+func (e *Engine) cleanerLoop(pages int, interval time.Duration) {
+	defer close(e.cleanDone)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.cleanStop:
+			return
+		case <-tick.C:
+		case <-e.cleanTrig:
+		}
+		// A stop racing a pending wakeup must win, or Close would block
+		// behind cleaning I/O nobody needs.
+		select {
+		case <-e.cleanStop:
+			return
+		default:
+		}
+		// Clean until headroom is restored, not just one batch: under
+		// sustained write pressure the ticker cadence alone would fall
+		// behind, and steals — each of which nudged cleanTrig — would
+		// become the de-facto trigger. A pass that claims nothing means
+		// every dirty page is pinned or already being written; yield and
+		// let the ticker retry.
+		for e.store.NeedClean(pages) {
+			n, err := e.store.CleanBatch(pages)
+			if err != nil {
+				e.stats.CleanerFailures.Inc()
+				break
+			}
+			if n == 0 {
+				break
+			}
+			select {
+			case <-e.cleanStop:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// Close stops the background incremental checkpointer, the segment
+// archiver and the page cleaner, waiting for in-flight work to finish.
+// Call it before closing the log. It is idempotent and a no-op for
+// engines running no daemons.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
 		if e.ckptStop != nil {
@@ -336,12 +427,18 @@ func (e *Engine) Close() {
 		if e.archStop != nil {
 			close(e.archStop)
 		}
+		if e.cleanStop != nil {
+			close(e.cleanStop)
+		}
 	})
 	if e.ckptDone != nil {
 		<-e.ckptDone
 	}
 	if e.archDone != nil {
 		<-e.archDone
+	}
+	if e.cleanDone != nil {
+		<-e.cleanDone
 	}
 }
 

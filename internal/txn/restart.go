@@ -2,6 +2,7 @@ package txn
 
 import (
 	"fmt"
+	"time"
 
 	"aether/internal/core"
 	"aether/internal/lockmgr"
@@ -32,6 +33,12 @@ type RestartConfig struct {
 	// archive after the log is forced) to make room. 0 keeps the
 	// original fully memory-resident behavior. Requires Archive.
 	CachePages int64
+	// CleanerPages enables the engine's background page cleaner (see
+	// txn.Config.CleanerPages). Meaningful only with CachePages set.
+	CleanerPages int
+	// CleanerInterval is the cleaner's polling cadence (see
+	// txn.Config.CleanerInterval).
+	CleanerInterval time.Duration
 }
 
 // Restart performs crash recovery and returns a ready engine: read the
@@ -93,6 +100,8 @@ func Restart(cfg RestartConfig) (*Engine, *recovery.Result, error) {
 		Store:                store,
 		Archive:              cfg.Archive,
 		CheckpointEveryBytes: cfg.CheckpointEveryBytes,
+		CleanerPages:         cfg.CleanerPages,
+		CleanerInterval:      cfg.CleanerInterval,
 	})
 	if err != nil {
 		lm.Close()

@@ -100,6 +100,7 @@ func (r Result) SwitchRate() float64 {
 	return float64(r.Switches) / r.Elapsed.Seconds()
 }
 
+// String renders the one-line summary experiment tables print.
 func (r Result) String() string {
 	return fmt.Sprintf("%.0f tps (completed %d, aborted %d, util %.1f, %.0f switches/s)",
 		r.Throughput(), r.Completed, r.Aborted, r.Utilization(), r.SwitchRate())
