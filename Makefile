@@ -38,13 +38,14 @@ docs: vet
 		./internal/txn ./internal/workload
 
 # Small-scale perf smoke: vet plus a quick aetherbench run that
-# refreshes BENCH_pr5.json, so the perf trajectory (throughput, sweep
+# refreshes BENCH_pr6.json, so the perf trajectory (throughput, sweep
 # fsyncs/duration, larger-than-memory miss rate, demand steals vs
-# cleaner writes) is tracked on every CI pass — and the fresh run's
-# demand-steal rate is diffed against the committed baseline, failing
-# on regression. The heavier bench assertions in the test suite respect
-# -short, keeping tier-1 fast.
+# cleaner writes, cold-scan speedup and prefetch hit rate) is tracked on
+# every CI pass — and the fresh run's demand-steal rate is diffed
+# against the committed baseline, failing on regression, with a 0.30
+# prefetch-hit-rate floor on the scan scenario. The heavier bench
+# assertions in the test suite respect -short, keeping tier-1 fast.
 bench-smoke: vet
-	$(GO) run ./cmd/aetherbench -quick -json -baseline BENCH_pr5.json
+	$(GO) run ./cmd/aetherbench -quick -json -baseline BENCH_pr6.json
 
 ci: build vet docs test test-race bench-smoke

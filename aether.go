@@ -178,6 +178,15 @@ type Options struct {
 	// Demand steals also nudge the cleaner awake immediately, so this
 	// only bounds how stale its headroom view can get between bursts.
 	CleanerInterval time.Duration
+	// PrefetchDepth, if > 0 (meaningful only with a bounded cache), arms
+	// sequential read-ahead: when page faults form a sequential run — a
+	// table scan, the rebuild walk after a reopen — up to this many pages
+	// are read from the database file ahead of demand, concurrently, so
+	// the scan streams instead of paying one synchronous read per page.
+	// Prefetched frames are charged against the cache budget but never
+	// evict dirty pages, so read-ahead cannot push out the working set. A
+	// good default is 16–64.
+	PrefetchDepth int
 	// DeadlockTimeout bounds lock waits (default 500ms).
 	DeadlockTimeout time.Duration
 	// DisableSLI turns off speculative lock inheritance.
@@ -333,6 +342,7 @@ func (db *DB) start() (*DB, error) {
 		CachePages:           db.opts.cachePages(),
 		CleanerPages:         db.opts.CleanerPages,
 		CleanerInterval:      db.opts.CleanerInterval,
+		PrefetchDepth:        db.opts.PrefetchDepth,
 	})
 	if err != nil {
 		return nil, err
@@ -490,6 +500,17 @@ type Stats struct {
 	CleanerWrites int64
 	// CleanerPasses counts cleaner passes that wrote at least one page.
 	CleanerPasses int64
+	// PrefetchReads counts page images the read-ahead pipeline
+	// (Options.PrefetchDepth) installed ahead of demand.
+	PrefetchReads int64
+	// PrefetchHits counts page accesses served by a prefetched page —
+	// faults that never happened. PrefetchReads − PrefetchHits is the
+	// wasted-read overshoot, bounded by the window size per stream.
+	PrefetchHits int64
+	// ReadRetries counts optimistic database-file reads that raced an
+	// in-place page write, failed checksum validation and retried — the
+	// observable cost of the lock-free read path (normally ~0).
+	ReadRetries int64
 }
 
 // Stats returns current counters.
@@ -517,6 +538,11 @@ func (db *DB) Stats() Stats {
 		StealWrites:       cs.StealWrites,
 		CleanerWrites:     cs.CleanerWrites,
 		CleanerPasses:     cs.CleanerPasses,
+		PrefetchReads:     cs.PrefetchReads,
+		PrefetchHits:      cs.PrefetchHits,
+	}
+	if rr, ok := db.archive.(storage.ReadRetrier); ok {
+		s.ReadRetries = rr.ReadRetries()
 	}
 	if db.segDev != nil {
 		segs, _ := db.segDev.TruncStats()

@@ -6,8 +6,8 @@
 //	aetherbench -fig fig3            # one figure, full scale
 //	aetherbench -fig fig8left -quick # one figure, fast parameters
 //	aetherbench -all                 # everything, in paper order
-//	aetherbench -json                # machine-readable perf report → BENCH_pr5.json
-//	aetherbench -json -baseline BENCH_pr5.json  # …and diff demand steals vs the committed baseline
+//	aetherbench -json                # machine-readable perf report → BENCH_pr6.json
+//	aetherbench -json -baseline BENCH_pr6.json  # …and diff demand steals vs the committed baseline
 //	aetherbench -list                # list experiment names
 package main
 
@@ -32,7 +32,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "use fast, test-scale parameters")
 		list     = flag.Bool("list", false, "list experiment names and exit")
 		jsonOut  = flag.Bool("json", false, "run the perf-tracking suite and write machine-readable results")
-		outPath  = flag.String("out", "BENCH_pr5.json", "output file for -json")
+		outPath  = flag.String("out", "BENCH_pr6.json", "output file for -json")
 		baseline = flag.String("baseline", "", "existing report to diff demand-steal counts against (regression check, used by make bench-smoke)")
 	)
 	flag.Parse()
@@ -89,6 +89,10 @@ type perfReport struct {
 	} `json:"sweep"`
 	Cache   bench.CacheResult   `json:"cache"`
 	Cleaner bench.CleanerResult `json:"cleaner"`
+	Scan    struct {
+		bench.ScanResult
+		Speedup float64 `json:"speedup"`
+	} `json:"scan"`
 }
 
 // tputRun reports the sustained-commit workload.
@@ -215,6 +219,30 @@ func writeJSONReport(outPath, baselinePath string, scale bench.Scale) error {
 		return err
 	}
 
+	scanPages := 512
+	if scale.Quick {
+		scanPages = 192
+	}
+	scan, err := bench.RunScan(bench.ScanConfig{
+		Dir:           dir,
+		Pages:         scanPages,
+		CachePages:    scanPages / 8,
+		PrefetchDepth: 16,
+		ReadDelay:     200 * time.Microsecond, // between flash and disk
+	})
+	if err != nil {
+		return fmt.Errorf("scan run: %w", err)
+	}
+	rep.Scan.ScanResult = scan
+	rep.Scan.Speedup = scan.Speedup()
+	// The hit-rate floor: a sequential cold scan whose read-ahead serves
+	// under 30% of its accesses means the pipeline broke (window never
+	// opened, frames stolen back, or installs losing every race) — fail
+	// CI on it even if throughput happens to look fine.
+	if scan.HitRate < 0.3 {
+		return fmt.Errorf("scan run: prefetch hit rate %.2f below the 0.30 floor (%v)", scan.HitRate, scan)
+	}
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -227,6 +255,7 @@ func writeJSONReport(outPath, baselinePath string, scale bench.Scale) error {
 	fmt.Println(sweep)
 	fmt.Println(rep.Cache)
 	fmt.Println(rep.Cleaner)
+	fmt.Println(scan)
 	fmt.Println("wrote", outPath)
 	return nil
 }

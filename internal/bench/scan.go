@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"aether/internal/storage"
+)
+
+// ScanConfig parameterizes the cold-scan microbenchmark: a sequential
+// scan over a table several times larger than the page cache, faulting
+// every page from the database file — once against a single-mutex
+// archive (the pre-concurrency PageFile, where every read serialized
+// with every other read and writer), and once against the concurrent
+// PageFile with streaming read-ahead.
+type ScanConfig struct {
+	// Dir is scratch space for the pagefile.
+	Dir string
+	// Pages is the table size in pages. Must exceed CachePages several
+	// times over for the scan to be genuinely cold.
+	Pages int
+	// CachePages is the buffer-pool budget both phases run under.
+	CachePages int
+	// PrefetchDepth arms read-ahead; both phases get the same depth, so
+	// the serial side's loss is purely its inability to overlap reads.
+	PrefetchDepth int
+	// ReadDelay is the simulated per-pread device latency (the log
+	// devices' methodology applied to page reads). With it the overlap
+	// win is deterministic: a serialized scan pays the delay once per
+	// page, a pipelined one amortizes it across the read-ahead window.
+	// 0 measures the host filesystem alone — noise on a page cache.
+	ReadDelay time.Duration
+}
+
+// ScanResult reports the cold-scan comparison.
+type ScanResult struct {
+	// Pages is the scanned table size in pages.
+	Pages int `json:"pages"`
+	// CachePages is the budget both scans ran under.
+	CachePages int `json:"cache_pages"`
+	// PrefetchDepth is the configured read-ahead depth.
+	PrefetchDepth int `json:"prefetch_depth"`
+	// SerialPPS is pages/s through the single-mutex archive.
+	SerialPPS float64 `json:"serial_pps"`
+	// ConcurrentPPS is pages/s through the concurrent pagefile.
+	ConcurrentPPS float64 `json:"concurrent_pps"`
+	// PrefetchReads is the concurrent phase's read-ahead volume.
+	PrefetchReads int64 `json:"prefetch_reads"`
+	// PrefetchHits is how many of the concurrent scan's accesses were
+	// served by a prefetched page instead of a demand fault.
+	PrefetchHits int64 `json:"prefetch_hits"`
+	// HitRate is PrefetchHits over the scan's page accesses.
+	HitRate float64 `json:"hit_rate"`
+	// ReadRetries counts optimistic pagefile reads that lost a race and
+	// retried during the concurrent phase.
+	ReadRetries int64 `json:"read_retries"`
+}
+
+// Speedup is concurrent scan throughput over single-mutex throughput.
+func (r ScanResult) Speedup() float64 {
+	if r.SerialPPS <= 0 {
+		return 0
+	}
+	return r.ConcurrentPPS / r.SerialPPS
+}
+
+// String renders the one-line summary the CLI prints.
+func (r ScanResult) String() string {
+	return fmt.Sprintf("scan %d pages, budget %d, depth %d: %.0f pages/s concurrent vs %.0f serial — %.1fx (%.0f%% prefetch hits)",
+		r.Pages, r.CachePages, r.PrefetchDepth, r.ConcurrentPPS, r.SerialPPS, r.Speedup(), 100*r.HitRate)
+}
+
+// serialArchive wraps an Archive in one mutex over every operation —
+// the pre-PR-6 PageFile, where a reader waited out every other reader
+// and every batch writer's fsyncs. It is the scan benchmark's baseline.
+type serialArchive struct {
+	mu sync.Mutex
+	a  storage.Archive
+}
+
+// Get serializes reads behind the single mutex.
+func (s *serialArchive) Get(pid uint64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.a.Get(pid)
+}
+
+// Put serializes single-page writes behind the single mutex.
+func (s *serialArchive) Put(pid uint64, img []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.a.Put(pid, img)
+}
+
+// PutBatch holds the mutex across the whole batch — journal fsync,
+// in-place writes and pagefile fsync — exactly as the old single-mutex
+// pagefile did.
+func (s *serialArchive) PutBatch(batch []storage.PageImage) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.a.(storage.ArchiveBatcher); ok {
+		return b.PutBatch(batch)
+	}
+	for _, e := range batch {
+		if err := s.a.Put(e.PID, e.Img); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Contains forwards the existence probe under the mutex.
+func (s *serialArchive) Contains(pid uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.a.(storage.ArchiveContains); ok {
+		return c.Contains(pid)
+	}
+	return false
+}
+
+// Pages forwards the ID listing under the mutex.
+func (s *serialArchive) Pages() ([]uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.a.Pages()
+}
+
+// scanPhase cold-scans every pid through a fresh bounded pool over the
+// given backend, returning pages/s and the pool's final counters.
+func scanPhase(backend storage.Archive, pids []uint64, cachePages, depth int) (float64, storage.CacheStats, error) {
+	st := storage.NewStore()
+	if err := st.SetBackend(backend); err != nil {
+		return 0, storage.CacheStats{}, err
+	}
+	st.SetCachePages(int64(cachePages))
+	st.SetPrefetch(depth)
+	t0 := time.Now()
+	for _, pid := range pids {
+		p, err := st.Get(pid)
+		if err != nil {
+			return 0, storage.CacheStats{}, fmt.Errorf("bench scan fault %d: %w", pid, err)
+		}
+		if p == nil {
+			return 0, storage.CacheStats{}, fmt.Errorf("bench scan: page %d missing from the archive", pid)
+		}
+		p.Unpin()
+	}
+	elapsed := time.Since(t0)
+	cs := st.CacheStats()
+	if cs.Resident > int64(cachePages) {
+		return 0, cs, fmt.Errorf("bench scan: resident %d exceeds budget %d", cs.Resident, cachePages)
+	}
+	return float64(len(pids)) / elapsed.Seconds(), cs, nil
+}
+
+// RunScan executes the cold-scan microbenchmark: build a table in the
+// pagefile, then sequentially fault every page through a cache a
+// fraction of its size — once with reads funneled through a single
+// mutex (no overlap possible, read-ahead or not), once through the
+// concurrent pagefile where the read-ahead pipeline overlaps device
+// reads ahead of demand.
+func RunScan(cfg ScanConfig) (ScanResult, error) {
+	if cfg.Pages <= 0 {
+		cfg.Pages = 256
+	}
+	if cfg.CachePages <= 0 {
+		cfg.CachePages = cfg.Pages / 8
+	}
+	if cfg.PrefetchDepth <= 0 {
+		cfg.PrefetchDepth = 16
+	}
+	res := ScanResult{Pages: cfg.Pages, CachePages: cfg.CachePages, PrefetchDepth: cfg.PrefetchDepth}
+	if cfg.Pages < 4*cfg.CachePages {
+		return res, fmt.Errorf("bench scan: %d pages over a %d-page cache is not larger-than-memory", cfg.Pages, cfg.CachePages)
+	}
+
+	// Build: a contiguous run of archived pages, as a checkpointed table
+	// would sit in the database file.
+	st, _ := newDirtyStore(cfg.Pages)
+	pf, err := storage.OpenPageFile(filepath.Join(cfg.Dir, "scan-pagefile.db"))
+	if err != nil {
+		return res, err
+	}
+	defer pf.Close()
+	if n := st.ArchiveDirtyPages(pf, 1<<62); n != cfg.Pages {
+		return res, fmt.Errorf("bench scan: archived %d pages, want %d", n, cfg.Pages)
+	}
+	pids, err := pf.Pages()
+	if err != nil {
+		return res, err
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	pf.SetReadDelay(cfg.ReadDelay)
+
+	serialPPS, _, err := scanPhase(&serialArchive{a: pf}, pids, cfg.CachePages, cfg.PrefetchDepth)
+	if err != nil {
+		return res, fmt.Errorf("serial phase: %w", err)
+	}
+	res.SerialPPS = serialPPS
+
+	retries0 := pf.ReadRetries()
+	concurrentPPS, cs, err := scanPhase(pf, pids, cfg.CachePages, cfg.PrefetchDepth)
+	if err != nil {
+		return res, fmt.Errorf("concurrent phase: %w", err)
+	}
+	res.ConcurrentPPS = concurrentPPS
+	res.PrefetchReads = cs.PrefetchReads
+	res.PrefetchHits = cs.PrefetchHits
+	res.HitRate = float64(cs.PrefetchHits) / float64(len(pids))
+	res.ReadRetries = pf.ReadRetries() - retries0
+	if cs.StealWrites != 0 {
+		return res, fmt.Errorf("bench scan: read-only scan performed %d demand steals", cs.StealWrites)
+	}
+	return res, nil
+}

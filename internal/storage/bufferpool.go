@@ -3,6 +3,7 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"aether/internal/lsn"
 )
@@ -57,6 +58,13 @@ type CacheStats struct {
 	CleanerWrites int64
 	// CleanerPasses counts cleaner passes that wrote at least one page.
 	CleanerPasses int64
+	// PrefetchReads counts page images the read-ahead pipeline installed
+	// ahead of demand (prefetch.go); 0 with prefetch disabled.
+	PrefetchReads int64
+	// PrefetchHits counts demand accesses served by a prefetched page —
+	// faults that never happened. PrefetchReads − PrefetchHits is the
+	// wasted-read overshoot (bounded by the window size per stream).
+	PrefetchHits int64
 }
 
 // SetBackend attaches the page archive as the store's backing home:
@@ -118,6 +126,8 @@ func (s *Store) CacheStats() CacheStats {
 		StealWrites:   s.steals.Load(),
 		CleanerWrites: s.cleanerWrites.Load(),
 		CleanerPasses: s.cleanerPasses.Load(),
+		PrefetchReads: s.prefetchReads.Load(),
+		PrefetchHits:  s.prefetchHits.Load(),
 	}
 }
 
@@ -166,11 +176,13 @@ func (s *Store) fault(pid uint64, create bool) (*Page, error) {
 	sh := s.shard(pid)
 	sh.mu.Lock()
 	if cur := sh.pages[pid]; cur != nil {
-		// Installed while we waited for the lock.
+		// Installed while we waited for the lock (a concurrent fault, or
+		// the read-ahead pipeline landing this very page — a prefetch hit).
 		cur.pins.Add(1)
 		cur.ref.Store(true)
 		sh.mu.Unlock()
 		s.releaseFrame()
+		s.notePrefetchHit(cur, pid)
 		return cur, nil
 	}
 	var img []byte
@@ -221,7 +233,8 @@ func (s *Store) fault(pid uint64, create bool) (*Page, error) {
 	p.pins.Store(1)
 	p.ref.Store(true)
 	sh.pages[pid] = p
-	if img != nil {
+	missed := img != nil
+	if missed {
 		s.misses.Add(1)
 	} else {
 		s.advanceSeq(pid)
@@ -232,6 +245,11 @@ func (s *Store) fault(pid uint64, create bool) (*Page, error) {
 	// joins the clock a beat later.
 	sh.mu.Unlock()
 	s.noteResident(pid)
+	if missed {
+		// A real backend read: feed the stream tracker so a sequential
+		// fault pattern opens the read-ahead window (prefetch.go).
+		s.noteAccess(pid)
+	}
 	return p, nil
 }
 
@@ -269,6 +287,51 @@ func (s *Store) releaseFrame() {
 	s.resident.Add(-1)
 }
 
+// cleanWaitTimeout bounds how long an evictor waits for an in-flight
+// writeback pass before it falls back to stealing. The signal usually
+// arrives in microseconds (the pass was already past its fsyncs); the
+// timeout only matters when the cleaner stalls or cannot clean anything,
+// where stealing is the correct escape.
+const cleanWaitTimeout = 5 * time.Millisecond
+
+// cleanWaiter returns the broadcast channel the next signalCleaned will
+// close. Grab it BEFORE poking the cleaner, or the pass could complete
+// and signal between the poke and the wait — a missed wakeup.
+func (s *Store) cleanWaiter() <-chan struct{} {
+	s.cleanWaitMu.Lock()
+	if s.cleanWaitCh == nil {
+		s.cleanWaitCh = make(chan struct{})
+	}
+	ch := s.cleanWaitCh
+	s.cleanWaitMu.Unlock()
+	return ch
+}
+
+// signalCleaned wakes every evictor parked in waitForCleaner: a
+// writeback pass (cleaner or checkpoint sweep) just marked pages clean.
+func (s *Store) signalCleaned() {
+	s.cleanWaitMu.Lock()
+	if s.cleanWaitCh != nil {
+		close(s.cleanWaitCh)
+		s.cleanWaitCh = nil
+	}
+	s.cleanWaitMu.Unlock()
+}
+
+// waitForCleaner pokes the armed cleaner and blocks until a writeback
+// pass signals (or the timeout elapses). Called by evictOne with evictMu
+// released.
+func (s *Store) waitForCleaner() {
+	ch := s.cleanWaiter()
+	s.stealNotify()
+	t := time.NewTimer(cleanWaitTimeout)
+	defer t.Stop()
+	select {
+	case <-ch:
+	case <-t.C:
+	}
+}
+
 // evictOne runs the clock hand until it reclaims one frame: referenced
 // pages lose their second-chance bit, pinned and writeback-claimed pages
 // are skipped, and the first quiet candidate is evicted. A clean victim
@@ -279,78 +342,114 @@ func (s *Store) releaseFrame() {
 // one steal's fsyncs are in flight, instead of the whole pool queueing
 // behind them. Two full rotations without a victim means everything is
 // pinned or unstealable; report failure so the caller can overshoot.
+//
+// When a background cleaner is armed (stealNotify wired), a scan about
+// to steal — or one that found every candidate writeback-claimed by an
+// in-flight pass — first pokes the cleaner and waits briefly for its
+// signal, then rescans: the pass's freshly cleaned pages become free
+// frame drops, and the steal (a log force plus journaled archive write
+// on this fault's critical path) is avoided entirely. One wait per call;
+// if the pool is still all-dirty afterwards the steal proceeds, so
+// eviction can never hang on a cleaner that has nothing to clean.
 func (s *Store) evictOne() bool {
-	s.evictMu.Lock()
-	limit := 2 * len(s.clock)
-	for scanned := 0; scanned <= limit; scanned++ {
-		if len(s.clock) == 0 {
-			break
-		}
-		if s.hand >= len(s.clock) {
-			s.hand = 0
-		}
-		pid := s.clock[s.hand]
-		sh := s.shard(pid)
-		sh.mu.RLock()
-		p := sh.pages[pid]
-		sh.mu.RUnlock()
-		if p == nil {
-			// Stale entry (defensive: eviction removes entries in step
-			// with frames, but a duplicate could alias a recycled pid).
-			s.clockRemoveAtHand()
-			continue
-		}
-		if p.pins.Load() > 0 || p.ref.CompareAndSwap(true, false) || p.wb.Load() {
-			s.hand++
-			continue
-		}
-		if !s.isDirty(pid) {
-			if s.dropClean(pid, p) {
+	waited := false
+scan:
+	for {
+		s.evictMu.Lock()
+		limit := 2 * len(s.clock)
+		blocked := false // saw a writeback-claimed candidate this scan
+		for scanned := 0; scanned <= limit; scanned++ {
+			if len(s.clock) == 0 {
+				break
+			}
+			if s.hand >= len(s.clock) {
+				s.hand = 0
+			}
+			pid := s.clock[s.hand]
+			sh := s.shard(pid)
+			sh.mu.RLock()
+			p := sh.pages[pid]
+			sh.mu.RUnlock()
+			if p == nil {
+				// Stale entry (defensive: eviction removes entries in step
+				// with frames, but a duplicate could alias a recycled pid).
 				s.clockRemoveAtHand()
+				continue
+			}
+			if p.pins.Load() > 0 || p.ref.CompareAndSwap(true, false) {
+				s.hand++
+				continue
+			}
+			if p.wb.Load() {
+				blocked = true
+				s.hand++
+				continue
+			}
+			if !s.isDirty(pid) {
+				if s.dropClean(pid, p) {
+					s.clockRemoveAtHand()
+					s.evictMu.Unlock()
+					return true
+				}
+				s.hand++
+				continue
+			}
+			if s.backend == nil || s.wal == nil {
+				// Nowhere safe to steal to: dirty pages are not evictable
+				// (overshoot over a WAL violation).
+				s.hand++
+				continue
+			}
+			if !waited && s.stealNotify != nil {
+				// About to pay a steal on this fault's critical path: give
+				// the armed cleaner one chance to deliver clean victims
+				// first (full rescan below).
 				s.evictMu.Unlock()
+				s.waitForCleaner()
+				waited = true
+				continue scan
+			}
+			if !p.wb.CompareAndSwap(false, true) {
+				// The cleaner or a concurrent steal owns the writeback; once
+				// it finishes the page is clean and trivially evictable.
+				blocked = true
+				s.hand++
+				continue
+			}
+			// Steal outside evictMu: the force + journaled write can take
+			// milliseconds on a real device, and holding the eviction lock
+			// across them would queue every concurrent fault behind this one
+			// victim's fsyncs (the PR 4 bottleneck). The writeback latch keeps
+			// other evictors and the cleaner off this page meanwhile.
+			//
+			// The victim leaves the clock HERE, under evictMu, not after the
+			// steal: a deferred removal could race a concurrent evictor
+			// collecting the stale entry plus a refault re-installing the
+			// page, and then delete the refaulted page's fresh entry —
+			// leaving a resident page no clock scan would ever visit again.
+			// If the steal fails the page rejoins the clock below.
+			s.clockRemoveAtHand()
+			s.evictMu.Unlock()
+			ok := s.stealAndDrop(pid, p)
+			p.wb.Store(false)
+			if ok {
 				return true
 			}
-			s.hand++
-			continue
+			// The frame stayed (pinned mid-steal, I/O error, ...): put the
+			// page back on the clock so it remains evictable later.
+			s.noteResident(pid)
+			s.evictMu.Lock()
 		}
-		if s.backend == nil || s.wal == nil {
-			// Nowhere safe to steal to: dirty pages are not evictable
-			// (overshoot over a WAL violation).
-			s.hand++
-			continue
-		}
-		if !p.wb.CompareAndSwap(false, true) {
-			// The cleaner or a concurrent steal owns the writeback; once
-			// it finishes the page is clean and trivially evictable.
-			s.hand++
-			continue
-		}
-		// Steal outside evictMu: the force + journaled write can take
-		// milliseconds on a real device, and holding the eviction lock
-		// across them would queue every concurrent fault behind this one
-		// victim's fsyncs (the PR 4 bottleneck). The writeback latch keeps
-		// other evictors and the cleaner off this page meanwhile.
-		//
-		// The victim leaves the clock HERE, under evictMu, not after the
-		// steal: a deferred removal could race a concurrent evictor
-		// collecting the stale entry plus a refault re-installing the
-		// page, and then delete the refaulted page's fresh entry —
-		// leaving a resident page no clock scan would ever visit again.
-		// If the steal fails the page rejoins the clock below.
-		s.clockRemoveAtHand()
 		s.evictMu.Unlock()
-		ok := s.stealAndDrop(pid, p)
-		p.wb.Store(false)
-		if ok {
-			return true
+		if blocked && !waited && s.stealNotify != nil {
+			// Every candidate was claimed by an in-flight writeback pass.
+			// Waiting for its signal beats overshooting the budget.
+			s.waitForCleaner()
+			waited = true
+			continue scan
 		}
-		// The frame stayed (pinned mid-steal, I/O error, ...): put the
-		// page back on the clock so it remains evictable later.
-		s.noteResident(pid)
-		s.evictMu.Lock()
+		return false
 	}
-	s.evictMu.Unlock()
-	return false
 }
 
 // clockRemoveAtHand drops the clock entry under the hand in O(1) by

@@ -2,7 +2,9 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 
+	"aether/internal/logrec"
 	"aether/internal/lsn"
 )
 
@@ -130,9 +132,19 @@ func (s *Store) CleanBatch(max int) (int, error) {
 		}
 		v.page.Latch.RUnlock()
 	}
-	s.cleanerWrites.Add(int64(len(victims)))
+	n := len(victims)
+	s.cleanerWrites.Add(int64(n))
 	s.cleanerPasses.Add(1)
-	return len(victims), nil
+	// Release the victims BEFORE broadcasting, so an evictor woken by the
+	// signal finds them unpinned and writeback-free — evictable — rather
+	// than still claimed by this pass (the defer above becomes a no-op).
+	for _, v := range victims {
+		v.page.wb.Store(false)
+		v.page.Unpin()
+	}
+	victims = nil
+	s.signalCleaned()
+	return n, nil
 }
 
 // claimVictims picks up to max dirty pages for a cleaner pass, in
@@ -150,10 +162,18 @@ func (s *Store) CleanBatch(max int) (int, error) {
 // exactly the ones most likely to be re-dirtied, making their writeback
 // the most likely to be wasted. Pages in active use (pinned by anyone
 // but us) are skipped in every round for the same reason.
+//
+// Within each round candidates are visited in clock-hand order (the
+// Shore-MT bf_cleaner discipline): the DPT snapshot is sorted by each
+// page's distance ahead of the eviction clock's hand, so a
+// capacity-bounded pass cleans exactly the pages eviction will reach
+// next. Under skew this is what keeps steals rare — cleaning a dirty
+// page the hand won't reach for another full rotation helps nobody,
+// while the page one step ahead of the hand is the next demand steal.
 func (s *Store) claimVictims(max int) []cleanVictim {
 	var victims []cleanVictim
 	claimed := make(map[uint64]struct{})
-	dirty := s.DirtyPages()
+	dirty := s.orderByClockDistance(s.DirtyPages())
 
 	round := func(wantCold bool, bound lsn.LSN) {
 		for _, e := range dirty {
@@ -211,6 +231,46 @@ func (s *Store) claimVictims(max int) []cleanVictim {
 		round(false, lsn.Undefined)
 	}
 	return victims
+}
+
+// orderByClockDistance sorts a DPT snapshot by each page's distance
+// ahead of the eviction clock's hand: the page the hand would reach
+// first sorts first. One O(resident) walk of the clock under evictMu
+// builds the distance map — no I/O, no page latches. Dirty pages not on
+// the clock at all (mid-eviction, or installed a beat ago) keep their
+// snapshot order at the back; with no bounded clock (unbounded pool)
+// the snapshot is returned unchanged.
+func (s *Store) orderByClockDistance(dirty []logrec.DirtyPageEntry) []logrec.DirtyPageEntry {
+	if len(dirty) < 2 {
+		return dirty
+	}
+	want := make(map[uint64]int, len(dirty))
+	for _, e := range dirty {
+		want[e.PageID] = -1
+	}
+	s.evictMu.Lock()
+	n := len(s.clock)
+	for i := 0; i < n; i++ {
+		pid := s.clock[(s.hand+i)%n]
+		if d, ok := want[pid]; ok && d < 0 {
+			want[pid] = i
+		}
+	}
+	s.evictMu.Unlock()
+	if n == 0 {
+		return dirty
+	}
+	sort.SliceStable(dirty, func(i, j int) bool {
+		di, dj := want[dirty[i].PageID], want[dirty[j].PageID]
+		if di < 0 {
+			return false
+		}
+		if dj < 0 {
+			return true
+		}
+		return di < dj
+	})
+	return dirty
 }
 
 // pinNoRef pins a resident page WITHOUT setting its second-chance bit —

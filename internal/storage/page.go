@@ -83,6 +83,10 @@ type Page struct {
 	// the page was marked clean cannot arise. It is NOT a mutex: losers
 	// skip the page instead of waiting.
 	wb atomic.Bool
+	// prefetched marks a page installed by the read-ahead pipeline that
+	// no demand access has consumed yet; the first Get CASes it off and
+	// counts the prefetch hit (prefetch.go).
+	prefetched atomic.Bool
 
 	buf [PageSize]byte
 }

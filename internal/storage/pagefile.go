@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -51,12 +52,42 @@ import (
 //	               CRC-32C over the entry region
 //	entry: slot uint64, pageID uint64, version uint64, checksum uint32,
 //	       pad 4 B, then the page image
+//
+// # Concurrency
+//
+// Reads never wait on batch I/O. The single pagefile mutex of earlier
+// versions — under which a page fault could stall behind a checkpoint
+// sweep or cleaner pass holding it across two fsyncs — is decomposed:
+//
+//   - dir (RWMutex) protects only the in-memory slot directory
+//     (slots/assigned/nextSlot/seq): microsecond map work, never I/O.
+//   - wmu serializes batch writers (PutBatch, journal replay): the
+//     double-write journal holds exactly one committed batch, so two
+//     batches can never interleave their journal phases. Concurrent
+//     PutBatch callers (sweep, cleaner, steals) queue here — but
+//     readers never touch wmu.
+//   - latches is a sharded array of per-slot RWMutexes (slot index mod
+//     pfLatchShards). A batch writer holds the shards covering a
+//     coalesced run only for the pwrite itself — NOT across fsyncs.
+//
+// Get is lock-free against writers: directory lookup under dir.RLock,
+// then an optimistic pread validated by the slot header (pageID match,
+// version ≥ directory version, CRC-32C over identity+image). A reader
+// racing an in-place write of the same slot sees a torn image, fails
+// validation and retries (ReadRetries counts these); after a few
+// optimistic attempts it takes the slot's latch shard — excluding only
+// that pwrite, never a fsync — and reads once more. Any image that
+// passes validation is safe to serve: in-place bytes change only after
+// the batch's journal fsync returned, so even a mid-batch image is a
+// committed one.
 type PageFile struct {
-	mu   sync.Mutex
 	path string
 	f    *os.File
 	jf   *os.File
 
+	// dir guards the in-memory slot directory below — map work only,
+	// never held across I/O.
+	dir   sync.RWMutex
 	slots map[uint64]pfSlot // pageID → slot (installed pages only)
 	// assigned reserves slots handed to batches that later failed: a
 	// retried sweep must reuse the same slot, or the page would end up
@@ -65,9 +96,17 @@ type PageFile struct {
 	nextSlot uint64
 	seq      uint64 // version sequence (max seen at open)
 
+	// wmu serializes batch writers; see the concurrency note above. The
+	// failpoints and applyFailed below are writer state, touched only
+	// under it.
+	wmu sync.Mutex
+	// latches shards the per-slot write-exclusion latches readers fall
+	// back to when optimistic validation keeps failing.
+	latches [pfLatchShards]sync.RWMutex
+
 	journalReplayed int // pages restored from the journal at Open
 
-	closed bool
+	closed atomic.Bool
 	// crashAfterJournal simulates a process kill between the journal
 	// fsync and the in-place writes (crash tests).
 	crashAfterJournal bool
@@ -81,12 +120,14 @@ type PageFile struct {
 	// the caller will retry (tests the stable-slot-reservation rule).
 	failApply error
 
-	syncDelay time.Duration // simulated device sync latency (benchmarks)
+	syncDelay atomic.Int64 // simulated device sync latency, ns (benchmarks)
+	readDelay atomic.Int64 // simulated per-pread device latency, ns (benchmarks)
 
-	fsyncs     atomic.Int64
-	batchPuts  atomic.Int64
-	pagesPut   atomic.Int64
-	slotWrites atomic.Int64 // coalesced in-place writes issued
+	fsyncs      atomic.Int64
+	batchPuts   atomic.Int64
+	pagesPut    atomic.Int64
+	slotWrites  atomic.Int64 // coalesced in-place writes issued
+	readRetries atomic.Int64 // optimistic reads that failed validation and retried
 }
 
 // pfSlot is the in-memory directory entry for one page.
@@ -108,6 +149,18 @@ const (
 	pfJnlEntrySize = pfJnlEntryHdr + PageSize
 
 	pfFlagUsed = 1
+
+	// pfLatchShards sizes the per-slot latch array (slot index mod
+	// pfLatchShards). 64 shards keep false sharing between unrelated
+	// slots rare while bounding the array a batch writer may have to
+	// sweep for a very long coalesced run.
+	pfLatchShards = 64
+
+	// pfOptimisticReads is how many unlatched validated reads Get
+	// attempts before falling back to the slot latch. A torn read means
+	// a writer is mid-pwrite on this very slot — a microsecond-scale
+	// window — so a couple of yields almost always clear it.
+	pfOptimisticReads = 3
 )
 
 // ErrSimulatedCrash is returned by PutBatch when the crash-after-journal
@@ -352,13 +405,61 @@ func (pf *PageFile) clearJournal() error {
 	return nil
 }
 
-// writeSlot writes one slot (header + image) in place.
+// writeSlot writes one slot (header + image) in place, excluding
+// fallback readers of the slot's latch shard for the pwrite itself.
 func (pf *PageFile) writeSlot(slot, pid, version uint64, sum uint32, img []byte) error {
 	buf := make([]byte, pfSlotSize)
 	putSlotHdr(buf, pid, version, sum)
 	copy(buf[pfSlotHdr:], img)
+	l := &pf.latches[slot%pfLatchShards]
+	l.Lock()
 	_, err := pf.f.WriteAt(buf, pfSlotOff(slot))
+	l.Unlock()
 	return err
+}
+
+// runShards returns the latch shard indices covering the contiguous
+// slot run [lo, hi], in ascending shard order — the fixed acquisition
+// order that keeps concurrent run writers deadlock-free. A run spanning
+// every shard collapses to the full ordered set.
+func runShards(lo, hi uint64) []int {
+	if hi-lo+1 >= pfLatchShards {
+		out := make([]int, pfLatchShards)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	var mask [pfLatchShards]bool
+	for s := lo; s <= hi; s++ {
+		mask[s%pfLatchShards] = true
+	}
+	out := make([]int, 0, hi-lo+1)
+	for i, m := range mask {
+		if m {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// lockRun write-locks the latch shards covering slots [lo, hi] and
+// returns them for unlockRun. Held only across a single pwrite — never
+// across an fsync — so a concurrent reader's fallback latch wait is
+// bounded by one in-flight write, not a batch's durability stall.
+func (pf *PageFile) lockRun(lo, hi uint64) []int {
+	shards := runShards(lo, hi)
+	for _, i := range shards {
+		pf.latches[i].Lock()
+	}
+	return shards
+}
+
+// unlockRun releases the shards lockRun acquired.
+func (pf *PageFile) unlockRun(shards []int) {
+	for _, i := range shards {
+		pf.latches[i].Unlock()
+	}
 }
 
 func putSlotHdr(dst []byte, pid, version uint64, sum uint32) {
@@ -431,18 +532,27 @@ func (pf *PageFile) fsync(f *os.File) error {
 		return err
 	}
 	pf.fsyncs.Add(1)
-	if pf.syncDelay > 0 {
-		time.Sleep(pf.syncDelay)
+	if d := time.Duration(pf.syncDelay.Load()); d > 0 {
+		time.Sleep(d)
 	}
 	return nil
+}
+
+// SetReadDelay adds a simulated per-read device latency (benchmarks
+// use it to model a real disk's page-read cost, the same methodology as
+// SetSyncDelay): every Get attempt sleeps d after its pread, with no
+// latch held. On tmpfs-backed test runs a pread is sub-microsecond,
+// which would make read-pipelining benchmarks measure scheduler noise;
+// a few hundred microseconds of modeled latency makes the overlap win
+// deterministic.
+func (pf *PageFile) SetReadDelay(d time.Duration) {
+	pf.readDelay.Store(int64(d))
 }
 
 // SetSyncDelay adds a simulated per-fsync device latency (benchmarks
 // model flash/disk sync cost deterministically; 0 disables).
 func (pf *PageFile) SetSyncDelay(d time.Duration) {
-	pf.mu.Lock()
-	pf.syncDelay = d
-	pf.mu.Unlock()
+	pf.syncDelay.Store(int64(d))
 }
 
 // Fsyncs returns how many device fsyncs the pagefile has issued — the
@@ -456,13 +566,17 @@ func (pf *PageFile) PagesWritten() int64 { return pf.pagesPut.Load() }
 // from the double-write journal (0 for a clean shutdown).
 func (pf *PageFile) JournalReplayed() int { return pf.journalReplayed }
 
+// ReadRetries returns how many optimistic reads failed validation
+// against a concurrent in-place write and retried — the observable cost
+// of the lock-free read path (normally ~0; it rises only when readers
+// race writers on the same slot).
+func (pf *PageFile) ReadRetries() int64 { return pf.readRetries.Load() }
+
 // Path returns the pagefile's path.
 func (pf *PageFile) Path() string { return pf.path }
 
 // SizeBytes returns the pagefile's current size.
 func (pf *PageFile) SizeBytes() int64 {
-	pf.mu.Lock()
-	defer pf.mu.Unlock()
 	st, err := pf.f.Stat()
 	if err != nil {
 		return 0
@@ -482,8 +596,8 @@ type SlotInfo struct {
 
 // Slots lists occupied slots in file order.
 func (pf *PageFile) Slots() []SlotInfo {
-	pf.mu.Lock()
-	defer pf.mu.Unlock()
+	pf.dir.RLock()
+	defer pf.dir.RUnlock()
 	out := make([]SlotInfo, 0, len(pf.slots))
 	for pid, s := range pf.slots {
 		out = append(out, SlotInfo{Slot: s.slot, PageID: pid, Version: s.version})
@@ -495,14 +609,18 @@ func (pf *PageFile) Slots() []SlotInfo {
 // PutBatch implements ArchiveBatcher: the checkpoint sweep's batched
 // writeback. The whole batch becomes durable with exactly two device
 // fsyncs (journal, then pagefile) no matter how many pages it holds; a
-// failed batch installs nothing the caller may rely on.
+// failed batch installs nothing the caller may rely on. Concurrent
+// batches (sweep, cleaner, steals) serialize on wmu — the double-write
+// journal holds one batch at a time — but readers proceed throughout:
+// slot latches are taken per coalesced pwrite only, never across the
+// fsyncs.
 func (pf *PageFile) PutBatch(batch []PageImage) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	pf.mu.Lock()
-	defer pf.mu.Unlock()
-	if pf.closed {
+	pf.wmu.Lock()
+	defer pf.wmu.Unlock()
+	if pf.closed.Load() {
 		return errors.New("storage: pagefile closed")
 	}
 	for _, e := range batch {
@@ -521,14 +639,17 @@ func (pf *PageFile) PutBatch(batch []PageImage) error {
 		if err != nil {
 			return fmt.Errorf("storage: pagefile re-apply pending journal: %w", err)
 		}
+		pf.dir.Lock()
 		for _, e := range entries {
 			pf.slots[e.pid] = pfSlot{slot: e.slot, version: e.version}
 			delete(pf.assigned, e.pid)
 		}
+		pf.dir.Unlock()
 		pf.applyFailed = false
 	}
 
-	// Assign slots (new pages extend the file) and stamp versions.
+	// Assign slots (new pages extend the file) and stamp versions —
+	// directory map work only, under dir.Lock, no I/O.
 	type write struct {
 		slot    uint64
 		pid     uint64
@@ -537,6 +658,7 @@ func (pf *PageFile) PutBatch(batch []PageImage) error {
 		img     []byte
 	}
 	writes := make([]write, len(batch))
+	pf.dir.Lock()
 	for i, e := range batch {
 		var slot uint64
 		if s, ok := pf.slots[e.PID]; ok {
@@ -552,9 +674,11 @@ func (pf *PageFile) PutBatch(batch []PageImage) error {
 			pf.assigned[e.PID] = slot
 		}
 		pf.seq++
-		w := write{slot: slot, pid: e.PID, version: pf.seq, img: e.Img}
-		w.sum = pageChecksum(w.pid, w.version, w.img)
-		writes[i] = w
+		writes[i] = write{slot: slot, pid: e.PID, version: pf.seq, img: e.Img}
+	}
+	pf.dir.Unlock()
+	for i := range writes {
+		writes[i].sum = pageChecksum(writes[i].pid, writes[i].version, writes[i].img)
 	}
 	// Sort by file offset: the journal replays in place in offset order,
 	// and the in-place pass coalesces adjacent slots into single writes.
@@ -585,7 +709,7 @@ func (pf *PageFile) PutBatch(batch []PageImage) error {
 		// The batch is committed in the journal but never applied — the
 		// window the double-write protocol exists for. Drop the handles
 		// as a killed process would.
-		pf.closed = true
+		pf.closed.Store(true)
 		pf.closeFiles()
 		return ErrSimulatedCrash
 	}
@@ -597,7 +721,10 @@ func (pf *PageFile) PutBatch(batch []PageImage) error {
 	}
 
 	// Phase 2: write in place, coalescing contiguous slot runs into
-	// large sequential writes, then one pagefile fsync.
+	// large sequential writes, then one pagefile fsync. Each run's
+	// pwrite holds only the latch shards its slots cover — a reader
+	// faulting any other page proceeds untouched, and even a reader of
+	// these very slots waits for one pwrite at most, never the fsync.
 	for i := 0; i < len(writes); {
 		j := i + 1
 		for j < len(writes) && writes[j].slot == writes[j-1].slot+1 {
@@ -610,7 +737,10 @@ func (pf *PageFile) PutBatch(batch []PageImage) error {
 			putSlotHdr(dst, w.pid, w.version, w.sum)
 			copy(dst[pfSlotHdr:], w.img)
 		}
-		if _, err := pf.f.WriteAt(run, pfSlotOff(writes[i].slot)); err != nil {
+		shards := pf.lockRun(writes[i].slot, writes[j-1].slot)
+		_, err := pf.f.WriteAt(run, pfSlotOff(writes[i].slot))
+		pf.unlockRun(shards)
+		if err != nil {
 			pf.applyFailed = true
 			return fmt.Errorf("storage: pagefile write: %w", err)
 		}
@@ -628,10 +758,12 @@ func (pf *PageFile) PutBatch(batch []PageImage) error {
 		return fmt.Errorf("storage: pagefile journal clear: %w", err)
 	}
 
+	pf.dir.Lock()
 	for _, w := range writes {
 		pf.slots[w.pid] = pfSlot{slot: w.slot, version: w.version}
 		delete(pf.assigned, w.pid)
 	}
+	pf.dir.Unlock()
 	pf.batchPuts.Add(1)
 	pf.pagesPut.Add(int64(len(writes)))
 	return nil
@@ -645,47 +777,89 @@ func (pf *PageFile) Put(pid uint64, img []byte) error {
 
 // Get implements Archive ((nil, nil) for a page never archived). The
 // slot header and checksum are verified on every read.
+//
+// The read is lock-free against batch writers: an optimistic pread
+// validated by the slot header. Validation accepts an image whose
+// pageID matches, whose version is at least the directory's floor for
+// the slot, and whose CRC-32C (over identity + image) holds — any such
+// image is a committed one, because in-place bytes only change after
+// the owning batch's journal fsync returned. A reader racing the slot's
+// own pwrite sees a torn image, fails the CRC and retries; after
+// pfOptimisticReads attempts it read-latches the slot's shard (waiting
+// out at most one in-flight pwrite, never a fsync) and reads once more.
+// Failing validation even under the latch is real corruption.
 func (pf *PageFile) Get(pid uint64) ([]byte, error) {
-	pf.mu.Lock()
-	defer pf.mu.Unlock()
-	if pf.closed {
+	if pf.closed.Load() {
 		return nil, errors.New("storage: pagefile closed")
 	}
+	pf.dir.RLock()
 	s, ok := pf.slots[pid]
+	pf.dir.RUnlock()
 	if !ok {
 		return nil, nil
 	}
 	buf := make([]byte, pfSlotSize)
-	if _, err := io.ReadFull(io.NewSectionReader(pf.f, pfSlotOff(s.slot), pfSlotSize), buf); err != nil {
-		return nil, fmt.Errorf("storage: pagefile read page %d: %w", pid, err)
+	for attempt := 0; ; attempt++ {
+		latched := attempt >= pfOptimisticReads
+		var l *sync.RWMutex
+		if latched {
+			l = &pf.latches[s.slot%pfLatchShards]
+			l.RLock()
+		}
+		_, err := io.ReadFull(io.NewSectionReader(pf.f, pfSlotOff(s.slot), pfSlotSize), buf)
+		if latched {
+			l.RUnlock()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: pagefile read page %d: %w", pid, err)
+		}
+		if d := time.Duration(pf.readDelay.Load()); d > 0 {
+			time.Sleep(d) // modeled device read time; no latch held
+		}
+		gotPID := binary.LittleEndian.Uint64(buf[0:8])
+		version := binary.LittleEndian.Uint64(buf[8:16])
+		sum := binary.LittleEndian.Uint32(buf[16:20])
+		img := buf[pfSlotHdr:]
+		if gotPID == pid && version >= s.version && sum == pageChecksum(pid, version, img) {
+			return img, nil
+		}
+		if latched {
+			// The slot's writer was excluded and the image still fails
+			// validation: a misdirected, torn or corrupt write reached
+			// disk, not a benign race.
+			if gotPID != pid && sum == pageChecksum(gotPID, version, img) {
+				return nil, fmt.Errorf("storage: pagefile slot %d holds page %d, want %d (misdirected write)", s.slot, gotPID, pid)
+			}
+			return nil, fmt.Errorf("storage: pagefile page %d fails its checksum (torn or corrupt slot %d)", pid, s.slot)
+		}
+		pf.readRetries.Add(1)
+		runtime.Gosched()
+		// Refresh the directory entry: the version floor (never the
+		// slot — a page's slot is stable for life) may have advanced
+		// while we raced, and the page may even have been dropped.
+		pf.dir.RLock()
+		s, ok = pf.slots[pid]
+		pf.dir.RUnlock()
+		if !ok {
+			return nil, nil
+		}
 	}
-	gotPID := binary.LittleEndian.Uint64(buf[0:8])
-	version := binary.LittleEndian.Uint64(buf[8:16])
-	sum := binary.LittleEndian.Uint32(buf[16:20])
-	img := buf[pfSlotHdr:]
-	if gotPID != pid {
-		return nil, fmt.Errorf("storage: pagefile slot %d holds page %d, want %d (misdirected write)", s.slot, gotPID, pid)
-	}
-	if sum != pageChecksum(pid, version, img) {
-		return nil, fmt.Errorf("storage: pagefile page %d fails its checksum (torn or corrupt slot %d)", pid, s.slot)
-	}
-	return img, nil
 }
 
 // Contains implements ArchiveContains: a map lookup against the slot
 // directory, no I/O — the buffer pool's cheap miss-path existence probe.
 func (pf *PageFile) Contains(pid uint64) bool {
-	pf.mu.Lock()
+	pf.dir.RLock()
 	_, ok := pf.slots[pid]
-	pf.mu.Unlock()
+	pf.dir.RUnlock()
 	return ok
 }
 
 // Pages implements Archive.
 func (pf *PageFile) Pages() ([]uint64, error) {
-	pf.mu.Lock()
-	defer pf.mu.Unlock()
-	if pf.closed {
+	pf.dir.RLock()
+	defer pf.dir.RUnlock()
+	if pf.closed.Load() {
 		return nil, errors.New("storage: pagefile closed")
 	}
 	out := make([]uint64, 0, len(pf.slots))
@@ -718,9 +892,9 @@ func (pf *PageFile) ImportLegacy(dir string) error {
 	}
 	batch := make([]PageImage, 0, importChunk)
 	for _, pid := range pids {
-		pf.mu.Lock()
+		pf.dir.RLock()
 		_, have := pf.slots[pid]
-		pf.mu.Unlock()
+		pf.dir.RUnlock()
 		if have {
 			continue
 		}
@@ -806,13 +980,15 @@ func (pf *PageFile) closeFiles() {
 
 // Close releases the file handles; safe to call more than once. All
 // completed batches are already durable, so Close has nothing to flush.
+// Close waits for an in-flight batch (wmu) but not for readers: a Get
+// racing Close gets a read error, exactly as it would against a killed
+// process.
 func (pf *PageFile) Close() error {
-	pf.mu.Lock()
-	defer pf.mu.Unlock()
-	if pf.closed {
+	pf.wmu.Lock()
+	defer pf.wmu.Unlock()
+	if !pf.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	pf.closed = true
 	err := pf.f.Close()
 	if cerr := pf.jf.Close(); err == nil {
 		err = cerr

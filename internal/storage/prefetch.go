@@ -1,0 +1,271 @@
+package storage
+
+import (
+	"encoding/binary"
+
+	"aether/internal/lsn"
+)
+
+// This file is the buffer pool's read-ahead half (Layer 2 of the
+// concurrent-I/O spine): detect sequential fault patterns — table scans,
+// RebuildTables' restart walk, recovery redo — and stream the next pages
+// in from the backend *before* demand arrives, so a cold scan's faults
+// become cache hits riding a pipeline of overlapping preads instead of
+// a chain of synchronous round-trips.
+//
+// Design rules, in order of importance:
+//
+//  1. Prefetch never harms the working set. Frames are charged against
+//     the same CachePages budget as demand faults, but room is made with
+//     clean-only eviction (evictCleanOne): a prefetch that would have to
+//     steal a dirty page — an fsync on somebody's behalf for a page
+//     nobody asked for yet — is dropped instead. Prefetched pages are
+//     installed unpinned with the reference bit CLEAR, so an unconsumed
+//     prefetch is the clock's first victim, never a squatter.
+//  2. Bounded and backpressured. At most PrefetchDepth reads are in
+//     flight (prefetchSem); when the pipeline is full, further window
+//     issues are dropped, not queued — the demand fault path remains
+//     the authority and will simply read the page itself.
+//  3. Adaptive. A stream's window starts at 4 pages and doubles with
+//     its run length up to PrefetchDepth (the Linux-readahead ramp), so
+//     a short burst costs a few reads while a long scan fills the whole
+//     pipeline. Prefetch HITS feed back into the tracker exactly like
+//     faults, keeping the window open when prefetch succeeds so well
+//     that demand misses disappear.
+//
+// The tracker holds pfStreams concurrent streams, so interleaved scans
+// (or a scan racing a random-access writer) don't destroy each other's
+// run detection: a non-matching access replaces only the least-recently
+// advanced slot.
+
+// pfStreams is how many concurrent sequential streams the read-ahead
+// tracker distinguishes.
+const pfStreams = 4
+
+// pfMinWindow is the initial read-ahead window of a freshly confirmed
+// stream (two sequential accesses).
+const pfMinWindow = 4
+
+// pfStream tracks one suspected sequential access stream.
+type pfStream struct {
+	last  uint64 // last page ID accessed in this stream
+	run   int    // consecutive sequential accesses observed
+	ahead uint64 // highest page ID already submitted for read-ahead
+	tick  uint64 // tracker clock at last advance (replacement policy)
+}
+
+// SetPrefetch enables sequential read-ahead with at most depth pages
+// ahead of demand (0 disables). Call once at setup, before the store is
+// shared between goroutines; requires a backend to mean anything.
+func (s *Store) SetPrefetch(depth int) {
+	if depth < 0 {
+		depth = 0
+	}
+	s.prefetchDepth = depth
+	if depth > 0 {
+		s.prefetchSem = make(chan struct{}, depth)
+	} else {
+		s.prefetchSem = nil
+	}
+}
+
+// noteAccess feeds one page access (a demand miss, or a hit on a
+// prefetched page) into the stream tracker, and issues the next
+// read-ahead window if the access extends a sequential run. Cheap when
+// prefetch is off (one comparison); O(pfStreams) map-free work under
+// pfMu otherwise.
+func (s *Store) noteAccess(pid uint64) {
+	if s.prefetchDepth <= 0 || s.backend == nil {
+		return
+	}
+	s.pfMu.Lock()
+	s.pfTick++
+	var st *pfStream
+	for i := range s.streams {
+		if s.streams[i].last+1 == pid || s.streams[i].last == pid {
+			st = &s.streams[i]
+			break
+		}
+	}
+	if st == nil {
+		// No stream claims this access: recycle the least-recently
+		// advanced slot. run starts at 1 — a single access proves
+		// nothing; the window opens on the *next* sequential hit.
+		lru := &s.streams[0]
+		for i := range s.streams {
+			if s.streams[i].tick < lru.tick {
+				lru = &s.streams[i]
+			}
+		}
+		*lru = pfStream{last: pid, run: 1, ahead: pid, tick: s.pfTick}
+		s.pfMu.Unlock()
+		return
+	}
+	if st.last+1 == pid {
+		st.run++
+	}
+	st.last = pid
+	st.tick = s.pfTick
+	if st.run < 2 {
+		s.pfMu.Unlock()
+		return
+	}
+	// Ramp the window with the run: 4, 8, 16, ... capped at the depth —
+	// and at half the frame budget. Read-ahead deeper than the pool can
+	// hold is self-defeating: unconsumed prefetched frames are the
+	// clock's first victims, so a window wider than the pool evicts its
+	// own pages before demand reaches them (and a scan's working set
+	// still needs the other half of the frames).
+	depth := s.prefetchDepth
+	if s.budget > 0 && int64(depth) > s.budget/2 {
+		depth = int(s.budget / 2)
+	}
+	win := pfMinWindow << uint(st.run-2)
+	if win <= 0 || win > depth {
+		win = depth
+	}
+	lo := pid + 1
+	if st.ahead+1 > lo {
+		lo = st.ahead + 1
+	}
+	hi := pid + uint64(win)
+	if hi > st.ahead {
+		st.ahead = hi
+	}
+	s.pfMu.Unlock()
+	for q := lo; q <= hi; q++ {
+		select {
+		case s.prefetchSem <- struct{}{}:
+			go s.prefetchOne(q)
+		default:
+			// Pipeline full: drop the rest of the window. The dropped
+			// pages are not re-issued (ahead already covers them) — if
+			// demand reaches them first it faults normally, advancing
+			// the stream past them.
+			return
+		}
+	}
+}
+
+// prefetchOne reads one page from the backend and installs it unpinned,
+// reference bit clear, prefetched flag set — or gives up silently: a
+// prefetch is a hint, and every failure mode (resident already, absent
+// from the backend, no clean frame available, read or validation error)
+// is handled by the demand fault that may follow. It applies the same
+// WAL-horizon check as the fault path, and the same read-under-shard-
+// lock discipline that makes an install atomic against a concurrent
+// install → modify → steal → evict cycle of the same page.
+func (s *Store) prefetchOne(pid uint64) {
+	defer func() { <-s.prefetchSem }()
+	sh := s.shard(pid)
+	sh.mu.RLock()
+	_, resident := sh.pages[pid]
+	sh.mu.RUnlock()
+	if resident {
+		return
+	}
+	if c, ok := s.backend.(ArchiveContains); ok && !c.Contains(pid) {
+		return
+	}
+	if !s.reservePrefetchFrame() {
+		return
+	}
+	sh.mu.Lock()
+	if sh.pages[pid] != nil {
+		sh.mu.Unlock()
+		s.releaseFrame()
+		return
+	}
+	img, err := s.backend.Get(pid)
+	if err != nil || len(img) != PageSize {
+		sh.mu.Unlock()
+		s.releaseFrame()
+		return
+	}
+	if s.wal != nil {
+		if pl := lsn.LSN(binary.LittleEndian.Uint64(img[8:16])); pl > s.wal.Durable() {
+			sh.mu.Unlock()
+			s.releaseFrame()
+			return
+		}
+	}
+	p := NewPage(pid)
+	if err := p.LoadSnapshot(img); err != nil {
+		sh.mu.Unlock()
+		s.releaseFrame()
+		return
+	}
+	p.prefetched.Store(true)
+	sh.pages[pid] = p
+	sh.mu.Unlock()
+	s.noteResident(pid)
+	s.prefetchReads.Add(1)
+}
+
+// notePrefetchHit consumes a page's prefetched flag on its first demand
+// access: counts the hit and feeds the access back into the stream
+// tracker (a consumed prefetch extends the run exactly like a miss
+// would, keeping the pipeline ahead of a scan that no longer misses).
+func (s *Store) notePrefetchHit(p *Page, pid uint64) {
+	if p != nil && p.prefetched.CompareAndSwap(true, false) {
+		s.prefetchHits.Add(1)
+		s.noteAccess(pid)
+	}
+}
+
+// reservePrefetchFrame counts a prefetched page into the residency
+// total, making room with clean-only eviction. False (reservation
+// withdrawn) when no clean victim exists: prefetch never steals a dirty
+// page and never overshoots the budget — it is the one resident-set
+// citizen with no right to push anything out that costs I/O.
+func (s *Store) reservePrefetchFrame() bool {
+	s.resident.Add(1)
+	if s.budget <= 0 {
+		return true
+	}
+	for s.resident.Load() > s.budget {
+		if !s.evictCleanOne() {
+			s.resident.Add(-1)
+			return false
+		}
+	}
+	return true
+}
+
+// evictCleanOne reclaims one frame from a clean, cold, unpinned page —
+// the only eviction prefetch may perform. Dirty pages are skipped, not
+// stolen (no log force, no archive write, no waiting on the cleaner);
+// referenced pages lose their second-chance bit exactly as the demand
+// clock would age them.
+func (s *Store) evictCleanOne() bool {
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	limit := 2 * len(s.clock)
+	for scanned := 0; scanned <= limit; scanned++ {
+		if len(s.clock) == 0 {
+			break
+		}
+		if s.hand >= len(s.clock) {
+			s.hand = 0
+		}
+		pid := s.clock[s.hand]
+		sh := s.shard(pid)
+		sh.mu.RLock()
+		p := sh.pages[pid]
+		sh.mu.RUnlock()
+		if p == nil {
+			s.clockRemoveAtHand()
+			continue
+		}
+		if p.pins.Load() > 0 || p.ref.CompareAndSwap(true, false) || p.wb.Load() || s.isDirty(pid) {
+			s.hand++
+			continue
+		}
+		if s.dropClean(pid, p) {
+			s.clockRemoveAtHand()
+			return true
+		}
+		s.hand++
+	}
+	return false
+}

@@ -63,12 +63,31 @@ type Store struct {
 	clock   []uint64 // resident pids in install order (clock order)
 	hand    int      // clock hand position
 
+	// cleanWaitMu guards cleanWaitCh, the broadcast channel writeback
+	// passes (cleaner, sweep) close after marking pages clean. Evictors
+	// that found only dirty victims wait on it — briefly, with the armed
+	// cleaner poked — instead of stealing into an in-flight pass whose
+	// clean victims are milliseconds away (bufferpool.go).
+	cleanWaitMu sync.Mutex
+	cleanWaitCh chan struct{}
+
+	// Sequential read-ahead state (prefetch.go). prefetchDepth and
+	// prefetchSem are set once at setup (SetPrefetch); pfMu guards the
+	// stream tracker.
+	prefetchDepth int
+	prefetchSem   chan struct{}
+	pfMu          sync.Mutex
+	pfTick        uint64
+	streams       [pfStreams]pfStream
+
 	resident      atomic.Int64
 	misses        atomic.Int64
 	evictions     atomic.Int64
 	steals        atomic.Int64
 	cleanerWrites atomic.Int64
 	cleanerPasses atomic.Int64
+	prefetchReads atomic.Int64
+	prefetchHits  atomic.Int64
 }
 
 // PageSpace extracts the owning space from a page ID.
@@ -139,6 +158,7 @@ func (s *Store) Allocate(space uint32) *Page {
 // it must not be treated as "absent". Call Unpin when done.
 func (s *Store) Get(pid uint64) (*Page, error) {
 	if p := s.getResident(pid); p != nil {
+		s.notePrefetchHit(p, pid)
 		return p, nil
 	}
 	if s.backend == nil {
@@ -152,6 +172,7 @@ func (s *Store) Get(pid uint64) (*Page, error) {
 // pages never archived). Call Unpin when done.
 func (s *Store) GetOrCreate(pid uint64) (*Page, error) {
 	if p := s.getResident(pid); p != nil {
+		s.notePrefetchHit(p, pid)
 		return p, nil
 	}
 	return s.fault(pid, true)
@@ -338,6 +359,14 @@ type FsyncCounter interface {
 	Fsyncs() int64
 }
 
+// ReadRetrier is implemented by archives whose read path is optimistic
+// (lock-free reads validated by checksum, retried on a racing write);
+// ReadRetries exposes how often the optimism lost. The PageFile
+// implements it; stats surfaces pick it up by type assertion.
+type ReadRetrier interface {
+	ReadRetries() int64
+}
+
 // ArchiveDirtyPages writes every dirty page whose pageLSN is at or below
 // durable to the archive and cleans it in the DPT. It returns how many
 // pages were written. This is the checkpointer's page-cleaning sweep;
@@ -452,6 +481,7 @@ func (s *Store) ArchiveDirtyPages(a Archive, durable lsn.LSN) int {
 		}
 		e.page.Latch.RUnlock()
 	}
+	s.signalCleaned()
 	return written
 }
 

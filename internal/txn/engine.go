@@ -139,6 +139,13 @@ type Config struct {
 	// interval only bounds how stale the headroom view can get between
 	// bursts.
 	CleanerInterval time.Duration
+	// PrefetchDepth, if > 0, enables sequential read-ahead in the buffer
+	// pool: when faults form a sequential run (a scan, the restart
+	// rebuild), up to this many pages are read from the archive ahead of
+	// demand, concurrently, so the scan's faults become cache hits.
+	// Prefetched frames are charged against the cache budget but never
+	// evict dirty pages. Meaningful only with an Archive backend.
+	PrefetchDepth int
 }
 
 // Stats exposes engine counters.
@@ -245,6 +252,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		}
 	}
 	cfg.Store.AttachWAL(cfg.Log)
+	if cfg.PrefetchDepth > 0 {
+		cfg.Store.SetPrefetch(cfg.PrefetchDepth)
+	}
 	if cfg.CheckpointEveryBytes > 0 {
 		e.startAutoCheckpoint(cfg.CheckpointEveryBytes)
 	}
@@ -512,11 +522,21 @@ func (e *Engine) RebuildTables() error {
 		return fmt.Errorf("txn: listing pages for rebuild: %w", err)
 	}
 	bySpace := make(map[uint32][]uint64)
+	var spaces []uint32
 	for _, pid := range all {
 		sp := storage.PageSpace(pid)
+		if _, seen := bySpace[sp]; !seen {
+			spaces = append(spaces, sp)
+		}
 		bySpace[sp] = append(bySpace[sp], pid)
 	}
-	for sp, pids := range bySpace {
+	// Walk spaces in sorted order, not map order: AllPageIDs is sorted, so
+	// spaces discovered in order of their first pid are already ascending —
+	// the whole rebuild faults pages in strictly increasing pid order. That
+	// makes restart deterministic and turns the rebuild into one long
+	// sequential run the read-ahead pipeline can stream.
+	for _, sp := range spaces {
+		pids := bySpace[sp]
 		t := e.spaces[sp]
 		if t == nil {
 			return fmt.Errorf("txn: recovered pages for unknown space %d (tables must be created in the same order as before the crash)", sp)

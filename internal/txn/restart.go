@@ -39,6 +39,11 @@ type RestartConfig struct {
 	// CleanerInterval is the cleaner's polling cadence (see
 	// txn.Config.CleanerInterval).
 	CleanerInterval time.Duration
+	// PrefetchDepth enables sequential read-ahead in the buffer pool (see
+	// txn.Config.PrefetchDepth). It is armed before recovery runs, so a
+	// redo pass walking pages in log order and the RebuildTables scan both
+	// stream their faults. Meaningful only with Archive set.
+	PrefetchDepth int
 }
 
 // Restart performs crash recovery and returns a ready engine: read the
@@ -64,6 +69,12 @@ func Restart(cfg RestartConfig) (*Engine, *recovery.Result, error) {
 	}
 	if cfg.CachePages > 0 {
 		store.SetCachePages(cfg.CachePages)
+	}
+	if cfg.PrefetchDepth > 0 {
+		// Armed before recovery: redo's faults and the post-recovery
+		// RebuildTables walk are the most sequential access patterns the
+		// pool ever sees — exactly what read-ahead is for.
+		store.SetPrefetch(cfg.PrefetchDepth)
 	}
 	lcfg := cfg.LogConfig
 	lcfg.Device = cfg.Device
@@ -102,6 +113,7 @@ func Restart(cfg RestartConfig) (*Engine, *recovery.Result, error) {
 		CheckpointEveryBytes: cfg.CheckpointEveryBytes,
 		CleanerPages:         cfg.CleanerPages,
 		CleanerInterval:      cfg.CleanerInterval,
+		PrefetchDepth:        cfg.PrefetchDepth,
 	})
 	if err != nil {
 		lm.Close()
