@@ -1,7 +1,7 @@
 # Tier-1 verification is `make ci` (build + vet + docs + test + bench smoke).
 GO ?= go
 
-.PHONY: build test test-short test-race vet docs bench-smoke ci
+.PHONY: build test test-short test-race vet docs bench-smoke soak-smoke soak ci
 
 build:
 	$(GO) build ./...
@@ -34,8 +34,9 @@ docs: vet
 		./internal/bench ./internal/core ./internal/distlog \
 		./internal/fsutil ./internal/lockmgr ./internal/logbuf \
 		./internal/logdev ./internal/logrec ./internal/lsn \
-		./internal/metrics ./internal/recovery ./internal/storage \
-		./internal/txn ./internal/workload
+		./internal/metrics ./internal/recovery ./internal/soak \
+		./internal/storage ./internal/txn ./internal/vfs \
+		./internal/workload
 
 # Small-scale perf smoke: vet plus a quick aetherbench run that
 # refreshes BENCH_pr6.json, so the perf trajectory (throughput, sweep
@@ -48,4 +49,19 @@ docs: vet
 bench-smoke: vet
 	$(GO) run ./cmd/aetherbench -quick -json -baseline BENCH_pr6.json
 
-ci: build vet docs test test-race bench-smoke
+# Crash-storm smoke: a fixed-seed run of the fault-injection soak
+# harness — 25 power-cut/recover cycles across every fault point
+# (group-commit, journal, pagefile, watermark, manifest, archive),
+# each cycle's recovered state checked against the committed-ops
+# model. Fast enough for every CI pass; `make soak` is the long form.
+soak-smoke:
+	$(GO) run ./cmd/aethersoak -cycles 25 -seed 1
+
+# Long crash storm for release qualification / bug hunting. Pick a
+# fresh seed to explore new fault schedules; a failure prints the seed
+# that replays it.
+soak: SEED ?= 1
+soak:
+	$(GO) run ./cmd/aethersoak -cycles 500 -seed $(SEED)
+
+ci: build vet docs test test-race bench-smoke soak-smoke

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"time"
 
@@ -17,6 +16,7 @@ import (
 	"aether/internal/recovery"
 	"aether/internal/storage"
 	"aether/internal/txn"
+	"aether/internal/vfs"
 )
 
 // BufferVariant selects the log-buffer insert algorithm (§5 of the
@@ -191,6 +191,20 @@ type Options struct {
 	DeadlockTimeout time.Duration
 	// DisableSLI turns off speculative lock inheritance.
 	DisableSLI bool
+	// fs, if non-nil, substitutes the filesystem every durable layer
+	// (segments, MANIFEST, watermark, pagefile, journal, archives) runs
+	// on — the fault-injection hook for crash tests. Unexported: only
+	// in-package tests and the soak harness (via its own wiring) may
+	// inject it; production code always runs on the real filesystem.
+	fs vfs.FS
+}
+
+// fsOrOS resolves the injected filesystem, defaulting to the real one.
+func (o Options) fsOrOS() vfs.FS {
+	if o.fs != nil {
+		return o.fs
+	}
+	return vfs.OS{}
 }
 
 // crashSim is implemented by in-memory log devices that can simulate
@@ -223,7 +237,7 @@ func Open(opts Options) (*DB, error) {
 	}
 	switch {
 	case opts.LogPath != "" && opts.SegmentSize > 0:
-		s, err := logdev.OpenSegmentedDir(opts.LogPath, opts.SegmentSize)
+		s, err := logdev.OpenSegmentedDirFS(opts.fsOrOS(), opts.LogPath, opts.SegmentSize)
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +245,7 @@ func Open(opts Options) (*DB, error) {
 		// A truncated log's dead prefix only exists as archived page
 		// images, so a file-backed segmented database needs a database
 		// file that survives the process alongside the segments.
-		arch, err := openPageArchive(
+		arch, err := openPageArchive(opts.fsOrOS(),
 			filepath.Join(opts.LogPath, "pagefile.db"),
 			filepath.Join(opts.LogPath, "pages"))
 		if err != nil {
@@ -249,7 +263,7 @@ func Open(opts Options) (*DB, error) {
 		// log: checkpoints remove archived pages from the DPT, so a
 		// reopen's redo pass will not rebuild them from the (complete)
 		// log — the database file is their only copy.
-		arch, err := openPageArchive(opts.LogPath+".pagefile", opts.LogPath+".pages")
+		arch, err := openPageArchive(opts.fsOrOS(), opts.LogPath+".pagefile", opts.LogPath+".pages")
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -269,7 +283,7 @@ func Open(opts Options) (*DB, error) {
 		// must be in place before the first truncation parks a dead
 		// segment, and the engine only starts its background archiver
 		// goroutine if the log can archive at engine construction.
-		a, err := logdev.OpenDirArchiver(opts.ArchiveDir)
+		a, err := logdev.OpenDirArchiverFS(opts.fsOrOS(), opts.ArchiveDir)
 		if err != nil {
 			db.dev.Close()
 			if c, ok := db.archive.(io.Closer); ok {
@@ -295,12 +309,12 @@ func Open(opts Options) (*DB, error) {
 // openPageArchive opens the paged database file, first importing (once)
 // a legacy one-file-per-page archive directory if a previous version of
 // the library left one behind.
-func openPageArchive(pfPath, legacyDir string) (*storage.PageFile, error) {
-	pf, err := storage.OpenPageFile(pfPath)
+func openPageArchive(fs vfs.FS, pfPath, legacyDir string) (*storage.PageFile, error) {
+	pf, err := storage.OpenPageFileFS(fs, pfPath)
 	if err != nil {
 		return nil, err
 	}
-	if st, serr := os.Stat(legacyDir); serr == nil && st.IsDir() {
+	if st, serr := fs.Stat(legacyDir); serr == nil && st.IsDir() {
 		if err := pf.ImportLegacy(legacyDir); err != nil {
 			pf.Close()
 			return nil, err
@@ -459,6 +473,12 @@ type Stats struct {
 	// await the background archiver; they stay on disk until cold
 	// storage has them.
 	LogSegmentsPendingArchive int64
+	// ArchiveRetries counts backoff retries of failed cold-store
+	// archive passes (transient outages the archiver rode out).
+	ArchiveRetries int64
+	// ArchiveGaveUp counts archive passes abandoned after the retry
+	// budget; the segments stay parked until a later nudge succeeds.
+	ArchiveGaveUp int64
 	// LogTornTailRepaired counts bytes the last Open discarded while
 	// repairing a torn tail: unsynced bytes a power loss happened to
 	// persist beyond the durable watermark. Committed work is never
@@ -529,6 +549,8 @@ func (db *DB) Stats() Stats {
 		LogTruncatedBytes: ls.TruncatedBytes.Load(),
 		LogBase:           int64(db.eng.Log().Base()),
 		AutoCheckpoints:   es.AutoCheckpoints.Load(),
+		ArchiveRetries:    es.ArchiveRetries.Load(),
+		ArchiveGaveUp:     es.ArchiveGaveUp.Load(),
 		SweepPages:        es.SweepPages.Load(),
 		SweepFsyncs:       es.SweepFsyncs.Load(),
 		SweepDuration:     es.SweepDuration.Snapshot(),

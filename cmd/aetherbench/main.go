@@ -22,6 +22,7 @@ import (
 
 	"aether"
 	"aether/internal/bench"
+	"aether/internal/fsutil"
 	"aether/internal/metrics"
 )
 
@@ -247,7 +248,9 @@ func writeJSONReport(outPath, baselinePath string, scale bench.Scale) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
+	// Durable install: the report is CI's comparison artifact, so it
+	// gets the same write+fsync+dir-sync treatment as data files.
+	if err := fsutil.WriteFileSyncDir(outPath, append(out, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("throughput: %.0f commits/s (%d clients, %d auto checkpoints, log base %d)\n",

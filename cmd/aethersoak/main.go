@@ -1,0 +1,103 @@
+// Command aethersoak runs the crash-storm soak harness: hundreds of
+// power-cut/recover cycles against a full engine stack on a
+// fault-injecting in-memory filesystem, each cycle verified against a
+// model of committed transactions.
+//
+// Usage:
+//
+//	aethersoak -cycles 200 -seed 1
+//	aethersoak -points group-commit,journal -cycles 50 -v
+//
+// On divergence it prints the diff, the fault-fs op trace tail, and
+// the seed that replays the exact fault schedule, then exits 1.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aether/internal/soak"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 1, "seed for workload and fault schedule (a failing run prints the seed to replay)")
+		cycles = flag.Int("cycles", 200, "crash-recover cycles to run")
+		txns   = flag.Int("txns", 40, "max transactions per cycle before a forced cut")
+		keys   = flag.Int("keys", 48, "key-space size")
+		points = flag.String("points", "", "comma-separated fault points to arm (default all: "+pointList()+")")
+		verb   = flag.Bool("v", false, "log each cycle")
+	)
+	flag.Parse()
+
+	cfg := soak.Config{
+		Seed:         *seed,
+		Cycles:       *cycles,
+		TxnsPerCycle: *txns,
+		Keys:         *keys,
+	}
+	if *points != "" {
+		for _, p := range strings.Split(*points, ",") {
+			fp, err := parsePoint(strings.TrimSpace(p))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			cfg.Points = append(cfg.Points, fp)
+		}
+	}
+	if *verb {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+
+	res, err := soak.Run(cfg)
+	if err != nil {
+		var d *soak.Divergence
+		if errors.As(err, &d) {
+			fmt.Fprintln(os.Stderr, d.Error())
+			fmt.Fprintln(os.Stderr, "fault-fs trace tail:")
+			for _, e := range d.Trace {
+				fmt.Fprintf(os.Stderr, "  %s\n", e.String())
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "soak:", err)
+		}
+		os.Exit(1)
+	}
+
+	fmt.Printf("soak PASS: %d cycles, %d commits, %d in-doubt (%d survived)\n",
+		res.Cycles, res.Commits, res.InDoubt, res.InDoubtSurvived)
+	fmt.Printf("  torn-tail bytes repaired: %d; journal replays: %d\n",
+		res.TornTailRepaired, res.JournalReplays)
+	fmt.Printf("  cuts by fault point:\n")
+	for _, p := range soak.AllFaultPoints {
+		if n := res.Cuts[string(p)]; n > 0 {
+			fmt.Printf("    %-14s %d\n", p, n)
+		}
+	}
+	if n := res.Cuts["forced"]; n > 0 {
+		fmt.Printf("    %-14s %d (armed trigger never fired; cut at workload end)\n", "forced", n)
+	}
+}
+
+func parsePoint(s string) (soak.FaultPoint, error) {
+	for _, p := range soak.AllFaultPoints {
+		if string(p) == s {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("unknown fault point %q (valid: %s)", s, pointList())
+}
+
+func pointList() string {
+	names := make([]string, len(soak.AllFaultPoints))
+	for i, p := range soak.AllFaultPoints {
+		names[i] = string(p)
+	}
+	return strings.Join(names, ",")
+}

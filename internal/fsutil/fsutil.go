@@ -1,31 +1,40 @@
 // Package fsutil holds the small filesystem-durability helpers the log
-// device and the page archive share.
+// device and the page archive share. Every helper comes in two forms:
+// a legacy one over the real filesystem and an FS-parameterised one
+// (`...FS`) that runs over any vfs.FS, so the fault-injection
+// filesystem can exercise the same code paths.
 package fsutil
 
-import "os"
+import (
+	"os"
+	"path/filepath"
+
+	"aether/internal/vfs"
+)
 
 // SyncDir fsyncs a directory so creates, renames and removals in it are
 // durable. fsync of a file does not persist its directory entry; every
 // crash-ordering protocol that installs files must also sync the
 // directory before relying on them.
 func SyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	serr := d.Sync()
-	cerr := d.Close()
-	if serr != nil {
-		return serr
-	}
-	return cerr
+	return SyncDirFS(vfs.OS{}, dir)
+}
+
+// SyncDirFS is SyncDir over an arbitrary filesystem.
+func SyncDirFS(fs vfs.FS, dir string) error {
+	return fs.SyncDir(dir)
 }
 
 // WriteFileSync writes data to path durably: the bytes are fsynced
 // before Close returns. The caller still owns directory durability
 // (SyncDir) if the file is new or renamed.
 func WriteFileSync(path string, data []byte, perm os.FileMode) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	return WriteFileSyncFS(vfs.OS{}, path, data, perm)
+}
+
+// WriteFileSyncFS is WriteFileSync over an arbitrary filesystem.
+func WriteFileSyncFS(fs vfs.FS, path string, data []byte, perm os.FileMode) error {
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
 	if err != nil {
 		return err
 	}
@@ -38,4 +47,20 @@ func WriteFileSync(path string, data []byte, perm os.FileMode) error {
 		return err
 	}
 	return f.Close()
+}
+
+// WriteFileSyncDir is WriteFileSync followed by a sync of the file's
+// parent directory, so a single call yields a fully durable file even
+// when it is newly created. Use it whenever the write is not already
+// part of a protocol that batches its own directory sync.
+func WriteFileSyncDir(path string, data []byte, perm os.FileMode) error {
+	return WriteFileSyncDirFS(vfs.OS{}, path, data, perm)
+}
+
+// WriteFileSyncDirFS is WriteFileSyncDir over an arbitrary filesystem.
+func WriteFileSyncDirFS(fs vfs.FS, path string, data []byte, perm os.FileMode) error {
+	if err := WriteFileSyncFS(fs, path, data, perm); err != nil {
+		return err
+	}
+	return fs.SyncDir(filepath.Dir(path))
 }

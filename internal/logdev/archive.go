@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"aether/internal/fsutil"
+	"aether/internal/vfs"
 )
 
 // Archiver is cold storage for dead log segments — the BtrLog-style
@@ -47,27 +48,42 @@ var ErrNotArchived = errors.New("logdev: segment not archived")
 // rename, then directory fsync) so a crash mid-archive can never leave
 // a half-written segment that a restore would trust.
 type DirArchiver struct {
+	fs  vfs.FS
 	dir string
 }
 
 // OpenDirArchiver opens (creating if needed) a local cold-storage
 // directory. Orphan temp files from a crash mid-archive are swept out.
 func OpenDirArchiver(dir string) (*DirArchiver, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("logdev: create archive %s: %w", dir, err)
+	return OpenDirArchiverFS(vfs.OS{}, dir)
+}
+
+// OpenDirArchiverFS is OpenDirArchiver over an arbitrary filesystem —
+// the fault-injection entry point.
+func OpenDirArchiverFS(fs vfs.FS, dir string) (*DirArchiver, error) {
+	if _, err := fs.Stat(dir); err != nil {
+		if err := fs.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("logdev: create archive %s: %w", dir, err)
+		}
+		// Make the archive directory's own dentry durable before any
+		// segment is installed inside it: otherwise a crash could drop
+		// the directory wholesale after Archive has acknowledged.
+		if err := fsutil.SyncDirFS(fs, filepath.Dir(dir)); err != nil {
+			return nil, fmt.Errorf("logdev: sync parent of archive %s: %w", dir, err)
+		}
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("logdev: open archive %s: %w", dir, err)
 	}
 	for _, e := range entries {
 		if strings.HasSuffix(e.Name(), ".tmp") {
-			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil && !os.IsNotExist(err) {
+			if err := fs.Remove(filepath.Join(dir, e.Name())); err != nil && !errors.Is(err, os.ErrNotExist) {
 				return nil, fmt.Errorf("logdev: sweep stale temp %s: %w", e.Name(), err)
 			}
 		}
 	}
-	return &DirArchiver{dir: dir}, nil
+	return &DirArchiver{fs: fs, dir: dir}, nil
 }
 
 // DirArchiverAt returns a handle on an existing cold-storage directory
@@ -83,7 +99,7 @@ func DirArchiverAt(dir string) (*DirArchiver, error) {
 	if !st.IsDir() {
 		return nil, fmt.Errorf("logdev: archive %s is not a directory", dir)
 	}
-	return &DirArchiver{dir: dir}, nil
+	return &DirArchiver{fs: vfs.OS{}, dir: dir}, nil
 }
 
 // Dir returns the cold-storage directory path.
@@ -99,20 +115,20 @@ func (a *DirArchiver) segPath(idx int64) string {
 // unlink the hot copy.
 func (a *DirArchiver) Archive(idx int64, data []byte) error {
 	path := a.segPath(idx)
-	if st, err := os.Stat(path); err == nil && st.Size() == int64(len(data)) {
+	if st, err := a.fs.Stat(path); err == nil && st.Size() == int64(len(data)) {
 		// Already archived (a crash interrupted the recycle): the
 		// archive is immutable history, so an existing full-size copy
 		// is the same bytes.
 		return nil
 	}
 	tmp := path + ".tmp"
-	if err := fsutil.WriteFileSync(tmp, data, 0o644); err != nil {
+	if err := fsutil.WriteFileSyncFS(a.fs, tmp, data, 0o644); err != nil {
 		return fmt.Errorf("logdev: archive segment %d: %w", idx, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := a.fs.Rename(tmp, path); err != nil {
 		return fmt.Errorf("logdev: install archived segment %d: %w", idx, err)
 	}
-	if err := fsutil.SyncDir(a.dir); err != nil {
+	if err := fsutil.SyncDirFS(a.fs, a.dir); err != nil {
 		return fmt.Errorf("logdev: sync archive dir: %w", err)
 	}
 	return nil
@@ -120,7 +136,7 @@ func (a *DirArchiver) Archive(idx int64, data []byte) error {
 
 // Retrieve implements Archiver.
 func (a *DirArchiver) Retrieve(idx int64) ([]byte, error) {
-	data, err := os.ReadFile(a.segPath(idx))
+	data, err := a.fs.ReadFile(a.segPath(idx))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("logdev: segment %d: %w", idx, ErrNotArchived)
 	}
@@ -132,7 +148,7 @@ func (a *DirArchiver) Retrieve(idx int64) ([]byte, error) {
 
 // Segments implements Archiver.
 func (a *DirArchiver) Segments() ([]int64, error) {
-	entries, err := os.ReadDir(a.dir)
+	entries, err := a.fs.ReadDir(a.dir)
 	if err != nil {
 		return nil, fmt.Errorf("logdev: list archive %s: %w", a.dir, err)
 	}
@@ -156,9 +172,10 @@ func (a *DirArchiver) Segments() ([]int64, error) {
 // deployments: cold storage that survives the simulated crashes the
 // memory-backed Segmented device models.
 type MemArchiver struct {
-	mu   sync.Mutex
-	segs map[int64][]byte
-	fail error
+	mu    sync.Mutex
+	segs  map[int64][]byte
+	fail  error
+	failN int // with fail set: fail only this many more calls (0 = every call)
 }
 
 // NewMemArchiver returns an empty in-memory archive.
@@ -172,6 +189,17 @@ func NewMemArchiver() *MemArchiver {
 func (a *MemArchiver) FailWith(err error) {
 	a.mu.Lock()
 	a.fail = err
+	a.failN = 0
+	a.mu.Unlock()
+}
+
+// FailTimes injects err into the next n Archive calls, then heals — a
+// transient cold-store outage. Tests use it to prove the engine's
+// archiver retries with backoff and loses nothing.
+func (a *MemArchiver) FailTimes(n int, err error) {
+	a.mu.Lock()
+	a.fail = err
+	a.failN = n
 	a.mu.Unlock()
 }
 
@@ -180,7 +208,13 @@ func (a *MemArchiver) Archive(idx int64, data []byte) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.fail != nil {
-		return a.fail
+		err := a.fail
+		if a.failN > 0 {
+			if a.failN--; a.failN == 0 {
+				a.fail = nil
+			}
+		}
+		return err
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)

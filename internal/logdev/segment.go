@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"aether/internal/fsutil"
+	"aether/internal/vfs"
 )
 
 // Truncator is the optional Device extension for bounded logs: devices
@@ -206,13 +207,14 @@ func NewSegmentedMem(p Profile, segSize int64) *Segmented {
 // (segment size + truncation horizon) and a MANIFEST.durable watermark
 // file (how many logical bytes completed Syncs cover).
 type dirSegBackend struct {
+	fs      vfs.FS
 	dir     string
 	segSize int64
 	wm      *watermarkFile
 	ro      bool // diagnostic open: never write or unlink anything
 }
 
-type fileSegment struct{ f *os.File }
+type fileSegment struct{ f vfs.File }
 
 func (b *dirSegBackend) segPath(idx int64) string {
 	return filepath.Join(b.dir, fmt.Sprintf("%016d.seg", idx))
@@ -223,7 +225,7 @@ func (b *dirSegBackend) open(idx int64) (segment, error) {
 	if b.ro {
 		flags = os.O_RDONLY
 	}
-	f, err := os.OpenFile(b.segPath(idx), flags, 0o644)
+	f, err := b.fs.OpenFile(b.segPath(idx), flags, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("logdev: open segment: %w", err)
 	}
@@ -234,7 +236,7 @@ func (b *dirSegBackend) remove(idx int64, seg segment) error {
 	if err := seg.close(); err != nil {
 		return err
 	}
-	return os.Remove(b.segPath(idx))
+	return b.fs.Remove(b.segPath(idx))
 }
 
 // manifestName holds the segment size and truncation horizon; it is what
@@ -243,12 +245,12 @@ func (b *dirSegBackend) remove(idx int64, seg segment) error {
 const manifestName = "MANIFEST"
 
 func (b *dirSegBackend) setBase(base int64) error {
-	return writeManifest(b.dir, b.segSize, base)
+	return writeManifest(b.fs, b.dir, b.segSize, base)
 }
 
 func (b *dirSegBackend) setDurable(d int64) error { return b.wm.set(d) }
 
-func (b *dirSegBackend) syncMeta() error { return fsutil.SyncDir(b.dir) }
+func (b *dirSegBackend) syncMeta() error { return fsutil.SyncDirFS(b.fs, b.dir) }
 
 func (b *dirSegBackend) close() error {
 	if b.wm != nil {
@@ -257,28 +259,28 @@ func (b *dirSegBackend) close() error {
 	return nil
 }
 
-func writeManifest(dir string, segSize, base int64) error {
+func writeManifest(fs vfs.FS, dir string, segSize, base int64) error {
 	tmp := filepath.Join(dir, manifestName+".tmp")
 	body := fmt.Sprintf("segsize %d\nbase %d\n", segSize, base)
 	// The temp file's bytes must be durable before the rename: a rename
 	// whose dentry hardens ahead of the data would leave an empty
 	// MANIFEST after a crash, making the directory unopenable.
-	if err := fsutil.WriteFileSync(tmp, []byte(body), 0o644); err != nil {
+	if err := fsutil.WriteFileSyncFS(fs, tmp, []byte(body), 0o644); err != nil {
 		return fmt.Errorf("logdev: write manifest: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+	if err := fs.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
 		return fmt.Errorf("logdev: install manifest: %w", err)
 	}
 	// The horizon must be durable before callers act on it (Truncate
 	// unlinks segments right after this).
-	if err := fsutil.SyncDir(dir); err != nil {
+	if err := fsutil.SyncDirFS(fs, dir); err != nil {
 		return fmt.Errorf("logdev: sync manifest dir: %w", err)
 	}
 	return nil
 }
 
-func readManifest(dir string) (segSize, base int64, ok bool, err error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+func readManifest(fs vfs.FS, dir string) (segSize, base int64, ok bool, err error) {
+	data, err := fs.ReadFile(filepath.Join(dir, manifestName))
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, 0, false, nil
 	}
@@ -337,7 +339,13 @@ func (s *fileSegment) close() error       { return s.f.Close() }
 // with OpenFile. segSize must match the directory's manifest if one
 // exists; pass 0 to adopt the manifest's value (reopen / logdump).
 func OpenSegmentedDir(dir string, segSize int64) (*Segmented, error) {
-	return openSegmentedDir(dir, segSize, false)
+	return openSegmentedDir(vfs.OS{}, dir, segSize, false)
+}
+
+// OpenSegmentedDirFS is OpenSegmentedDir over an arbitrary filesystem
+// — the fault-injection entry point.
+func OpenSegmentedDirFS(fs vfs.FS, dir string, segSize int64) (*Segmented, error) {
+	return openSegmentedDir(fs, dir, segSize, false)
 }
 
 // ErrReadOnly is returned for mutating operations on a device opened
@@ -351,20 +359,27 @@ var ErrReadOnly = errors.New("logdev: device opened read-only")
 // the crash evidence stays exactly as the crash left it. Append, Sync
 // and Truncate return ErrReadOnly.
 func OpenSegmentedDirRO(dir string) (*Segmented, error) {
-	return openSegmentedDir(dir, 0, true)
+	return openSegmentedDir(vfs.OS{}, dir, 0, true)
 }
 
-func openSegmentedDir(dir string, segSize int64, ro bool) (*Segmented, error) {
+func openSegmentedDir(fs vfs.FS, dir string, segSize int64, ro bool) (*Segmented, error) {
 	if ro {
-		if st, err := os.Stat(dir); err != nil {
+		if st, err := fs.Stat(dir); err != nil {
 			return nil, fmt.Errorf("logdev: open %s: %w", dir, err)
 		} else if !st.IsDir() {
 			return nil, fmt.Errorf("logdev: %s is not a segmented log directory", dir)
 		}
-	} else if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("logdev: create %s: %w", dir, err)
+	} else if _, err := fs.Stat(dir); err != nil {
+		if err := fs.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("logdev: create %s: %w", dir, err)
+		}
+		// The new directory's own dentry must be durable before anything
+		// inside it is: sync the parent (invariant 5's outermost layer).
+		if err := fsutil.SyncDirFS(fs, filepath.Dir(dir)); err != nil {
+			return nil, fmt.Errorf("logdev: sync parent of %s: %w", dir, err)
+		}
 	}
-	msz, mbase, haveManifest, err := readManifest(dir)
+	msz, mbase, haveManifest, err := readManifest(fs, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -378,16 +393,16 @@ func openSegmentedDir(dir string, segSize int64, ro bool) (*Segmented, error) {
 	case !haveManifest && segSize <= 0:
 		return nil, fmt.Errorf("logdev: segment size required for new segmented log %s", dir)
 	case !haveManifest:
-		if err := writeManifest(dir, segSize, 0); err != nil {
+		if err := writeManifest(fs, dir, segSize, 0); err != nil {
 			return nil, err
 		}
 	}
 
-	entries, err := os.ReadDir(dir)
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("logdev: read %s: %w", dir, err)
 	}
-	backend := &dirSegBackend{dir: dir, segSize: segSize, ro: ro}
+	backend := &dirSegBackend{fs: fs, dir: dir, segSize: segSize, ro: ro}
 	s := &Segmented{
 		segSize:  segSize,
 		backend:  backend,
@@ -457,7 +472,7 @@ func openSegmentedDir(dir string, segSize int64, ro bool) (*Segmented, error) {
 	// corruption (fail loudly).
 	var wmVal int64
 	if ro {
-		v, haveWM, rerr := readWatermark(dir)
+		v, haveWM, rerr := readWatermark(fs, dir)
 		if rerr != nil {
 			return fail(rerr)
 		}
@@ -466,7 +481,7 @@ func openSegmentedDir(dir string, segSize int64, ro bool) (*Segmented, error) {
 			wmVal = s.size // legacy assumption, adopted in memory only
 		}
 	} else {
-		wm, v, haveWM, werr := openWatermark(dir)
+		wm, v, haveWM, werr := openWatermark(fs, dir)
 		if werr != nil {
 			return fail(werr)
 		}
@@ -480,7 +495,7 @@ func openSegmentedDir(dir string, segSize int64, ro bool) (*Segmented, error) {
 			if err := wm.set(s.size); err != nil {
 				return fail(err)
 			}
-			if err := fsutil.SyncDir(dir); err != nil {
+			if err := fsutil.SyncDirFS(fs, dir); err != nil {
 				return fail(fmt.Errorf("logdev: sync watermark dir: %w", err))
 			}
 			wmVal = s.size

@@ -8,6 +8,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"aether/internal/vfs"
 )
 
 // watermarkName is the durable-watermark file kept next to the MANIFEST
@@ -37,7 +39,7 @@ var wmCRC = crc32.MakeTable(crc32.Castagnoli)
 // watermarkFile is an open durable-watermark file. One in-place write
 // plus one fsync per set — the per-Sync-batch cost of torn-tail repair.
 type watermarkFile struct {
-	f      *os.File
+	f      vfs.File
 	next   int   // slot the next set overwrites (never the best one)
 	last   int64 // highest value persisted so far
 	seeded bool  // at least one valid slot is on disk
@@ -66,8 +68,8 @@ func decodeWMSlot(src []byte) (int64, bool) {
 // falls back to the legacy durable=file-size assumption and seeds the
 // file. A newly created file's dentry is NOT yet durable; the caller
 // must SyncDir after seeding it.
-func openWatermark(dir string) (w *watermarkFile, val int64, ok bool, err error) {
-	f, err := os.OpenFile(filepath.Join(dir, watermarkName), os.O_RDWR|os.O_CREATE, 0o644)
+func openWatermark(fs vfs.FS, dir string) (w *watermarkFile, val int64, ok bool, err error) {
+	f, err := fs.OpenFile(filepath.Join(dir, watermarkName), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, 0, false, fmt.Errorf("logdev: open watermark: %w", err)
 	}
@@ -128,8 +130,8 @@ func (w *watermarkFile) close() error { return w.f.Close() }
 // readWatermark reads dir's watermark without opening the file for
 // writing — the diagnostic (read-only) path. ok is false when the file
 // does not exist or holds no valid slot.
-func readWatermark(dir string) (val int64, ok bool, err error) {
-	data, err := os.ReadFile(filepath.Join(dir, watermarkName))
+func readWatermark(fs vfs.FS, dir string) (val int64, ok bool, err error) {
+	data, err := fs.ReadFile(filepath.Join(dir, watermarkName))
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, false, nil
 	}

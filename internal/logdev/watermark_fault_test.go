@@ -1,0 +1,123 @@
+package logdev
+
+import (
+	"errors"
+	"testing"
+
+	"aether/internal/vfs"
+)
+
+// TestWatermarkTornSlotWrite drives the MANIFEST.durable ping-pong
+// protocol into sector-torn slot updates and verifies the invariant
+// the format exists for: a torn update damages at most the slot being
+// written, so reopen always recovers a valid watermark — the new value
+// if the write fully persisted, otherwise the previous one. With
+// 4-byte sectors a 16-byte slot write tears into value bytes (sectors
+// 0–1), CRC (sector 2), and padding (sector 3) independently.
+func TestWatermarkTornSlotWrite(t *testing.T) {
+	cases := []struct {
+		name string
+		keep []bool // per-4-byte-sector persistence of the torn slot write
+		want int64  // watermark a reopen must recover
+	}{
+		{"write dropped whole", []bool{false, false, false, false}, 200},
+		{"value persisted, CRC lost", []bool{true, true, false, false}, 200},
+		{"CRC persisted, value lost", []bool{false, false, true, true}, 200},
+		{"low half of value only", []bool{true, false, false, false}, 200},
+		{"fully persisted", []bool{true, true, true, true}, 300},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := vfs.NewFaultFS(1)
+			fs.SetSectorSize(4)
+			fs.SetTornWrites(true)
+			if err := fs.MkdirAll("/db", 0o755); err != nil {
+				t.Fatal(err)
+			}
+
+			// Seed both slots: slot 0 ← 100, slot 1 ← 200. The next set
+			// ping-pongs back onto slot 0.
+			w, _, ok, err := openWatermark(fs, "/db")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				t.Fatal("fresh watermark file claims a valid slot")
+			}
+			if err := w.set(100); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.SyncDir("/db"); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.set(200); err != nil {
+				t.Fatal(err)
+			}
+
+			// Tear the third set's slot write: power-cut on the write
+			// itself (it lands, unsynced, as the tear candidate) with a
+			// fixed per-sector survival mask.
+			fs.AddRule(vfs.Rule{Op: vfs.OpWrite, Dir: "/db", Path: watermarkName, Cut: true})
+			fs.SetTearMask(func(path string, sectors int) []bool {
+				if sectors != len(tc.keep) {
+					t.Errorf("tear mask saw %d sectors, want %d", sectors, len(tc.keep))
+				}
+				return tc.keep
+			})
+			if err := w.set(300); !errors.Is(err, vfs.ErrPowerCut) {
+				t.Fatalf("torn set err = %v, want ErrPowerCut", err)
+			}
+			w.close()
+			fs.ClearRules()
+			fs.Recover()
+
+			// Reopen: the surviving slots must yield tc.want, never a
+			// torn in-between value and never "no watermark".
+			w2, got, ok, err := openWatermark(fs, "/db")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w2.close()
+			if !ok {
+				t.Fatal("both slots invalid after single torn update")
+			}
+			if got != tc.want {
+				t.Fatalf("recovered watermark %d, want %d", got, tc.want)
+			}
+
+			// The survivor must keep working: the next set must not
+			// target the slot that holds the recovered value.
+			if err := w2.set(got + 50); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok, _ := readWatermark(fs, "/db"); !ok || v != got+50 {
+				t.Fatalf("post-recovery set: read %d/%v, want %d", v, ok, got+50)
+			}
+		})
+	}
+}
+
+// TestWatermarkCrashBeforeFirstSet: a file created but never written
+// (crash between create and seed) must read as "no watermark", falling
+// back to the legacy durable=file-size assumption — not as value 0.
+func TestWatermarkCrashBeforeFirstSet(t *testing.T) {
+	fs := vfs.NewFaultFS(1)
+	if err := fs.MkdirAll("/db", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	w, _, ok, err := openWatermark(fs, "/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("fresh file claims a valid slot")
+	}
+	w.close()
+	fs.SyncDir("/db")
+	fs.PowerCut()
+	fs.Recover()
+
+	if _, ok, err := readWatermark(fs, "/db"); err != nil || ok {
+		t.Fatalf("crashed-empty watermark: ok=%v err=%v, want no watermark", ok, err)
+	}
+}

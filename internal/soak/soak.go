@@ -1,0 +1,574 @@
+// Package soak is the crash-storm harness: it runs a seeded workload
+// against a full engine stack (segmented log + watermark + pagefile +
+// double-write journal + cold-store archiver) built over a
+// fault-injecting filesystem (vfs.FaultFS), power-cuts the filesystem
+// at a randomized fault point each cycle — mid group-commit, mid
+// journal sweep, mid watermark flip, mid archive copy, mid
+// steal/cleaner writeback — recovers, reopens, and verifies the
+// recovered state against an in-memory model of committed operations.
+// Hundreds of crash-recover cycles per run, every one checked.
+//
+// The model accepts exactly two outcomes per cycle: the committed
+// state, or the committed state plus the single in-doubt transaction
+// (the one whose CommitSync returned an error because the cut landed
+// inside its group-commit flush — its commit record may or may not
+// have reached stable storage) applied atomically. Anything else —
+// a lost committed transaction, a partially applied one, a resurrected
+// deleted key, an unopenable database — is a divergence, and the run
+// reports the seed that reproduces its fault schedule.
+package soak
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"aether/internal/core"
+	"aether/internal/lockmgr"
+	"aether/internal/logbuf"
+	"aether/internal/logdev"
+	"aether/internal/storage"
+	"aether/internal/txn"
+	"aether/internal/vfs"
+)
+
+// FaultPoint names one class of randomized power-cut site.
+type FaultPoint string
+
+// The fault points a cycle can arm, each cutting power at the Nth
+// matching filesystem operation (N seeded per cycle).
+const (
+	// FaultGroupCommit cuts during a log-segment fsync — the middle of
+	// a group-commit flush (invariant 1/2 territory: the watermark may
+	// not yet cover the new bytes, so they are a discardable torn tail).
+	FaultGroupCommit FaultPoint = "group-commit"
+	// FaultJournal cuts during a write or fsync of the double-write
+	// journal — before the batch's commit point, so the pagefile must
+	// still hold the previous fully-applied batch (invariant 4).
+	FaultJournal FaultPoint = "journal"
+	// FaultPagefile cuts during an in-place pagefile write or fsync —
+	// mid checkpoint sweep, demand steal, or cleaner writeback, after
+	// the journal committed; replay must repair the torn slots
+	// (invariant 4/5a).
+	FaultPagefile FaultPoint = "pagefile"
+	// FaultWatermark cuts during a MANIFEST.durable slot write — the
+	// ping-pong protocol must leave the other slot valid (invariant 2).
+	FaultWatermark FaultPoint = "watermark"
+	// FaultManifest cuts during the MANIFEST tmp→install rename — the
+	// old manifest must survive until the new one's dir fsync
+	// (invariant 3).
+	FaultManifest FaultPoint = "manifest"
+	// FaultArchive cuts during a cold-store segment copy (write or
+	// install rename) — the hot segment must stay parked until the
+	// archive copy is fully durable (invariant 5/5b).
+	FaultArchive FaultPoint = "archive"
+)
+
+// AllFaultPoints is the full profile, in the order cycles rotate
+// through when picking randomly.
+var AllFaultPoints = []FaultPoint{
+	FaultGroupCommit, FaultJournal, FaultPagefile,
+	FaultWatermark, FaultManifest, FaultArchive,
+}
+
+// Config parameterizes a soak run. Zero values pick usable defaults.
+type Config struct {
+	// Seed drives everything random: the workload, the fault point and
+	// trigger count of every cycle, and sector-tearing decisions. A
+	// failing run reports its seed; re-running with it reproduces the
+	// same fault schedule.
+	Seed int64
+	// Cycles is how many crash-recover rounds to run (default 50).
+	Cycles int
+	// TxnsPerCycle bounds the committed transactions per cycle before
+	// the harness force-cuts (default 40).
+	TxnsPerCycle int
+	// Keys is the key-space size (default 48; small enough that
+	// updates and deletes hit existing rows constantly).
+	Keys int
+	// Points is the fault profile: the cut sites cycles rotate
+	// through. Empty means AllFaultPoints.
+	Points []FaultPoint
+	// Logf, when non-nil, receives per-cycle progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Result summarizes a completed soak run.
+type Result struct {
+	// Cycles is how many crash-recover rounds ran.
+	Cycles int
+	// Commits is the total committed transactions across all cycles.
+	Commits int
+	// InDoubt is how many cycles ended with a transaction whose
+	// CommitSync errored mid-flush (its outcome was then resolved by
+	// reading the recovered state).
+	InDoubt int
+	// InDoubtSurvived is how many of those in-doubt transactions
+	// turned out durable after recovery.
+	InDoubtSurvived int
+	// Cuts counts power cuts per fault point; the "forced" key counts
+	// cycles whose armed trigger never fired and were cut at workload
+	// end instead.
+	Cuts map[string]int
+	// TornTailRepaired totals the torn-tail bytes recovery discarded.
+	TornTailRepaired int64
+	// JournalReplays counts reopens that replayed a committed
+	// double-write journal.
+	JournalReplays int
+}
+
+// Divergence is the failure report for a cycle whose recovered state
+// matched neither accepted outcome. It carries everything needed to
+// reproduce: the seed, the cycle, the armed fault, and the tail of the
+// filesystem op trace.
+type Divergence struct {
+	// Seed replays the run's exact fault schedule and workload.
+	Seed int64
+	// Cycle is the crash-recover round that diverged (counting from 0).
+	Cycle int
+	// Point is the fault armed for the cycle whose crash the
+	// divergence was discovered after.
+	Point FaultPoint
+	// Diffs lists the mismatches between the model and the recovered
+	// state, one per key.
+	Diffs []string
+	// Trace is the tail of the fault filesystem's op trace leading up
+	// to the divergence.
+	Trace []vfs.TraceEntry
+}
+
+// Error implements error with a replay-ready, diffs-first report.
+func (d *Divergence) Error() string {
+	msg := fmt.Sprintf("soak: divergence at cycle %d (fault %s): %d diffs (replay with -seed %d)",
+		d.Cycle, d.Point, len(d.Diffs), d.Seed)
+	for i, diff := range d.Diffs {
+		if i == 8 {
+			msg += fmt.Sprintf("\n  ... %d more", len(d.Diffs)-i)
+			break
+		}
+		msg += "\n  " + diff
+	}
+	return msg
+}
+
+const (
+	soakLogDir     = "/db"
+	soakArchiveDir = "/cold"
+	soakSegSize    = 4096
+	soakCkptBytes  = 8192
+	soakCachePages = 8
+	soakCleaner    = 4
+	soakPrefetch   = 4
+	soakValueBytes = 120 // payload per row: enough log volume to churn segments
+)
+
+// op is one staged mutation of a workload transaction.
+type op struct {
+	del bool
+	key uint64
+	val uint64
+}
+
+// engineStack is one open incarnation of the full durable stack.
+type engineStack struct {
+	dev *logdev.Segmented
+	pf  *storage.PageFile
+	eng *txn.Engine
+	tbl *txn.Table
+}
+
+// openStack builds the engine over the fault filesystem exactly as
+// aether.Open wires a file-backed segmented database: segmented log +
+// watermark, pagefile + journal as the page archive, DirArchiver cold
+// store, and the background checkpointer/archiver/cleaner goroutines.
+func openStack(fs vfs.FS) (*engineStack, error) {
+	dev, err := logdev.OpenSegmentedDirFS(fs, soakLogDir, soakSegSize)
+	if err != nil {
+		return nil, fmt.Errorf("open log: %w", err)
+	}
+	pf, err := storage.OpenPageFileFS(fs, soakLogDir+"/pagefile.db")
+	if err != nil {
+		dev.Close()
+		return nil, fmt.Errorf("open pagefile: %w", err)
+	}
+	arch, err := logdev.OpenDirArchiverFS(fs, soakArchiveDir)
+	if err != nil {
+		pf.Close()
+		dev.Close()
+		return nil, fmt.Errorf("open archive: %w", err)
+	}
+	dev.SetArchiver(arch)
+	eng, _, err := txn.Restart(txn.RestartConfig{
+		Device:  dev,
+		Archive: pf,
+		LogConfig: core.Config{
+			Buffer: logbuf.Config{Variant: logbuf.VariantCD, Size: 1 << 20},
+		},
+		LockConfig:           lockmgr.Config{DeadlockTimeout: 300 * time.Millisecond, SLI: true},
+		CheckpointEveryBytes: soakCkptBytes,
+		CachePages:           soakCachePages,
+		CleanerPages:         soakCleaner,
+		CleanerInterval:      500 * time.Microsecond,
+		PrefetchDepth:        soakPrefetch,
+	})
+	if err != nil {
+		pf.Close()
+		dev.Close()
+		return nil, fmt.Errorf("restart: %w", err)
+	}
+	tbl, err := eng.CreateTable("soak", nil)
+	if err == nil {
+		err = eng.RebuildTables()
+	}
+	if err != nil {
+		eng.Close()
+		eng.Log().Close()
+		pf.Close()
+		dev.Close()
+		return nil, fmt.Errorf("rebuild: %w", err)
+	}
+	return &engineStack{dev: dev, pf: pf, eng: eng, tbl: tbl}, nil
+}
+
+// teardown closes the stack, tolerating the error storm a power cut
+// leaves behind (every close hits a frozen filesystem).
+func (s *engineStack) teardown() {
+	s.eng.Close()
+	s.eng.Log().Close()
+	s.pf.Close()
+	s.dev.Close()
+}
+
+// armFault installs the cycle's power-cut rule and returns it. after
+// is randomized so the cut lands at a different depth of the matching
+// operation stream every cycle.
+func armFault(fs *vfs.FaultFS, rng *rand.Rand, point FaultPoint) int {
+	var r vfs.Rule
+	switch point {
+	case FaultGroupCommit:
+		r = vfs.Rule{Op: vfs.OpSync, Dir: soakLogDir, Path: "*.seg", After: rng.Intn(24)}
+	case FaultJournal:
+		ops := []vfs.Op{vfs.OpWrite, vfs.OpSync}
+		r = vfs.Rule{Op: ops[rng.Intn(2)], Dir: soakLogDir, Path: "pagefile.db.journal", After: rng.Intn(4)}
+	case FaultPagefile:
+		ops := []vfs.Op{vfs.OpWrite, vfs.OpSync}
+		r = vfs.Rule{Op: ops[rng.Intn(2)], Dir: soakLogDir, Path: "pagefile.db", After: rng.Intn(6)}
+	case FaultWatermark:
+		r = vfs.Rule{Op: vfs.OpWrite, Dir: soakLogDir, Path: "MANIFEST.durable", After: rng.Intn(16)}
+	case FaultManifest:
+		r = vfs.Rule{Op: vfs.OpRename, Dir: soakLogDir, Path: "MANIFEST", After: rng.Intn(3)}
+	case FaultArchive:
+		ops := []vfs.Op{vfs.OpWrite, vfs.OpRename, vfs.OpSync}
+		r = vfs.Rule{Op: ops[rng.Intn(3)], Dir: soakArchiveDir, After: rng.Intn(4)}
+	default:
+		panic(fmt.Sprintf("soak: unknown fault point %q", point))
+	}
+	r.Cut = true
+	return fs.AddRule(r)
+}
+
+// applyOps returns model with ops applied (model itself untouched).
+func applyOps(model map[uint64]uint64, ops []op) map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(model)+len(ops))
+	for k, v := range model {
+		out[k] = v
+	}
+	for _, o := range ops {
+		if o.del {
+			delete(out, o.key)
+		} else {
+			out[o.key] = o.val
+		}
+	}
+	return out
+}
+
+// diffStates lists the differences between want and got (empty = equal).
+func diffStates(want, got map[uint64]uint64) []string {
+	var diffs []string
+	for k, v := range want {
+		gv, ok := got[k]
+		switch {
+		case !ok:
+			diffs = append(diffs, fmt.Sprintf("key %d lost (want value %d)", k, v))
+		case gv != v:
+			diffs = append(diffs, fmt.Sprintf("key %d: value %d, want %d", k, gv, v))
+		}
+	}
+	for k, v := range got {
+		if _, ok := want[k]; !ok {
+			diffs = append(diffs, fmt.Sprintf("key %d resurrected (value %d, want absent)", k, v))
+		}
+	}
+	return diffs
+}
+
+// readState scans the recovered table into a key→value map.
+func readState(s *engineStack, maxKey uint64) (map[uint64]uint64, error) {
+	ag := s.eng.NewAgent()
+	defer ag.Close()
+	tx := ag.Begin()
+	out := make(map[uint64]uint64)
+	err := tx.Scan(s.tbl, 0, maxKey, func(key uint64, row []byte) bool {
+		out[key] = rowValue(row)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, tx.Commit(txn.CommitSync, nil)
+}
+
+// soakRow encodes a row: 8-byte little-endian key (the index-rebuild
+// convention), 8-byte value, then deterministic filler for log volume.
+func soakRow(key, val uint64) []byte {
+	b := make([]byte, 16+soakValueBytes)
+	putU64(b[0:8], key)
+	putU64(b[8:16], val)
+	for i := range b[16:] {
+		b[16+i] = byte(val + uint64(i))
+	}
+	return b
+}
+
+func rowValue(row []byte) uint64 {
+	if len(row) < 16 {
+		return 0
+	}
+	return getU64(row[8:16])
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// runWorkload runs seeded transactions until the cycle's budget is
+// spent or an injected fault surfaces. It returns the number of
+// successful commits and the ops of the in-doubt transaction (non-nil
+// only when CommitSync itself errored — the one transaction whose
+// outcome the cut left undecided), and updates model in place with
+// every committed transaction.
+func runWorkload(s *engineStack, rng *rand.Rand, model map[uint64]uint64, cfg Config) (commits int, inDoubt []op) {
+	ag := s.eng.NewAgent()
+	defer ag.Close()
+	for t := 0; t < cfg.TxnsPerCycle; t++ {
+		tx := ag.Begin()
+		nOps := 1 + rng.Intn(3)
+		staged := make([]op, 0, nOps)
+		view := applyOps(model, nil)
+		opErr := false
+		for i := 0; i < nOps; i++ {
+			key := uint64(1 + rng.Intn(cfg.Keys))
+			_, exists := view[key]
+			var o op
+			var err error
+			switch {
+			case !exists:
+				o = op{key: key, val: rng.Uint64() % 1_000_000}
+				err = tx.Insert(s.tbl, key, soakRow(key, o.val))
+			case rng.Intn(4) == 0:
+				o = op{key: key, del: true}
+				err = tx.Delete(s.tbl, key)
+			default:
+				o = op{key: key, val: rng.Uint64() % 1_000_000}
+				err = tx.Update(s.tbl, key, func([]byte) ([]byte, error) {
+					return soakRow(key, o.val), nil
+				})
+			}
+			if err != nil {
+				// The op itself failed (the cut reached the log path):
+				// this transaction never committed, so it must roll back
+				// entirely — nothing in doubt.
+				opErr = true
+				break
+			}
+			staged = append(staged, o)
+			if o.del {
+				delete(view, o.key)
+			} else {
+				view[o.key] = o.val
+			}
+		}
+		if opErr {
+			tx.Abort()
+			return commits, nil
+		}
+		if err := tx.Commit(txn.CommitSync, nil); err != nil {
+			// CommitSync errored: the commit record may or may not be
+			// durable. Exactly this one transaction is in doubt — the
+			// workload is sequential, so no other commit was in flight.
+			return commits, staged
+		}
+		commits++
+		for _, o := range staged {
+			if o.del {
+				delete(model, o.key)
+			} else {
+				model[o.key] = o.val
+			}
+		}
+	}
+	return commits, nil
+}
+
+// Run executes the soak: cfg.Cycles rounds of open → verify → seeded
+// workload → power cut → recover, all over one FaultFS whose durable
+// state persists across cycles. It returns the aggregate result, or a
+// *Divergence as the error when a cycle's recovered state matches
+// neither the committed model nor the model plus the in-doubt
+// transaction.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Cycles <= 0 {
+		cfg.Cycles = 50
+	}
+	if cfg.TxnsPerCycle <= 0 {
+		cfg.TxnsPerCycle = 40
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 48
+	}
+	if len(cfg.Points) == 0 {
+		cfg.Points = AllFaultPoints
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fs := vfs.NewFaultFS(cfg.Seed + 1)
+	fs.SetTornWrites(true)
+	res := &Result{Cuts: make(map[string]int)}
+	model := make(map[uint64]uint64)
+	var inDoubt []op
+	var point FaultPoint
+
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		s, err := openStack(fs)
+		if err != nil {
+			return res, &Divergence{
+				Seed: cfg.Seed, Cycle: cycle, Point: point,
+				Diffs: []string{fmt.Sprintf("reopen failed: %v", err)},
+				Trace: tail(fs.Trace(), 40),
+			}
+		}
+		res.TornTailRepaired += s.dev.RepairedTailBytes()
+		if s.pf.JournalReplayed() > 0 {
+			res.JournalReplays++
+		}
+
+		// Verify the recovered state against the model — allowing the
+		// previous cycle's in-doubt transaction to have landed or not,
+		// but only atomically.
+		got, err := readState(s, uint64(cfg.Keys)+1)
+		if err == nil {
+			diffs := diffStates(model, got)
+			if len(diffs) > 0 && inDoubt != nil {
+				withTxn := applyOps(model, inDoubt)
+				if d2 := diffStates(withTxn, got); len(d2) < len(diffs) || len(d2) == 0 {
+					if len(d2) == 0 {
+						res.InDoubtSurvived++
+					}
+					diffs = d2
+					model = withTxn
+				}
+			}
+			if len(diffs) > 0 {
+				s.teardown()
+				return res, &Divergence{
+					Seed: cfg.Seed, Cycle: cycle, Point: point,
+					Diffs: diffs, Trace: tail(fs.Trace(), 40),
+				}
+			}
+			model = got // adopt (resolves the in-doubt txn either way)
+		} else {
+			s.teardown()
+			return res, &Divergence{
+				Seed: cfg.Seed, Cycle: cycle, Point: point,
+				Diffs: []string{fmt.Sprintf("reading recovered state: %v", err)},
+				Trace: tail(fs.Trace(), 40),
+			}
+		}
+		inDoubt = nil
+
+		// Arm this cycle's fault and run the workload into it.
+		point = cfg.Points[rng.Intn(len(cfg.Points))]
+		rule := armFault(fs, rng, point)
+		var commits int
+		commits, inDoubt = runWorkload(s, rng, model, cfg)
+		res.Commits += commits
+		if inDoubt != nil {
+			res.InDoubt++
+		}
+
+		// If the armed trigger never fired, cut now: every cycle ends in
+		// a crash, just not always at the chosen site.
+		stats := fs.RuleStats()
+		fired := stats[rule].Fired > 0
+		if fired {
+			res.Cuts[string(point)]++
+		} else {
+			fs.PowerCut()
+			res.Cuts["forced"]++
+		}
+		s.teardown()
+		fs.ClearRules()
+		fs.Recover()
+		res.Cycles++
+		logf("cycle %d: fault=%s fired=%v commits=%d model=%d keys", cycle, point, fired, res.Commits, len(model))
+	}
+
+	// Final verification pass: reopen once more and check the end state.
+	s, err := openStack(fs)
+	if err != nil {
+		return res, &Divergence{
+			Seed: cfg.Seed, Cycle: cfg.Cycles, Point: point,
+			Diffs: []string{fmt.Sprintf("final reopen failed: %v", err)},
+			Trace: tail(fs.Trace(), 40),
+		}
+	}
+	defer s.teardown()
+	got, err := readState(s, uint64(cfg.Keys)+1)
+	if err != nil {
+		return res, fmt.Errorf("soak: final read: %w", err)
+	}
+	diffs := diffStates(model, got)
+	if len(diffs) > 0 && inDoubt != nil {
+		if d2 := diffStates(applyOps(model, inDoubt), got); len(d2) == 0 {
+			res.InDoubtSurvived++
+			diffs = nil
+		}
+	}
+	if len(diffs) > 0 {
+		return res, &Divergence{
+			Seed: cfg.Seed, Cycle: cfg.Cycles, Point: point,
+			Diffs: diffs, Trace: tail(fs.Trace(), 40),
+		}
+	}
+	return res, nil
+}
+
+// tail returns the last n entries of t.
+func tail(t []vfs.TraceEntry, n int) []vfs.TraceEntry {
+	if len(t) <= n {
+		return t
+	}
+	return t[len(t)-n:]
+}
+
+// IsDivergence reports whether err is a soak divergence (as opposed to
+// a harness/setup failure).
+func IsDivergence(err error) bool {
+	var d *Divergence
+	return errors.As(err, &d)
+}

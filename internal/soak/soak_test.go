@@ -1,0 +1,107 @@
+package soak
+
+import (
+	"testing"
+)
+
+// TestSoakShortStorm runs a compact crash storm across the full fault
+// profile and requires zero model divergences.
+func TestSoakShortStorm(t *testing.T) {
+	res, err := Run(Config{
+		Seed:         42,
+		Cycles:       12,
+		TxnsPerCycle: 25,
+		Keys:         32,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("soak diverged: %v", err)
+	}
+	if res.Cycles != 12 {
+		t.Fatalf("ran %d cycles, want 12", res.Cycles)
+	}
+	if res.Commits == 0 {
+		t.Fatal("no transactions committed across the storm")
+	}
+	total := 0
+	for _, n := range res.Cuts {
+		total += n
+	}
+	if total != res.Cycles {
+		t.Fatalf("cut counts sum to %d, want one cut per cycle (%d)", total, res.Cycles)
+	}
+}
+
+// TestSoakSingleFaultPoints pins each fault point individually so a
+// regression in one recovery path names its site directly.
+func TestSoakSingleFaultPoints(t *testing.T) {
+	for _, p := range AllFaultPoints {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{
+				Seed:         7,
+				Cycles:       4,
+				TxnsPerCycle: 20,
+				Keys:         24,
+				Points:       []FaultPoint{p},
+			})
+			if err != nil {
+				t.Fatalf("soak diverged: %v", err)
+			}
+			if res.Cycles != 4 {
+				t.Fatalf("ran %d cycles, want 4", res.Cycles)
+			}
+		})
+	}
+}
+
+// TestDiffStates pins the model comparator: lost, changed, and
+// resurrected keys must all surface as distinct diffs.
+func TestDiffStates(t *testing.T) {
+	want := map[uint64]uint64{1: 10, 2: 20, 3: 30}
+	got := map[uint64]uint64{1: 10, 2: 99, 4: 40}
+	diffs := diffStates(want, got)
+	if len(diffs) != 3 {
+		t.Fatalf("got %d diffs, want 3 (changed, lost, resurrected): %v", len(diffs), diffs)
+	}
+	if len(diffStates(want, want)) != 0 {
+		t.Fatal("identical states reported diffs")
+	}
+}
+
+// TestApplyOpsAtomic verifies the in-doubt overlay applies a whole
+// transaction without mutating the base model.
+func TestApplyOpsAtomic(t *testing.T) {
+	base := map[uint64]uint64{1: 10, 2: 20}
+	out := applyOps(base, []op{{key: 1, del: true}, {key: 3, val: 30}})
+	if len(base) != 2 || base[1] != 10 {
+		t.Fatalf("applyOps mutated its input: %v", base)
+	}
+	if _, ok := out[1]; ok {
+		t.Fatal("delete not applied in overlay")
+	}
+	if out[3] != 30 {
+		t.Fatalf("insert not applied in overlay: %v", out)
+	}
+}
+
+// TestIsDivergence distinguishes model divergences from plain errors.
+func TestIsDivergence(t *testing.T) {
+	d := &Divergence{Seed: 1, Cycle: 2, Point: FaultJournal, Diffs: []string{"key 1 lost (want value 10)"}}
+	if !IsDivergence(d) {
+		t.Fatal("Divergence not recognized")
+	}
+	if IsDivergence(errDummy) {
+		t.Fatal("plain error misclassified as divergence")
+	}
+	if msg := d.Error(); msg == "" {
+		t.Fatal("empty divergence message")
+	}
+}
+
+var errDummy = errDummyType{}
+
+type errDummyType struct{}
+
+func (errDummyType) Error() string { return "dummy" }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"aether/internal/fsutil"
+	"aether/internal/vfs"
 )
 
 // FileArchive is a directory-backed Archive: each page image lives in
@@ -20,6 +21,7 @@ import (
 // (imported once by PageFile.ImportLegacy) and as the per-page baseline
 // the sweep microbenchmark compares against.
 type FileArchive struct {
+	fs  vfs.FS
 	dir string
 
 	syncDelay time.Duration // simulated device sync latency (benchmarks)
@@ -32,21 +34,34 @@ type FileArchive struct {
 // pages are still dirty (or already re-archived) and the temps are junk
 // that would otherwise accumulate forever.
 func OpenFileArchive(dir string) (*FileArchive, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("storage: create archive %s: %w", dir, err)
+	return OpenFileArchiveFS(vfs.OS{}, dir)
+}
+
+// OpenFileArchiveFS is OpenFileArchive over an arbitrary filesystem —
+// the fault-injection entry point.
+func OpenFileArchiveFS(fs vfs.FS, dir string) (*FileArchive, error) {
+	if _, err := fs.Stat(dir); err != nil {
+		if err := fs.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("storage: create archive %s: %w", dir, err)
+		}
+		// The fresh directory's own dentry must survive a crash before
+		// any page installed in it can be trusted.
+		if err := fsutil.SyncDirFS(fs, filepath.Dir(dir)); err != nil {
+			return nil, fmt.Errorf("storage: sync parent of archive %s: %w", dir, err)
+		}
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open archive %s: %w", dir, err)
 	}
 	for _, e := range entries {
 		if strings.HasSuffix(e.Name(), ".tmp") {
-			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil && !os.IsNotExist(err) {
+			if err := fs.Remove(filepath.Join(dir, e.Name())); err != nil && !os.IsNotExist(err) {
 				return nil, fmt.Errorf("storage: sweep stale temp %s: %w", e.Name(), err)
 			}
 		}
 	}
-	return &FileArchive{dir: dir}, nil
+	return &FileArchive{fs: fs, dir: dir}, nil
 }
 
 // SetSyncDelay adds a simulated per-fsync device latency (benchmarks;
@@ -74,11 +89,11 @@ func (a *FileArchive) pagePath(pid uint64) string {
 // mutex, so a fixed per-page temp name cannot collide.
 func (a *FileArchive) Put(pid uint64, img []byte) error {
 	tmp := a.pagePath(pid) + ".tmp"
-	if err := fsutil.WriteFileSync(tmp, img, 0o644); err != nil {
+	if err := fsutil.WriteFileSyncFS(a.fs, tmp, img, 0o644); err != nil {
 		return fmt.Errorf("storage: archive put: %w", err)
 	}
 	a.countSync()
-	if err := os.Rename(tmp, a.pagePath(pid)); err != nil {
+	if err := a.fs.Rename(tmp, a.pagePath(pid)); err != nil {
 		return fmt.Errorf("storage: archive put: %w", err)
 	}
 	return nil
@@ -89,7 +104,7 @@ func (a *FileArchive) Put(pid uint64, img []byte) error {
 // sweep must Flush before cleaning pages: only then is the archive the
 // reliable copy the truncated log hands over to.
 func (a *FileArchive) Flush() error {
-	if err := fsutil.SyncDir(a.dir); err != nil {
+	if err := fsutil.SyncDirFS(a.fs, a.dir); err != nil {
 		return fmt.Errorf("storage: archive flush: %w", err)
 	}
 	a.countSync()
@@ -98,7 +113,7 @@ func (a *FileArchive) Flush() error {
 
 // Get implements Archive ((nil, nil) on a page never archived).
 func (a *FileArchive) Get(pid uint64) ([]byte, error) {
-	img, err := os.ReadFile(a.pagePath(pid))
+	img, err := a.fs.ReadFile(a.pagePath(pid))
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -110,7 +125,7 @@ func (a *FileArchive) Get(pid uint64) ([]byte, error) {
 
 // Pages implements Archive.
 func (a *FileArchive) Pages() ([]uint64, error) {
-	entries, err := os.ReadDir(a.dir)
+	entries, err := a.fs.ReadDir(a.dir)
 	if err != nil {
 		return nil, fmt.Errorf("storage: archive list: %w", err)
 	}

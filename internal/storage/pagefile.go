@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"aether/internal/fsutil"
+	"aether/internal/vfs"
 )
 
 // PageFile is the real database file: a single, page-slotted, checksummed
@@ -81,9 +82,10 @@ import (
 // the batch's journal fsync returned, so even a mid-batch image is a
 // committed one.
 type PageFile struct {
+	fs   vfs.FS
 	path string
-	f    *os.File
-	jf   *os.File
+	f    vfs.File
+	jf   vfs.File
 
 	// dir guards the in-memory slot directory below — map work only,
 	// never held across I/O.
@@ -203,11 +205,18 @@ func pfSlotOff(slot uint64) int64 {
 // or discarding its double-write journal first, then building the pageID
 // directory from the slot headers.
 func OpenPageFile(path string) (*PageFile, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenPageFileFS(vfs.OS{}, path)
+}
+
+// OpenPageFileFS is OpenPageFile over an arbitrary filesystem — the
+// fault-injection entry point.
+func OpenPageFileFS(fs vfs.FS, path string) (*PageFile, error) {
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open pagefile: %w", err)
 	}
 	pf := &PageFile{
+		fs:       fs,
 		path:     path,
 		f:        f,
 		slots:    make(map[uint64]pfSlot),
@@ -231,7 +240,7 @@ func OpenPageFile(path string) (*PageFile, error) {
 		f.Close()
 		return nil, err
 	}
-	jf, err := os.OpenFile(path+".journal", os.O_RDWR|os.O_CREATE, 0o644)
+	jf, err := fs.OpenFile(path+".journal", os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("storage: open pagefile journal: %w", err)
@@ -240,7 +249,7 @@ func OpenPageFile(path string) (*PageFile, error) {
 	// Both files themselves must survive a crash, not just their bytes:
 	// the double-write guarantee is void if the journal's directory
 	// entry can vanish after its data was fsynced.
-	if err := fsutil.SyncDir(filepath.Dir(path)); err != nil {
+	if err := fsutil.SyncDirFS(fs, filepath.Dir(path)); err != nil {
 		pf.closeFiles()
 		return nil, fmt.Errorf("storage: sync pagefile dir: %w", err)
 	}
@@ -473,7 +482,7 @@ func putSlotHdr(dst []byte, pid, version uint64, sum uint32) {
 // and invokes fn for each slot flagged used — the single reader of the
 // on-disk slot-header layout, shared by the owner's directory build and
 // the read-only inspector.
-func scanSlotHeaders(f *os.File, size int64, fn func(slot, pid, version uint64) error) (nSlots uint64, err error) {
+func scanSlotHeaders(f io.ReaderAt, size int64, fn func(slot, pid, version uint64) error) (nSlots uint64, err error) {
 	n := (size - pfHeaderSize) / pfSlotSize
 	if n < 0 {
 		n = 0
@@ -527,7 +536,7 @@ func (pf *PageFile) scanSlots() error {
 
 // fsync syncs one file and counts it, modeling the configured device
 // latency (the same simulated-device methodology the log devices use).
-func (pf *PageFile) fsync(f *os.File) error {
+func (pf *PageFile) fsync(f vfs.File) error {
 	if err := f.Sync(); err != nil {
 		return err
 	}
@@ -882,7 +891,7 @@ const importChunk = 1024
 // time it reruns, the pagefile may hold newer images that must not be
 // clobbered with stale ones.
 func (pf *PageFile) ImportLegacy(dir string) error {
-	fa, err := OpenFileArchive(dir)
+	fa, err := OpenFileArchiveFS(pf.fs, dir)
 	if err != nil {
 		return fmt.Errorf("storage: legacy import: %w", err)
 	}
@@ -913,10 +922,10 @@ func (pf *PageFile) ImportLegacy(dir string) error {
 	if err := pf.PutBatch(batch); err != nil {
 		return fmt.Errorf("storage: legacy import: %w", err)
 	}
-	if err := os.RemoveAll(dir); err != nil {
+	if err := pf.fs.RemoveAll(dir); err != nil {
 		return fmt.Errorf("storage: legacy import cleanup: %w", err)
 	}
-	if err := fsutil.SyncDir(filepath.Dir(dir)); err != nil {
+	if err := fsutil.SyncDirFS(pf.fs, filepath.Dir(dir)); err != nil {
 		return fmt.Errorf("storage: legacy import cleanup: %w", err)
 	}
 	return nil

@@ -1,0 +1,182 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"aether/internal/vfs"
+)
+
+// openPFFault opens a pagefile over fs at /db/pagefile.db, creating
+// the directory on first use.
+func openPFFault(t *testing.T, fs vfs.FS) *PageFile {
+	t.Helper()
+	if err := fs.MkdirAll("/db", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := OpenPageFileFS(fs, "/db/pagefile.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pf
+}
+
+// TestPageFileJournalTornWrite drives the double-write protocol into
+// power cuts on either side of its commit point (the journal fsync)
+// with sector tearing, and checks the atomicity contract: a batch is
+// all-or-nothing. Cut before the journal syncs — even if torn journal
+// bytes persist — and reopen must serve the previous batch with no
+// replay; cut after (during the in-place pass) and reopen must replay
+// the journal and serve the new batch, however the in-place writes
+// tore.
+func TestPageFileJournalTornWrite(t *testing.T) {
+	cases := []struct {
+		name string
+		// rule arms the cycle's power cut.
+		rule vfs.Rule
+		// keep, when non-nil, is the per-512B-sector survival mask for
+		// the last unsynced write (nil drops it whole).
+		keep       []bool
+		wantNew    bool // reopen serves batch B (else batch A)
+		wantReplay bool
+	}{
+		{
+			name: "cut on journal write, dropped whole",
+			rule: vfs.Rule{Op: vfs.OpWrite, Dir: "/db", Path: "pagefile.db.journal", Cut: true},
+		},
+		{
+			name: "cut on journal write, torn head persists",
+			rule: vfs.Rule{Op: vfs.OpWrite, Dir: "/db", Path: "pagefile.db.journal", Cut: true},
+			keep: []bool{true}, // first sector of the torn write survives
+		},
+		{
+			name: "cut on journal write, torn tail persists",
+			rule: vfs.Rule{Op: vfs.OpWrite, Dir: "/db", Path: "pagefile.db.journal", Cut: true},
+			keep: []bool{false, true},
+		},
+		{
+			name: "cut on journal fsync",
+			rule: vfs.Rule{Op: vfs.OpSync, Dir: "/db", Path: "pagefile.db.journal", Cut: true},
+		},
+		{
+			name:       "cut on in-place fsync after journal commit",
+			rule:       vfs.Rule{Op: vfs.OpSync, Dir: "/db", Path: "pagefile.db", Cut: true},
+			wantNew:    true,
+			wantReplay: true,
+		},
+		{
+			name:       "cut on in-place fsync, slot write torn",
+			rule:       vfs.Rule{Op: vfs.OpSync, Dir: "/db", Path: "pagefile.db", Cut: true},
+			keep:       []bool{true, false, true, false, true, false, true, false, true},
+			wantNew:    true,
+			wantReplay: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := vfs.NewFaultFS(1)
+			fs.SetTornWrites(true)
+			pf := openPFFault(t, fs)
+
+			// Batch A: fully durable baseline.
+			a := []PageImage{
+				{PID: 1, Img: pfTestImage(1, 0x11)},
+				{PID: 2, Img: pfTestImage(2, 0x22)},
+				{PID: 3, Img: pfTestImage(3, 0x33)},
+			}
+			if err := pf.PutBatch(a); err != nil {
+				t.Fatal(err)
+			}
+
+			// Batch B hits the armed cut somewhere in the double-write
+			// sequence.
+			fs.AddRule(tc.rule)
+			if tc.keep != nil {
+				keep := tc.keep
+				fs.SetTearMask(func(path string, sectors int) []bool {
+					m := make([]bool, sectors)
+					for i := range m {
+						m[i] = keep[i%len(keep)]
+					}
+					return m
+				})
+			}
+			b := []PageImage{
+				{PID: 1, Img: pfTestImage(1, 0x44)},
+				{PID: 2, Img: pfTestImage(2, 0x55)},
+				{PID: 3, Img: pfTestImage(3, 0x66)},
+			}
+			if err := pf.PutBatch(b); !errors.Is(err, vfs.ErrPowerCut) {
+				t.Fatalf("PutBatch under cut: err=%v, want ErrPowerCut", err)
+			}
+			pf.Close()
+			fs.ClearRules()
+			fs.SetTearMask(nil)
+			fs.Recover()
+
+			pf2, err := OpenPageFileFS(fs, "/db/pagefile.db")
+			if err != nil {
+				t.Fatalf("reopen after cut: %v", err)
+			}
+			defer pf2.Close()
+			if tc.wantReplay && pf2.JournalReplayed() == 0 {
+				t.Error("committed journal was not replayed")
+			}
+			if !tc.wantReplay && pf2.JournalReplayed() != 0 {
+				t.Errorf("uncommitted journal replayed %d pages", pf2.JournalReplayed())
+			}
+			want := a
+			if tc.wantNew {
+				want = b
+			}
+			for _, pi := range want {
+				got, err := pf2.Get(pi.PID)
+				if err != nil {
+					t.Fatalf("Get(%d): %v", pi.PID, err)
+				}
+				if !bytes.Equal(got, pi.Img) {
+					t.Errorf("page %d: wrong image after recovery (new=%v)", pi.PID, tc.wantNew)
+				}
+			}
+		})
+	}
+}
+
+// TestPageFileJournalTornThenOverwrite: after recovering from a torn
+// journal the pagefile must accept new batches and keep them across a
+// clean reopen — the half-written journal leaves no residue.
+func TestPageFileJournalTornThenOverwrite(t *testing.T) {
+	fs := vfs.NewFaultFS(1)
+	fs.SetTornWrites(true)
+	pf := openPFFault(t, fs)
+	if err := pf.PutBatch([]PageImage{{PID: 9, Img: pfTestImage(9, 0x0A)}}); err != nil {
+		t.Fatal(err)
+	}
+	fs.AddRule(vfs.Rule{Op: vfs.OpWrite, Dir: "/db", Path: "pagefile.db.journal", Cut: true})
+	if err := pf.Put(9, pfTestImage(9, 0x0B)); !errors.Is(err, vfs.ErrPowerCut) {
+		t.Fatalf("Put under cut: %v", err)
+	}
+	pf.Close()
+	fs.ClearRules()
+	fs.Recover()
+
+	pf2, err := OpenPageFileFS(fs, "/db/pagefile.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3 := pfTestImage(9, 0x0C)
+	if err := pf2.Put(9, v3); err != nil {
+		t.Fatalf("Put after recovery: %v", err)
+	}
+	pf2.Close()
+
+	pf3, err := OpenPageFileFS(fs, "/db/pagefile.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf3.Close()
+	if got, err := pf3.Get(9); err != nil || !bytes.Equal(got, v3) {
+		t.Fatalf("post-recovery batch lost: err=%v", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -182,6 +183,15 @@ type Stats struct {
 	// ArchiveFailures counts background archive passes that errored
 	// (cold storage down); the affected segments stay pending on disk.
 	ArchiveFailures metrics.Counter
+	// ArchiveRetries counts backoff retries of a failed archive pass:
+	// transient cold-store outages are retried in-loop with bounded
+	// exponential backoff + jitter before the archiver gives up.
+	ArchiveRetries metrics.Counter
+	// ArchiveGaveUp counts archive passes abandoned after the retry
+	// budget was exhausted. The segments stay parked on disk; the next
+	// nudge (any later truncation, restore, or Close-side drain) tries
+	// again, so nothing is lost — only delayed.
+	ArchiveGaveUp metrics.Counter
 	// CleanerFailures counts background cleaner passes that errored (log
 	// force or archive writeback failed); the affected pages stay dirty
 	// and the next pass — or a demand steal, or the sweep — retries.
@@ -350,11 +360,51 @@ func (e *Engine) archiverLoop() {
 				return
 			default:
 			}
-			n, err := e.log.ArchivePending()
-			e.stats.SegmentsArchived.Add(int64(n))
-			if err != nil {
-				e.stats.ArchiveFailures.Inc()
-			}
+			e.archivePassWithRetry()
+		}
+	}
+}
+
+// Archiver backoff tuning: a failed pass retries after archBackoffMin,
+// doubling (with up to 50% added jitter to spread simultaneous
+// retriers) up to archBackoffMax, at most archMaxRetries times per
+// nudge. Variables, not constants, so tests can shrink the schedule.
+var (
+	archBackoffMin = 10 * time.Millisecond
+	archBackoffMax = 2 * time.Second
+	archMaxRetries = 8
+)
+
+// archivePassWithRetry runs one archive drain pass, absorbing
+// transient cold-store failures with bounded exponential backoff +
+// jitter instead of parking the segments until the next checkpoint
+// happens to nudge again. Giving up is safe — dead segments stay on
+// disk until some pass succeeds — but each retry here shortens the
+// window in which a crash-plus-disk-loss could lose history.
+func (e *Engine) archivePassWithRetry() {
+	backoff := archBackoffMin
+	for attempt := 0; ; attempt++ {
+		n, err := e.log.ArchivePending()
+		e.stats.SegmentsArchived.Add(int64(n))
+		if err == nil {
+			return
+		}
+		e.stats.ArchiveFailures.Inc()
+		if attempt >= archMaxRetries {
+			e.stats.ArchiveGaveUp.Inc()
+			return
+		}
+		e.stats.ArchiveRetries.Inc()
+		d := backoff + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		timer := time.NewTimer(d)
+		select {
+		case <-e.archStop:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		if backoff *= 2; backoff > archBackoffMax {
+			backoff = archBackoffMax
 		}
 	}
 }

@@ -1,0 +1,911 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrPowerCut is returned by every operation on a FaultFS that has
+// suffered a simulated power cut, until Recover is called. File
+// handles opened before the cut stay dead even after Recover — the
+// "process" that held them did not survive.
+var ErrPowerCut = errors.New("vfs: simulated power cut")
+
+// ErrInjected is the default error returned by a fault rule whose Err
+// field is nil.
+var ErrInjected = errors.New("vfs: injected I/O error")
+
+// Op names a filesystem operation class for fault-rule matching and
+// the op trace.
+type Op string
+
+// Operation classes. OpWrite covers both positional WriteAt and
+// sequential Write; OpRead covers ReadAt and ReadFile's body read.
+const (
+	OpOpen     Op = "open"
+	OpRead     Op = "read"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpTruncate Op = "truncate"
+	OpClose    Op = "close"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpMkdir    Op = "mkdir"
+	OpReadDir  Op = "readdir"
+	OpStat     Op = "stat"
+	OpSyncDir  Op = "syncdir"
+)
+
+// Rule is a deterministic fault trigger: on the matchCount-th
+// operation whose op, directory and base name all match, inject an
+// error or a power cut.
+type Rule struct {
+	// Op selects the operation class; empty matches every op.
+	Op Op
+	// Dir, when non-empty, must equal the operation path's parent
+	// directory (for Rename, the new name's parent). This
+	// disambiguates e.g. hot-log segments from archived copies, which
+	// share the "*.seg" base-name shape.
+	Dir string
+	// Path is a path.Match glob applied to the operation path's base
+	// name; empty matches every name.
+	Path string
+	// After is the number of matching operations to let through
+	// unharmed before the rule starts firing. 0 fires on the first
+	// match.
+	After int
+	// Times bounds how many matches fire once the rule is active: a
+	// transient fault. 0 means unbounded (a permanent fault).
+	Times int
+	// Err is the injected error; nil defaults to ErrInjected. Ignored
+	// when Cut is set.
+	Err error
+	// Cut triggers a simulated power cut instead of an error return.
+	// For write ops the triggering write reaches the (volatile) page
+	// cache first, so it becomes the torn-write candidate.
+	Cut bool
+}
+
+// RuleStat reports a rule's match and fire counters.
+type RuleStat struct {
+	// Rule is the rule these counters belong to.
+	Rule Rule
+	// Matched counts operations that matched the op/dir/path triggers.
+	Matched int
+	// Fired counts matches that actually injected a fault.
+	Fired int
+}
+
+// TraceEntry is one record in the bounded operation trace.
+type TraceEntry struct {
+	// Seq is the operation's global sequence number.
+	Seq uint64
+	// Op is the operation class.
+	Op Op
+	// Path is the primary path the operation touched (for Rename, the
+	// new name).
+	Path string
+	// Off is the byte offset of a read/write/truncate, -1 otherwise.
+	Off int64
+	// Len is the byte count of a read/write, 0 otherwise.
+	Len int
+	// Err is the operation's outcome (nil on success).
+	Err error
+}
+
+// String renders the entry for failure-repro logs.
+func (t TraceEntry) String() string {
+	s := fmt.Sprintf("#%d %s %s", t.Seq, t.Op, t.Path)
+	if t.Op == OpRead || t.Op == OpWrite {
+		s += fmt.Sprintf(" off=%d len=%d", t.Off, t.Len)
+	}
+	if t.Err != nil {
+		s += " err=" + t.Err.Error()
+	}
+	return s
+}
+
+const traceCap = 512
+
+// fnode is an in-memory inode: the durable image (synced) and the
+// volatile image (data) that ordinary reads and writes see. Sync
+// promotes data to synced; a power cut reverts data to synced, except
+// that the last unsynced write may tear in at sector granularity.
+type fnode struct {
+	synced []byte
+	data   []byte
+	// lastWrite is the most recent unsynced write's extent (tearing
+	// candidate); nil after Sync or when no write happened.
+	lastOff int64
+	lastLen int
+	hasLast bool
+}
+
+// nsOp is a pending (not yet dir-fsynced) namespace mutation with its
+// undo. Power cut undoes pending ops in reverse order; SyncDir
+// commits the ops pending against one directory.
+type nsOp struct {
+	dir  string
+	undo func(f *FaultFS)
+}
+
+// FaultFS is a deterministic, fully in-memory filesystem implementing
+// strict POSIX crash semantics:
+//
+//   - File writes are volatile until File.Sync; a power cut reverts
+//     each file to its last-synced image, optionally tearing the last
+//     unsynced write at sector granularity (seeded, or driven by a
+//     TearMask hook for table-driven tests).
+//   - Namespace changes (create, rename, remove) are volatile until
+//     SyncDir on the parent directory; a power cut rolls pending ones
+//     back in reverse order. Syncing a file does NOT persist its
+//     directory entry, exactly as on ext4/xfs with default mounts.
+//   - Fault rules inject seeded transient or permanent errors, or a
+//     power cut, at the Nth operation matching an (op, dir, base-glob)
+//     trigger, with match/fire counters exposed for assertions.
+//   - A bounded trace of recent operations supports failure repro.
+//
+// Directories are durable upon creation — a deliberate simplification
+// (MkdirAll happens once at setup in every caller, never on a crash
+// path worth modelling).
+//
+// All methods are safe for concurrent use.
+type FaultFS struct {
+	mu sync.Mutex
+
+	// SectorSize is the tearing granularity in bytes. Set before use;
+	// defaults to 512.
+	sectorSize int
+	// tornWrites enables tearing the last unsynced write on power cut;
+	// when false the write is dropped whole.
+	tornWrites bool
+	// tearMask, when non-nil, overrides the seeded RNG: it receives
+	// the file path and per-sector count of the last unsynced write
+	// and returns which sectors persist. Used by table-driven tests.
+	tearMask func(path string, sectors int) []bool
+
+	rng    *rand.Rand
+	files  map[string]*fnode
+	dirs   map[string]bool
+	pend   []nsOp
+	frozen bool
+	gen    uint64
+	cuts   int
+
+	rules []*ruleState
+	ops   map[Op]int64
+
+	trace    []TraceEntry
+	traceSeq uint64
+}
+
+type ruleState struct {
+	r       Rule
+	matched int
+	fired   int
+}
+
+// NewFaultFS returns an empty FaultFS whose tearing decisions are
+// driven by seed. The root directory "/" exists.
+func NewFaultFS(seed int64) *FaultFS {
+	return &FaultFS{
+		sectorSize: 512,
+		rng:        rand.New(rand.NewSource(seed)),
+		files:      make(map[string]*fnode),
+		dirs:       map[string]bool{"/": true},
+		ops:        make(map[Op]int64),
+	}
+}
+
+// SetSectorSize sets the tearing granularity (bytes). Small values
+// (e.g. 4) let tests tear sub-512-byte structures such as the 16-byte
+// watermark slots.
+func (f *FaultFS) SetSectorSize(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n > 0 {
+		f.sectorSize = n
+	}
+}
+
+// SetTornWrites enables or disables sector tearing of the last
+// unsynced write on power cut. Disabled, the write drops whole.
+func (f *FaultFS) SetTornWrites(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tornWrites = on
+}
+
+// SetTearMask installs a deterministic tearing hook for table-driven
+// tests: fn receives the file path and the sector count of the last
+// unsynced write, and returns which sectors persist. nil restores the
+// seeded RNG behaviour.
+func (f *FaultFS) SetTearMask(fn func(path string, sectors int) []bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tearMask = fn
+}
+
+// AddRule arms a fault rule and returns its index for RuleStats.
+func (f *FaultFS) AddRule(r Rule) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, &ruleState{r: r})
+	return len(f.rules) - 1
+}
+
+// ClearRules disarms all fault rules.
+func (f *FaultFS) ClearRules() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+// RuleStats returns the match/fire counters of every armed rule, in
+// AddRule order.
+func (f *FaultFS) RuleStats() []RuleStat {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]RuleStat, len(f.rules))
+	for i, rs := range f.rules {
+		out[i] = RuleStat{Rule: rs.r, Matched: rs.matched, Fired: rs.fired}
+	}
+	return out
+}
+
+// OpCounts returns the total number of operations seen per class,
+// including ones that failed or were refused.
+func (f *FaultFS) OpCounts() map[Op]int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[Op]int64, len(f.ops))
+	for k, v := range f.ops {
+		out[k] = v
+	}
+	return out
+}
+
+// Trace returns the most recent operations, oldest first, capped at
+// an internal bound. Use it to reproduce and report fault scenarios.
+func (f *FaultFS) Trace() []TraceEntry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]TraceEntry, len(f.trace))
+	copy(out, f.trace)
+	return out
+}
+
+// Cuts reports how many power cuts this FaultFS has suffered.
+func (f *FaultFS) Cuts() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cuts
+}
+
+// PowerCut simulates sudden power loss: every subsequent operation —
+// including ones on already-open files — fails with ErrPowerCut until
+// Recover is called.
+func (f *FaultFS) PowerCut() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cut()
+}
+
+func (f *FaultFS) cut() {
+	if f.frozen {
+		return
+	}
+	f.frozen = true
+	f.cuts++
+}
+
+// Recover models the machine coming back up: pending namespace
+// operations roll back in reverse order, every file's volatile image
+// reverts to its last-synced bytes (with the last unsynced write
+// optionally torn in at sector granularity), and the filesystem
+// accepts operations again. Handles opened before the cut stay dead.
+func (f *FaultFS) Recover() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.frozen {
+		return
+	}
+	for i := len(f.pend) - 1; i >= 0; i-- {
+		f.pend[i].undo(f)
+	}
+	f.pend = nil
+	for p, n := range f.files {
+		f.revert(p, n)
+	}
+	f.frozen = false
+	f.gen++
+}
+
+// revert rolls a file's volatile image back to its synced bytes,
+// tearing the last unsynced write in at sector granularity when
+// enabled.
+func (f *FaultFS) revert(path string, n *fnode) {
+	if f.tornWrites && n.hasLast && n.lastLen > 0 {
+		sectors := (n.lastLen + f.sectorSize - 1) / f.sectorSize
+		var keep []bool
+		if f.tearMask != nil {
+			keep = f.tearMask(path, sectors)
+		} else {
+			keep = make([]bool, sectors)
+			for i := range keep {
+				keep[i] = f.rng.Intn(2) == 0
+			}
+		}
+		img := append([]byte(nil), n.synced...)
+		for s := 0; s < sectors && s < len(keep); s++ {
+			if !keep[s] {
+				continue
+			}
+			off := n.lastOff + int64(s*f.sectorSize)
+			end := off + int64(f.sectorSize)
+			if max := n.lastOff + int64(n.lastLen); end > max {
+				end = max
+			}
+			if int64(len(img)) < end {
+				img = append(img, make([]byte, end-int64(len(img)))...)
+			}
+			copy(img[off:end], n.data[off:end])
+		}
+		n.synced = img
+	}
+	n.data = append([]byte(nil), n.synced...)
+	n.hasLast = false
+}
+
+// record appends to the bounded op trace. Caller holds mu.
+func (f *FaultFS) record(op Op, path string, off int64, length int, err error) {
+	f.ops[op]++
+	f.traceSeq++
+	e := TraceEntry{Seq: f.traceSeq, Op: op, Path: path, Off: off, Len: length, Err: err}
+	if len(f.trace) == traceCap {
+		copy(f.trace, f.trace[1:])
+		f.trace[traceCap-1] = e
+	} else {
+		f.trace = append(f.trace, e)
+	}
+}
+
+// check runs the fault rules for one operation. It returns the
+// injected error (nil if none fired) and whether a power cut should
+// happen after the operation's mutation is applied — true only for
+// Cut rules on write-class ops, so the triggering write lands in the
+// volatile image and becomes the tearing candidate. Caller holds mu.
+func (f *FaultFS) check(op Op, path string) (error, bool) {
+	for _, rs := range f.rules {
+		if rs.r.Op != "" && rs.r.Op != op {
+			continue
+		}
+		if rs.r.Dir != "" && filepath.Dir(path) != filepath.Clean(rs.r.Dir) {
+			continue
+		}
+		if rs.r.Path != "" {
+			ok, _ := filepath.Match(rs.r.Path, filepath.Base(path))
+			if !ok {
+				continue
+			}
+		}
+		rs.matched++
+		if rs.matched <= rs.r.After {
+			continue
+		}
+		if rs.r.Times > 0 && rs.fired >= rs.r.Times {
+			continue
+		}
+		rs.fired++
+		if rs.r.Cut {
+			if op == OpWrite || op == OpTruncate {
+				return nil, true
+			}
+			f.cut()
+			return ErrPowerCut, false
+		}
+		if rs.r.Err != nil {
+			return rs.r.Err, false
+		}
+		return ErrInjected, false
+	}
+	return nil, false
+}
+
+// enter is the common op prologue: frozen check, trace, rules.
+// Returns (injectErr, cutAfter). Caller holds mu.
+func (f *FaultFS) enter(op Op, path string, off int64, length int) (error, bool) {
+	if f.frozen {
+		f.record(op, path, off, length, ErrPowerCut)
+		return ErrPowerCut, false
+	}
+	err, cutAfter := f.check(op, path)
+	f.record(op, path, off, length, err)
+	return err, cutAfter
+}
+
+func patherr(op Op, path string, err error) error {
+	return &os.PathError{Op: string(op), Path: path, Err: err}
+}
+
+// OpenFile implements FS. The parent directory must exist; O_CREATE,
+// O_EXCL and O_TRUNC behave as in the os package. Creation and
+// truncation are namespace/content mutations with the usual
+// volatile-until-synced semantics.
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = filepath.Clean(name)
+	if err, _ := f.enter(OpOpen, name, 0, 0); err != nil {
+		return nil, patherr(OpOpen, name, err)
+	}
+	if f.dirs[name] {
+		return nil, patherr(OpOpen, name, errors.New("is a directory"))
+	}
+	n, ok := f.files[name]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, patherr(OpOpen, name, os.ErrNotExist)
+	case ok && flag&os.O_CREATE != 0 && flag&os.O_EXCL != 0:
+		return nil, patherr(OpOpen, name, os.ErrExist)
+	case !ok:
+		if !f.dirs[filepath.Dir(name)] {
+			return nil, patherr(OpOpen, name, os.ErrNotExist)
+		}
+		n = &fnode{}
+		f.files[name] = n
+		created := name
+		f.pend = append(f.pend, nsOp{dir: filepath.Dir(name), undo: func(f *FaultFS) {
+			delete(f.files, created)
+		}})
+	}
+	if flag&os.O_TRUNC != 0 {
+		n.data = nil
+		n.hasLast = false
+	}
+	h := &faultFile{fs: f, path: name, n: n, gen: f.gen}
+	if flag&os.O_APPEND != 0 {
+		h.off = int64(len(n.data))
+	}
+	return h, nil
+}
+
+// Rename implements FS: atomic replace, volatile until SyncDir on the
+// new name's parent. A crash before that sync restores the old name
+// and any overwritten target.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	oldname, newname = filepath.Clean(oldname), filepath.Clean(newname)
+	if err, _ := f.enter(OpRename, newname, 0, 0); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldname, New: newname, Err: err}
+	}
+	src, ok := f.files[oldname]
+	if !ok {
+		return &os.LinkError{Op: "rename", Old: oldname, New: newname, Err: os.ErrNotExist}
+	}
+	if !f.dirs[filepath.Dir(newname)] {
+		return &os.LinkError{Op: "rename", Old: oldname, New: newname, Err: os.ErrNotExist}
+	}
+	overwritten, had := f.files[newname]
+	delete(f.files, oldname)
+	f.files[newname] = src
+	on, nn := oldname, newname
+	f.pend = append(f.pend, nsOp{dir: filepath.Dir(newname), undo: func(f *FaultFS) {
+		f.files[on] = src
+		if had {
+			f.files[nn] = overwritten
+		} else {
+			delete(f.files, nn)
+		}
+	}})
+	return nil
+}
+
+// Remove implements FS: the unlink is volatile until SyncDir on the
+// parent; a crash before that sync restores the file.
+func (f *FaultFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = filepath.Clean(name)
+	if err, _ := f.enter(OpRemove, name, 0, 0); err != nil {
+		return patherr(OpRemove, name, err)
+	}
+	return f.removeLocked(name)
+}
+
+func (f *FaultFS) removeLocked(name string) error {
+	if n, ok := f.files[name]; ok {
+		delete(f.files, name)
+		f.pend = append(f.pend, nsOp{dir: filepath.Dir(name), undo: func(f *FaultFS) {
+			f.files[name] = n
+		}})
+		return nil
+	}
+	if f.dirs[name] {
+		for p := range f.files {
+			if filepath.Dir(p) == name {
+				return patherr(OpRemove, name, errors.New("directory not empty"))
+			}
+		}
+		delete(f.dirs, name)
+		f.pend = append(f.pend, nsOp{dir: filepath.Dir(name), undo: func(f *FaultFS) {
+			f.dirs[name] = true
+		}})
+		return nil
+	}
+	return patherr(OpRemove, name, os.ErrNotExist)
+}
+
+// RemoveAll implements FS by removing the named tree, deepest entries
+// first. Each unlink is individually volatile until the relevant
+// directory syncs.
+func (f *FaultFS) RemoveAll(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	path = filepath.Clean(path)
+	if err, _ := f.enter(OpRemove, path, 0, 0); err != nil {
+		return patherr(OpRemove, path, err)
+	}
+	var victims []string
+	for p := range f.files {
+		if p == path || strings.HasPrefix(p, path+string(filepath.Separator)) {
+			victims = append(victims, p)
+		}
+	}
+	var dirVictims []string
+	for d := range f.dirs {
+		if d == path || strings.HasPrefix(d, path+string(filepath.Separator)) {
+			dirVictims = append(dirVictims, d)
+		}
+	}
+	for _, p := range victims {
+		if err := f.removeLocked(p); err != nil {
+			return err
+		}
+	}
+	// Deepest directories first so "not empty" checks pass.
+	sort.Slice(dirVictims, func(i, j int) bool { return len(dirVictims[i]) > len(dirVictims[j]) })
+	for _, d := range dirVictims {
+		if err := f.removeLocked(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MkdirAll implements FS. Created directories are durable immediately
+// — a documented simplification: every caller creates its directories
+// once at setup, never on a crash path.
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	path = filepath.Clean(path)
+	if err, _ := f.enter(OpMkdir, path, 0, 0); err != nil {
+		return patherr(OpMkdir, path, err)
+	}
+	if f.files[path] != nil {
+		return patherr(OpMkdir, path, errors.New("not a directory"))
+	}
+	for p := path; ; p = filepath.Dir(p) {
+		f.dirs[p] = true
+		if p == filepath.Dir(p) {
+			break
+		}
+	}
+	return nil
+}
+
+// ReadDir implements FS, listing files and subdirectories in name
+// order. Entries reflect the volatile namespace, as a live process
+// would see it.
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = filepath.Clean(name)
+	if err, _ := f.enter(OpReadDir, name, 0, 0); err != nil {
+		return nil, patherr(OpReadDir, name, err)
+	}
+	if !f.dirs[name] {
+		return nil, patherr(OpReadDir, name, os.ErrNotExist)
+	}
+	var out []os.DirEntry
+	for p, n := range f.files {
+		if filepath.Dir(p) == name {
+			out = append(out, &faultDirEntry{name: filepath.Base(p), size: int64(len(n.data))})
+		}
+	}
+	for d := range f.dirs {
+		if d != name && filepath.Dir(d) == name {
+			out = append(out, &faultDirEntry{name: filepath.Base(d), dir: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out, nil
+}
+
+// Stat implements FS against the volatile namespace.
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = filepath.Clean(name)
+	if err, _ := f.enter(OpStat, name, 0, 0); err != nil {
+		return nil, patherr(OpStat, name, err)
+	}
+	if n, ok := f.files[name]; ok {
+		return &faultFileInfo{name: filepath.Base(name), size: int64(len(n.data))}, nil
+	}
+	if f.dirs[name] {
+		return &faultFileInfo{name: filepath.Base(name), dir: true}, nil
+	}
+	return nil, patherr(OpStat, name, os.ErrNotExist)
+}
+
+// ReadFile implements FS, returning a copy of the volatile contents.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = filepath.Clean(name)
+	if err, _ := f.enter(OpRead, name, 0, -1); err != nil {
+		return nil, patherr(OpRead, name, err)
+	}
+	n, ok := f.files[name]
+	if !ok {
+		return nil, patherr(OpRead, name, os.ErrNotExist)
+	}
+	return append([]byte(nil), n.data...), nil
+}
+
+// SyncDir implements FS: all pending namespace operations in dir
+// become durable (they survive a power cut).
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dir = filepath.Clean(dir)
+	if err, _ := f.enter(OpSyncDir, dir, 0, 0); err != nil {
+		return patherr(OpSyncDir, dir, err)
+	}
+	if !f.dirs[dir] {
+		return patherr(OpSyncDir, dir, os.ErrNotExist)
+	}
+	kept := f.pend[:0]
+	for _, op := range f.pend {
+		if op.dir != dir {
+			kept = append(kept, op)
+		}
+	}
+	f.pend = kept
+	return nil
+}
+
+var _ FS = (*FaultFS)(nil)
+
+// faultFile is an open handle on a FaultFS file. It dies with the
+// generation it was opened in: after a power cut + Recover, leftover
+// handles keep failing, like fds of a dead process.
+type faultFile struct {
+	fs     *FaultFS
+	path   string
+	n      *fnode
+	gen    uint64
+	off    int64
+	closed bool
+}
+
+// stale reports whether the handle outlived its filesystem
+// generation or was closed. Caller holds fs.mu.
+func (h *faultFile) stale() error {
+	if h.closed {
+		return os.ErrClosed
+	}
+	if h.gen != h.fs.gen {
+		return ErrPowerCut
+	}
+	return nil
+}
+
+// ReadAt implements io.ReaderAt with standard partial-read + io.EOF
+// semantics against the volatile image.
+func (h *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.stale(); err != nil {
+		return 0, patherr(OpRead, h.path, err)
+	}
+	if err, _ := h.fs.enter(OpRead, h.path, off, len(p)); err != nil {
+		return 0, patherr(OpRead, h.path, err)
+	}
+	if off >= int64(len(h.n.data)) {
+		return 0, io.EOF
+	}
+	nn := copy(p, h.n.data[off:])
+	if nn < len(p) {
+		return nn, io.EOF
+	}
+	return nn, nil
+}
+
+// WriteAt implements io.WriterAt into the volatile image; the write
+// becomes the file's torn-write candidate until the next Sync.
+func (h *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.stale(); err != nil {
+		return 0, patherr(OpWrite, h.path, err)
+	}
+	err, cutAfter := h.fs.enter(OpWrite, h.path, off, len(p))
+	if err != nil {
+		return 0, patherr(OpWrite, h.path, err)
+	}
+	h.writeLocked(p, off)
+	if cutAfter {
+		h.fs.cut()
+		return 0, patherr(OpWrite, h.path, ErrPowerCut)
+	}
+	return len(p), nil
+}
+
+// writeLocked applies a write to the volatile image and records it as
+// the tearing candidate. Caller holds fs.mu.
+func (h *faultFile) writeLocked(p []byte, off int64) {
+	end := off + int64(len(p))
+	if int64(len(h.n.data)) < end {
+		h.n.data = append(h.n.data, make([]byte, end-int64(len(h.n.data)))...)
+	}
+	copy(h.n.data[off:end], p)
+	h.n.lastOff, h.n.lastLen, h.n.hasLast = off, len(p), true
+}
+
+// Write implements sequential io.Writer at the handle's offset.
+func (h *faultFile) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.stale(); err != nil {
+		return 0, patherr(OpWrite, h.path, err)
+	}
+	err, cutAfter := h.fs.enter(OpWrite, h.path, h.off, len(p))
+	if err != nil {
+		return 0, patherr(OpWrite, h.path, err)
+	}
+	h.writeLocked(p, h.off)
+	h.off += int64(len(p))
+	if cutAfter {
+		h.fs.cut()
+		return 0, patherr(OpWrite, h.path, ErrPowerCut)
+	}
+	return len(p), nil
+}
+
+// Sync promotes the volatile image to the durable one. It does not
+// make the file's directory entry durable.
+func (h *faultFile) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.stale(); err != nil {
+		return patherr(OpSync, h.path, err)
+	}
+	if err, _ := h.fs.enter(OpSync, h.path, 0, 0); err != nil {
+		return patherr(OpSync, h.path, err)
+	}
+	h.n.synced = append([]byte(nil), h.n.data...)
+	h.n.hasLast = false
+	return nil
+}
+
+// Truncate resizes the volatile image; like any write it is lost on a
+// power cut unless synced first (the journal-retirement pattern).
+func (h *faultFile) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.stale(); err != nil {
+		return patherr(OpTruncate, h.path, err)
+	}
+	err, cutAfter := h.fs.enter(OpTruncate, h.path, size, 0)
+	if err != nil {
+		return patherr(OpTruncate, h.path, err)
+	}
+	if cutAfter {
+		h.fs.cut()
+		return patherr(OpTruncate, h.path, ErrPowerCut)
+	}
+	if size <= int64(len(h.n.data)) {
+		h.n.data = h.n.data[:size]
+	} else {
+		h.n.data = append(h.n.data, make([]byte, size-int64(len(h.n.data)))...)
+	}
+	h.n.hasLast = false
+	return nil
+}
+
+// Stat reports the handle's volatile size.
+func (h *faultFile) Stat() (os.FileInfo, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.stale(); err != nil {
+		return nil, patherr(OpStat, h.path, err)
+	}
+	if err, _ := h.fs.enter(OpStat, h.path, 0, 0); err != nil {
+		return nil, patherr(OpStat, h.path, err)
+	}
+	return &faultFileInfo{name: filepath.Base(h.path), size: int64(len(h.n.data))}, nil
+}
+
+// Close invalidates the handle. Closing is never faulted — a real
+// close of an already-written fd cannot lose data that fsync promised.
+func (h *faultFile) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	h.closed = true
+	h.fs.record(OpClose, h.path, 0, 0, nil)
+	return nil
+}
+
+var _ File = (*faultFile)(nil)
+
+// faultFileInfo implements os.FileInfo for FaultFS entries.
+type faultFileInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+// Name implements os.FileInfo.
+func (i *faultFileInfo) Name() string { return i.name }
+
+// Size implements os.FileInfo.
+func (i *faultFileInfo) Size() int64 { return i.size }
+
+// Mode implements os.FileInfo.
+func (i *faultFileInfo) Mode() iofs.FileMode {
+	if i.dir {
+		return iofs.ModeDir | 0o755
+	}
+	return 0o644
+}
+
+// ModTime implements os.FileInfo; FaultFS does not track times.
+func (i *faultFileInfo) ModTime() time.Time { return time.Time{} }
+
+// IsDir implements os.FileInfo.
+func (i *faultFileInfo) IsDir() bool { return i.dir }
+
+// Sys implements os.FileInfo.
+func (i *faultFileInfo) Sys() any { return nil }
+
+// faultDirEntry implements os.DirEntry for ReadDir listings.
+type faultDirEntry struct {
+	name string
+	size int64
+	dir  bool
+}
+
+// Name implements os.DirEntry.
+func (e *faultDirEntry) Name() string { return e.name }
+
+// IsDir implements os.DirEntry.
+func (e *faultDirEntry) IsDir() bool { return e.dir }
+
+// Type implements os.DirEntry.
+func (e *faultDirEntry) Type() iofs.FileMode {
+	if e.dir {
+		return iofs.ModeDir
+	}
+	return 0
+}
+
+// Info implements os.DirEntry.
+func (e *faultDirEntry) Info() (iofs.FileInfo, error) {
+	return &faultFileInfo{name: e.name, size: e.size, dir: e.dir}, nil
+}

@@ -1,0 +1,322 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpen(t *testing.T, fs FS, path string, flag int) File {
+	t.Helper()
+	f, err := fs.OpenFile(path, flag, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile(%s): %v", path, err)
+	}
+	return f
+}
+
+func writeAt(t *testing.T, f File, b []byte, off int64) {
+	t.Helper()
+	if _, err := f.WriteAt(b, off); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+}
+
+func readAll(t *testing.T, fs FS, path string) []byte {
+	t.Helper()
+	b, err := fs.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile(%s): %v", path, err)
+	}
+	return b
+}
+
+// TestFaultFSUnsyncedWritesDrop is the core crash model: synced bytes
+// survive a power cut, unsynced bytes vanish.
+func TestFaultFSUnsyncedWritesDrop(t *testing.T) {
+	fs := NewFaultFS(1)
+	if err := fs.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f := mustOpen(t, fs, "/d/a", os.O_CREATE|os.O_RDWR)
+	writeAt(t, f, []byte("durable"), 0)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.SyncDir("/d") // commit the create
+	writeAt(t, f, []byte("volatile"), 7)
+
+	fs.PowerCut()
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("write after cut: err=%v, want ErrPowerCut", err)
+	}
+	fs.Recover()
+
+	if got := string(readAll(t, fs, "/d/a")); got != "durable" {
+		t.Fatalf("after crash: %q, want only the synced prefix %q", got, "durable")
+	}
+	// The old handle died with the incarnation.
+	if _, err := f.WriteAt([]byte("x"), 0); err == nil {
+		t.Fatal("pre-crash handle still usable after recover")
+	}
+}
+
+// TestFaultFSUnsyncedCreateRollsBack checks namespace volatility: a
+// created file needs its parent directory synced to survive.
+func TestFaultFSUnsyncedCreateRollsBack(t *testing.T) {
+	fs := NewFaultFS(1)
+	fs.MkdirAll("/d", 0o755)
+	for _, syncDir := range []bool{false, true} {
+		name := "/d/nosync"
+		if syncDir {
+			name = "/d/withsync"
+		}
+		f := mustOpen(t, fs, name, os.O_CREATE|os.O_RDWR)
+		writeAt(t, f, []byte("x"), 0)
+		f.Sync()
+		f.Close()
+		if syncDir {
+			if err := fs.SyncDir("/d"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fs.PowerCut()
+		fs.Recover()
+		_, err := fs.Stat(name)
+		if syncDir && err != nil {
+			t.Fatalf("create+file sync+dir sync lost across crash: %v", err)
+		}
+		if !syncDir && err == nil {
+			t.Fatal("create without parent-dir sync survived the crash")
+		}
+	}
+}
+
+// TestFaultFSRenameRollsBack checks the install idiom: a rename is
+// volatile until the parent dir syncs, and rolling it back restores
+// an overwritten destination.
+func TestFaultFSRenameRollsBack(t *testing.T) {
+	fs := NewFaultFS(1)
+	fs.MkdirAll("/d", 0o755)
+	for _, name := range []string{"/d/dst", "/d/src"} {
+		f := mustOpen(t, fs, name, os.O_CREATE|os.O_RDWR)
+		writeAt(t, f, []byte(filepath.Base(name)), 0)
+		f.Sync()
+		f.Close()
+	}
+	fs.SyncDir("/d")
+
+	if err := fs.Rename("/d/src", "/d/dst"); err != nil {
+		t.Fatal(err)
+	}
+	fs.PowerCut()
+	fs.Recover()
+	if got := string(readAll(t, fs, "/d/dst")); got != "dst" {
+		t.Fatalf("unsynced rename persisted: dst=%q, want original %q", got, "dst")
+	}
+	if _, err := fs.Stat("/d/src"); err != nil {
+		t.Fatalf("rename rollback lost the source: %v", err)
+	}
+
+	// Same rename, now committed with a dir sync.
+	if err := fs.Rename("/d/src", "/d/dst"); err != nil {
+		t.Fatal(err)
+	}
+	fs.SyncDir("/d")
+	fs.PowerCut()
+	fs.Recover()
+	if got := string(readAll(t, fs, "/d/dst")); got != "src" {
+		t.Fatalf("synced rename lost: dst=%q, want %q", got, "src")
+	}
+	if _, err := fs.Stat("/d/src"); err == nil {
+		t.Fatal("synced rename resurrected the source")
+	}
+}
+
+// TestFaultFSRemoveRollsBack: an unsynced remove comes back after a
+// crash with its last-synced contents.
+func TestFaultFSRemoveRollsBack(t *testing.T) {
+	fs := NewFaultFS(1)
+	fs.MkdirAll("/d", 0o755)
+	f := mustOpen(t, fs, "/d/a", os.O_CREATE|os.O_RDWR)
+	writeAt(t, f, []byte("keep"), 0)
+	f.Sync()
+	f.Close()
+	fs.SyncDir("/d")
+
+	if err := fs.Remove("/d/a"); err != nil {
+		t.Fatal(err)
+	}
+	fs.PowerCut()
+	fs.Recover()
+	if got := string(readAll(t, fs, "/d/a")); got != "keep" {
+		t.Fatalf("unsynced remove stuck: %q, want %q", got, "keep")
+	}
+}
+
+// TestFaultFSTornWrite tears the last unsynced write at sector
+// granularity under a deterministic mask.
+func TestFaultFSTornWrite(t *testing.T) {
+	fs := NewFaultFS(1)
+	fs.SetSectorSize(4)
+	fs.SetTornWrites(true)
+	fs.MkdirAll("/d", 0o755)
+	f := mustOpen(t, fs, "/d/a", os.O_CREATE|os.O_RDWR)
+	writeAt(t, f, []byte("AAAABBBBCCCC"), 0)
+	f.Sync()
+	fs.SyncDir("/d")
+
+	// One 12-byte overwrite = 3 sectors; keep only the middle one.
+	writeAt(t, f, []byte("XXXXYYYYZZZZ"), 0)
+	fs.SetTearMask(func(path string, sectors int) []bool {
+		if sectors != 3 {
+			t.Errorf("tear mask saw %d sectors, want 3", sectors)
+		}
+		return []bool{false, true, false}
+	})
+	fs.PowerCut()
+	fs.Recover()
+	if got := string(readAll(t, fs, "/d/a")); got != "AAAAYYYYCCCC" {
+		t.Fatalf("torn image %q, want %q", got, "AAAAYYYYCCCC")
+	}
+}
+
+// TestFaultFSRules exercises trigger matching: After skips, Times
+// limits, counters track, and errors are the configured ones.
+func TestFaultFSRules(t *testing.T) {
+	fs := NewFaultFS(1)
+	fs.MkdirAll("/d", 0o755)
+	boom := errors.New("boom")
+	id := fs.AddRule(Rule{Op: OpWrite, Dir: "/d", Path: "a*", After: 2, Times: 2, Err: boom})
+
+	f := mustOpen(t, fs, "/d/ax", os.O_CREATE|os.O_RDWR)
+	other := mustOpen(t, fs, "/d/b", os.O_CREATE|os.O_RDWR)
+	var errs int
+	for i := 0; i < 6; i++ {
+		if _, err := f.WriteAt([]byte("w"), int64(i)); err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("write %d: err=%v, want boom", i, err)
+			}
+			errs++
+		}
+		// Non-matching base name never faults.
+		if _, err := other.WriteAt([]byte("w"), int64(i)); err != nil {
+			t.Fatalf("unmatched write faulted: %v", err)
+		}
+	}
+	if errs != 2 {
+		t.Fatalf("rule fired %d times, want 2 (After=2, Times=2)", errs)
+	}
+	st := fs.RuleStats()[id]
+	if st.Matched != 6 || st.Fired != 2 {
+		t.Fatalf("stats matched=%d fired=%d, want 6/2", st.Matched, st.Fired)
+	}
+}
+
+// TestFaultFSCutOnWrite: a Cut rule on a write applies that write
+// first — it becomes the torn-tail candidate — then freezes the fs.
+func TestFaultFSCutOnWrite(t *testing.T) {
+	fs := NewFaultFS(1)
+	fs.MkdirAll("/d", 0o755)
+	f := mustOpen(t, fs, "/d/a", os.O_CREATE|os.O_RDWR)
+	writeAt(t, f, []byte("base"), 0)
+	f.Sync()
+	fs.SyncDir("/d")
+
+	fs.AddRule(Rule{Op: OpWrite, Dir: "/d", Path: "a", Cut: true})
+	if _, err := f.WriteAt([]byte("tail"), 4); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("cut write err=%v, want ErrPowerCut", err)
+	}
+	if fs.Cuts() != 1 {
+		t.Fatalf("cuts=%d, want 1", fs.Cuts())
+	}
+	fs.Recover()
+	// Tearing is off: the cut write drops whole.
+	if got := string(readAll(t, fs, "/d/a")); got != "base" {
+		t.Fatalf("after cut-on-write: %q, want %q", got, "base")
+	}
+}
+
+// TestFaultFSTrace confirms the op trace records faults for replay
+// diagnostics.
+func TestFaultFSTrace(t *testing.T) {
+	fs := NewFaultFS(1)
+	fs.MkdirAll("/d", 0o755)
+	f := mustOpen(t, fs, "/d/a", os.O_CREATE|os.O_RDWR)
+	writeAt(t, f, []byte("x"), 0)
+	f.Sync()
+	var sawWrite, sawSync bool
+	for _, e := range fs.Trace() {
+		if e.Path != "/d/a" {
+			continue
+		}
+		switch e.Op {
+		case OpWrite:
+			sawWrite = true
+		case OpSync:
+			sawSync = true
+		}
+		if e.String() == "" {
+			t.Fatal("empty trace entry rendering")
+		}
+	}
+	if !sawWrite || !sawSync {
+		t.Fatalf("trace missing ops: write=%v sync=%v", sawWrite, sawSync)
+	}
+}
+
+// TestFaultFSReadSemantics checks ReadAt's io semantics match os.File:
+// short reads at EOF return io.EOF with the partial count.
+func TestFaultFSReadSemantics(t *testing.T) {
+	fs := NewFaultFS(1)
+	fs.MkdirAll("/d", 0o755)
+	f := mustOpen(t, fs, "/d/a", os.O_CREATE|os.O_RDWR)
+	writeAt(t, f, []byte("hello"), 0)
+	buf := make([]byte, 8)
+	n, err := f.ReadAt(buf, 0)
+	if n != 5 || !errors.Is(err, io.EOF) {
+		t.Fatalf("short ReadAt = (%d, %v), want (5, io.EOF)", n, err)
+	}
+	n, err = f.ReadAt(buf[:2], 2)
+	if n != 2 || err != nil {
+		t.Fatalf("inner ReadAt = (%d, %v), want (2, nil)", n, err)
+	}
+}
+
+// TestOSPassthrough sanity-checks the production FS against a real
+// temp dir: write, sync, dir-sync, rename, read back.
+func TestOSPassthrough(t *testing.T) {
+	fs := OS{}
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a.tmp")
+	f, err := fs.OpenFile(p, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final := filepath.Join(dir, "a")
+	if err := fs.Rename(p, final); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.ReadFile(final)
+	if err != nil || string(b) != "data" {
+		t.Fatalf("read back (%q, %v), want (%q, nil)", b, err, "data")
+	}
+	ents, err := fs.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "a" {
+		t.Fatalf("ReadDir = (%v, %v), want single entry 'a'", ents, err)
+	}
+}
