@@ -1,7 +1,7 @@
 # Tier-1 verification is `make ci` (build + vet + docs + test + bench smoke).
 GO ?= go
 
-.PHONY: build test test-short test-race vet docs bench-smoke soak-smoke soak ci
+.PHONY: build test test-short test-race vet docs bench-smoke soak-smoke soak fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,11 @@ test-short:
 	$(GO) test -short ./...
 
 # Race-checks the concurrency-heavy packages: the log manager, the log
-# buffer variants, the transaction engine, and the buffer pool's
-# eviction/pin machinery in storage.
+# buffer variants, the transaction engine, the buffer pool's
+# eviction/pin machinery in storage, and the wire server/client (one
+# goroutine per connection plus writer and ack callbacks).
 test-race:
-	$(GO) test -race -short ./internal/core ./internal/logbuf ./internal/txn ./internal/logdev ./internal/storage
+	$(GO) test -race -short ./internal/core ./internal/logbuf ./internal/txn ./internal/logdev ./internal/storage ./internal/wire
 
 vet:
 	$(GO) vet ./...
@@ -36,18 +37,21 @@ docs: vet
 		./internal/logdev ./internal/logrec ./internal/lsn \
 		./internal/metrics ./internal/recovery ./internal/soak \
 		./internal/storage ./internal/txn ./internal/vfs \
-		./internal/workload
+		./internal/wire ./internal/workload
 
 # Small-scale perf smoke: vet plus a quick aetherbench run that
-# refreshes BENCH_pr6.json, so the perf trajectory (throughput, sweep
+# refreshes BENCH_pr8.json, so the perf trajectory (throughput, sweep
 # fsyncs/duration, larger-than-memory miss rate, demand steals vs
-# cleaner writes, cold-scan speedup and prefetch hit rate) is tracked on
-# every CI pass — and the fresh run's demand-steal rate is diffed
-# against the committed baseline, failing on regression, with a 0.30
-# prefetch-hit-rate floor on the scan scenario. The heavier bench
-# assertions in the test suite respect -short, keeping tier-1 fast.
+# cleaner writes, cold-scan speedup and prefetch hit rate, network-path
+# TPS over real client processes) is tracked on every CI pass — the
+# fresh run's demand-steal rate and net TPS are diffed against the
+# committed baseline, failing on regression, with a 0.30
+# prefetch-hit-rate floor on the scan scenario, a 0.5 flushes/commit
+# ceiling on the pipelined network runs, and a zero-lost-acks
+# requirement. The heavier bench assertions in the test suite respect
+# -short, keeping tier-1 fast.
 bench-smoke: vet
-	$(GO) run ./cmd/aetherbench -quick -json -baseline BENCH_pr6.json
+	$(GO) run ./cmd/aetherbench -quick -json -baseline BENCH_pr8.json
 
 # Crash-storm smoke: a fixed-seed run of the fault-injection soak
 # harness — 25 power-cut/recover cycles across every fault point
@@ -64,4 +68,13 @@ soak: SEED ?= 1
 soak:
 	$(GO) run ./cmd/aethersoak -cycles 500 -seed $(SEED)
 
-ci: build vet docs test test-race bench-smoke soak-smoke
+# Short coverage-guided fuzz runs over the wire protocol's decoders:
+# hostile frames must never panic, over-allocate, or round-trip
+# asymmetrically. Ten seconds per target is enough to exercise the
+# mutation corpus on every CI pass; run `go test -fuzz` by hand with a
+# longer -fuzztime to dig.
+fuzz-smoke:
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime 10s
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzRequestRoundTrip$$' -fuzztime 10s
+
+ci: build vet docs test test-race bench-smoke soak-smoke fuzz-smoke

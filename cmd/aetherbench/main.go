@@ -6,8 +6,9 @@
 //	aetherbench -fig fig3            # one figure, full scale
 //	aetherbench -fig fig8left -quick # one figure, fast parameters
 //	aetherbench -all                 # everything, in paper order
-//	aetherbench -json                # machine-readable perf report → BENCH_pr6.json
-//	aetherbench -json -baseline BENCH_pr6.json  # …and diff demand steals vs the committed baseline
+//	aetherbench -json                # machine-readable perf report → BENCH_pr8.json
+//	aetherbench -json -baseline BENCH_pr8.json  # …and diff key counters vs the committed baseline
+//	aetherbench -net                 # network path only: aetherd wire server vs client processes
 //	aetherbench -list                # list experiment names
 package main
 
@@ -33,10 +34,32 @@ func main() {
 		quick    = flag.Bool("quick", false, "use fast, test-scale parameters")
 		list     = flag.Bool("list", false, "list experiment names and exit")
 		jsonOut  = flag.Bool("json", false, "run the perf-tracking suite and write machine-readable results")
-		outPath  = flag.String("out", "BENCH_pr6.json", "output file for -json")
+		netOnly  = flag.Bool("net", false, "run only the network-path suite (wire server vs external client processes) and print the results")
+		outPath  = flag.String("out", "BENCH_pr8.json", "output file for -json")
 		baseline = flag.String("baseline", "", "existing report to diff demand-steal counts against (regression check, used by make bench-smoke)")
+
+		// Hidden child mode: -net re-executes this binary with these flags
+		// to drive load from a genuinely separate process.
+		netClient      = flag.Bool("net-client", false, "internal: run as a network load client and print a JSON result")
+		netAddr        = flag.String("net-addr", "", "internal: server address for -net-client")
+		netWorkload    = flag.String("net-workload", "tatp", "internal: workload for -net-client")
+		netSessions    = flag.Int("net-sessions", 8, "internal: connections for -net-client")
+		netDuration    = flag.Duration("net-duration", time.Second, "internal: run length for -net-client")
+		netSeed        = flag.Int64("net-seed", 1, "internal: RNG seed / process tag for -net-client")
+		netPipeline    = flag.Int("net-pipeline", 16, "internal: in-flight commits per session for -net-client")
+		netSubscribers = flag.Int("net-subscribers", 10000, "internal: TATP scale for -net-client")
+		netBranches    = flag.Int("net-branches", 10, "internal: TPC-B branches for -net-client")
+		netAccounts    = flag.Int("net-accounts", 1000, "internal: TPC-B accounts per branch for -net-client")
 	)
 	flag.Parse()
+
+	if *netClient {
+		if err := runNetClient(*netAddr, *netWorkload, *netSessions, *netDuration, *netSeed, *netPipeline, *netSubscribers, *netBranches, *netAccounts); err != nil {
+			fmt.Fprintln(os.Stderr, "aetherbench net client:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, name := range bench.FigureNames {
@@ -46,6 +69,15 @@ func main() {
 	}
 	scale := bench.Scale{Quick: *quick}
 	switch {
+	case *netOnly:
+		runs, err := runNetBench(scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aetherbench:", err)
+			os.Exit(1)
+		}
+		for _, r := range runs {
+			fmt.Println(r)
+		}
 	case *jsonOut:
 		if err := writeJSONReport(*outPath, *baseline, scale); err != nil {
 			fmt.Fprintln(os.Stderr, "aetherbench:", err)
@@ -94,6 +126,7 @@ type perfReport struct {
 		bench.ScanResult
 		Speedup float64 `json:"speedup"`
 	} `json:"scan"`
+	Net []netRun `json:"net"`
 }
 
 // tputRun reports the sustained-commit workload.
@@ -216,9 +249,6 @@ func writeJSONReport(outPath, baselinePath string, scale bench.Scale) error {
 	if err != nil {
 		return fmt.Errorf("cleaner run: %w", err)
 	}
-	if err := diffBaseline(baselinePath, rep.Cleaner); err != nil {
-		return err
-	}
 
 	scanPages := 512
 	if scale.Quick {
@@ -244,6 +274,15 @@ func writeJSONReport(outPath, baselinePath string, scale bench.Scale) error {
 		return fmt.Errorf("scan run: prefetch hit rate %.2f below the 0.30 floor (%v)", scan.HitRate, scan)
 	}
 
+	rep.Net, err = runNetBench(scale)
+	if err != nil {
+		return fmt.Errorf("net run: %w", err)
+	}
+
+	if err := diffBaseline(baselinePath, rep); err != nil {
+		return err
+	}
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -259,32 +298,41 @@ func writeJSONReport(outPath, baselinePath string, scale bench.Scale) error {
 	fmt.Println(rep.Cache)
 	fmt.Println(rep.Cleaner)
 	fmt.Println(scan)
+	for _, r := range rep.Net {
+		fmt.Println(r)
+	}
 	fmt.Println("wrote", outPath)
 	return nil
 }
 
-// diffBaseline compares the fresh cleaner scenario's demand-steal count
-// against a committed baseline report, failing on regression: the armed
-// run stealing substantially more than the baseline recorded means
-// writebacks crept back onto the fault path. A missing or pre-cleaner
-// baseline file only prints a notice (first run on a branch). Counts
-// are normalized per update so quick and full runs remain comparable.
-func diffBaseline(path string, fresh bench.CleanerResult) error {
+// diffBaseline compares the fresh report's key counters against a
+// committed baseline report, failing on regression. Two checks: the
+// cleaner scenario's demand-steal rate (the armed run stealing
+// substantially more than the baseline means writebacks crept back
+// onto the fault path), and the network path's throughput (a fresh
+// net TPS collapsing far below the baseline means the wire path broke
+// its pipelining). A missing baseline file or a baseline predating a
+// section only prints a notice (first run on a branch). Counts are
+// normalized so quick and full runs remain comparable.
+func diffBaseline(path string, fresh perfReport) error {
 	if path == "" {
 		return nil
 	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Printf("baseline: %s not found; skipping demand-steal diff\n", path)
+		fmt.Printf("baseline: %s not found; skipping baseline diff\n", path)
 		return nil
 	}
 	var base perfReport
 	if err := json.Unmarshal(raw, &base); err != nil || base.Cleaner.Updates == 0 {
-		fmt.Printf("baseline: %s has no cleaner scenario; skipping demand-steal diff\n", path)
+		fmt.Printf("baseline: %s has no cleaner scenario; skipping baseline diff\n", path)
 		return nil
 	}
+	if err := diffNet(path, base.Net, fresh.Net); err != nil {
+		return err
+	}
 	baseRate := float64(base.Cleaner.CleanedSteals) / float64(base.Cleaner.Updates)
-	freshRate := float64(fresh.CleanedSteals) / float64(fresh.Updates)
+	freshRate := float64(fresh.Cleaner.CleanedSteals) / float64(fresh.Cleaner.Updates)
 	fmt.Printf("baseline: %.3f demand steals/update armed (baseline %.3f from %s)\n",
 		freshRate, baseRate, path)
 	// Generous slack: steal residue is scheduler-dependent noise around
@@ -299,6 +347,33 @@ func diffBaseline(path string, fresh bench.CleanerResult) error {
 	if freshRate > 2.5*baseRate+0.1 {
 		return fmt.Errorf("demand-steal regression: %.3f steals/update armed vs %.3f in baseline %s",
 			freshRate, baseRate, path)
+	}
+	return nil
+}
+
+// diffNet applies the network-TPS floor per workload: a fresh run
+// below 20% of the baseline's throughput is a collapse, not noise.
+// The generous factor absorbs machine and scheduler variance (loopback
+// TPS swings with core count); a broken pipeline — commits serialized
+// per flush, or sessions stalling on lost acks — drops throughput by
+// far more than 5x. A baseline without a matching net section (older
+// report shape) only prints a notice.
+func diffNet(path string, base, fresh []netRun) error {
+	baseByWL := make(map[string]netRun, len(base))
+	for _, r := range base {
+		baseByWL[r.Workload] = r
+	}
+	for _, f := range fresh {
+		b, ok := baseByWL[f.Workload]
+		if !ok || b.TPS <= 0 {
+			fmt.Printf("baseline: %s has no net %s run; skipping net diff\n", path, f.Workload)
+			continue
+		}
+		fmt.Printf("baseline: net %s %.0f tps (baseline %.0f from %s)\n", f.Workload, f.TPS, b.TPS, path)
+		if f.TPS < 0.2*b.TPS {
+			return fmt.Errorf("network throughput collapse: net %s %.0f tps vs %.0f in baseline %s",
+				f.Workload, f.TPS, b.TPS, path)
+		}
 	}
 	return nil
 }

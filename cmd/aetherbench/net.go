@@ -1,0 +1,245 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"aether"
+	"aether/internal/bench"
+	"aether/internal/wire"
+	"aether/internal/workload"
+)
+
+// netRun is one workload's network-path measurement: external client
+// processes driving a wire server over loopback.
+type netRun struct {
+	Workload   string  `json:"workload"`
+	Procs      int     `json:"procs"`
+	Conns      int     `json:"conns"`
+	Completed  int64   `json:"completed"`
+	Aborted    int64   `json:"aborted"`
+	AckErrors  int64   `json:"ack_errors"`
+	ElapsedMs  int64   `json:"elapsed_ms"`
+	TPS        float64 `json:"tps"`
+	Commits    int64   `json:"commits"`
+	LogFlushes int64   `json:"log_flushes"`
+	FlushRatio float64 `json:"flush_ratio"`
+}
+
+func (r netRun) String() string {
+	return fmt.Sprintf("net %-4s: %8.0f tps over %d conns x %d procs (completed %d, aborted %d, ack errors %d, %.2f flushes/commit)",
+		r.Workload, r.TPS, r.Conns, r.Procs, r.Completed, r.Aborted, r.AckErrors, r.FlushRatio)
+}
+
+// netScale holds the network suite's size knobs.
+type netScale struct {
+	procs       int
+	sessions    int // per process; procs*sessions = total connections
+	duration    time.Duration
+	pipeline    int
+	subscribers int
+	branches    int
+	accounts    int
+}
+
+func netScaleFor(scale bench.Scale) netScale {
+	s := netScale{
+		procs:       2,
+		sessions:    8, // 16 connections total, the acceptance floor
+		duration:    3 * time.Second,
+		pipeline:    16,
+		subscribers: 10000,
+		branches:    10,
+		accounts:    1000,
+	}
+	if scale.Quick {
+		s.duration = time.Second
+		s.subscribers = 2000
+		s.accounts = 200
+	}
+	return s
+}
+
+// runNetBench measures the network path: a wire server over a
+// file-backed database in this process, driven by external client
+// processes (this binary re-executed in -net-client mode) over
+// loopback. One netRun per workload.
+func runNetBench(scale bench.Scale) ([]netRun, error) {
+	ns := netScaleFor(scale)
+	self, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("locate own binary: %w", err)
+	}
+	var runs []netRun
+	for _, wl := range []string{"tatp", "tpcb"} {
+		// The consolidation gate is timing-sensitive: on a starved box
+		// commits trickle in one per flush and the ratio degrades for
+		// scheduling reasons, not protocol ones. A real pipelining break
+		// is systematic, so it fails every attempt; transient load gets
+		// two retries before the suite fails.
+		var run netRun
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			if attempt > 0 {
+				fmt.Printf("net %s: retrying after transient failure: %v\n", wl, err)
+			}
+			run, err = runNetWorkload(self, wl, ns)
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("net %s: %w", wl, err)
+		}
+		runs = append(runs, run)
+	}
+	return runs, nil
+}
+
+func runNetWorkload(self, wl string, ns netScale) (netRun, error) {
+	dir, err := os.MkdirTemp("", "aethernet")
+	if err != nil {
+		return netRun{}, err
+	}
+	defer os.RemoveAll(dir)
+	db, err := aether.Open(aether.Options{
+		LogPath:              filepath.Join(dir, "wal.d"),
+		SegmentSize:          1 << 20,
+		CheckpointEveryBytes: 2 << 20,
+		Mode:                 aether.CommitPipelined,
+	})
+	if err != nil {
+		return netRun{}, err
+	}
+	defer db.Close()
+
+	switch wl {
+	case "tatp":
+		err = (&workload.NetTATP{Subscribers: ns.subscribers}).Setup(db)
+	case "tpcb":
+		err = (&workload.NetTPCB{Branches: ns.branches, AccountsPerBranch: ns.accounts}).Setup(db)
+	default:
+		err = fmt.Errorf("unknown workload %q", wl)
+	}
+	if err != nil {
+		return netRun{}, fmt.Errorf("setup: %w", err)
+	}
+
+	srv := wire.NewServer(db, wire.ServerOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return netRun{}, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		<-serveDone
+	}()
+	addr := ln.Addr().String()
+
+	// The setup's commits and flushes are excluded: the ratio reflects
+	// only the measured run.
+	before := db.Stats()
+
+	type childOut struct {
+		res workload.NetResult
+		err error
+	}
+	outs := make(chan childOut, ns.procs)
+	for p := 0; p < ns.procs; p++ {
+		go func(p int) {
+			cmd := exec.Command(self,
+				"-net-client",
+				"-net-addr", addr,
+				"-net-workload", wl,
+				"-net-sessions", fmt.Sprint(ns.sessions),
+				"-net-duration", ns.duration.String(),
+				"-net-seed", fmt.Sprint(p+1),
+				"-net-pipeline", fmt.Sprint(ns.pipeline),
+				"-net-subscribers", fmt.Sprint(ns.subscribers),
+				"-net-branches", fmt.Sprint(ns.branches),
+				"-net-accounts", fmt.Sprint(ns.accounts),
+			)
+			cmd.Stderr = os.Stderr
+			out, err := cmd.Output()
+			if err != nil {
+				outs <- childOut{err: fmt.Errorf("client process %d: %w", p, err)}
+				return
+			}
+			var res workload.NetResult
+			if err := json.Unmarshal(out, &res); err != nil {
+				outs <- childOut{err: fmt.Errorf("client process %d output: %w (%q)", p, err, out)}
+				return
+			}
+			outs <- childOut{res: res}
+		}(p)
+	}
+	var total workload.NetResult
+	for p := 0; p < ns.procs; p++ {
+		o := <-outs
+		if o.err != nil {
+			return netRun{}, o.err
+		}
+		total.Add(o.res)
+	}
+
+	after := db.Stats()
+	run := netRun{
+		Workload:   wl,
+		Procs:      ns.procs,
+		Conns:      ns.procs * ns.sessions,
+		Completed:  total.Completed,
+		Aborted:    total.Aborted,
+		AckErrors:  total.AckErrors,
+		ElapsedMs:  total.ElapsedMs,
+		TPS:        total.TPS(),
+		Commits:    after.Commits - before.Commits,
+		LogFlushes: after.LogFlushes - before.LogFlushes,
+	}
+	if run.Commits > 0 {
+		run.FlushRatio = float64(run.LogFlushes) / float64(run.Commits)
+	}
+	// Hard acceptance checks: every ack arrived, and the consolidation
+	// array absorbed pipelined commits into shared flushes.
+	if run.AckErrors != 0 {
+		return run, fmt.Errorf("%d commit acknowledgements lost", run.AckErrors)
+	}
+	if run.Completed == 0 {
+		return run, fmt.Errorf("no transactions completed")
+	}
+	if run.FlushRatio >= 0.5 {
+		return run, fmt.Errorf("no group-commit consolidation over the wire: %.2f flushes/commit (want < 0.5)", run.FlushRatio)
+	}
+	return run, nil
+}
+
+// runNetClient is the hidden child mode: drive load against addr and
+// print a JSON workload.NetResult on stdout.
+func runNetClient(addr, wl string, sessions int, dur time.Duration, seed int64, pipeline, subscribers, branches, accounts int) error {
+	res, err := workload.RunNetClients(workload.NetOptions{
+		Addr:              addr,
+		Workload:          wl,
+		Sessions:          sessions,
+		Duration:          dur,
+		Seed:              seed,
+		Pipeline:          pipeline,
+		Subscribers:       subscribers,
+		Branches:          branches,
+		AccountsPerBranch: accounts,
+	})
+	if err != nil {
+		return err
+	}
+	out, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(append(out, '\n'))
+	return err
+}

@@ -284,8 +284,10 @@ func applyOps(model map[uint64]uint64, ops []op) map[uint64]uint64 {
 	return out
 }
 
-// diffStates lists the differences between want and got (empty = equal).
-func diffStates(want, got map[uint64]uint64) []string {
+// DiffStates lists the differences between want and got (empty = equal).
+// It is exported so other test harnesses (the wire kill test) can reuse
+// the same model comparison.
+func DiffStates(want, got map[uint64]uint64) []string {
 	var diffs []string
 	for k, v := range want {
 		gv, ok := got[k]
@@ -472,10 +474,10 @@ func Run(cfg Config) (*Result, error) {
 		// but only atomically.
 		got, err := readState(s, uint64(cfg.Keys)+1)
 		if err == nil {
-			diffs := diffStates(model, got)
+			diffs := DiffStates(model, got)
 			if len(diffs) > 0 && inDoubt != nil {
 				withTxn := applyOps(model, inDoubt)
-				if d2 := diffStates(withTxn, got); len(d2) < len(diffs) || len(d2) == 0 {
+				if d2 := DiffStates(withTxn, got); len(d2) < len(diffs) || len(d2) == 0 {
 					if len(d2) == 0 {
 						res.InDoubtSurvived++
 					}
@@ -542,9 +544,9 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return res, fmt.Errorf("soak: final read: %w", err)
 	}
-	diffs := diffStates(model, got)
+	diffs := DiffStates(model, got)
 	if len(diffs) > 0 && inDoubt != nil {
-		if d2 := diffStates(applyOps(model, inDoubt), got); len(d2) == 0 {
+		if d2 := DiffStates(applyOps(model, inDoubt), got); len(d2) == 0 {
 			res.InDoubtSurvived++
 			diffs = nil
 		}

@@ -61,11 +61,11 @@ func TestSoakSingleFaultPoints(t *testing.T) {
 func TestDiffStates(t *testing.T) {
 	want := map[uint64]uint64{1: 10, 2: 20, 3: 30}
 	got := map[uint64]uint64{1: 10, 2: 99, 4: 40}
-	diffs := diffStates(want, got)
+	diffs := DiffStates(want, got)
 	if len(diffs) != 3 {
 		t.Fatalf("got %d diffs, want 3 (changed, lost, resurrected): %v", len(diffs), diffs)
 	}
-	if len(diffStates(want, want)) != 0 {
+	if len(DiffStates(want, want)) != 0 {
 		t.Fatal("identical states reported diffs")
 	}
 }

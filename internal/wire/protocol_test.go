@@ -1,0 +1,246 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// sampleRequests covers every opcode with realistic field values; the
+// fuzz corpus and the round-trip tests both feed from it.
+func sampleRequests() []Request {
+	return []Request{
+		{ID: 1, Op: OpPing},
+		{ID: 2, Op: OpCreateTable, Name: "accounts"},
+		{ID: 3, Op: OpOpenTable, Name: "accounts"},
+		{ID: 4, Op: OpBegin, Mode: ModePipelined},
+		{ID: 5, Op: OpInsert, Table: 1, Key: 42, Row: []byte("hello row")},
+		{ID: 6, Op: OpRead, Table: 1, Key: 42},
+		{ID: 7, Op: OpUpdate, Table: 1, Key: 42, Row: []byte("new row")},
+		{ID: 8, Op: OpDelete, Table: 1, Key: 42},
+		{ID: 9, Op: OpScan, Table: 1, From: 10, To: 99, MaxRows: 128},
+		{ID: 10, Op: OpCommit},
+		{ID: 11, Op: OpAbort},
+		{ID: 12, Op: OpStats},
+		{ID: 13, Op: OpBegin, Mode: ModeSync},
+		{ID: 14, Op: OpInsert, Table: 7, Key: 0, Row: nil},
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, want := range sampleRequests() {
+		frame := AppendRequest(nil, &want)
+		payload, err := ReadFrame(bytes.NewReader(frame), DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("%s: ReadFrame: %v", want.Op, err)
+		}
+		got, err := DecodeRequest(payload)
+		if err != nil {
+			t.Fatalf("%s: DecodeRequest: %v", want.Op, err)
+		}
+		if got.ID != want.ID || got.Op != want.Op || got.Table != want.Table ||
+			got.Key != want.Key || got.From != want.From || got.To != want.To ||
+			got.MaxRows != want.MaxRows || got.Mode != want.Mode || got.Name != want.Name ||
+			!bytes.Equal(got.Row, want.Row) {
+			t.Fatalf("%s: round trip mismatch:\nwant %+v\ngot  %+v", want.Op, want, got)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	frame := AppendResponse(nil, 77, StatusDuplicateKey, []byte("dup"))
+	payload, err := ReadFrame(bytes.NewReader(frame), DefaultMaxFrame)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	resp, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatalf("DecodeResponse: %v", err)
+	}
+	if resp.ID != 77 || resp.Status != StatusDuplicateKey || string(resp.Body) != "dup" {
+		t.Fatalf("round trip mismatch: %+v", resp)
+	}
+}
+
+func TestScanBodyRoundTrip(t *testing.T) {
+	rows := []ScanRow{
+		{Key: 1, Row: []byte("one")},
+		{Key: 2, Row: nil},
+		{Key: 3, Row: bytes.Repeat([]byte{0xAB}, 300)},
+	}
+	body := AppendScanBody(nil, rows)
+	got, err := DecodeScanBody(body)
+	if err != nil {
+		t.Fatalf("DecodeScanBody: %v", err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("row count %d, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if got[i].Key != rows[i].Key || !bytes.Equal(got[i].Row, rows[i].Row) {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeRequestRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+		want    error
+	}{
+		{"empty", nil, ErrBadRequest},
+		{"short header", []byte{0, 1, 2}, ErrBadRequest},
+		{"unknown opcode", append(make([]byte, 8), 0xEE), ErrUnknownOpcode},
+		{"ping with body", append(append(make([]byte, 8), byte(OpPing)), 'x'), ErrBadRequest},
+		{"read short body", append(append(make([]byte, 8), byte(OpRead)), 1, 2, 3), ErrBadRequest},
+		{"read trailing bytes", append(append(make([]byte, 8), byte(OpRead)), make([]byte, 13)...), ErrBadRequest},
+		{"begin bad mode", append(append(make([]byte, 8), byte(OpBegin)), 0x7F), ErrBadRequest},
+		{"name overruns body", append(append(make([]byte, 8), byte(OpCreateTable)), 0xFF, 0xFF), ErrBadRequest},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeRequest(tc.payload); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestReadFrameLimits(t *testing.T) {
+	// A length prefix above max is rejected before any allocation.
+	big := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrame(bytes.NewReader(big), 1<<16); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: got %v, want ErrFrameTooLarge", err)
+	}
+	// A stream dying mid-frame is a truncation, not a clean EOF.
+	trunc := []byte{0, 0, 0, 10, 'a', 'b'}
+	if _, err := ReadFrame(bytes.NewReader(trunc), 1<<16); !errors.Is(err, ErrTruncatedFrame) {
+		t.Fatalf("truncated frame: got %v, want ErrTruncatedFrame", err)
+	}
+	// A stream dying inside the header is also a truncation.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0}), 1<<16); !errors.Is(err, ErrTruncatedFrame) {
+		t.Fatalf("truncated header: got %v, want ErrTruncatedFrame", err)
+	}
+	// EOF exactly at a frame boundary stays io.EOF (clean disconnect).
+	if _, err := ReadFrame(bytes.NewReader(nil), 1<<16); err != io.EOF {
+		t.Fatalf("clean EOF: got %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeScanBodyRejectsHostileCounts(t *testing.T) {
+	// A count far beyond what the payload can hold must be rejected
+	// before allocating for it.
+	body := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := DecodeScanBody(body); !errors.Is(err, ErrBadResponse) {
+		t.Fatalf("hostile count: got %v, want ErrBadResponse", err)
+	}
+	// A row length overrunning the payload is rejected too.
+	body = AppendScanBody(nil, []ScanRow{{Key: 1, Row: []byte("xy")}})
+	body[4+8+3] = 0xFF // corrupt the row length
+	if _, err := DecodeScanBody(body); !errors.Is(err, ErrBadResponse) {
+		t.Fatalf("overrun row length: got %v, want ErrBadResponse", err)
+	}
+}
+
+func TestSnakeCase(t *testing.T) {
+	cases := map[string]string{
+		"Commits":            "commits",
+		"LogFlushes":         "log_flushes",
+		"TxnsAbortedOnClose": "txns_aborted_on_close",
+		"LogBase":            "log_base",
+	}
+	for in, want := range cases {
+		if got := snakeCase(in); got != want {
+			t.Errorf("snakeCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseMetrics(t *testing.T) {
+	text := "# aetherd metrics\naether_commits 42\nwire_frames_in 7\nnot a number x\n\n"
+	m := ParseMetrics(text)
+	if m["aether_commits"] != 42 || m["wire_frames_in"] != 7 {
+		t.Fatalf("parse mismatch: %v", m)
+	}
+	if _, ok := m["not"]; ok {
+		t.Fatalf("junk line parsed: %v", m)
+	}
+}
+
+// FuzzFrameDecode feeds arbitrary bytes through the full server-side
+// decode path: frame reader, request decoder, and (treating the same
+// bytes as a client would) response and scan decoders. The decoders
+// must never panic and never allocate attacker-chosen sizes — the
+// frame ceiling bounds every allocation.
+func FuzzFrameDecode(f *testing.F) {
+	for _, r := range sampleRequests() {
+		f.Add(AppendRequest(nil, &r))
+	}
+	f.Add(AppendResponse(nil, 9, StatusOK, AppendScanBody(nil, []ScanRow{{Key: 1, Row: []byte("r")}})))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const max = 1 << 16
+		br := bytes.NewReader(data)
+		for {
+			payload, err := ReadFrame(br, max)
+			if err != nil {
+				break
+			}
+			if len(payload) > max {
+				t.Fatalf("ReadFrame returned %d bytes over the %d cap", len(payload), max)
+			}
+			if req, err := DecodeRequest(payload); err == nil {
+				// Whatever decoded must re-encode without panicking.
+				AppendRequest(nil, &req)
+			}
+			if resp, err := DecodeResponse(payload); err == nil {
+				if rows, err := DecodeScanBody(resp.Body); err == nil {
+					AppendScanBody(nil, rows)
+				}
+			}
+		}
+	})
+}
+
+// FuzzRequestRoundTrip normalizes arbitrary field values into a valid
+// request and asserts encode → frame → decode is the identity.
+func FuzzRequestRoundTrip(f *testing.F) {
+	for _, r := range sampleRequests() {
+		f.Add(r.ID, uint8(r.Op), r.Table, r.Key, r.From, r.To, r.MaxRows, r.Mode, r.Name, r.Row)
+	}
+	ops := []Opcode{OpPing, OpCreateTable, OpOpenTable, OpBegin, OpInsert, OpRead, OpUpdate, OpDelete, OpScan, OpCommit, OpAbort, OpStats}
+	f.Fuzz(func(t *testing.T, id uint64, op uint8, table uint32, key, from, to uint64, maxRows uint32, mode uint8, name string, row []byte) {
+		want := Request{ID: id, Op: ops[int(op)%len(ops)]}
+		switch want.Op {
+		case OpCreateTable, OpOpenTable:
+			if len(name) > MaxTableName {
+				name = name[:MaxTableName]
+			}
+			want.Name = name
+		case OpBegin:
+			want.Mode = mode % (modeMax + 1)
+		case OpInsert, OpUpdate:
+			want.Table, want.Key, want.Row = table, key, row
+		case OpRead, OpDelete:
+			want.Table, want.Key = table, key
+		case OpScan:
+			want.Table, want.From, want.To, want.MaxRows = table, from, to, maxRows
+		}
+		frame := AppendRequest(nil, &want)
+		payload, err := ReadFrame(bytes.NewReader(frame), DefaultMaxFrame+64)
+		if err != nil {
+			t.Fatalf("ReadFrame on own encoding: %v", err)
+		}
+		got, err := DecodeRequest(payload)
+		if err != nil {
+			t.Fatalf("DecodeRequest on own encoding of %s: %v", want.Op, err)
+		}
+		if got.ID != want.ID || got.Op != want.Op || got.Table != want.Table ||
+			got.Key != want.Key || got.From != want.From || got.To != want.To ||
+			got.MaxRows != want.MaxRows || got.Mode != want.Mode || got.Name != want.Name ||
+			!bytes.Equal(got.Row, want.Row) {
+			t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", want, got)
+		}
+	})
+}

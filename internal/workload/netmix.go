@@ -1,0 +1,361 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aether"
+	"aether/internal/wire"
+)
+
+// This file holds the network-path variants of the TATP and TPC-B
+// generators: the same tables and transaction profiles, driven over
+// the wire protocol by external client processes instead of in-process
+// goroutines. Two deliberate deviations from the in-process bodies:
+//
+//   - Updates are full-row replacements generated client-side (OpUpdate
+//     carries the complete new image), never read-modify-write, so no
+//     transaction ever upgrades a shared lock to exclusive — the wire
+//     mix measures logging and commit consolidation, not upgrade
+//     deadlocks.
+//   - TPC-B's balance arithmetic is therefore not preserved (each
+//     update writes a fresh row rather than incrementing the stored
+//     balance); the lock and log footprint per transaction is
+//     identical, which is what the benchmark measures.
+
+// NetTATP is the TATP subscriber mix over the wire: UpdateLocation
+// (the paper's log-intensive hot transaction) against the subscriber
+// table, with a slice of read-only GetSubscriberData.
+type NetTATP struct {
+	// Subscribers is the scale factor; clients must be configured with
+	// the same value the setup used.
+	Subscribers int
+}
+
+// Setup creates and populates the subscriber table through the public
+// API (run server-side, before clients connect).
+func (w *NetTATP) Setup(db *aether.DB) error {
+	if w.Subscribers <= 0 {
+		w.Subscribers = 10000
+	}
+	tbl, err := db.CreateTable("tatp_subscriber")
+	if err != nil {
+		return err
+	}
+	s := db.Session()
+	defer s.Close()
+	tx := s.Begin()
+	for sid := uint64(1); sid <= uint64(w.Subscribers); sid++ {
+		if err := tx.Insert(tbl, sid, tatpRow(sid, 96, 0x5A)); err != nil {
+			return fmt.Errorf("workload: load net subscriber %d: %w", sid, err)
+		}
+		if sid%2000 == 0 {
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+			tx = s.Begin()
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	return db.Checkpoint()
+}
+
+// NetTPCB is the TPC-B profile over the wire: update an account, a
+// teller and a branch row, then append a history row.
+type NetTPCB struct {
+	// Branches is the branch count (the hot rows).
+	Branches int
+	// AccountsPerBranch scales the account table.
+	AccountsPerBranch int
+}
+
+// Setup creates and populates the four TPC-B tables through the public
+// API (run server-side, before clients connect).
+func (w *NetTPCB) Setup(db *aether.DB) error {
+	if w.Branches <= 0 {
+		w.Branches = 10
+	}
+	if w.AccountsPerBranch <= 0 {
+		w.AccountsPerBranch = 1000
+	}
+	branches, err := db.CreateTable("tpcb_branches")
+	if err != nil {
+		return err
+	}
+	tellers, err := db.CreateTable("tpcb_tellers")
+	if err != nil {
+		return err
+	}
+	accounts, err := db.CreateTable("tpcb_accounts")
+	if err != nil {
+		return err
+	}
+	if _, err := db.CreateTable("tpcb_history"); err != nil {
+		return err
+	}
+	s := db.Session()
+	defer s.Close()
+	tx := s.Begin()
+	rows := 0
+	insert := func(tbl *aether.Table, key uint64) error {
+		if err := tx.Insert(tbl, key, tpcbRow(key, 0)); err != nil {
+			return err
+		}
+		if rows++; rows%2000 == 0 {
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+			tx = s.Begin()
+		}
+		return nil
+	}
+	for b := uint64(1); b <= uint64(w.Branches); b++ {
+		if err := insert(branches, b); err != nil {
+			return err
+		}
+	}
+	for t := uint64(1); t <= uint64(w.Branches*TellersPerBranch); t++ {
+		if err := insert(tellers, t); err != nil {
+			return err
+		}
+	}
+	for a := uint64(1); a <= uint64(w.Branches*w.AccountsPerBranch); a++ {
+		if err := insert(accounts, a); err != nil {
+			return err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	return db.Checkpoint()
+}
+
+// NetOptions configures one client process's share of a network run.
+type NetOptions struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Workload selects the mix: "tatp" or "tpcb".
+	Workload string
+	// Sessions is how many connections (server-side agent threads) this
+	// process drives.
+	Sessions int
+	// Duration is how long to drive load.
+	Duration time.Duration
+	// Seed makes runs reproducible and, for TPC-B, keeps history keys
+	// from different client processes disjoint — give each process a
+	// distinct small seed.
+	Seed int64
+	// Pipeline bounds in-flight commit acknowledgements per session
+	// (default 16): the client keeps starting new transactions while
+	// that many commits await their durable ack.
+	Pipeline int
+	// Subscribers is the TATP scale (must match the setup).
+	Subscribers int
+	// Branches and AccountsPerBranch are the TPC-B scale (must match
+	// the setup).
+	Branches int
+	// AccountsPerBranch scales the TPC-B account table.
+	AccountsPerBranch int
+}
+
+// NetResult aggregates one process's (or one whole run's) outcome.
+type NetResult struct {
+	// Completed counts commits whose durable acknowledgement arrived.
+	Completed int64 `json:"completed"`
+	// Aborted counts transactions that ended in an abort (deadlock
+	// victims and refused operations included).
+	Aborted int64 `json:"aborted"`
+	// AckErrors counts commit acknowledgements resolved by a transport
+	// failure instead of a server response — a nonzero value means
+	// acks were lost and durability of those commits is unknown.
+	AckErrors int64 `json:"ack_errors"`
+	// ElapsedMs is the measured wall-clock interval.
+	ElapsedMs int64 `json:"elapsed_ms"`
+}
+
+// Add folds other into r (aggregating per-process results).
+func (r *NetResult) Add(other NetResult) {
+	r.Completed += other.Completed
+	r.Aborted += other.Aborted
+	r.AckErrors += other.AckErrors
+	if other.ElapsedMs > r.ElapsedMs {
+		r.ElapsedMs = other.ElapsedMs
+	}
+}
+
+// TPS returns completed transactions per second.
+func (r NetResult) TPS() float64 {
+	if r.ElapsedMs <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / (float64(r.ElapsedMs) / 1000)
+}
+
+// netBody runs one transaction's operations inside an open wire
+// transaction; the caller begins and commits around it.
+type netBody func(s *wire.Session, rng *rand.Rand) error
+
+// netTATPBody returns the wire TATP mix: 80% UpdateLocation (full-row
+// replace), 20% GetSubscriberData.
+func netTATPBody(subscriber wire.TableID, subscribers int) netBody {
+	return func(s *wire.Session, rng *rand.Rand) error {
+		sid := uint64(rng.Intn(subscribers) + 1)
+		if rng.Intn(100) < 80 {
+			row := tatpRow(sid, 96, 0x5A)
+			binary.LittleEndian.PutUint32(row[24:28], rng.Uint32()) // new location
+			return s.Update(subscriber, sid, row)
+		}
+		_, err := s.Read(subscriber, sid)
+		return err
+	}
+}
+
+// netTPCBBody returns the wire TPC-B profile. History keys are made
+// unique across processes and sessions by folding seed and session
+// into the key's high bits.
+func netTPCBBody(branches, tellers, accounts, history wire.TableID, opts NetOptions, session int, seq *atomic.Uint64) netBody {
+	return func(s *wire.Session, rng *rand.Rand) error {
+		b := uint64(rng.Intn(opts.Branches) + 1)
+		tid := (b-1)*TellersPerBranch + uint64(rng.Intn(TellersPerBranch)) + 1
+		aid := (b-1)*uint64(opts.AccountsPerBranch) + uint64(rng.Intn(opts.AccountsPerBranch)) + 1
+		delta := int64(rng.Intn(1999999) - 999999)
+		// Same lock order as the in-process body: account → teller →
+		// branch, with the branch row the hot lock.
+		if err := s.Update(accounts, aid, tpcbRow(aid, delta)); err != nil {
+			return err
+		}
+		if err := s.Update(tellers, tid, tpcbRow(tid, delta)); err != nil {
+			return err
+		}
+		if err := s.Update(branches, b, tpcbRow(b, delta)); err != nil {
+			return err
+		}
+		hid := uint64(opts.Seed&0xFF)<<48 | uint64(session)<<40 | seq.Add(1)
+		return s.Insert(history, hid, tpcbRow(hid, delta))
+	}
+}
+
+// RunNetClients drives opts.Sessions pipelined closed-loop sessions
+// against a wire server and reports this process's aggregate. Every
+// commit is acknowledged exactly once: as Completed, Aborted, or (on
+// transport failure) AckErrors — an ack is never silently dropped.
+func RunNetClients(opts NetOptions) (NetResult, error) {
+	if opts.Sessions <= 0 {
+		opts.Sessions = 1
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = time.Second
+	}
+	if opts.Pipeline <= 0 {
+		opts.Pipeline = 16
+	}
+	if opts.Subscribers <= 0 {
+		opts.Subscribers = 10000
+	}
+	if opts.Branches <= 0 {
+		opts.Branches = 10
+	}
+	if opts.AccountsPerBranch <= 0 {
+		opts.AccountsPerBranch = 1000
+	}
+	cl, err := wire.Dial(opts.Addr, wire.ClientOptions{Conns: opts.Sessions})
+	if err != nil {
+		return NetResult{}, err
+	}
+	defer cl.Close()
+
+	var completed, aborted, ackErrors atomic.Int64
+	var seq atomic.Uint64
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+	var wg sync.WaitGroup
+	errs := make(chan error, opts.Sessions)
+	for i := 0; i < opts.Sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := cl.Session()
+			if err != nil {
+				errs <- fmt.Errorf("session %d: %w", i, err)
+				return
+			}
+			defer s.Close()
+
+			var body netBody
+			switch opts.Workload {
+			case "tatp":
+				subscriber, err := s.OpenTable("tatp_subscriber")
+				if err != nil {
+					errs <- fmt.Errorf("session %d: open tatp tables: %w", i, err)
+					return
+				}
+				body = netTATPBody(subscriber, opts.Subscribers)
+			case "tpcb":
+				var ids [4]wire.TableID
+				for j, name := range []string{"tpcb_branches", "tpcb_tellers", "tpcb_accounts", "tpcb_history"} {
+					if ids[j], err = s.OpenTable(name); err != nil {
+						errs <- fmt.Errorf("session %d: open %s: %w", i, name, err)
+						return
+					}
+				}
+				body = netTPCBBody(ids[0], ids[1], ids[2], ids[3], opts, i, &seq)
+			default:
+				errs <- fmt.Errorf("unknown net workload %q", opts.Workload)
+				return
+			}
+
+			rng := rand.New(rand.NewSource(opts.Seed + int64(i)*104729 + 1))
+			// The pipeline semaphore bounds commits in flight; slots are
+			// released by the acknowledgement callbacks.
+			slots := make(chan struct{}, opts.Pipeline)
+			for time.Now().Before(deadline) {
+				slots <- struct{}{}
+				if err := s.BeginMode(wire.ModePipelined); err != nil {
+					<-slots
+					aborted.Add(1)
+					return // draining server or dead connection: stop this session
+				}
+				if err := body(s, rng); err != nil {
+					<-slots
+					aborted.Add(1)
+					s.Abort() // deadlock victim or refused op: roll back, keep going
+					continue
+				}
+				if err := s.CommitAsync(func(err error) {
+					switch {
+					case err == nil:
+						completed.Add(1)
+					case wire.IsTransportErr(err):
+						ackErrors.Add(1)
+					default:
+						aborted.Add(1)
+					}
+					<-slots
+				}); err != nil {
+					// The send itself failed; the callback still resolved
+					// (exactly once), which released the slot and counted it.
+					return
+				}
+			}
+			// Session.Close (deferred) waits for the outstanding acks.
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return NetResult{}, err
+	}
+	return NetResult{
+		Completed: completed.Load(),
+		Aborted:   aborted.Load(),
+		AckErrors: ackErrors.Load(),
+		ElapsedMs: elapsed.Milliseconds(),
+	}, nil
+}
