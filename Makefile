@@ -14,12 +14,15 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# Race-checks the concurrency-heavy packages: the log manager, the log
-# buffer variants, the transaction engine, the buffer pool's
-# eviction/pin machinery in storage, and the wire server/client (one
-# goroutine per connection plus writer and ack callbacks).
+# Race-checks the concurrency-heavy packages: the log manager and
+# multi-log coordinator, the log buffer variants, the transaction
+# engine, the buffer pool's eviction/pin machinery in storage, the wire
+# server/client (one goroutine per connection plus writer and ack
+# callbacks), the public API's partitioned-engine tests (concurrent
+# workers over N flush daemons), and the simulator-vs-engine cross-check
+# in distlog.
 test-race:
-	$(GO) test -race -short ./internal/core ./internal/logbuf ./internal/txn ./internal/logdev ./internal/storage ./internal/wire
+	$(GO) test -race -short . ./internal/core ./internal/logbuf ./internal/txn ./internal/logdev ./internal/storage ./internal/wire ./internal/distlog
 
 vet:
 	$(GO) vet ./...
@@ -40,26 +43,34 @@ docs: vet
 		./internal/wire ./internal/workload
 
 # Small-scale perf smoke: vet plus a quick aetherbench run that
-# refreshes BENCH_pr8.json, so the perf trajectory (throughput, sweep
+# refreshes BENCH_pr9.json, so the perf trajectory (throughput, sweep
 # fsyncs/duration, larger-than-memory miss rate, demand steals vs
-# cleaner writes, cold-scan speedup and prefetch hit rate, network-path
-# TPS over real client processes) is tracked on every CI pass — the
-# fresh run's demand-steal rate and net TPS are diffed against the
-# committed baseline, failing on regression, with a 0.30
-# prefetch-hit-rate floor on the scan scenario, a 0.5 flushes/commit
-# ceiling on the pipelined network runs, and a zero-lost-acks
-# requirement. The heavier bench assertions in the test suite respect
-# -short, keeping tier-1 fast.
+# cleaner writes, cold-scan speedup and prefetch hit rate, partition
+# scaling, network-path TPS over real client processes) is tracked on
+# every CI pass — the fresh run's demand-steal rate and net TPS are
+# diffed against the committed baseline, failing on regression, with a
+# 0.30 prefetch-hit-rate floor on the scan scenario, a 0.5
+# flushes/commit ceiling on the pipelined network runs, a
+# zero-lost-acks requirement, a 1.5x committed-bytes/s floor on the
+# 4-partition log (vs 1 log over the same simulated device class), and
+# a 0.25 dependency-stall-rate ceiling on its flush passes. The heavier
+# bench assertions in the test suite respect -short, keeping tier-1
+# fast.
 bench-smoke: vet
-	$(GO) run ./cmd/aetherbench -quick -json -baseline BENCH_pr8.json
+	$(GO) run ./cmd/aetherbench -quick -json -baseline BENCH_pr9.json
 
-# Crash-storm smoke: a fixed-seed run of the fault-injection soak
+# Crash-storm smoke: fixed-seed runs of the fault-injection soak
 # harness — 25 power-cut/recover cycles across every fault point
 # (group-commit, journal, pagefile, watermark, manifest, archive),
 # each cycle's recovered state checked against the committed-ops
-# model. Fast enough for every CI pass; `make soak` is the long form.
+# model, then 15 more against a 3-partition log whose profile adds the
+# partition-flush point (one log's fsync dies while the others keep
+# hardening; recovery's merge verifies no flush dependency was
+# violated). Fast enough for every CI pass; `make soak` is the long
+# form.
 soak-smoke:
 	$(GO) run ./cmd/aethersoak -cycles 25 -seed 1
+	$(GO) run ./cmd/aethersoak -cycles 15 -seed 2 -log-partitions 3
 
 # Long crash storm for release qualification / bug hunting. Pick a
 # fresh seed to explore new fault schedules; a failure prints the seed

@@ -133,8 +133,32 @@ type Options struct {
 	// their slots are recycled, so the hot log stays bounded while the
 	// full history remains restorable (RestoreTail, logdump). The
 	// conventional location for a file-backed log is
-	// filepath.Join(LogPath, "archive").
+	// filepath.Join(LogPath, "archive"). A partitioned database
+	// (LogPartitions >= 2) keeps one archive lane per partition
+	// (ArchiveDir/p0, ArchiveDir/p1, …).
 	ArchiveDir string
+	// LogPartitions, if >= 2, shards the write-ahead log across that
+	// many independent log devices — one flush daemon, group-commit
+	// stream, durable watermark and archiver lane each — with every
+	// record carrying a global sequence stamp and inter-log flush
+	// dependencies physically enforced (a younger record whose page was
+	// last updated on another log never hardens before that older
+	// record does; see ARCHITECTURE.md "Partitioned logging"). Each
+	// transaction homes on one partition — by default the page space of
+	// its first update modulo LogPartitions, so table-partitioned
+	// workloads stay log-local — and its commit waits only on that
+	// partition. 0 and 1 are byte-for-byte the unpartitioned engine.
+	// File-backed partitioned logs require SegmentSize; LogPath then
+	// names a directory holding p0/ … pN-1/ plus the shared
+	// pagefile.db. The partition count is part of the on-disk layout:
+	// reopen with the same value.
+	LogPartitions int
+	// RoutePartition overrides the home-partition routing rule
+	// (meaningful only with LogPartitions >= 2): given a transaction ID
+	// and the page space of the transaction's first logged update, it
+	// returns the home partition index. Must be pure and
+	// goroutine-safe. Nil uses space modulo LogPartitions.
+	RoutePartition func(txnID uint64, space uint32) int
 	// Device is the simulated device class for in-memory logs.
 	Device DeviceProfile
 	// Buffer selects the log-buffer algorithm. Default BufferCD.
@@ -221,9 +245,17 @@ type DB struct {
 	memDev   crashSim          // non-nil only for in-memory devices
 	segDev   *logdev.Segmented // non-nil only with Options.SegmentSize
 	archiver logdev.Archiver   // non-nil only with Options.ArchiveDir
-	archive  storage.Archive
-	eng      *txn.Engine
-	tables   []string
+
+	// Partitioned mode (Options.LogPartitions >= 2) uses the slices
+	// instead; the single-device fields above stay nil.
+	devs      []logdev.Device
+	memDevs   []crashSim
+	segDevs   []*logdev.Segmented
+	archivers []logdev.Archiver
+
+	archive storage.Archive
+	eng     *txn.Engine
+	tables  []string
 }
 
 // Open creates (or reopens, for a file-backed log with existing
@@ -231,12 +263,18 @@ type DB struct {
 // re-create tables in the original order afterwards (CreateTable), and
 // table contents reappear automatically.
 func Open(opts Options) (*DB, error) {
-	db := &DB{opts: opts}
 	if opts.ArchiveDir != "" && opts.SegmentSize <= 0 {
 		return nil, errors.New("aether: Options.ArchiveDir requires Options.SegmentSize (only segmented logs archive dead segments)")
 	}
+	if opts.LogPartitions >= 2 {
+		return openMulti(opts)
+	}
+	db := &DB{opts: opts}
 	switch {
 	case opts.LogPath != "" && opts.SegmentSize > 0:
+		if err := checkSingleLayout(opts.fsOrOS(), opts.LogPath); err != nil {
+			return nil, err
+		}
 		s, err := logdev.OpenSegmentedDirFS(opts.fsOrOS(), opts.LogPath, opts.SegmentSize)
 		if err != nil {
 			return nil, err
@@ -343,8 +381,10 @@ func (o Options) cachePages() int64 {
 // fresh device just recovers an empty log).
 func (db *DB) start() (*DB, error) {
 	eng, _, err := txn.Restart(txn.RestartConfig{
-		Device:  db.dev,
-		Archive: db.archive,
+		Device:         db.dev,
+		Devices:        db.devs,
+		RoutePartition: db.opts.RoutePartition,
+		Archive:        db.archive,
 		LogConfig: core.Config{
 			Buffer: logbuf.Config{Variant: db.opts.Buffer.internal(), Size: 1 << 23},
 		},
@@ -373,9 +413,19 @@ func (db *DB) Close() error {
 	// Stop the background checkpointer first: it appends to the log and
 	// sweeps into the archive, both of which are about to close.
 	db.eng.Close()
-	err := db.eng.Log().Close()
-	if cerr := db.dev.Close(); err == nil {
-		err = cerr
+	var err error
+	if m := db.eng.Multi(); m != nil {
+		err = m.Close()
+		for _, d := range db.devs {
+			if cerr := d.Close(); err == nil {
+				err = cerr
+			}
+		}
+	} else {
+		err = db.eng.Log().Close()
+		if cerr := db.dev.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if c, ok := db.archive.(io.Closer); ok {
 		if cerr := c.Close(); err == nil {
@@ -429,13 +479,32 @@ func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
 // and indexes rebuilt automatically. File-backed databases return an
 // error (kill the process instead — that is the real crash test).
 func (db *DB) Crash() error {
-	if db.memDev == nil {
+	if db.memDev == nil && len(db.memDevs) == 0 {
 		return errors.New("aether: Crash is only supported for in-memory devices")
 	}
-	db.memDev.CrashFreeze()
+	if len(db.devs) > 0 && len(db.memDevs) != len(db.devs) {
+		return errors.New("aether: Crash is only supported for in-memory devices")
+	}
+	// Freeze every partition before stopping the engine: power loss cuts
+	// all the logs at once, each at its own durable watermark.
+	for _, m := range db.memDevs {
+		m.CrashFreeze()
+	}
+	if db.memDev != nil {
+		db.memDev.CrashFreeze()
+	}
 	db.eng.Close()
-	db.eng.Log().Close()
-	db.memDev.Remount()
+	if m := db.eng.Multi(); m != nil {
+		m.Close()
+	} else {
+		db.eng.Log().Close()
+	}
+	for _, m := range db.memDevs {
+		m.Remount()
+	}
+	if db.memDev != nil {
+		db.memDev.Remount()
+	}
 	if _, err := db.start(); err != nil {
 		return fmt.Errorf("aether: recovery failed: %w", err)
 	}
@@ -531,37 +600,85 @@ type Stats struct {
 	// in-place page write, failed checksum validation and retried — the
 	// observable cost of the lock-free read path (normally ~0).
 	ReadRetries int64
+	// LogPartitions is the number of log partitions (0 when the log is
+	// not partitioned). When partitioned, the Log* counters above are
+	// sums over partitions and LogBase is the sum of the per-partition
+	// truncation horizons.
+	LogPartitions int
+	// PartitionFlushes is each partition's flush-daemon I/O count (nil
+	// when not partitioned); LogFlushes is their sum.
+	PartitionFlushes []int64
+	// PartitionBytes is each partition's inserted log bytes (nil when
+	// not partitioned); LogBytes is their sum. The spread shows routing
+	// balance.
+	PartitionBytes []int64
+	// DepEdges counts cross-partition page dependencies observed at
+	// append time: a page updated on one log and then on another. Same
+	// definition as the distlog simulator's edge count.
+	DepEdges int64
+	// DepEdgesEnforced is the subset of DepEdges whose older record was
+	// not yet durable at append time and therefore registered a flush
+	// clamp on the younger record's partition.
+	DepEdgesEnforced int64
+	// DepStalls is, per partition, how many flush passes were clamped
+	// short by an unsatisfied inter-log dependency (nil when not
+	// partitioned) — the paper's A.5 dependency-stall rate is
+	// sum(DepStalls)/LogFlushes.
+	DepStalls []int64
 }
 
 // Stats returns current counters.
 func (db *DB) Stats() Stats {
-	ls := db.eng.Log().Stats()
 	es := db.eng.Stats()
 	cs := db.eng.Store().CacheStats()
 	s := Stats{
-		Commits:           es.Commits.Load(),
-		Aborts:            es.Aborts.Load(),
-		LogInserts:        ls.Inserts.Load(),
-		LogBytes:          ls.InsertBytes.Load(),
-		LogFlushes:        ls.Flushes.Load(),
-		Checkpoints:       es.Checkpoints.Load(),
-		LogTruncations:    ls.Truncations.Load(),
-		LogTruncatedBytes: ls.TruncatedBytes.Load(),
-		LogBase:           int64(db.eng.Log().Base()),
-		AutoCheckpoints:   es.AutoCheckpoints.Load(),
-		ArchiveRetries:    es.ArchiveRetries.Load(),
-		ArchiveGaveUp:     es.ArchiveGaveUp.Load(),
-		SweepPages:        es.SweepPages.Load(),
-		SweepFsyncs:       es.SweepFsyncs.Load(),
-		SweepDuration:     es.SweepDuration.Snapshot(),
-		CacheResident:     cs.Resident,
-		PageMisses:        cs.Misses,
-		PageEvictions:     cs.Evictions,
-		StealWrites:       cs.StealWrites,
-		CleanerWrites:     cs.CleanerWrites,
-		CleanerPasses:     cs.CleanerPasses,
-		PrefetchReads:     cs.PrefetchReads,
-		PrefetchHits:      cs.PrefetchHits,
+		Commits:         es.Commits.Load(),
+		Aborts:          es.Aborts.Load(),
+		Checkpoints:     es.Checkpoints.Load(),
+		AutoCheckpoints: es.AutoCheckpoints.Load(),
+		ArchiveRetries:  es.ArchiveRetries.Load(),
+		ArchiveGaveUp:   es.ArchiveGaveUp.Load(),
+		SweepPages:      es.SweepPages.Load(),
+		SweepFsyncs:     es.SweepFsyncs.Load(),
+		SweepDuration:   es.SweepDuration.Snapshot(),
+		CacheResident:   cs.Resident,
+		PageMisses:      cs.Misses,
+		PageEvictions:   cs.Evictions,
+		StealWrites:     cs.StealWrites,
+		CleanerWrites:   cs.CleanerWrites,
+		CleanerPasses:   cs.CleanerPasses,
+		PrefetchReads:   cs.PrefetchReads,
+		PrefetchHits:    cs.PrefetchHits,
+	}
+	if m := db.eng.Multi(); m != nil {
+		n := m.NumParts()
+		s.LogPartitions = n
+		s.PartitionFlushes = make([]int64, n)
+		s.PartitionBytes = make([]int64, n)
+		s.DepStalls = make([]int64, n)
+		s.DepEdges = m.EdgesTotal()
+		s.DepEdgesEnforced = m.EdgesEnforced()
+		for i := 0; i < n; i++ {
+			lm := m.Part(i)
+			ls := lm.Stats()
+			s.PartitionFlushes[i] = ls.Flushes.Load()
+			s.PartitionBytes[i] = ls.InsertBytes.Load()
+			s.DepStalls[i] = m.DepStalls(i)
+			s.LogInserts += ls.Inserts.Load()
+			s.LogBytes += ls.InsertBytes.Load()
+			s.LogFlushes += ls.Flushes.Load()
+			s.LogTruncations += ls.Truncations.Load()
+			s.LogTruncatedBytes += ls.TruncatedBytes.Load()
+			s.LogBase += int64(lm.Base())
+		}
+	} else {
+		ls := db.eng.Log().Stats()
+		s.LogInserts = ls.Inserts.Load()
+		s.LogBytes = ls.InsertBytes.Load()
+		s.LogFlushes = ls.Flushes.Load()
+		s.LogTruncations = ls.Truncations.Load()
+		s.LogTruncatedBytes = ls.TruncatedBytes.Load()
+		s.LogBase = int64(db.eng.Log().Base())
 	}
 	if rr, ok := db.archive.(storage.ReadRetrier); ok {
 		s.ReadRetries = rr.ReadRetries()
@@ -572,6 +689,13 @@ func (db *DB) Stats() Stats {
 		s.LogSegmentsArchived = db.segDev.ArchivedSegments()
 		s.LogSegmentsPendingArchive = int64(len(db.segDev.PendingArchive()))
 		s.LogTornTailRepaired = db.segDev.RepairedTailBytes()
+	}
+	for _, sd := range db.segDevs {
+		segs, _ := sd.TruncStats()
+		s.LogSegmentsRecycled += segs
+		s.LogSegmentsArchived += sd.ArchivedSegments()
+		s.LogSegmentsPendingArchive += int64(len(sd.PendingArchive()))
+		s.LogTornTailRepaired += sd.RepairedTailBytes()
 	}
 	return s
 }
@@ -589,6 +713,12 @@ func (db *DB) Stats() Stats {
 // background archiver are drained first, so the archive is contiguous
 // up to the hot log.
 func (db *DB) RestoreTail(from int64) ([]byte, int64, error) {
+	if len(db.devs) > 0 {
+		// Partitioned logs have no single byte-offset timeline to restore
+		// into; dump them with cmd/logdump, which merges partitions by
+		// global sequence stamp.
+		return nil, 0, errors.New("aether: RestoreTail is not supported for a partitioned log (use logdump's merged view)")
+	}
 	if db.segDev != nil {
 		data, start, err := db.segDev.RestoreLog(db.archiver, from)
 		if err != nil {

@@ -6,8 +6,8 @@
 //	aetherbench -fig fig3            # one figure, full scale
 //	aetherbench -fig fig8left -quick # one figure, fast parameters
 //	aetherbench -all                 # everything, in paper order
-//	aetherbench -json                # machine-readable perf report → BENCH_pr8.json
-//	aetherbench -json -baseline BENCH_pr8.json  # …and diff key counters vs the committed baseline
+//	aetherbench -json                # machine-readable perf report → BENCH_pr9.json
+//	aetherbench -json -baseline BENCH_pr9.json  # …and diff key counters vs the committed baseline
 //	aetherbench -net                 # network path only: aetherd wire server vs client processes
 //	aetherbench -list                # list experiment names
 package main
@@ -35,7 +35,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment names and exit")
 		jsonOut  = flag.Bool("json", false, "run the perf-tracking suite and write machine-readable results")
 		netOnly  = flag.Bool("net", false, "run only the network-path suite (wire server vs external client processes) and print the results")
-		outPath  = flag.String("out", "BENCH_pr8.json", "output file for -json")
+		outPath  = flag.String("out", "BENCH_pr9.json", "output file for -json")
 		baseline = flag.String("baseline", "", "existing report to diff demand-steal counts against (regression check, used by make bench-smoke)")
 
 		// Hidden child mode: -net re-executes this binary with these flags
@@ -126,7 +126,8 @@ type perfReport struct {
 		bench.ScanResult
 		Speedup float64 `json:"speedup"`
 	} `json:"scan"`
-	Net []netRun `json:"net"`
+	Partition bench.PartitionResult `json:"partition"`
+	Net       []netRun              `json:"net"`
 }
 
 // tputRun reports the sustained-commit workload.
@@ -274,6 +275,29 @@ func writeJSONReport(outPath, baselinePath string, scale bench.Scale) error {
 		return fmt.Errorf("scan run: prefetch hit rate %.2f below the 0.30 floor (%v)", scan.HitRate, scan)
 	}
 
+	partDur := 500 * time.Millisecond
+	if scale.Quick {
+		partDur = 250 * time.Millisecond
+	}
+	rep.Partition, err = bench.RunPartitions(bench.PartitionConfig{Duration: partDur})
+	if err != nil {
+		return fmt.Errorf("partition run: %w", err)
+	}
+	// The scaling floor and stall ceiling: four logs over four simulated
+	// bandwidth-limited devices must commit at least 1.5× the bytes/s of
+	// one log on one such device, and the dependency limiter must clamp
+	// well under a quarter of flush passes — partitioning that merely
+	// re-serializes behind cross-log waits fails CI even though every
+	// run is correct.
+	if rep.Partition.Speedup < 1.5 {
+		return fmt.Errorf("partition run: committed-bytes/s speedup %.2fx below the 1.5x floor (%v)",
+			rep.Partition.Speedup, rep.Partition)
+	}
+	if sr := rep.Partition.Multi.StallRate; sr > 0.25 {
+		return fmt.Errorf("partition run: dependency-stall rate %.3f above the 0.25 ceiling (%v)",
+			sr, rep.Partition)
+	}
+
 	rep.Net, err = runNetBench(scale)
 	if err != nil {
 		return fmt.Errorf("net run: %w", err)
@@ -298,6 +322,7 @@ func writeJSONReport(outPath, baselinePath string, scale bench.Scale) error {
 	fmt.Println(rep.Cache)
 	fmt.Println(rep.Cleaner)
 	fmt.Println(scan)
+	fmt.Println(rep.Partition)
 	for _, r := range rep.Net {
 		fmt.Println(r)
 	}

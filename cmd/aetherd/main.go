@@ -9,6 +9,10 @@
 //	aetherd -db /var/lib/aether              # serve on the default address
 //	aetherd -db ./data -addr 127.0.0.1:7890  # explicit address (use :0 for an ephemeral port)
 //	aetherd -db ./data -mode sync            # default commit mode for transactions
+//	aetherd -db ./data -segment-size 1048576 -log-partitions 4
+//	                                         # shard the log across 4 devices; the
+//	                                         # metrics page gains per-partition
+//	                                         # flush and dependency-stall counters
 //
 // The -db directory holds the write-ahead log, the page archive, and a
 // durable table catalog: every CreateTable appends the name to
@@ -42,6 +46,7 @@ func main() {
 		addr       = flag.String("addr", "127.0.0.1:7890", "TCP listen address (use :0 for an ephemeral port)")
 		dbDir      = flag.String("db", "", "database directory (required): log, page archive and table catalog live here")
 		segSize    = flag.Int64("segment-size", 0, "segmented-log segment size in bytes (0 = single log file)")
+		logParts   = flag.Int("log-partitions", 0, "shard the log across N partitions with enforced inter-log flush dependencies (requires -segment-size; 0/1 = single log)")
 		ckptEvery  = flag.Int64("checkpoint-every", 8<<20, "background checkpoint cadence in appended log bytes (0 = manual only)")
 		cachePages = flag.Int("cache-pages", 0, "buffer-pool budget in pages (0 = fully memory-resident)")
 		cleaner    = flag.Int("cleaner-pages", 0, "background cleaner headroom in pages (0 = off)")
@@ -51,15 +56,18 @@ func main() {
 		maxFrame   = flag.Uint("max-frame", wire.DefaultMaxFrame, "request frame size ceiling in bytes")
 	)
 	flag.Parse()
-	if err := run(*addr, *dbDir, *segSize, *ckptEvery, *cachePages, *cleaner, *mode, *readTO, *writeTO, uint32(*maxFrame)); err != nil {
+	if err := run(*addr, *dbDir, *segSize, *ckptEvery, *logParts, *cachePages, *cleaner, *mode, *readTO, *writeTO, uint32(*maxFrame)); err != nil {
 		fmt.Fprintln(os.Stderr, "aetherd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dbDir string, segSize, ckptEvery int64, cachePages, cleaner int, mode string, readTO, writeTO time.Duration, maxFrame uint32) error {
+func run(addr, dbDir string, segSize, ckptEvery int64, logParts, cachePages, cleaner int, mode string, readTO, writeTO time.Duration, maxFrame uint32) error {
 	if dbDir == "" {
 		return fmt.Errorf("-db is required")
+	}
+	if logParts >= 2 && segSize <= 0 {
+		return fmt.Errorf("-log-partitions requires -segment-size (each partition is a segmented directory)")
 	}
 	commitMode, err := parseMode(mode)
 	if err != nil {
@@ -77,6 +85,7 @@ func run(addr, dbDir string, segSize, ckptEvery int64, cachePages, cleaner int, 
 	db, err := aether.Open(aether.Options{
 		LogPath:              logPath,
 		SegmentSize:          segSize,
+		LogPartitions:        logParts,
 		Mode:                 commitMode,
 		CheckpointEveryBytes: ckptEvery,
 		CachePages:           cachePages,
@@ -86,6 +95,12 @@ func run(addr, dbDir string, segSize, ckptEvery int64, cachePages, cleaner int, 
 		return fmt.Errorf("open database: %w", err)
 	}
 	defer db.Close()
+	if logParts >= 2 {
+		// The metrics page (OpStats) carries the per-partition counters:
+		// aether_partition_flushes_N, aether_partition_bytes_N,
+		// aether_dep_stalls_N, aether_dep_edges.
+		fmt.Printf("log partitioned across %d devices\n", logParts)
+	}
 
 	// Recreate the catalog's tables in their original creation order —
 	// table→space assignment is positional — then rebuild the indexes

@@ -7,6 +7,9 @@
 //
 //	aethersoak -cycles 200 -seed 1
 //	aethersoak -points group-commit,journal -cycles 50 -v
+//	aethersoak -log-partitions 3 -cycles 100
+//	                         # partitioned stack: adds the partition-flush
+//	                         # point (cut one log's fsync, others harden)
 //
 // On divergence it prints the diff, the fault-fs op trace tail, and
 // the seed that replays the exact fault schedule, then exits 1.
@@ -29,15 +32,17 @@ func main() {
 		txns   = flag.Int("txns", 40, "max transactions per cycle before a forced cut")
 		keys   = flag.Int("keys", 48, "key-space size")
 		points = flag.String("points", "", "comma-separated fault points to arm (default all: "+pointList()+")")
+		parts  = flag.Int("log-partitions", 0, "run against a partitioned log with N devices (adds the partition-flush fault point; 0/1 = single log)")
 		verb   = flag.Bool("v", false, "log each cycle")
 	)
 	flag.Parse()
 
 	cfg := soak.Config{
-		Seed:         *seed,
-		Cycles:       *cycles,
-		TxnsPerCycle: *txns,
-		Keys:         *keys,
+		Seed:          *seed,
+		Cycles:        *cycles,
+		TxnsPerCycle:  *txns,
+		Keys:          *keys,
+		LogPartitions: *parts,
 	}
 	if *points != "" {
 		for _, p := range strings.Split(*points, ",") {
@@ -75,7 +80,7 @@ func main() {
 	fmt.Printf("  torn-tail bytes repaired: %d; journal replays: %d\n",
 		res.TornTailRepaired, res.JournalReplays)
 	fmt.Printf("  cuts by fault point:\n")
-	for _, p := range soak.AllFaultPoints {
+	for _, p := range soak.AllPartitionFaultPoints {
 		if n := res.Cuts[string(p)]; n > 0 {
 			fmt.Printf("    %-14s %d\n", p, n)
 		}
@@ -86,7 +91,7 @@ func main() {
 }
 
 func parsePoint(s string) (soak.FaultPoint, error) {
-	for _, p := range soak.AllFaultPoints {
+	for _, p := range soak.AllPartitionFaultPoints {
 		if string(p) == s {
 			return p, nil
 		}
@@ -95,8 +100,8 @@ func parsePoint(s string) (soak.FaultPoint, error) {
 }
 
 func pointList() string {
-	names := make([]string, len(soak.AllFaultPoints))
-	for i, p := range soak.AllFaultPoints {
+	names := make([]string, len(soak.AllPartitionFaultPoints))
+	for i, p := range soak.AllPartitionFaultPoints {
 		names[i] = string(p)
 	}
 	return strings.Join(names, ",")

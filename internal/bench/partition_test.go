@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunPartitionsShort sanity-checks the partition-scaling
+// microbenchmark at test scale: both sides commit, the partitioned
+// side observes cross-log edges, and the post-run crash + recovery
+// merge (which fails on any dependency-order violation) passes. The
+// throughput floor and stall-rate ceiling are CI gates applied at full
+// scale by aetherbench -json (make bench-smoke), not here — a loaded
+// test machine must not flake the suite on a performance ratio.
+func TestRunPartitionsShort(t *testing.T) {
+	res, err := RunPartitions(PartitionConfig{Duration: 120 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Single.Commits == 0 || res.Multi.Commits == 0 {
+		t.Fatalf("a side committed nothing: single=%d multi=%d", res.Single.Commits, res.Multi.Commits)
+	}
+	if res.Single.Partitions != 1 || res.Multi.Partitions != 4 {
+		t.Fatalf("unexpected partition counts: %d vs %d", res.Single.Partitions, res.Multi.Partitions)
+	}
+	if res.Multi.DepEdges == 0 {
+		t.Fatal("partitioned side observed no cross-log edges; the workload exercises nothing")
+	}
+	if res.Single.DepEdges != 0 || res.Single.DepStalls != 0 {
+		t.Fatalf("single-log side reports dependency activity: %+v", res.Single)
+	}
+	t.Logf("%v", res)
+}

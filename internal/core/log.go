@@ -119,6 +119,13 @@ type LogManager struct {
 	notify     atomic.Pointer[appendNotify]
 	notifyNext atomic.Int64
 
+	// limiter, when set, clamps how far each flush may harden — the
+	// multi-log coordinator's hook for inter-log dependency edges.
+	limiter atomic.Pointer[flushLimiter]
+	// durNotify, when set, runs after every durable-horizon advance (on
+	// the daemon goroutine) — the coordinator's cross-log re-wake hook.
+	durNotify atomic.Pointer[durableNotify]
+
 	mu       sync.Mutex
 	waiters  waiterHeap
 	pending  int // commit subscriptions since last flush
@@ -259,6 +266,56 @@ func (lm *LogManager) maybeNotifyAppend() {
 		n.fn()
 	}
 }
+
+// flushLimiter wraps the flush-clamp callback so it can live in an
+// atomic.Pointer.
+type flushLimiter struct {
+	fn func(start, end lsn.LSN) lsn.LSN
+}
+
+// durableNotify wraps the durable-advance callback so it can live in an
+// atomic.Pointer.
+type durableNotify struct {
+	fn func(durable lsn.LSN)
+}
+
+// SetFlushLimiter installs fn as the daemon's flush clamp: before each
+// flush of the released region [start, end), the daemon replaces end
+// with fn(start, end) (which must return a record-aligned LSN in
+// [start, end]). The multi-log coordinator uses this to hold a
+// partition's flush at the first record whose inter-log dependency edge
+// is not yet durable — the paper's A.5 rule that a younger record's log
+// never hardens before the older record's log. fn runs on the daemon
+// goroutine and must not block. A nil fn clears the limiter.
+func (lm *LogManager) SetFlushLimiter(fn func(start, end lsn.LSN) lsn.LSN) {
+	if fn == nil {
+		lm.limiter.Store(nil)
+		return
+	}
+	lm.limiter.Store(&flushLimiter{fn: fn})
+}
+
+// SetDurableNotify arranges for fn(durable) to run on the daemon
+// goroutine after every durable-horizon advance. The multi-log
+// coordinator uses this to release dependency edges held on this log
+// and re-wake the partitions it was blocking. fn must not block. A nil
+// fn clears the subscription.
+func (lm *LogManager) SetDurableNotify(fn func(durable lsn.LSN)) {
+	if fn == nil {
+		lm.durNotify.Store(nil)
+		return
+	}
+	lm.durNotify.Store(&durableNotify{fn: fn})
+}
+
+// Poke nudges the flush daemon to run another pass (non-blocking,
+// coalescing). The multi-log coordinator pokes a partition whose flush
+// was clamped by a dependency edge once the edge's target log hardens.
+func (lm *LogManager) Poke() { lm.wake() }
+
+// AppendEnd returns the highest end LSN any append has returned — the
+// ceiling of the log's written region.
+func (lm *LogManager) AppendEnd() lsn.LSN { return lm.appendEnd.Load() }
 
 // AppendBytes inserts an already-encoded record (microbenchmark path).
 func (a *Appender) AppendBytes(buf []byte) (at, end lsn.LSN, err error) {
@@ -542,6 +599,22 @@ func (lm *LogManager) flushOnce(batch *[]byte) {
 	lm.pending = 0
 	lm.mu.Unlock()
 
+	// The flush limiter may hold back the tail of the released region
+	// (an inter-log dependency edge not yet durable). The held bytes
+	// stay pending; the coordinator pokes the daemon when the edge
+	// clears.
+	if l := lm.limiter.Load(); l != nil && pendingBytes > 0 {
+		limited := l.fn(start, end)
+		if limited < start {
+			limited = start
+		}
+		if limited > end {
+			limited = end
+		}
+		end = limited
+		pendingBytes = int(end.Sub(start))
+	}
+
 	if pendingBytes > 0 {
 		t0 := time.Now()
 		if cap(*batch) < pendingBytes {
@@ -565,6 +638,9 @@ func (lm *LogManager) flushOnce(batch *[]byte) {
 		lm.stats.FlushBytes.Add(int64(pendingBytes))
 		lm.stats.GroupSize.Observe(time.Duration(pendingBytes)) // bytes, reusing histogram buckets
 		lm.stats.FlushLatency.Observe(time.Since(t0))
+		if n := lm.durNotify.Load(); n != nil {
+			n.fn(end)
+		}
 	}
 	lm.completeWaiters()
 }
@@ -583,6 +659,16 @@ func (lm *LogManager) completeWaiters() {
 	for _, w := range ready {
 		w.fn(nil)
 	}
+}
+
+// Failed returns the error that poisoned this log (a device append or
+// sync failure, or a failed flush dependency in multi-log mode), or nil
+// while the log is healthy. Once failed, every current and future
+// durability waiter receives the error.
+func (lm *LogManager) Failed() error {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.failed
 }
 
 // fail poisons the log: all current and future waiters get err.

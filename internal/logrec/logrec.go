@@ -85,11 +85,12 @@ const MaxPayload = 16 << 20
 //	 4  CRC      uint32  — CRC-32C over bytes [8, TotalLen)
 //	 8  Kind     uint16
 //	10  Flags    uint16
-//	12  _        uint32  — reserved/padding (zero)
+//	12  Seq      uint32  — global sequence stamp (multi-log); 0 on single-log records
 //	16  TxnID    uint64
 //	24  PrevLSN  uint64  — same-transaction backchain (lsn.Undefined if none)
 //	32  PageID   uint64  — page touched, 0 if not page-related
-//	40  Aux      uint64  — kind-specific (CLR: UndoNextLSN; ckpt-end: begin LSN)
+//	40  Aux      uint64  — kind-specific (CLR: UndoNextLSN; ckpt-end: begin LSN;
+//	                       multi-log update: the page's previous global seq)
 type Header struct {
 	// TotalLen is the record's full encoded length: header + payload.
 	TotalLen uint32
@@ -100,6 +101,13 @@ type Header struct {
 	Kind Kind
 	// Flags holds the Flag* bits (e.g. FlagRedoOnly on CLRs).
 	Flags uint16
+	// Seq is the record's global sequence stamp under partitioned
+	// (multi-log) operation: a single counter shared by every log
+	// partition, assigned in append order, so recovery can merge N logs
+	// back into one redo order. Single-log databases always write 0
+	// here (the field reuses the header's former reserved word, keeping
+	// the single-log format byte-for-byte unchanged).
+	Seq uint32
 	// TxnID is the owning transaction, 0 for system records.
 	TxnID uint64
 	// PrevLSN backchains to the same transaction's previous record
@@ -173,7 +181,7 @@ func (r *Record) EncodeInto(dst []byte) error {
 	// dst[4:8] = CRC, filled below.
 	binary.LittleEndian.PutUint16(dst[8:10], uint16(r.Kind))
 	binary.LittleEndian.PutUint16(dst[10:12], r.Flags)
-	binary.LittleEndian.PutUint32(dst[12:16], 0)
+	binary.LittleEndian.PutUint32(dst[12:16], r.Seq)
 	binary.LittleEndian.PutUint64(dst[16:24], r.TxnID)
 	binary.LittleEndian.PutUint64(dst[24:32], uint64(r.PrevLSN))
 	binary.LittleEndian.PutUint64(dst[32:40], r.PageID)
@@ -230,6 +238,7 @@ func Decode(src []byte) (rec Record, consumed int, err error) {
 			CRC:      wantCRC,
 			Kind:     k,
 			Flags:    binary.LittleEndian.Uint16(src[10:12]),
+			Seq:      binary.LittleEndian.Uint32(src[12:16]),
 			TxnID:    binary.LittleEndian.Uint64(src[16:24]),
 			PrevLSN:  lsn.LSN(binary.LittleEndian.Uint64(src[24:32])),
 			PageID:   binary.LittleEndian.Uint64(src[32:40]),

@@ -265,3 +265,15 @@ func NewPad(size int) *Record {
 
 // UndoNext returns the CLR's undo-next pointer.
 func (r *Record) UndoNext() lsn.LSN { return lsn.LSN(r.Aux) }
+
+// PrevPageSeq returns, for a multi-log update record, the global
+// sequence stamp of the page's previous update at the time this record
+// was appended — the dependency edge recovery verifies when merging N
+// logs. It is 0 for single-log records, for a page's first update, and
+// for every non-update kind (a CLR's Aux is its UndoNextLSN).
+func (r *Record) PrevPageSeq() uint64 {
+	if r.Kind != KindUpdate {
+		return 0
+	}
+	return r.Aux
+}

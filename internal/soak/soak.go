@@ -63,14 +63,29 @@ const (
 	// install rename) — the hot segment must stay parked until the
 	// archive copy is fully durable (invariant 5/5b).
 	FaultArchive FaultPoint = "archive"
+	// FaultPartitionFlush (partitioned stacks only, Config.LogPartitions
+	// >= 2) cuts power during exactly one randomly chosen partition's
+	// segment fsync while the other partitions keep hardening — the
+	// Appendix A.5 scenario. The flush-dependency limiter must have kept
+	// every surviving log free of records whose cross-log predecessor
+	// died with the cut partition's tail, recovery's merge must verify
+	// that (ErrDependencyViolated otherwise), and the model checker
+	// still accepts only committed-state or committed-state plus the one
+	// in-doubt transaction.
+	FaultPartitionFlush FaultPoint = "partition-flush"
 )
 
-// AllFaultPoints is the full profile, in the order cycles rotate
-// through when picking randomly.
+// AllFaultPoints is the full single-log profile, in the order cycles
+// rotate through when picking randomly.
 var AllFaultPoints = []FaultPoint{
 	FaultGroupCommit, FaultJournal, FaultPagefile,
 	FaultWatermark, FaultManifest, FaultArchive,
 }
+
+// AllPartitionFaultPoints is the full profile for a partitioned stack
+// (Config.LogPartitions >= 2): everything above plus the
+// one-partition-cut point.
+var AllPartitionFaultPoints = append(AllFaultPoints[:len(AllFaultPoints):len(AllFaultPoints)], FaultPartitionFlush)
 
 // Config parameterizes a soak run. Zero values pick usable defaults.
 type Config struct {
@@ -88,8 +103,16 @@ type Config struct {
 	// updates and deletes hit existing rows constantly).
 	Keys int
 	// Points is the fault profile: the cut sites cycles rotate
-	// through. Empty means AllFaultPoints.
+	// through. Empty means AllFaultPoints (plus FaultPartitionFlush
+	// when LogPartitions >= 2).
 	Points []FaultPoint
+	// LogPartitions, if >= 2, runs the soak against a partitioned log:
+	// N segmented devices (p0/…pN-1 under the log dir, one cold-store
+	// lane each) coordinated by a MultiLog, with transactions routed
+	// across partitions by txnID so consecutive updates of a page hop
+	// logs — maximal cross-log dependency pressure. 0/1 is the original
+	// single-log stack.
+	LogPartitions int
 	// Logf, when non-nil, receives per-cycle progress lines.
 	Logf func(format string, args ...any)
 }
@@ -172,82 +195,161 @@ type op struct {
 
 // engineStack is one open incarnation of the full durable stack.
 type engineStack struct {
-	dev *logdev.Segmented
-	pf  *storage.PageFile
-	eng *txn.Engine
-	tbl *txn.Table
+	dev  *logdev.Segmented   // single-log mode
+	devs []*logdev.Segmented // partitioned mode (LogPartitions >= 2)
+	pf   *storage.PageFile
+	eng  *txn.Engine
+	tbl  *txn.Table
 }
+
+// partDir is partition i's log directory under the soak log root —
+// the same p<i> layout aether.Open uses.
+func partDir(i int) string { return fmt.Sprintf("%s/p%d", soakLogDir, i) }
 
 // openStack builds the engine over the fault filesystem exactly as
 // aether.Open wires a file-backed segmented database: segmented log +
 // watermark, pagefile + journal as the page archive, DirArchiver cold
 // store, and the background checkpointer/archiver/cleaner goroutines.
-func openStack(fs vfs.FS) (*engineStack, error) {
-	dev, err := logdev.OpenSegmentedDirFS(fs, soakLogDir, soakSegSize)
-	if err != nil {
-		return nil, fmt.Errorf("open log: %w", err)
+// With parts >= 2 it builds the partitioned stack instead: one
+// segmented device and cold-store lane per partition, merged-order
+// recovery, transactions routed by txnID.
+func openStack(fs vfs.FS, parts int) (*engineStack, error) {
+	var (
+		dev    *logdev.Segmented
+		devs   []*logdev.Segmented
+		rc     txn.RestartConfig
+		closeD = func() {
+			if dev != nil {
+				dev.Close()
+			}
+			for _, d := range devs {
+				d.Close()
+			}
+		}
+	)
+	if parts >= 2 {
+		for i := 0; i < parts; i++ {
+			d, err := logdev.OpenSegmentedDirFS(fs, partDir(i), soakSegSize)
+			if err != nil {
+				closeD()
+				return nil, fmt.Errorf("open log partition %d: %w", i, err)
+			}
+			devs = append(devs, d)
+			rc.Devices = append(rc.Devices, d)
+		}
+		// Route by txnID: the sequential workload's consecutive
+		// transactions then land on different logs, so a page's update
+		// chain keeps crossing partitions — the A.5 stress pattern.
+		n := parts
+		rc.RoutePartition = func(txnID uint64, _ uint32) int { return int(txnID % uint64(n)) }
+	} else {
+		var err error
+		dev, err = logdev.OpenSegmentedDirFS(fs, soakLogDir, soakSegSize)
+		if err != nil {
+			return nil, fmt.Errorf("open log: %w", err)
+		}
+		rc.Device = dev
 	}
 	pf, err := storage.OpenPageFileFS(fs, soakLogDir+"/pagefile.db")
 	if err != nil {
-		dev.Close()
+		closeD()
 		return nil, fmt.Errorf("open pagefile: %w", err)
 	}
-	arch, err := logdev.OpenDirArchiverFS(fs, soakArchiveDir)
-	if err != nil {
-		pf.Close()
-		dev.Close()
-		return nil, fmt.Errorf("open archive: %w", err)
+	if parts >= 2 {
+		for i, d := range devs {
+			arch, err := logdev.OpenDirArchiverFS(fs, fmt.Sprintf("%s/p%d", soakArchiveDir, i))
+			if err != nil {
+				pf.Close()
+				closeD()
+				return nil, fmt.Errorf("open archive lane %d: %w", i, err)
+			}
+			d.SetArchiver(arch)
+		}
+	} else {
+		arch, err := logdev.OpenDirArchiverFS(fs, soakArchiveDir)
+		if err != nil {
+			pf.Close()
+			closeD()
+			return nil, fmt.Errorf("open archive: %w", err)
+		}
+		dev.SetArchiver(arch)
 	}
-	dev.SetArchiver(arch)
-	eng, _, err := txn.Restart(txn.RestartConfig{
-		Device:  dev,
-		Archive: pf,
-		LogConfig: core.Config{
-			Buffer: logbuf.Config{Variant: logbuf.VariantCD, Size: 1 << 20},
-		},
-		LockConfig:           lockmgr.Config{DeadlockTimeout: 300 * time.Millisecond, SLI: true},
-		CheckpointEveryBytes: soakCkptBytes,
-		CachePages:           soakCachePages,
-		CleanerPages:         soakCleaner,
-		CleanerInterval:      500 * time.Microsecond,
-		PrefetchDepth:        soakPrefetch,
-	})
+	rc.Archive = pf
+	rc.LogConfig = core.Config{
+		Buffer: logbuf.Config{Variant: logbuf.VariantCD, Size: 1 << 20},
+	}
+	rc.LockConfig = lockmgr.Config{DeadlockTimeout: 300 * time.Millisecond, SLI: true}
+	rc.CheckpointEveryBytes = soakCkptBytes
+	rc.CachePages = soakCachePages
+	rc.CleanerPages = soakCleaner
+	rc.CleanerInterval = 500 * time.Microsecond
+	rc.PrefetchDepth = soakPrefetch
+	eng, _, err := txn.Restart(rc)
 	if err != nil {
 		pf.Close()
-		dev.Close()
+		closeD()
 		return nil, fmt.Errorf("restart: %w", err)
 	}
-	tbl, err := eng.CreateTable("soak", nil)
+	s := &engineStack{dev: dev, devs: devs, pf: pf, eng: eng}
+	s.tbl, err = eng.CreateTable("soak", nil)
 	if err == nil {
 		err = eng.RebuildTables()
 	}
 	if err != nil {
-		eng.Close()
-		eng.Log().Close()
-		pf.Close()
-		dev.Close()
+		s.teardown()
 		return nil, fmt.Errorf("rebuild: %w", err)
 	}
-	return &engineStack{dev: dev, pf: pf, eng: eng, tbl: tbl}, nil
+	return s, nil
+}
+
+// repairedTailBytes sums torn-tail repairs across the stack's devices.
+func (s *engineStack) repairedTailBytes() int64 {
+	if s.dev != nil {
+		return s.dev.RepairedTailBytes()
+	}
+	var total int64
+	for _, d := range s.devs {
+		total += d.RepairedTailBytes()
+	}
+	return total
 }
 
 // teardown closes the stack, tolerating the error storm a power cut
 // leaves behind (every close hits a frozen filesystem).
 func (s *engineStack) teardown() {
 	s.eng.Close()
-	s.eng.Log().Close()
+	if m := s.eng.Multi(); m != nil {
+		m.Close()
+	} else {
+		s.eng.Log().Close()
+	}
 	s.pf.Close()
-	s.dev.Close()
+	if s.dev != nil {
+		s.dev.Close()
+	}
+	for _, d := range s.devs {
+		d.Close()
+	}
 }
 
 // armFault installs the cycle's power-cut rule and returns it. after
 // is randomized so the cut lands at a different depth of the matching
-// operation stream every cycle.
-func armFault(fs *vfs.FaultFS, rng *rand.Rand, point FaultPoint) int {
+// operation stream every cycle. With parts >= 2 the log-directory
+// fault points target one randomly chosen partition directory —
+// vfs.Rule.Dir matches the op's parent directory exactly, and in a
+// partitioned layout the segments and MANIFEST live under p<i>, not
+// the log root (only pagefile.db and its journal stay at the root).
+func armFault(fs *vfs.FaultFS, rng *rand.Rand, point FaultPoint, parts int) int {
+	logDir, archDir := soakLogDir, soakArchiveDir
+	if parts >= 2 {
+		k := rng.Intn(parts)
+		logDir = partDir(k)
+		archDir = fmt.Sprintf("%s/p%d", soakArchiveDir, k)
+	}
 	var r vfs.Rule
 	switch point {
 	case FaultGroupCommit:
-		r = vfs.Rule{Op: vfs.OpSync, Dir: soakLogDir, Path: "*.seg", After: rng.Intn(24)}
+		r = vfs.Rule{Op: vfs.OpSync, Dir: logDir, Path: "*.seg", After: rng.Intn(24)}
 	case FaultJournal:
 		ops := []vfs.Op{vfs.OpWrite, vfs.OpSync}
 		r = vfs.Rule{Op: ops[rng.Intn(2)], Dir: soakLogDir, Path: "pagefile.db.journal", After: rng.Intn(4)}
@@ -255,12 +357,22 @@ func armFault(fs *vfs.FaultFS, rng *rand.Rand, point FaultPoint) int {
 		ops := []vfs.Op{vfs.OpWrite, vfs.OpSync}
 		r = vfs.Rule{Op: ops[rng.Intn(2)], Dir: soakLogDir, Path: "pagefile.db", After: rng.Intn(6)}
 	case FaultWatermark:
-		r = vfs.Rule{Op: vfs.OpWrite, Dir: soakLogDir, Path: "MANIFEST.durable", After: rng.Intn(16)}
+		r = vfs.Rule{Op: vfs.OpWrite, Dir: logDir, Path: "MANIFEST.durable", After: rng.Intn(16)}
 	case FaultManifest:
-		r = vfs.Rule{Op: vfs.OpRename, Dir: soakLogDir, Path: "MANIFEST", After: rng.Intn(3)}
+		r = vfs.Rule{Op: vfs.OpRename, Dir: logDir, Path: "MANIFEST", After: rng.Intn(3)}
 	case FaultArchive:
 		ops := []vfs.Op{vfs.OpWrite, vfs.OpRename, vfs.OpSync}
-		r = vfs.Rule{Op: ops[rng.Intn(3)], Dir: soakArchiveDir, After: rng.Intn(4)}
+		r = vfs.Rule{Op: ops[rng.Intn(3)], Dir: archDir, After: rng.Intn(4)}
+	case FaultPartitionFlush:
+		if parts < 2 {
+			panic("soak: fault point partition-flush requires LogPartitions >= 2")
+		}
+		// Cut exactly one partition's group-commit fsync early (small
+		// After) while the other partitions keep flushing: the surviving
+		// logs race ahead of the dead one, and the dependency limiter is
+		// the only thing keeping their durable tails consistent with the
+		// merge order.
+		r = vfs.Rule{Op: vfs.OpSync, Dir: logDir, Path: "*.seg", After: rng.Intn(8)}
 	default:
 		panic(fmt.Sprintf("soak: unknown fault point %q", point))
 	}
@@ -441,7 +553,18 @@ func Run(cfg Config) (*Result, error) {
 		cfg.Keys = 48
 	}
 	if len(cfg.Points) == 0 {
-		cfg.Points = AllFaultPoints
+		if cfg.LogPartitions >= 2 {
+			cfg.Points = AllPartitionFaultPoints
+		} else {
+			cfg.Points = AllFaultPoints
+		}
+	}
+	if cfg.LogPartitions < 2 {
+		for _, p := range cfg.Points {
+			if p == FaultPartitionFlush {
+				return nil, fmt.Errorf("soak: fault point %s requires Config.LogPartitions >= 2", p)
+			}
+		}
 	}
 	logf := cfg.Logf
 	if logf == nil {
@@ -456,7 +579,7 @@ func Run(cfg Config) (*Result, error) {
 	var point FaultPoint
 
 	for cycle := 0; cycle < cfg.Cycles; cycle++ {
-		s, err := openStack(fs)
+		s, err := openStack(fs, cfg.LogPartitions)
 		if err != nil {
 			return res, &Divergence{
 				Seed: cfg.Seed, Cycle: cycle, Point: point,
@@ -464,7 +587,7 @@ func Run(cfg Config) (*Result, error) {
 				Trace: tail(fs.Trace(), 40),
 			}
 		}
-		res.TornTailRepaired += s.dev.RepairedTailBytes()
+		res.TornTailRepaired += s.repairedTailBytes()
 		if s.pf.JournalReplayed() > 0 {
 			res.JournalReplays++
 		}
@@ -505,7 +628,7 @@ func Run(cfg Config) (*Result, error) {
 
 		// Arm this cycle's fault and run the workload into it.
 		point = cfg.Points[rng.Intn(len(cfg.Points))]
-		rule := armFault(fs, rng, point)
+		rule := armFault(fs, rng, point, cfg.LogPartitions)
 		var commits int
 		commits, inDoubt = runWorkload(s, rng, model, cfg)
 		res.Commits += commits
@@ -531,7 +654,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Final verification pass: reopen once more and check the end state.
-	s, err := openStack(fs)
+	s, err := openStack(fs, cfg.LogPartitions)
 	if err != nil {
 		return res, &Divergence{
 			Seed: cfg.Seed, Cycle: cfg.Cycles, Point: point,

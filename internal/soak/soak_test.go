@@ -56,6 +56,69 @@ func TestSoakSingleFaultPoints(t *testing.T) {
 	}
 }
 
+// TestSoakPartitionedStorm runs the crash storm against a 3-partition
+// log with the full partitioned fault profile — including the
+// one-partition-cut point, where a single log's flush dies while the
+// others keep hardening. A clean pass means every recovery merged the
+// surviving logs without a flush-dependency violation and the model
+// checker saw only committed state (plus at most the one in-doubt
+// transaction) after every cut.
+func TestSoakPartitionedStorm(t *testing.T) {
+	res, err := Run(Config{
+		Seed:          1234,
+		Cycles:        12,
+		TxnsPerCycle:  25,
+		Keys:          32,
+		LogPartitions: 3,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("partitioned soak diverged: %v", err)
+	}
+	if res.Cycles != 12 {
+		t.Fatalf("ran %d cycles, want 12", res.Cycles)
+	}
+	if res.Commits == 0 {
+		t.Fatal("no transactions committed across the storm")
+	}
+}
+
+// TestSoakPartitionFlushPoint pins the Appendix A.5 cut site alone:
+// every cycle kills exactly one randomly chosen partition's segment
+// fsync while the other partitions continue flushing.
+func TestSoakPartitionFlushPoint(t *testing.T) {
+	res, err := Run(Config{
+		Seed:          9,
+		Cycles:        8,
+		TxnsPerCycle:  20,
+		Keys:          24,
+		LogPartitions: 3,
+		Points:        []FaultPoint{FaultPartitionFlush},
+	})
+	if err != nil {
+		t.Fatalf("partition-flush soak diverged: %v", err)
+	}
+	if res.Cycles != 8 {
+		t.Fatalf("ran %d cycles, want 8", res.Cycles)
+	}
+	if res.Cuts[string(FaultPartitionFlush)] == 0 {
+		t.Fatal("the partition-flush cut never fired; the run is vacuous")
+	}
+}
+
+// TestSoakPartitionPointRequiresPartitions rejects a profile that arms
+// the partition cut on a single-log stack.
+func TestSoakPartitionPointRequiresPartitions(t *testing.T) {
+	_, err := Run(Config{
+		Seed:   1,
+		Cycles: 1,
+		Points: []FaultPoint{FaultPartitionFlush},
+	})
+	if err == nil {
+		t.Fatal("partition-flush accepted without LogPartitions")
+	}
+}
+
 // TestDiffStates pins the model comparator: lost, changed, and
 // resurrected keys must all surface as distinct diffs.
 func TestDiffStates(t *testing.T) {

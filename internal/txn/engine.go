@@ -110,8 +110,20 @@ type Table struct {
 
 // Config assembles an Engine.
 type Config struct {
-	// Log is the Aether log manager (required).
+	// Log is the Aether log manager (required unless Multi is set).
 	Log *core.LogManager
+	// Multi, if set, runs the engine in partitioned (multi-log) mode
+	// over the coordinator's N per-partition log managers instead of
+	// Log. Page stamps, DPT recLSNs, checkpoint ATT entries and the
+	// truncation horizon all become global seqs; commit waits go to
+	// each transaction's home partition.
+	Multi *core.MultiLog
+	// Route picks a transaction's home partition in multi-log mode,
+	// given the transaction ID and the page space of its first logged
+	// update. Nil defaults to space modulo partition count, which keeps
+	// table-partitioned workloads log-local. Must be pure and
+	// goroutine-safe.
+	Route func(txnID uint64, space uint32) int
 	// Locks is the lock manager (required).
 	Locks *lockmgr.Manager
 	// Store is the page store; NewEngine wires Archive and Log into it
@@ -200,7 +212,9 @@ type Stats struct {
 
 // Engine is the transactional storage manager.
 type Engine struct {
-	log     *core.LogManager
+	log     *core.LogManager // nil in multi-log mode
+	multi   *core.MultiLog   // nil in single-log mode
+	route   func(txnID uint64, space uint32) int
 	locks   *lockmgr.Manager
 	store   *storage.Store
 	archive storage.Archive
@@ -238,18 +252,29 @@ type Engine struct {
 
 // NewEngine builds an engine over the given components.
 func NewEngine(cfg Config) (*Engine, error) {
-	if cfg.Log == nil || cfg.Locks == nil || cfg.Store == nil {
-		return nil, errors.New("txn: Log, Locks and Store are required")
+	if (cfg.Log == nil && cfg.Multi == nil) || cfg.Locks == nil || cfg.Store == nil {
+		return nil, errors.New("txn: Log (or Multi), Locks and Store are required")
+	}
+	if cfg.Log != nil && cfg.Multi != nil {
+		return nil, errors.New("txn: Log and Multi are mutually exclusive")
 	}
 	e := &Engine{
 		log:     cfg.Log,
+		multi:   cfg.Multi,
+		route:   cfg.Route,
 		locks:   cfg.Locks,
 		store:   cfg.Store,
 		archive: cfg.Archive,
 		tables:  make(map[string]*Table),
 		spaces:  make(map[uint32]*Table),
 		att:     make(map[uint64]*Txn),
-		ckptAp:  cfg.Log.NewAppender(),
+	}
+	if cfg.Multi != nil && e.route == nil {
+		n := cfg.Multi.NumParts()
+		e.route = func(_ uint64, space uint32) int { return int(space) % n }
+	}
+	if cfg.Log != nil {
+		e.ckptAp = cfg.Log.NewAppender()
 	}
 	// Thread the WAL into the buffer pool: evicting a dirty page forces
 	// the log up to its pageLSN before the image may be stolen to the
@@ -261,20 +286,78 @@ func NewEngine(cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
-	cfg.Store.AttachWAL(cfg.Log)
+	if cfg.Multi != nil {
+		cfg.Store.AttachWAL(cfg.Multi)
+	} else {
+		cfg.Store.AttachWAL(cfg.Log)
+	}
 	if cfg.PrefetchDepth > 0 {
 		cfg.Store.SetPrefetch(cfg.PrefetchDepth)
 	}
 	if cfg.CheckpointEveryBytes > 0 {
 		e.startAutoCheckpoint(cfg.CheckpointEveryBytes)
 	}
-	if cfg.Log.CanArchive() {
+	if e.canArchive() {
 		e.startArchiver()
 	}
 	if cfg.CleanerPages > 0 {
 		e.startCleaner(cfg.CleanerPages, cfg.CleanerInterval)
 	}
 	return e, nil
+}
+
+// durableStamp returns the durable horizon in the engine's stamp
+// domain: the log's durable LSN in single-log mode, the global durable
+// seq in multi-log mode.
+func (e *Engine) durableStamp() lsn.LSN {
+	if e.multi != nil {
+		return e.multi.Durable()
+	}
+	return e.log.Durable()
+}
+
+// waitLM returns the log manager a transaction homed on partition
+// `home` waits on (the single log when not partitioned; home < 0 maps
+// to partition 0, the system log).
+func (e *Engine) waitLM(home int) *core.LogManager {
+	if e.multi == nil {
+		return e.log
+	}
+	if home < 0 {
+		home = 0
+	}
+	return e.multi.Part(home)
+}
+
+// canArchive reports whether any log device has an archiver attached.
+func (e *Engine) canArchive() bool {
+	if e.multi != nil {
+		for i := 0; i < e.multi.NumParts(); i++ {
+			if e.multi.Part(i).CanArchive() {
+				return true
+			}
+		}
+		return false
+	}
+	return e.log.CanArchive()
+}
+
+// archivePending drains every log device's archive-then-recycle queue,
+// returning the total segments shipped and the first error.
+func (e *Engine) archivePending() (int, error) {
+	if e.multi == nil {
+		return e.log.ArchivePending()
+	}
+	total := 0
+	var first error
+	for i := 0; i < e.multi.NumParts(); i++ {
+		n, err := e.multi.Part(i).ArchivePending()
+		total += n
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return total, first
 }
 
 // startAutoCheckpoint wires the log's appended-bytes trigger to a
@@ -287,12 +370,27 @@ func (e *Engine) startAutoCheckpoint(everyBytes int64) {
 	e.ckptTrig = make(chan struct{}, 1)
 	e.ckptStop = make(chan struct{})
 	e.ckptDone = make(chan struct{})
-	e.log.SetAppendNotify(everyBytes, func() {
+	nudge := func() {
 		select {
 		case e.ckptTrig <- struct{}{}:
 		default: // one already pending: coalesce
 		}
-	})
+	}
+	if e.multi != nil {
+		// Split the byte budget across partitions: with balanced load
+		// each partition fires after roughly everyBytes/N of its own
+		// inserts, so the combined cadence approximates everyBytes of
+		// total log. Skewed load just checkpoints a little more often.
+		per := everyBytes / int64(e.multi.NumParts())
+		if per < 1 {
+			per = 1
+		}
+		for i := 0; i < e.multi.NumParts(); i++ {
+			e.multi.Part(i).SetAppendNotify(per, nudge)
+		}
+	} else {
+		e.log.SetAppendNotify(everyBytes, nudge)
+	}
 	go e.autoCheckpointLoop()
 }
 
@@ -384,7 +482,7 @@ var (
 func (e *Engine) archivePassWithRetry() {
 	backoff := archBackoffMin
 	for attempt := 0; ; attempt++ {
-		n, err := e.log.ArchivePending()
+		n, err := e.archivePending()
 		e.stats.SegmentsArchived.Add(int64(n))
 		if err == nil {
 			return
@@ -481,7 +579,13 @@ func (e *Engine) cleanerLoop(pages int, interval time.Duration) {
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
 		if e.ckptStop != nil {
-			e.log.SetAppendNotify(0, nil)
+			if e.multi != nil {
+				for i := 0; i < e.multi.NumParts(); i++ {
+					e.multi.Part(i).SetAppendNotify(0, nil)
+				}
+			} else {
+				e.log.SetAppendNotify(0, nil)
+			}
 			close(e.ckptStop)
 		}
 		if e.archStop != nil {
@@ -502,8 +606,13 @@ func (e *Engine) Close() {
 	}
 }
 
-// Log returns the engine's log manager.
+// Log returns the engine's log manager (nil in multi-log mode; use
+// Multi).
 func (e *Engine) Log() *core.LogManager { return e.log }
+
+// Multi returns the engine's multi-log coordinator (nil in single-log
+// mode).
+func (e *Engine) Multi() *core.MultiLog { return e.multi }
 
 // Locks returns the engine's lock manager.
 func (e *Engine) Locks() *lockmgr.Manager { return e.locks }
@@ -629,11 +738,17 @@ type Agent struct {
 
 // NewAgent returns a fresh agent context.
 func (e *Engine) NewAgent() *Agent {
-	return &Agent{
+	a := &Agent{
 		eng:   e,
-		ap:    e.log.NewAppender(),
 		cache: lockmgr.NewAgentCache(0),
 	}
+	if e.multi == nil {
+		// Multi-log appends go through the coordinator's per-partition
+		// appenders (Txn.appendRec); the agent-local appender is the
+		// single-log fast path only.
+		a.ap = e.log.NewAppender()
+	}
+	return a
 }
 
 // Close releases the agent's inherited locks (shutdown).
@@ -647,8 +762,9 @@ func (a *Agent) Close() {
 // next transaction as soon as Commit returns.
 func (a *Agent) Begin() *Txn {
 	id := a.eng.nextTxn.Add(1)
-	t := &Txn{eng: a.eng, agent: a, id: id, locker: a.eng.locks.NewLocker(id, a.cache)}
+	t := &Txn{eng: a.eng, agent: a, id: id, home: -1, locker: a.eng.locks.NewLocker(id, a.cache)}
 	t.last.Store(lsn.Undefined)
+	t.lastStamp.Store(lsn.Undefined)
 	t.first.Store(lsn.Undefined)
 	a.eng.mu.Lock()
 	a.eng.att[id] = t
@@ -670,19 +786,39 @@ func (e *Engine) Checkpoint() error {
 	e.ckptMu.Lock()
 	defer e.ckptMu.Unlock()
 
-	beginAt, _, err := e.ckptAp.Append(&logrec.Record{
-		Header: logrec.Header{Kind: logrec.KindCheckpointBegin},
-	})
-	if err != nil {
-		return fmt.Errorf("txn: checkpoint begin: %w", err)
+	// In multi-log mode, sample a truncation horizon first: the sample
+	// (per-partition append ends, then the seq) becomes usable as soon
+	// as the release horizon passes its seq — typically by the next
+	// checkpoint. Checkpoint records themselves always go to partition
+	// 0, so analysis has a single place to look.
+	if e.multi != nil {
+		e.multi.SampleHorizon()
+	}
+	beginRec := &logrec.Record{Header: logrec.Header{Kind: logrec.KindCheckpointBegin}}
+	var beginAt, beginStamp lsn.LSN
+	if e.multi != nil {
+		at, _, seq, err := e.multi.Append(0, beginRec)
+		if err != nil {
+			return fmt.Errorf("txn: checkpoint begin: %w", err)
+		}
+		beginAt, beginStamp = at, lsn.LSN(seq)
+	} else {
+		at, _, err := e.ckptAp.Append(beginRec)
+		if err != nil {
+			return fmt.Errorf("txn: checkpoint begin: %w", err)
+		}
+		beginAt, beginStamp = at, at
 	}
 
 	var payload logrec.CheckpointPayload
 	e.mu.Lock()
 	for id, t := range e.att {
 		payload.ActiveTxns = append(payload.ActiveTxns, logrec.TxnTableEntry{
-			TxnID:        id,
-			LastLSN:      t.last.Load(),
+			TxnID: id,
+			// A home-log LSN in single-log mode, a global seq in
+			// multi-log mode — the payload format is unchanged either
+			// way.
+			LastLSN:      t.lastStamp.Load(),
 			Precommitted: t.state.Load() >= stPrecommitted,
 		})
 	}
@@ -693,11 +829,21 @@ func (e *Engine) Checkpoint() error {
 		Header:  logrec.Header{Kind: logrec.KindCheckpointEnd, Aux: uint64(beginAt)},
 		Payload: payload.Encode(nil),
 	}
-	_, end, err := e.ckptAp.Append(rec)
-	if err != nil {
-		return fmt.Errorf("txn: checkpoint end: %w", err)
+	var end lsn.LSN
+	if e.multi != nil {
+		_, e2, _, err := e.multi.Append(0, rec)
+		if err != nil {
+			return fmt.Errorf("txn: checkpoint end: %w", err)
+		}
+		end = e2
+	} else {
+		_, e2, err := e.ckptAp.Append(rec)
+		if err != nil {
+			return fmt.Errorf("txn: checkpoint end: %w", err)
+		}
+		end = e2
 	}
-	if err := e.log.WaitDurable(end); err != nil {
+	if err := e.waitLM(0).WaitDurable(end); err != nil {
 		return fmt.Errorf("txn: checkpoint flush: %w", err)
 	}
 	if e.archive != nil {
@@ -707,7 +853,7 @@ func (e *Engine) Checkpoint() error {
 		if hasFC {
 			fsyncs0 = fc.Fsyncs()
 		}
-		n := e.store.ArchiveDirtyPages(e.archive, e.log.Durable())
+		n := e.store.ArchiveDirtyPages(e.archive, e.durableStamp())
 		var df int64
 		if hasFC {
 			df = fc.Fsyncs() - fsyncs0
@@ -721,7 +867,13 @@ func (e *Engine) Checkpoint() error {
 			e.stats.SweepDuration.Observe(time.Since(t0))
 		}
 	}
-	if _, err := e.log.Truncate(e.releaseLSN(beginAt)); err != nil {
+	var truncErr error
+	if e.multi != nil {
+		_, truncErr = e.multi.TruncateToSeq(uint64(e.releaseLSN(beginStamp)))
+	} else {
+		_, truncErr = e.log.Truncate(e.releaseLSN(beginStamp))
+	}
+	if truncErr != nil {
 		// The checkpoint itself is durable and the sweep succeeded;
 		// failed truncation only means the horizon stays put and the
 		// next checkpoint retries. Report it as a counter, not as a
@@ -736,7 +888,9 @@ func (e *Engine) Checkpoint() error {
 }
 
 // releaseLSN computes the truncation horizon after a checkpoint whose
-// begin record sits at ckptBegin: the log below
+// begin record sits at ckptBegin (a stamp: an LSN in single-log mode, a
+// global seq in multi-log mode — t.first and the DPT recLSNs live in
+// the same domain): the log below
 //
 //	min(checkpoint begin, oldest active-txn first LSN, oldest dirty-page recLSN)
 //

@@ -15,8 +15,18 @@ import (
 // RestartConfig describes how to bring a database back from its durable
 // state (log device + optional page archive).
 type RestartConfig struct {
-	// Device is the log device holding the durable log.
+	// Device is the log device holding the durable log (single-log
+	// mode; ignored when Devices is set).
 	Device logdev.Device
+	// Devices, if it holds two or more devices, restarts the database
+	// in partitioned (multi-log) mode: one device per log partition, in
+	// partition order. Recovery merges the partitions' tails by global
+	// seq and the engine runs over a core.MultiLog.
+	Devices []logdev.Device
+	// RoutePartition overrides the multi-log home-partition routing
+	// (see Config.Route). Nil defaults to page space modulo partition
+	// count.
+	RoutePartition func(txnID uint64, space uint32) int
 	// Archive is the page archive (database file); may be nil.
 	Archive storage.Archive
 	// LogConfig configures the new log manager. Device and Buffer.Base
@@ -54,6 +64,9 @@ type RestartConfig struct {
 // O(working set), not O(database). The caller must re-create its tables
 // in the original order and then call RebuildTables.
 func Restart(cfg RestartConfig) (*Engine, *recovery.Result, error) {
+	if len(cfg.Devices) >= 2 {
+		return restartMulti(cfg)
+	}
 	// Read only the live tail: a truncated device recycled everything
 	// below its base, and recovery is O(log-since-checkpoint) because of
 	// it. LSNs are stable, so the new buffer resumes at base+len(tail).
@@ -117,6 +130,102 @@ func Restart(cfg RestartConfig) (*Engine, *recovery.Result, error) {
 	})
 	if err != nil {
 		lm.Close()
+		return nil, nil, err
+	}
+	return eng, res, nil
+}
+
+// restartMulti is Restart for a partitioned log: read every partition's
+// durable tail, seed the global sequence counter from the largest stamp
+// on disk, build one LogManager per device under a MultiLog
+// coordinator, and run the merged-order recovery (whose CLRs route back
+// to each loser's home partition).
+func restartMulti(cfg RestartConfig) (*Engine, *recovery.Result, error) {
+	n := len(cfg.Devices)
+	tails := make([][]byte, n)
+	bases := make([]lsn.LSN, n)
+	var maxSeq uint64
+	for i, dev := range cfg.Devices {
+		logData, base, err := logdev.ReadTail(dev)
+		if err != nil {
+			return nil, nil, fmt.Errorf("txn: reading log partition %d: %w", i, err)
+		}
+		tails[i] = logData
+		bases[i] = lsn.LSN(base)
+		if s := recovery.MaxSeq(logData, lsn.LSN(base)); s > maxSeq {
+			maxSeq = s
+		}
+	}
+	store := storage.NewStore()
+	if cfg.Archive != nil {
+		if err := store.SetBackend(cfg.Archive); err != nil {
+			return nil, nil, fmt.Errorf("txn: attaching archive: %w", err)
+		}
+	}
+	if cfg.CachePages > 0 {
+		store.SetCachePages(cfg.CachePages)
+	}
+	if cfg.PrefetchDepth > 0 {
+		store.SetPrefetch(cfg.PrefetchDepth)
+	}
+	lms := make([]*core.LogManager, n)
+	closeAll := func() {
+		for _, lm := range lms {
+			if lm != nil {
+				lm.Close()
+			}
+		}
+	}
+	for i := range cfg.Devices {
+		lcfg := cfg.LogConfig
+		lcfg.Device = cfg.Devices[i]
+		lcfg.Buffer.Base = bases[i].Add(len(tails[i]))
+		lm, err := core.New(lcfg)
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("txn: log partition %d: %w", i, err)
+		}
+		lms[i] = lm
+	}
+	ml, err := core.NewMultiLog(lms, maxSeq)
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	// The WAL hook must be in place before recovery faults its first
+	// page (stamps are seqs in multi-log mode).
+	store.AttachWAL(ml)
+	res, err := recovery.RecoverMulti(recovery.MultiOptions{
+		Logs:          tails,
+		Bases:         bases,
+		Store:         store,
+		Multi:         ml,
+		VerifyArchive: cfg.Archive != nil,
+	})
+	if err != nil {
+		ml.Close()
+		return nil, nil, err
+	}
+	// Recovery's CLRs and end records must be durable before new work
+	// starts, or a second crash could strand a half-undone loser whose
+	// compensation vanished.
+	if err := ml.FlushAll(); err != nil {
+		ml.Close()
+		return nil, nil, fmt.Errorf("txn: flushing recovery log: %w", err)
+	}
+	eng, err := NewEngine(Config{
+		Multi:                ml,
+		Route:                cfg.RoutePartition,
+		Locks:                lockmgr.New(cfg.LockConfig),
+		Store:                store,
+		Archive:              cfg.Archive,
+		CheckpointEveryBytes: cfg.CheckpointEveryBytes,
+		CleanerPages:         cfg.CleanerPages,
+		CleanerInterval:      cfg.CleanerInterval,
+		PrefetchDepth:        cfg.PrefetchDepth,
+	})
+	if err != nil {
+		ml.Close()
 		return nil, nil, err
 	}
 	return eng, res, nil

@@ -38,14 +38,45 @@ type Txn struct {
 	id     uint64
 	locker *lockmgr.Locker
 
-	last  lsn.Atomic   // most recent log record (atomic: checkpoint reads it)
-	first lsn.Atomic   // first log record (atomic: truncation horizon reads it)
+	last lsn.Atomic // most recent log record's home-log LSN (PrevLSN chain)
+	// lastStamp is what the checkpoint ATT snapshots as the record to
+	// start undo from: the same home-log LSN in single-log mode, the
+	// record's global seq in multi-log mode.
+	lastStamp lsn.Atomic
+	// first pins the truncation horizon: the first record's LSN in
+	// single-log mode, its global seq in multi-log mode.
+	first lsn.Atomic
 	state atomic.Int32 // atomic: checkpoint and daemon callbacks read it
 
-	lastEnd   lsn.LSN // end LSN of the most recent record
+	// home is the transaction's log partition in multi-log mode,
+	// assigned from its first logged update's page space (-1 until
+	// then; unused in single-log mode).
+	home int
+
+	lastEnd   lsn.LSN // end LSN of the most recent record (home log)
 	writes    int
 	undo      []undoEntry
 	indexUndo []func()
+}
+
+// appendRec routes rec to the transaction's log — the single log, or
+// the multi-log home partition — and returns the record's home-log
+// address and end plus the two stamps derived from it: pageStamp is
+// what page images carry after applying the record, recStamp what the
+// DPT records as the page's recLSN. In single-log mode they are the
+// record's end and start LSN; in multi-log mode both are the record's
+// global seq.
+func (t *Txn) appendRec(rec *logrec.Record) (at, end, pageStamp, recStamp lsn.LSN, err error) {
+	e := t.eng
+	if e.multi == nil {
+		at, end, err = t.agent.ap.Append(rec)
+		return at, end, end, at, err
+	}
+	if t.home < 0 {
+		t.home = e.route(t.id, storage.PageSpace(rec.PageID))
+	}
+	at, end, seq, err := e.multi.Append(t.home, rec)
+	return at, end, lsn.LSN(seq), lsn.LSN(seq), err
 }
 
 // ID returns the transaction identifier.
@@ -56,24 +87,27 @@ func (t *Txn) Writes() int { return t.writes }
 
 // logUpdate is the storage.LogFunc for this transaction: append a
 // physiological update record, chain PrevLSN, and remember the undo.
+// It returns (recStamp, pageStamp): the values the heap feeds to
+// MarkDirty and Page.Apply — LSNs in single-log mode, seqs in
+// multi-log mode.
 func (t *Txn) logUpdate(pageID uint64, up logrec.UpdatePayload) (lsn.LSN, lsn.LSN, error) {
 	prev := t.last.Load()
 	if prev == lsn.Undefined {
-		// Publish a conservative first-LSN lower bound before the insert
-		// reserves a real address. The durable horizon can never exceed a
-		// future insert's LSN, so a checkpoint that observes this bound
-		// (or observes Undefined, meaning our insert hasn't started and
-		// will land above its begin record) can never set the truncation
-		// horizon past our first record.
-		t.first.Store(t.eng.log.Durable())
+		// Publish a conservative first-stamp lower bound before the
+		// insert reserves a real address. The durable horizon can never
+		// exceed a future insert's stamp, so a checkpoint that observes
+		// this bound (or observes Undefined, meaning our insert hasn't
+		// started and will land above its begin record) can never set
+		// the truncation horizon past our first record.
+		t.first.Store(t.eng.durableStamp())
 	}
 	rec := logrec.NewUpdate(t.id, prev, pageID, up)
-	at, end, err := t.agent.ap.Append(rec)
+	at, end, pageStamp, recStamp, err := t.appendRec(rec)
 	if err != nil {
 		return 0, 0, err
 	}
 	if prev == lsn.Undefined {
-		t.first.Store(at)
+		t.first.Store(recStamp)
 	}
 	// Deep-copy the images: the payload aliases page memory that will
 	// change, and rollback needs the originals.
@@ -85,9 +119,10 @@ func (t *Txn) logUpdate(pageID uint64, up logrec.UpdatePayload) (lsn.LSN, lsn.LS
 	}
 	t.undo = append(t.undo, undoEntry{pageID: pageID, at: at, prev: prev, up: saved})
 	t.last.Store(at)
+	t.lastStamp.Store(recStamp)
 	t.lastEnd = end
 	t.writes++
-	return at, end, nil
+	return recStamp, pageStamp, nil
 }
 
 func (t *Txn) active() error {
@@ -235,18 +270,26 @@ func (t *Txn) Commit(mode CommitMode, whenDone func(error)) error {
 	}
 
 	rec := logrec.NewCommit(t.id, t.last.Load())
-	at, end, err := t.agent.ap.Append(rec)
+	at, end, _, recStamp, err := t.appendRec(rec)
 	if err != nil {
 		return err
 	}
 	t.last.Store(at)
+	t.lastStamp.Store(recStamp)
 	t.lastEnd = end
 	t.state.Store(stPrecommitted)
+
+	// All waits are against the transaction's own log: in multi-log
+	// mode the flush limiter guarantees the home log cannot harden the
+	// commit record before every cross-log dependency of the
+	// transaction's updates is durable, so the home durable horizon is
+	// the commit's full durability condition (invariant 6).
+	lm := t.eng.waitLM(t.home)
 
 	switch mode {
 	case CommitSync:
 		// Traditional: hold locks across the flush.
-		err := t.eng.log.WaitDurable(end)
+		err := lm.WaitDurable(end)
 		t.locker.ReleaseAll()
 		t.finishCommit(err == nil)
 		if whenDone != nil {
@@ -257,7 +300,7 @@ func (t *Txn) Commit(mode CommitMode, whenDone func(error)) error {
 	case CommitSyncELR:
 		// ELR: dependants may acquire our locks while we await the flush.
 		t.locker.ReleaseAll()
-		err := t.eng.log.WaitDurable(end)
+		err := lm.WaitDurable(end)
 		t.finishCommit(err == nil)
 		if whenDone != nil {
 			whenDone(err)
@@ -271,7 +314,7 @@ func (t *Txn) Commit(mode CommitMode, whenDone func(error)) error {
 		// and recycling this txn's records while it can still come back
 		// as a recovery loser would leave its undo chain unreadable.
 		t.locker.ReleaseAll()
-		t.eng.log.OnDurable(end, func(err error) { t.finishCommit(err == nil) })
+		lm.OnDurable(end, func(err error) { t.finishCommit(err == nil) })
 		if whenDone != nil {
 			whenDone(nil)
 		}
@@ -281,7 +324,7 @@ func (t *Txn) Commit(mode CommitMode, whenDone func(error)) error {
 		// ELR + detach: the agent thread is free immediately; the log
 		// daemon completes the transaction when the record hardens.
 		t.locker.ReleaseAll()
-		t.eng.log.OnDurable(end, func(err error) {
+		lm.OnDurable(end, func(err error) {
 			t.finishCommit(err == nil)
 			if whenDone != nil {
 				whenDone(err)
@@ -294,7 +337,7 @@ func (t *Txn) Commit(mode CommitMode, whenDone func(error)) error {
 		// the log-induced lock contention ELR exists to remove. The
 		// release runs on the daemon goroutine, so it must bypass the
 		// agent's (single-threaded) lock cache.
-		t.eng.log.OnDurable(end, func(err error) {
+		lm.OnDurable(end, func(err error) {
 			t.locker.ReleaseAllToTable()
 			t.finishCommit(err == nil)
 			if whenDone != nil {
@@ -332,21 +375,23 @@ func (t *Txn) Abort() error {
 
 	if t.writes > 0 {
 		abortRec := logrec.NewAbort(t.id, t.last.Load())
-		at, _, err := t.agent.ap.Append(abortRec)
+		at, _, _, recStamp, err := t.appendRec(abortRec)
 		if err != nil {
 			return err
 		}
 		t.last.Store(at)
+		t.lastStamp.Store(recStamp)
 
 		for i := len(t.undo) - 1; i >= 0; i-- {
 			e := t.undo[i]
 			inv := e.up.Inverse()
 			clr := logrec.NewCLR(t.id, t.last.Load(), e.pageID, e.prev, inv)
-			at, end, err := t.agent.ap.Append(clr)
+			at, _, pageStamp, recStamp, err := t.appendRec(clr)
 			if err != nil {
 				return fmt.Errorf("txn: logging CLR: %w", err)
 			}
 			t.last.Store(at)
+			t.lastStamp.Store(recStamp)
 			page, ferr := t.eng.store.Get(e.pageID)
 			if ferr != nil {
 				return fmt.Errorf("txn: undo fault: %w", ferr)
@@ -355,12 +400,12 @@ func (t *Txn) Abort() error {
 				return fmt.Errorf("txn: undo lost page %d", e.pageID)
 			}
 			page.Latch.Lock()
-			applyErr := page.Apply(inv, end)
+			applyErr := page.Apply(inv, pageStamp)
 			if applyErr == nil {
 				// Mark dirty under the latch: the eviction path decides
 				// clean-vs-steal from (pageLSN, DPT) read under the
 				// latch, so the two must change together.
-				t.eng.store.MarkDirty(e.pageID, at)
+				t.eng.store.MarkDirty(e.pageID, recStamp)
 			}
 			page.Latch.Unlock()
 			page.Unpin()
@@ -372,7 +417,7 @@ func (t *Txn) Abort() error {
 			t.indexUndo[i]()
 		}
 		endRec := logrec.NewEnd(t.id, t.last.Load())
-		at, endEnd, aerr := t.agent.ap.Append(endRec)
+		at, endEnd, _, endStamp, aerr := t.appendRec(endRec)
 		t.state.Store(stAborted)
 		t.locker.ReleaseAll()
 		t.eng.stats.Aborts.Inc()
@@ -383,13 +428,14 @@ func (t *Txn) Abort() error {
 			return aerr
 		}
 		t.last.Store(at)
+		t.lastStamp.Store(endStamp)
 		// Leave the ATT only once the rollback is durable: until then
 		// the txn's first LSN must keep pinning the truncation horizon,
 		// or a crash could find a loser whose undo chain was recycled.
 		// Capture only what the callback needs, not the whole Txn with
 		// its deep-copied undo images.
 		eng, id := t.eng, t.id
-		t.eng.log.OnDurable(endEnd, func(error) { eng.attRemove(id) })
+		t.eng.waitLM(t.home).OnDurable(endEnd, func(error) { eng.attRemove(id) })
 		return nil
 	}
 

@@ -265,15 +265,23 @@ func (s *Server) MetricsText() string {
 	return b.String()
 }
 
-// writeMetrics emits every int64 field of v as a snake_cased line.
+// writeMetrics emits every int/int64 field of v as a snake_cased line;
+// an []int64 field (a per-log-partition counter) becomes one line per
+// element, suffixed with the partition index.
 func writeMetrics(b *strings.Builder, prefix string, v any) {
 	rv := reflect.ValueOf(v)
 	rt := rv.Type()
 	for i := 0; i < rt.NumField(); i++ {
-		if rv.Field(i).Kind() != reflect.Int64 {
-			continue
+		f := rv.Field(i)
+		name := snakeCase(rt.Field(i).Name)
+		switch {
+		case f.Kind() == reflect.Int64 || f.Kind() == reflect.Int:
+			fmt.Fprintf(b, "%s%s %d\n", prefix, name, f.Int())
+		case f.Kind() == reflect.Slice && f.Type().Elem().Kind() == reflect.Int64:
+			for j := 0; j < f.Len(); j++ {
+				fmt.Fprintf(b, "%s%s_%d %d\n", prefix, name, j, f.Index(j).Int())
+			}
 		}
-		fmt.Fprintf(b, "%s%s %d\n", prefix, snakeCase(rt.Field(i).Name), rv.Field(i).Int())
 	}
 }
 

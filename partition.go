@@ -1,0 +1,124 @@
+// partition.go is the public face of partitioned (multi-log) operation:
+// Options.LogPartitions >= 2 shards the write-ahead log across N
+// independent devices — one flush daemon, group-commit stream, durable
+// watermark and archiver lane each — coordinated by core.MultiLog, which
+// stamps every record with a global sequence number and physically
+// enforces inter-log flush dependencies (paper Appendix A.5).
+package aether
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"aether/internal/logdev"
+	"aether/internal/storage"
+	"aether/internal/vfs"
+)
+
+// PartitionDir names partition i's log directory under a partitioned
+// database root ("p0", "p1", …). Exported so tools (logdump) and tests
+// agree with Open on the on-disk layout.
+func PartitionDir(i int) string { return fmt.Sprintf("p%d", i) }
+
+// checkMultiLayout rejects opening a directory whose on-disk layout does
+// not match the requested partition count: a legacy single-log segmented
+// directory (MANIFEST at the top level) must be opened with
+// LogPartitions 0/1, and a database created with more partitions than
+// requested would silently lose the extra logs' records.
+func checkMultiLayout(fs vfs.FS, dir string, n int) error {
+	if st, err := fs.Stat(filepath.Join(dir, "MANIFEST")); err == nil && !st.IsDir() {
+		return fmt.Errorf("aether: %s holds a single-log segmented database; open it with LogPartitions 0 or 1", dir)
+	}
+	if st, err := fs.Stat(filepath.Join(dir, PartitionDir(n))); err == nil && st.IsDir() {
+		return fmt.Errorf("aether: %s has more than the requested %d log partitions; open it with its original LogPartitions", dir, n)
+	}
+	return nil
+}
+
+// checkSingleLayout is the reverse guard: a partitioned database root
+// (p0/ present) must not be opened in single-log mode, which would read
+// none of the partition logs.
+func checkSingleLayout(fs vfs.FS, dir string) error {
+	if st, err := fs.Stat(filepath.Join(dir, PartitionDir(0))); err == nil && st.IsDir() {
+		return fmt.Errorf("aether: %s holds a partitioned database; set Options.LogPartitions to its partition count", dir)
+	}
+	return nil
+}
+
+// openMulti is Open for Options.LogPartitions >= 2.
+func openMulti(opts Options) (*DB, error) {
+	n := opts.LogPartitions
+	db := &DB{opts: opts}
+	fs := opts.fsOrOS()
+	closeDevs := func() {
+		for _, d := range db.devs {
+			d.Close()
+		}
+		if c, ok := db.archive.(io.Closer); ok && db.archive != nil {
+			c.Close()
+		}
+	}
+	switch {
+	case opts.LogPath != "" && opts.SegmentSize > 0:
+		if err := checkMultiLayout(fs, opts.LogPath, n); err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			s, err := logdev.OpenSegmentedDirFS(fs, filepath.Join(opts.LogPath, PartitionDir(i)), opts.SegmentSize)
+			if err != nil {
+				closeDevs()
+				return nil, fmt.Errorf("aether: log partition %d: %w", i, err)
+			}
+			db.devs = append(db.devs, s)
+			db.segDevs = append(db.segDevs, s)
+		}
+		// One shared database file: pages are partition-agnostic — only
+		// the log is sharded.
+		arch, err := openPageArchive(fs,
+			filepath.Join(opts.LogPath, "pagefile.db"),
+			filepath.Join(opts.LogPath, "pages"))
+		if err != nil {
+			closeDevs()
+			return nil, err
+		}
+		db.archive = arch
+	case opts.LogPath != "":
+		return nil, errors.New("aether: partitioned file-backed logs require Options.SegmentSize (each partition is a segmented directory)")
+	case opts.SegmentSize > 0:
+		for i := 0; i < n; i++ {
+			s := logdev.NewSegmentedMem(opts.Device.internal(), opts.SegmentSize)
+			db.devs = append(db.devs, s)
+			db.segDevs = append(db.segDevs, s)
+			db.memDevs = append(db.memDevs, s)
+		}
+		db.archive = storage.NewMemArchive()
+	default:
+		for i := 0; i < n; i++ {
+			m := logdev.NewMem(opts.Device.internal())
+			db.devs = append(db.devs, m)
+			db.memDevs = append(db.memDevs, m)
+		}
+		db.archive = storage.NewMemArchive()
+	}
+	if opts.ArchiveDir != "" {
+		// One cold-storage lane per partition: each partition's archiver
+		// ships its own dead segments, so a slow lane never blocks the
+		// others' truncation.
+		for i, s := range db.segDevs {
+			a, err := logdev.OpenDirArchiverFS(fs, filepath.Join(opts.ArchiveDir, PartitionDir(i)))
+			if err != nil {
+				closeDevs()
+				return nil, fmt.Errorf("aether: archive lane %d: %w", i, err)
+			}
+			db.archivers = append(db.archivers, a)
+			s.SetArchiver(a)
+		}
+	}
+	if _, err := db.start(); err != nil {
+		closeDevs()
+		return nil, err
+	}
+	return db, nil
+}

@@ -3,6 +3,9 @@ package aether
 import (
 	"path/filepath"
 	"testing"
+	"time"
+
+	"aether/internal/storage"
 )
 
 // TestPrefetchAcrossReopen is PR 6's end-to-end scenario: a database
@@ -48,6 +51,15 @@ func TestPrefetchAcrossReopen(t *testing.T) {
 
 	db2 := open(16)
 	defer db2.Close()
+	// Simulate a device with real read latency (as the scan benchmark
+	// does): against an OS-cached local file, a demand pread can beat the
+	// read-ahead goroutine's spawn — especially under the race detector —
+	// and the test would measure scheduler jitter, not read-ahead.
+	if pf, ok := db2.archive.(*storage.PageFile); ok {
+		pf.SetReadDelay(200 * time.Microsecond)
+	} else {
+		t.Fatalf("page archive is %T, want *storage.PageFile", db2.archive)
+	}
 	tbl2, err := db2.CreateTable("t")
 	if err != nil {
 		t.Fatal(err)
