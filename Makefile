@@ -19,10 +19,11 @@ test-short:
 # engine, the buffer pool's eviction/pin machinery in storage, the wire
 # server/client (one goroutine per connection plus writer and ack
 # callbacks), the public API's partitioned-engine tests (concurrent
-# workers over N flush daemons), and the simulator-vs-engine cross-check
-# in distlog.
+# workers over N flush daemons, plus the cloud-tier restore tests with
+# the archiver and retention daemons running), the PITR replay paths in
+# recovery, and the simulator-vs-engine cross-check in distlog.
 test-race:
-	$(GO) test -race -short . ./internal/core ./internal/logbuf ./internal/txn ./internal/logdev ./internal/storage ./internal/wire ./internal/distlog
+	$(GO) test -race -short . ./internal/core ./internal/logbuf ./internal/txn ./internal/logdev ./internal/recovery ./internal/storage ./internal/wire ./internal/distlog
 
 vet:
 	$(GO) vet ./...
@@ -43,21 +44,22 @@ docs: vet
 		./internal/wire ./internal/workload
 
 # Small-scale perf smoke: vet plus a quick aetherbench run that
-# refreshes BENCH_pr9.json, so the perf trajectory (throughput, sweep
+# refreshes BENCH_pr10.json, so the perf trajectory (throughput, sweep
 # fsyncs/duration, larger-than-memory miss rate, demand steals vs
 # cleaner writes, cold-scan speedup and prefetch hit rate, partition
-# scaling, network-path TPS over real client processes) is tracked on
-# every CI pass — the fresh run's demand-steal rate and net TPS are
-# diffed against the committed baseline, failing on regression, with a
-# 0.30 prefetch-hit-rate floor on the scan scenario, a 0.5
-# flushes/commit ceiling on the pipelined network runs, a
-# zero-lost-acks requirement, a 1.5x committed-bytes/s floor on the
-# 4-partition log (vs 1 log over the same simulated device class), and
-# a 0.25 dependency-stall-rate ceiling on its flush passes. The heavier
-# bench assertions in the test suite respect -short, keeping tier-1
-# fast.
+# scaling, restore latency via cloud snapshots, network-path TPS over
+# real client processes) is tracked on every CI pass — the fresh run's
+# demand-steal rate and net TPS are diffed against the committed
+# baseline, failing on regression, with a 0.30 prefetch-hit-rate floor
+# on the scan scenario, a 0.5 flushes/commit ceiling on the pipelined
+# network runs, a zero-lost-acks requirement, a 1.5x committed-bytes/s
+# floor on the 4-partition log (vs 1 log over the same simulated device
+# class), a 0.25 dependency-stall-rate ceiling on its flush passes, and
+# a 1.2x floor on point-in-time restore through the newest snapshot vs
+# a full from-genesis raw replay. The heavier bench assertions in the
+# test suite respect -short, keeping tier-1 fast.
 bench-smoke: vet
-	$(GO) run ./cmd/aetherbench -quick -json -baseline BENCH_pr9.json
+	$(GO) run ./cmd/aetherbench -quick -json -baseline BENCH_pr10.json
 
 # Crash-storm smoke: fixed-seed runs of the fault-injection soak
 # harness — 25 power-cut/recover cycles across every fault point
@@ -66,11 +68,16 @@ bench-smoke: vet
 # model, then 15 more against a 3-partition log whose profile adds the
 # partition-flush point (one log's fsync dies while the others keep
 # hardening; recovery's merge verifies no flush dependency was
-# violated). Fast enough for every CI pass; `make soak` is the long
-# form.
+# violated), then 15 with the opt-in remote-archive point: the cold
+# store becomes a cloud object store that survives power cuts, and
+# cycles tear uploads mid-object or open outage windows — recovery must
+# never lose a committed transaction to a torn upload nor recycle a
+# parked segment before its bytes are durably remote. Fast enough for
+# every CI pass; `make soak` is the long form.
 soak-smoke:
 	$(GO) run ./cmd/aethersoak -cycles 25 -seed 1
 	$(GO) run ./cmd/aethersoak -cycles 15 -seed 2 -log-partitions 3
+	$(GO) run ./cmd/aethersoak -cycles 15 -seed 3 -points remote-archive,group-commit
 
 # Long crash storm for release qualification / bug hunting. Pick a
 # fresh seed to explore new fault schedules; a failure prints the seed
@@ -79,13 +86,15 @@ soak: SEED ?= 1
 soak:
 	$(GO) run ./cmd/aethersoak -cycles 500 -seed $(SEED)
 
-# Short coverage-guided fuzz runs over the wire protocol's decoders:
-# hostile frames must never panic, over-allocate, or round-trip
-# asymmetrically. Ten seconds per target is enough to exercise the
-# mutation corpus on every CI pass; run `go test -fuzz` by hand with a
-# longer -fuzztime to dig.
+# Short coverage-guided fuzz runs over the hostile-input decoders: the
+# wire protocol's frames and requests, and the cloud tier's object
+# envelope (segment, indexed pack, snapshot) — none may panic,
+# over-allocate, or round-trip asymmetrically. Ten seconds per target
+# is enough to exercise the mutation corpus on every CI pass; run
+# `go test -fuzz` by hand with a longer -fuzztime to dig.
 fuzz-smoke:
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime 10s
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzRequestRoundTrip$$' -fuzztime 10s
+	$(GO) test ./internal/logdev -run '^$$' -fuzz '^FuzzCompactedIndex$$' -fuzztime 10s
 
 ci: build vet docs test test-race bench-smoke soak-smoke fuzz-smoke

@@ -137,6 +137,41 @@ type Options struct {
 	// (LogPartitions >= 2) keeps one archive lane per partition
 	// (ArchiveDir/p0, ArchiveDir/p1, …).
 	ArchiveDir string
+	// RemoteStore, if set (requires SegmentSize > 0; mutually exclusive
+	// with ArchiveDir), archives dead segments into an S3-style object
+	// store instead of a local directory: the cloud log tier. Every
+	// object carries a self-validating envelope, so torn uploads are
+	// detected and re-shipped; a failed upload leaves the segment
+	// parked on the hot device (its slot is never recycled until the
+	// store durably holds it) and the background archiver retries with
+	// backoff. A partitioned database keeps one key-prefix lane per
+	// partition (p0/, p1/, …). Use NewMemObjectStore for tests or
+	// NewDirObjectStore for a directory-backed store; any ObjectStore
+	// implementation works. Enables DB.RestoreTo point-in-time
+	// recovery and, with SnapshotEveryBytes, snapshot-anchored
+	// retention.
+	RemoteStore ObjectStore
+	// CompactSegments, with RemoteStore set, packs runs of at least
+	// this many contiguous raw segment objects into one larger
+	// immutable indexed pack object (background compaction; default 4).
+	CompactSegments int
+	// SnapshotEveryBytes, with RemoteStore set on a single
+	// (unpartitioned) log, cuts a materialized snapshot object — page
+	// images plus the undo stash of in-flight transactions — every
+	// time this many new log bytes have hardened. Snapshots anchor
+	// retention (RetainSnapshots) and make RestoreTo cost proportional
+	// to the distance from the nearest snapshot instead of total
+	// history. 0 disables snapshots and pruning. Partitioned logs
+	// ignore it: their pages interleave across lanes, so the cloud
+	// tier keeps their full history (compaction still runs).
+	SnapshotEveryBytes int64
+	// RetainSnapshots, with SnapshotEveryBytes > 0, keeps only the
+	// newest N snapshot objects: older snapshots, and every log object
+	// wholly below the oldest survivor's cut, are pruned. The oldest
+	// retained cut becomes the retention floor — RestoreTo below it
+	// fails with ErrRestorePruned; everything at or above it stays
+	// restorable. 0 keeps every snapshot (nothing is ever pruned).
+	RetainSnapshots int
 	// LogPartitions, if >= 2, shards the write-ahead log across that
 	// many independent log devices — one flush daemon, group-commit
 	// stream, durable watermark and archiver lane each — with every
@@ -242,9 +277,10 @@ type crashSim interface {
 type DB struct {
 	opts     Options
 	dev      logdev.Device
-	memDev   crashSim          // non-nil only for in-memory devices
-	segDev   *logdev.Segmented // non-nil only with Options.SegmentSize
-	archiver logdev.Archiver   // non-nil only with Options.ArchiveDir
+	memDev   crashSim               // non-nil only for in-memory devices
+	segDev   *logdev.Segmented      // non-nil only with Options.SegmentSize
+	archiver logdev.Archiver        // non-nil with Options.ArchiveDir or RemoteStore
+	remote   *logdev.RemoteArchiver // non-nil only with Options.RemoteStore
 
 	// Partitioned mode (Options.LogPartitions >= 2) uses the slices
 	// instead; the single-device fields above stay nil.
@@ -252,6 +288,7 @@ type DB struct {
 	memDevs   []crashSim
 	segDevs   []*logdev.Segmented
 	archivers []logdev.Archiver
+	remotes   []*logdev.RemoteArchiver
 
 	archive storage.Archive
 	eng     *txn.Engine
@@ -265,6 +302,12 @@ type DB struct {
 func Open(opts Options) (*DB, error) {
 	if opts.ArchiveDir != "" && opts.SegmentSize <= 0 {
 		return nil, errors.New("aether: Options.ArchiveDir requires Options.SegmentSize (only segmented logs archive dead segments)")
+	}
+	if opts.RemoteStore != nil && opts.SegmentSize <= 0 {
+		return nil, errors.New("aether: Options.RemoteStore requires Options.SegmentSize (only segmented logs archive dead segments)")
+	}
+	if opts.RemoteStore != nil && opts.ArchiveDir != "" {
+		return nil, errors.New("aether: Options.RemoteStore and Options.ArchiveDir are mutually exclusive (one cold store per log)")
 	}
 	if opts.LogPartitions >= 2 {
 		return openMulti(opts)
@@ -332,6 +375,14 @@ func Open(opts Options) (*DB, error) {
 		db.archiver = a
 		db.segDev.SetArchiver(a)
 	}
+	if opts.RemoteStore != nil {
+		// Same placement rule as ArchiveDir: the remote archiver must be
+		// attached before the engine's first truncation parks a segment.
+		ra := logdev.NewRemoteArchiver(opts.RemoteStore, "", opts.SegmentSize)
+		db.archiver = ra
+		db.remote = ra
+		db.segDev.SetArchiver(ra)
+	}
 	if _, err := db.start(); err != nil {
 		// Release the descriptors the failed open acquired, or a caller
 		// retrying Open on a damaged database leaks them every attempt.
@@ -397,6 +448,7 @@ func (db *DB) start() (*DB, error) {
 		CleanerPages:         db.opts.CleanerPages,
 		CleanerInterval:      db.opts.CleanerInterval,
 		PrefetchDepth:        db.opts.PrefetchDepth,
+		Retention:            db.retentionConfig(),
 	})
 	if err != nil {
 		return nil, err
@@ -548,6 +600,23 @@ type Stats struct {
 	// ArchiveGaveUp counts archive passes abandoned after the retry
 	// budget; the segments stay parked until a later nudge succeeds.
 	ArchiveGaveUp int64
+	// LogPacksBuilt counts compaction runs in the cloud tier
+	// (Options.RemoteStore): contiguous raw segment objects merged into
+	// one immutable indexed pack object.
+	LogPacksBuilt int64
+	// LogSnapshots counts materialized snapshot objects the cloud
+	// tier's maintenance daemon uploaded (Options.SnapshotEveryBytes).
+	LogSnapshots int64
+	// LogObjectsPruned counts remote objects retention deleted — always
+	// wholly below the oldest retained snapshot's cut.
+	LogObjectsPruned int64
+	// RetentionFailures counts cloud-tier maintenance passes that
+	// errored; nothing is lost, the next checkpoint retries.
+	RetentionFailures int64
+	// RestoreFloor is the oldest restorable point (the oldest retained
+	// snapshot's cut): RestoreTo below it fails with ErrRestorePruned.
+	// 0 means the full history is retained.
+	RestoreFloor int64
 	// LogTornTailRepaired counts bytes the last Open discarded while
 	// repairing a torn tail: unsynced bytes a power loss happened to
 	// persist beyond the durable watermark. Committed work is never
@@ -696,6 +765,19 @@ func (db *DB) Stats() Stats {
 		s.LogSegmentsArchived += sd.ArchivedSegments()
 		s.LogSegmentsPendingArchive += int64(len(sd.PendingArchive()))
 		s.LogTornTailRepaired += sd.RepairedTailBytes()
+	}
+	s.LogSnapshots = es.SnapshotsTaken.Load()
+	s.LogObjectsPruned = es.RetentionPrunedObjects.Load()
+	s.RetentionFailures = es.RetentionFailures.Load()
+	if db.remote != nil {
+		rs := db.remote.Stats()
+		s.LogPacksBuilt = rs.PacksBuilt
+		if floor, err := db.remote.Floor(); err == nil {
+			s.RestoreFloor = int64(floor)
+		}
+	}
+	for _, r := range db.remotes {
+		s.LogPacksBuilt += r.Stats().PacksBuilt
 	}
 	return s
 }

@@ -6,8 +6,8 @@
 //	aetherbench -fig fig3            # one figure, full scale
 //	aetherbench -fig fig8left -quick # one figure, fast parameters
 //	aetherbench -all                 # everything, in paper order
-//	aetherbench -json                # machine-readable perf report → BENCH_pr9.json
-//	aetherbench -json -baseline BENCH_pr9.json  # …and diff key counters vs the committed baseline
+//	aetherbench -json                # machine-readable perf report → BENCH_pr10.json
+//	aetherbench -json -baseline BENCH_pr10.json  # …and diff key counters vs the committed baseline
 //	aetherbench -net                 # network path only: aetherd wire server vs client processes
 //	aetherbench -list                # list experiment names
 package main
@@ -35,7 +35,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment names and exit")
 		jsonOut  = flag.Bool("json", false, "run the perf-tracking suite and write machine-readable results")
 		netOnly  = flag.Bool("net", false, "run only the network-path suite (wire server vs external client processes) and print the results")
-		outPath  = flag.String("out", "BENCH_pr9.json", "output file for -json")
+		outPath  = flag.String("out", "BENCH_pr10.json", "output file for -json")
 		baseline = flag.String("baseline", "", "existing report to diff demand-steal counts against (regression check, used by make bench-smoke)")
 
 		// Hidden child mode: -net re-executes this binary with these flags
@@ -127,7 +127,11 @@ type perfReport struct {
 		Speedup float64 `json:"speedup"`
 	} `json:"scan"`
 	Partition bench.PartitionResult `json:"partition"`
-	Net       []netRun              `json:"net"`
+	Restore   struct {
+		bench.RestoreResult
+		Speedup float64 `json:"speedup"`
+	} `json:"restore"`
+	Net []netRun `json:"net"`
 }
 
 // tputRun reports the sustained-commit workload.
@@ -298,6 +302,38 @@ func writeJSONReport(outPath, baselinePath string, scale bench.Scale) error {
 			sr, rep.Partition)
 	}
 
+	restoreCfg := bench.RestoreConfig{
+		Batches:            24,
+		TxnsPerBatch:       25,
+		ValueBytes:         192,
+		SegmentSize:        16 << 10,
+		SnapshotEveryBytes: 32 << 10,
+		CompactSegments:    4,
+		Iters:              3,
+	}
+	if scale.Quick {
+		restoreCfg.Batches, restoreCfg.TxnsPerBatch, restoreCfg.ValueBytes = 16, 20, 128
+		restoreCfg.SegmentSize, restoreCfg.SnapshotEveryBytes = 8<<10, 16<<10
+		restoreCfg.Iters = 2
+	}
+	restore, err := bench.RunRestore(restoreCfg)
+	if err != nil {
+		return fmt.Errorf("restore run: %w", err)
+	}
+	rep.Restore.RestoreResult = restore
+	rep.Restore.Speedup = restore.Speedup()
+	// The restore-latency floor: point-in-time restore through the
+	// newest cloud snapshot replays only the tail past its cut, so it
+	// must clearly beat a full from-genesis raw replay of the same
+	// history. A ratio near 1x means snapshots stopped being cut near
+	// the durable end or RestoreTo stopped using them — fail CI even
+	// though both restores were byte-correct (RunRestore checks that
+	// itself).
+	if rep.Restore.Speedup < 1.2 {
+		return fmt.Errorf("restore run: snapshot restore only %.2fx over raw replay, below the 1.2x floor (%v)",
+			rep.Restore.Speedup, restore)
+	}
+
 	rep.Net, err = runNetBench(scale)
 	if err != nil {
 		return fmt.Errorf("net run: %w", err)
@@ -323,6 +359,7 @@ func writeJSONReport(outPath, baselinePath string, scale bench.Scale) error {
 	fmt.Println(rep.Cleaner)
 	fmt.Println(scan)
 	fmt.Println(rep.Partition)
+	fmt.Println(restore)
 	for _, r := range rep.Net {
 		fmt.Println(r)
 	}

@@ -80,7 +80,7 @@ func main() {
 	fmt.Printf("  torn-tail bytes repaired: %d; journal replays: %d\n",
 		res.TornTailRepaired, res.JournalReplays)
 	fmt.Printf("  cuts by fault point:\n")
-	for _, p := range soak.AllPartitionFaultPoints {
+	for _, p := range knownPoints() {
 		if n := res.Cuts[string(p)]; n > 0 {
 			fmt.Printf("    %-14s %d\n", p, n)
 		}
@@ -90,8 +90,16 @@ func main() {
 	}
 }
 
+// knownPoints is every armable fault point: the default profile plus
+// the opt-in ones (remote-archive reshapes the stack, so it only runs
+// when asked for explicitly).
+func knownPoints() []soak.FaultPoint {
+	return append(soak.AllPartitionFaultPoints[:len(soak.AllPartitionFaultPoints):len(soak.AllPartitionFaultPoints)],
+		soak.OptInFaultPoints...)
+}
+
 func parsePoint(s string) (soak.FaultPoint, error) {
-	for _, p := range soak.AllPartitionFaultPoints {
+	for _, p := range knownPoints() {
 		if string(p) == s {
 			return p, nil
 		}
@@ -100,9 +108,9 @@ func parsePoint(s string) (soak.FaultPoint, error) {
 }
 
 func pointList() string {
-	names := make([]string, len(soak.AllPartitionFaultPoints))
-	for i, p := range soak.AllPartitionFaultPoints {
-		names[i] = string(p)
+	var names []string
+	for _, p := range knownPoints() {
+		names = append(names, string(p))
 	}
 	return strings.Join(names, ",")
 }

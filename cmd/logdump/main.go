@@ -31,6 +31,8 @@
 //	logdump -f wal.log -txn 42      # one transaction's chain
 //	logdump -f wal.log -stats       # kind histogram + volume only
 //	logdump -f wal.d/pagefile.db    # pagefile slot table
+//	logdump -remote cloud.d         # cloud log tier: raw/pack/snapshot
+//	                                # objects, decoded pack indexes, floor
 package main
 
 import (
@@ -75,6 +77,8 @@ Examples:
   logdump -f wal.d -stats          kind histogram and volume only
   logdump -f wal.d -archive /cold  cold store in a non-default location
   logdump -f wal.d/pagefile.db     slot table of the database file
+  logdump -remote cloud.d          cloud log tier: raw segments, packs
+                                   (decoded indexes), snapshots, floor
 `)
 }
 
@@ -82,11 +86,19 @@ func main() {
 	var (
 		path    = flag.String("f", "", "log file, segmented log directory, or pagefile to dump")
 		archDir = flag.String("archive", "", "cold-storage directory holding archived segments (default: <dir>/archive when present)")
+		remote  = flag.String("remote", "", "cloud log tier directory (a DirObjectStore root): list raw segment, pack, and snapshot objects instead of dumping a log")
 		txn     = flag.Uint64("txn", 0, "show only this transaction (0 = all)")
 		stats   = flag.Bool("stats", false, "print only summary statistics")
 	)
 	flag.Usage = usage
 	flag.Parse()
+	if *remote != "" {
+		if err := dumpRemote(*remote); err != nil {
+			fmt.Fprintln(os.Stderr, "logdump:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *path == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -340,6 +352,144 @@ func prevStr(l lsn.LSN) string {
 func isDir(path string) bool {
 	st, err := os.Stat(path)
 	return err == nil && st.IsDir()
+}
+
+// dumpRemote lists a cloud log tier rooted at a DirObjectStore
+// directory (aether.NewDirObjectStore): the raw segment objects, the
+// compacted packs with their decoded indexes, the snapshot objects, and
+// the retention floor — per lane for a partitioned database (p0/, p1/,
+// …), one unnamed lane otherwise. Torn objects (a crashed or cut
+// upload's prefix) are flagged, not errors: the archiver overwrites
+// them on its next pass.
+func dumpRemote(dir string) error {
+	if !isDir(dir) {
+		return fmt.Errorf("%s: not a directory (expected a cloud tier root)", dir)
+	}
+	store, err := logdev.NewDirObjectStore(dir)
+	if err != nil {
+		return err
+	}
+	lanes := []string{""}
+	if isDir(filepath.Join(dir, "p0")) {
+		lanes = nil
+		for i := 0; isDir(filepath.Join(dir, fmt.Sprintf("p%d", i))); i++ {
+			lanes = append(lanes, fmt.Sprintf("p%d/", i))
+		}
+	}
+	for _, lane := range lanes {
+		if lane != "" {
+			fmt.Printf("lane %s\n", strings.TrimSuffix(lane, "/"))
+		}
+		if err := dumpRemoteLane(store, lane); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// remoteObj fetches and unwraps one object, tolerating torn uploads.
+func remoteObj(store logdev.ObjectStore, key string) (kind uint16, meta uint64, payload []byte, torn bool, err error) {
+	data, err := store.Get(key)
+	if err != nil {
+		return 0, 0, nil, false, err
+	}
+	kind, meta, payload, derr := logdev.DecodeObject(data)
+	if derr != nil {
+		return 0, 0, nil, true, nil
+	}
+	return kind, meta, payload, false, nil
+}
+
+func dumpRemoteLane(store logdev.ObjectStore, lane string) error {
+	var segSize int64
+	var minSeg int64 = -1
+	segKeys, err := store.List(lane + "seg/")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("raw segment objects: %d\n", len(segKeys))
+	for _, key := range segKeys {
+		_, idx, payload, torn, err := remoteObj(store, key)
+		if err != nil {
+			return err
+		}
+		if torn {
+			fmt.Printf("  %s  TORN (failed upload's prefix; re-shipped on the archiver's next pass)\n", key)
+			continue
+		}
+		segSize = int64(len(payload))
+		if minSeg < 0 || int64(idx) < minSeg {
+			minSeg = int64(idx)
+		}
+		fmt.Printf("  segment %6d  [%d, %d)\n", idx, int64(idx)*segSize, (int64(idx)+1)*segSize)
+	}
+
+	packKeys, err := store.List(lane + "pack/")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pack objects: %d\n", len(packKeys))
+	for _, key := range packKeys {
+		_, _, payload, torn, err := remoteObj(store, key)
+		if err != nil {
+			return err
+		}
+		if torn {
+			fmt.Printf("  %s  TORN (failed upload's prefix; raw segments still cover it)\n", key)
+			continue
+		}
+		entries, derr := logdev.DecodePackIndex(payload)
+		if derr != nil {
+			fmt.Printf("  %s  bad index: %v\n", key, derr)
+			continue
+		}
+		first, last := entries[0].Idx, entries[len(entries)-1].Idx
+		if segSize == 0 && len(entries) > 0 {
+			segSize = int64(entries[0].Len)
+		}
+		if minSeg < 0 || first < minSeg {
+			minSeg = first
+		}
+		fmt.Printf("  pack %6d-%-6d  %d segments, [%d, %d), %d bytes indexed\n",
+			first, last, len(entries), first*segSize, (last+1)*segSize, len(payload))
+	}
+
+	snapKeys, err := store.List(lane + "snap/")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("snapshot objects: %d\n", len(snapKeys))
+	var oldestCut uint64
+	for i, key := range snapKeys {
+		_, cut, payload, torn, err := remoteObj(store, key)
+		if err != nil {
+			return err
+		}
+		if torn {
+			fmt.Printf("  %s  TORN (failed upload's prefix)\n", key)
+			continue
+		}
+		snap, derr := logdev.DecodeSnapshot(payload)
+		if derr != nil {
+			fmt.Printf("  %s  bad payload: %v\n", key, derr)
+			continue
+		}
+		if i == 0 {
+			oldestCut = cut
+		}
+		fmt.Printf("  snapshot cut=%-12d %d pages, %d stashed in-flight updates\n",
+			snap.Cut, len(snap.Pages), len(snap.Stash))
+	}
+
+	// The retention floor: 0 while the raw log still reaches genesis
+	// (snapshots are then just restore accelerators), the oldest
+	// snapshot's cut once pruning has removed history below it.
+	floor := uint64(0)
+	if len(snapKeys) > 0 && minSeg > 0 {
+		floor = oldestCut
+	}
+	fmt.Printf("retention floor: %d (oldest restorable point)\n", floor)
+	return nil
 }
 
 // runMulti dumps a partitioned database root (Options.LogPartitions >=

@@ -1,0 +1,305 @@
+// objstore.go is the S3-style object API underneath the remote log
+// tier: a flat namespace of immutable blobs with whole-object put/get
+// semantics. Two implementations ship — MemObjectStore, an in-memory
+// "cloud" with an injectable network-failure model (latency, transient
+// 5xx storms, torn uploads, permanent outages) for tests and the soak
+// harness, and DirObjectStore, a directory of files for real databases
+// and offline inspection (logdump -remote).
+//
+// The failure model is deliberately server-side: a torn upload leaves a
+// truncated object *in the store* while the client sees an error,
+// exactly the case "Immutable Log Storage as a Service" warns about —
+// so every object the remote tier writes carries a self-validating
+// envelope (see remote.go) and a reader treats a torn object as absent.
+package logdev
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"aether/internal/fsutil"
+	"aether/internal/vfs"
+)
+
+// ObjectStore is the minimal S3-style contract the remote log tier
+// needs: whole-object put/get/delete plus prefix listing. Puts
+// overwrite atomically from the reader's point of view (a successful
+// Get returns some complete former Put, or a torn prefix of a failed
+// one — never an interleaving). Keys use "/" separators by convention.
+type ObjectStore interface {
+	// Put stores data under key, overwriting any existing object.
+	Put(key string, data []byte) error
+	// Get returns the object's bytes, or ErrObjectNotFound.
+	Get(key string) ([]byte, error)
+	// Delete removes the object; deleting a missing key is not an error.
+	Delete(key string) error
+	// List returns the keys with the given prefix, sorted ascending.
+	List(prefix string) ([]string, error)
+}
+
+// ErrObjectNotFound reports a Get for a key the store does not hold.
+var ErrObjectNotFound = errors.New("logdev: object not found")
+
+// ErrTornUpload is the error a torn Put returns to the client while the
+// store keeps the truncated prefix — the connection died mid-transfer.
+var ErrTornUpload = errors.New("logdev: object upload torn mid-transfer")
+
+// ObjectStoreStats counts MemObjectStore traffic, including the faults
+// the network model injected.
+type ObjectStoreStats struct {
+	Puts      int64 // successful whole-object uploads
+	Gets      int64 // successful downloads
+	Deletes   int64 // delete calls (missing keys included)
+	Lists     int64 // prefix listings
+	PutErrors int64 // puts failed by the fault model (storms, outage)
+	TornPuts  int64 // puts that persisted a truncated object
+	GetErrors int64 // gets failed by an outage
+	BytesUp   int64 // bytes durably uploaded
+}
+
+// NetFault arms MemObjectStore's network-failure model for the next
+// operations. Zero values disarm each dimension.
+type NetFault struct {
+	// Latency is added to every operation (upload bandwidth, RTT).
+	Latency time.Duration
+	// FailPuts makes the next N puts fail with FailErr (or a generic
+	// 503-style error) without storing anything — a transient 5xx storm.
+	FailPuts int
+	// FailErr is the error returned during a FailPuts storm.
+	FailErr error
+	// TearPutAfter > 0 tears the N-th subsequent put: the store keeps
+	// roughly half the object and the client gets ErrTornUpload.
+	// TearPutAfter == 1 tears the very next put.
+	TearPutAfter int
+	// OnTear runs synchronously when the torn put fires, before the
+	// error returns — the soak harness uses it to power-cut the machine
+	// mid-upload.
+	OnTear func()
+	// Outage fails every put and get with this error until the fault is
+	// re-armed with a nil Outage — a permanent (until healed) network
+	// partition or credential loss.
+	Outage error
+}
+
+// MemObjectStore is an in-memory ObjectStore with an injectable
+// network-failure model. It is the soak harness's "cloud": it survives
+// local power cuts (Crash on the fault filesystem does not touch it),
+// so whatever was durably uploaded before a cut must still restore.
+type MemObjectStore struct {
+	mu    sync.Mutex
+	objs  map[string][]byte
+	fault NetFault
+	stats ObjectStoreStats
+}
+
+// NewMemObjectStore returns an empty in-memory object store with no
+// faults armed.
+func NewMemObjectStore() *MemObjectStore {
+	return &MemObjectStore{objs: make(map[string][]byte)}
+}
+
+// Arm replaces the network-failure model. Arm(NetFault{}) heals
+// everything.
+func (m *MemObjectStore) Arm(f NetFault) {
+	m.mu.Lock()
+	m.fault = f
+	m.mu.Unlock()
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (m *MemObjectStore) Stats() ObjectStoreStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Put stores data under key, subject to the armed fault model.
+func (m *MemObjectStore) Put(key string, data []byte) error {
+	m.mu.Lock()
+	lat := m.fault.Latency
+	m.mu.Unlock()
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fault.Outage != nil {
+		m.stats.PutErrors++
+		return m.fault.Outage
+	}
+	if m.fault.FailPuts > 0 {
+		m.fault.FailPuts--
+		m.stats.PutErrors++
+		if m.fault.FailErr != nil {
+			return m.fault.FailErr
+		}
+		return errors.New("logdev: object store: 503 service unavailable")
+	}
+	if m.fault.TearPutAfter > 0 {
+		m.fault.TearPutAfter--
+		if m.fault.TearPutAfter == 0 {
+			// Keep a prefix: the server committed what arrived before the
+			// connection died. Half the object keeps the envelope header
+			// intact for realistic torn-object detection.
+			m.objs[key] = append([]byte(nil), data[:len(data)/2]...)
+			m.stats.TornPuts++
+			m.stats.PutErrors++
+			if cb := m.fault.OnTear; cb != nil {
+				m.mu.Unlock()
+				cb()
+				m.mu.Lock()
+			}
+			return ErrTornUpload
+		}
+	}
+	m.objs[key] = append([]byte(nil), data...)
+	m.stats.Puts++
+	m.stats.BytesUp += int64(len(data))
+	return nil
+}
+
+// Get returns a copy of the object's bytes.
+func (m *MemObjectStore) Get(key string) ([]byte, error) {
+	m.mu.Lock()
+	lat := m.fault.Latency
+	m.mu.Unlock()
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fault.Outage != nil {
+		m.stats.GetErrors++
+		return nil, m.fault.Outage
+	}
+	data, ok := m.objs[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrObjectNotFound, key)
+	}
+	m.stats.Gets++
+	return append([]byte(nil), data...), nil
+}
+
+// Delete removes the object if present.
+func (m *MemObjectStore) Delete(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.objs, key)
+	m.stats.Deletes++
+	return nil
+}
+
+// List returns the keys with the given prefix, sorted.
+func (m *MemObjectStore) List(prefix string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Lists++
+	var keys []string
+	for k := range m.objs {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// DirObjectStore is a file-per-object ObjectStore rooted at a
+// directory: key "pack/a-b" becomes <root>/pack/a-b. Puts go through
+// the usual tmp-write + rename + parent-sync discipline so a local
+// crash never leaves a torn object visible under its final name.
+type DirObjectStore struct {
+	fs   vfs.FS
+	root string
+}
+
+// NewDirObjectStore opens (creating if needed) a directory-backed
+// object store rooted at dir on the host filesystem.
+func NewDirObjectStore(dir string) (*DirObjectStore, error) {
+	return NewDirObjectStoreFS(vfs.OS{}, dir)
+}
+
+// NewDirObjectStoreFS is NewDirObjectStore on an explicit VFS, so
+// tests can put the "cloud" on a fault filesystem too.
+func NewDirObjectStoreFS(fs vfs.FS, dir string) (*DirObjectStore, error) {
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirObjectStore{fs: fs, root: dir}, nil
+}
+
+func (d *DirObjectStore) path(key string) string {
+	return filepath.Join(d.root, filepath.FromSlash(key))
+}
+
+// Put stores data under key via tmp+rename+dirsync.
+func (d *DirObjectStore) Put(key string, data []byte) error {
+	p := d.path(key)
+	if err := d.fs.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	return fsutil.WriteFileSyncDirFS(d.fs, p, data, 0o644)
+}
+
+// Get returns the object's bytes.
+func (d *DirObjectStore) Get(key string) ([]byte, error) {
+	data, err := d.fs.ReadFile(d.path(key))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %s", ErrObjectNotFound, key)
+		}
+		return nil, err
+	}
+	return data, nil
+}
+
+// Delete removes the object if present.
+func (d *DirObjectStore) Delete(key string) error {
+	err := d.fs.Remove(d.path(key))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// List walks the store for keys with the given prefix, sorted.
+func (d *DirObjectStore) List(prefix string) ([]string, error) {
+	var keys []string
+	var walk func(rel string) error
+	walk = func(rel string) error {
+		ents, err := d.fs.ReadDir(filepath.Join(d.root, filepath.FromSlash(rel)))
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return nil
+			}
+			return err
+		}
+		for _, e := range ents {
+			child := e.Name()
+			if rel != "" {
+				child = rel + "/" + e.Name()
+			}
+			if e.IsDir() {
+				if err := walk(child); err != nil {
+					return err
+				}
+				continue
+			}
+			if strings.HasPrefix(child, prefix) && !strings.HasSuffix(child, ".tmp") {
+				keys = append(keys, child)
+			}
+		}
+		return nil
+	}
+	if err := walk(""); err != nil {
+		return nil, err
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

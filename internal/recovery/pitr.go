@@ -1,0 +1,295 @@
+// pitr.go is point-in-time recovery: reconstructing the committed
+// state at an arbitrary historical position by replaying the log from
+// genesis (or from a materialized snapshot) into a fresh page store,
+// then undoing the transactions still in flight at that position.
+//
+// This is deliberately NOT Recover/RecoverMulti: those restart a live
+// database, so their analysis pass starts at the last checkpoint and
+// trusts the page archive for everything older. A point-in-time restore
+// targets a moment that may predate every checkpoint, so it ignores
+// checkpoints entirely and replays history itself — which is exactly
+// why the remote tier's retention policy is anchored on snapshot
+// objects: a snapshot materializes the replay of everything below its
+// cut (page images plus the undo stash of transactions straddling the
+// cut), making the log below it safe to prune without giving up any
+// restore point at or above it.
+//
+// Cut-boundary correctness: for any record boundary C, the log prefix
+// [0, C) is self-contained — a transaction without a commit record
+// below C is a loser *at C*, and every update it needs undone lies
+// below C. The replayer tracks exactly that: per in-flight transaction,
+// its not-yet-compensated updates (append on update, pop on CLR, drop
+// on commit/end). At the target, the surviving stash is undone in
+// reverse order. The same state doubles as the snapshot's stash.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"aether/internal/logdev"
+	"aether/internal/logrec"
+	"aether/internal/lsn"
+	"aether/internal/storage"
+)
+
+// ErrBadCut reports a PITR call whose snapshot, log slice and target do
+// not line up (e.g. the log does not start at the snapshot's cut).
+var ErrBadCut = errors.New("recovery: snapshot, log and target do not line up")
+
+// replayer is the shared PITR core: a fresh page store plus the
+// per-transaction stash of un-compensated updates.
+type replayer struct {
+	store *storage.Store
+	stash map[uint64][]logdev.SnapshotStashRec
+}
+
+func newReplayer() *replayer {
+	return &replayer{store: storage.NewStore(), stash: make(map[uint64][]logdev.SnapshotStashRec)}
+}
+
+// loadSnapshot seeds the store and stash from a materialized snapshot.
+func (r *replayer) loadSnapshot(snap *logdev.Snapshot) error {
+	for _, sp := range snap.Pages {
+		page, err := r.store.GetOrCreate(sp.PID)
+		if err != nil {
+			return err
+		}
+		err = page.LoadSnapshot(sp.Image)
+		page.Unpin()
+		if err != nil {
+			return err
+		}
+	}
+	for _, rec := range snap.Stash {
+		r.stash[rec.TxnID] = append(r.stash[rec.TxnID], rec)
+	}
+	return nil
+}
+
+// apply replays one record. order is the record's global position key
+// (its LSN for a single log, its seq for a partitioned one) used for
+// the redo guard and the stash; stamp is the LSN the page is stamped
+// with (the record's end LSN, or again the seq).
+func (r *replayer) apply(rec logrec.Record, order uint64, stamp lsn.LSN) error {
+	switch rec.Kind {
+	case logrec.KindUpdate, logrec.KindCLR:
+		up, err := logrec.DecodeUpdate(rec.Payload)
+		if err != nil {
+			return fmt.Errorf("recovery: pitr: decode update at %d: %w", order, err)
+		}
+		page, err := r.store.GetOrCreate(rec.PageID)
+		if err != nil {
+			return err
+		}
+		if page.LSN() <= lsn.LSN(order) || !page.LSN().Valid() {
+			if err := page.Apply(up, stamp); err != nil {
+				page.Unpin()
+				return fmt.Errorf("recovery: pitr: redo at %d on page %d: %w", order, rec.PageID, err)
+			}
+		}
+		page.Unpin()
+		if rec.Kind == logrec.KindUpdate {
+			r.stash[rec.TxnID] = append(r.stash[rec.TxnID], logdev.SnapshotStashRec{
+				TxnID: rec.TxnID, At: order, PageID: rec.PageID, Payload: rec.Payload,
+			})
+		} else if n := len(r.stash[rec.TxnID]); n > 0 {
+			// A CLR compensates the transaction's most recent
+			// un-compensated update: rollback is strictly last-to-first.
+			r.stash[rec.TxnID] = r.stash[rec.TxnID][:n-1]
+		}
+	case logrec.KindCommit:
+		delete(r.stash, rec.TxnID)
+	case logrec.KindEnd:
+		delete(r.stash, rec.TxnID)
+	}
+	// Abort, checkpoint and pad records carry no redo and do not change
+	// in-flight status: an aborting transaction stays stashed until its
+	// CLRs and End record drain it.
+	return nil
+}
+
+// undoStash rolls back every transaction still in flight, applying
+// inverses in reverse global order with synthetic stamps above top.
+func (r *replayer) undoStash(top uint64, step uint64) error {
+	var all []logdev.SnapshotStashRec
+	for _, recs := range r.stash {
+		all = append(all, recs...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].At > all[b].At })
+	synth := top
+	for _, sr := range all {
+		up, err := logrec.DecodeUpdate(sr.Payload)
+		if err != nil {
+			return fmt.Errorf("recovery: pitr: decode stashed update at %d: %w", sr.At, err)
+		}
+		page, err := r.store.GetOrCreate(sr.PageID)
+		if err != nil {
+			return err
+		}
+		synth += step
+		err = page.Apply(up.Inverse(), lsn.LSN(synth))
+		page.Unpin()
+		if err != nil {
+			return fmt.Errorf("recovery: pitr: undo at %d on page %d: %w", sr.At, sr.PageID, err)
+		}
+	}
+	return nil
+}
+
+// dumpStash returns the stash in ascending order, with payloads copied
+// so they outlive the log buffer they were decoded from.
+func (r *replayer) dumpStash() []logdev.SnapshotStashRec {
+	var all []logdev.SnapshotStashRec
+	for _, recs := range r.stash {
+		for _, sr := range recs {
+			sr.Payload = append([]byte(nil), sr.Payload...)
+			all = append(all, sr)
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].At < all[b].At })
+	return all
+}
+
+// dumpPages snapshots every page in the store.
+func (r *replayer) dumpPages() ([]logdev.SnapshotPage, error) {
+	ids := r.store.PageIDs()
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	pages := make([]logdev.SnapshotPage, 0, len(ids))
+	for _, pid := range ids {
+		page, err := r.store.Get(pid)
+		if err != nil {
+			return nil, err
+		}
+		img := page.Snapshot()
+		page.Unpin()
+		pages = append(pages, logdev.SnapshotPage{PID: pid, Image: img})
+	}
+	return pages, nil
+}
+
+// replaySingle replays single-log records from base, stopping at
+// target (records crossing target are excluded by the clip).
+func (r *replayer) replaySingle(log []byte, base, target uint64) error {
+	if target < base || target > base+uint64(len(log)) {
+		return fmt.Errorf("%w: target %d outside log [%d, %d]", ErrBadCut, target, base, base+uint64(len(log)))
+	}
+	it := logrec.NewIterator(log[:target-base], lsn.LSN(base))
+	for {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
+		end := rec.LSN.Add(int(rec.TotalLen))
+		if err := r.apply(rec, uint64(rec.LSN), end); err != nil {
+			return err
+		}
+	}
+	return it.Err()
+}
+
+// ReplayToPoint reconstructs the committed state of a single log at
+// target, an absolute log offset on a record boundary (DB.RestorePoint
+// returns one). log holds the raw bytes starting at base; when snap is
+// non-nil its pages and stash seed the replay and base must equal
+// snap.Cut. The returned store holds exactly the pages of the committed
+// state at target.
+func ReplayToPoint(snap *logdev.Snapshot, log []byte, base, target uint64) (*storage.Store, error) {
+	if snap != nil && snap.Cut != base {
+		return nil, fmt.Errorf("%w: log starts at %d, snapshot cut at %d", ErrBadCut, base, snap.Cut)
+	}
+	r := newReplayer()
+	if snap != nil {
+		if err := r.loadSnapshot(snap); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.replaySingle(log, base, target); err != nil {
+		return nil, err
+	}
+	if err := r.undoStash(target, logrec.HeaderSize); err != nil {
+		return nil, err
+	}
+	return r.store, nil
+}
+
+// BuildSnapshot materializes the replay of a single log up to
+// base+len(log): page images plus the stash of transactions still in
+// flight at the cut. prev (which must cut at base) seeds the replay so
+// successive snapshots cost only the new log suffix. The log slice must
+// end on a record boundary (the device's durable watermark always
+// does); trailing bytes that do not decode are a hard error rather
+// than a silent shorter cut.
+func BuildSnapshot(prev *logdev.Snapshot, log []byte, base uint64) (*logdev.Snapshot, error) {
+	if prev != nil && prev.Cut != base {
+		return nil, fmt.Errorf("%w: log starts at %d, previous snapshot cut at %d", ErrBadCut, base, prev.Cut)
+	}
+	cut := base + uint64(len(log))
+	r := newReplayer()
+	if prev != nil {
+		if err := r.loadSnapshot(prev); err != nil {
+			return nil, err
+		}
+	}
+	it := logrec.NewIterator(log, lsn.LSN(base))
+	end := lsn.LSN(base)
+	for {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
+		end = rec.LSN.Add(int(rec.TotalLen))
+		if err := r.apply(rec, uint64(rec.LSN), end); err != nil {
+			return nil, err
+		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	if uint64(end) != cut {
+		return nil, fmt.Errorf("%w: log tail does not reach the cut (%d decoded, cut %d)", ErrBadCut, uint64(end), cut)
+	}
+	pages, err := r.dumpPages()
+	if err != nil {
+		return nil, err
+	}
+	return &logdev.Snapshot{Cut: cut, Pages: pages, Stash: r.dumpStash()}, nil
+}
+
+// ReplayMultiToSeq reconstructs the committed state of a partitioned
+// log at targetSeq, a global sequence stamp (DB.RestorePoint returns
+// one). logs[i] holds partition i's raw bytes starting at bases[i];
+// records with a seq above targetSeq are ignored, and the per-lane
+// streams are merged by seq — the same total order RecoverMulti
+// replays, here applied from genesis on a fresh store.
+func ReplayMultiToSeq(logs [][]byte, bases []lsn.LSN, targetSeq uint64) (*storage.Store, error) {
+	var recs []logrec.Record
+	for i, log := range logs {
+		it := logrec.NewIterator(log, bases[i])
+		for {
+			rec, ok := it.Next()
+			if !ok {
+				break
+			}
+			if uint64(rec.Seq) <= targetSeq {
+				recs = append(recs, rec)
+			}
+		}
+		if err := it.Err(); err != nil {
+			return nil, fmt.Errorf("recovery: pitr: partition %d: %w", i, err)
+		}
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].Seq < recs[b].Seq })
+	r := newReplayer()
+	for _, rec := range recs {
+		seq := uint64(rec.Seq)
+		if err := r.apply(rec, seq, lsn.LSN(seq)); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.undoStash(targetSeq, 1); err != nil {
+		return nil, err
+	}
+	return r.store, nil
+}

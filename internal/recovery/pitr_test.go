@@ -1,0 +1,209 @@
+package recovery
+
+import (
+	"bytes"
+	"testing"
+
+	"aether/internal/logdev"
+	"aether/internal/logrec"
+	"aether/internal/lsn"
+	"aether/internal/storage"
+)
+
+// storesEqual compares two stores page-image by page-image.
+func storesEqual(t *testing.T, want, got *storage.Store, ctx string) {
+	t.Helper()
+	wantSnap, err := (&replayer{store: want}).dumpPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSnap, err := (&replayer{store: got}).dumpPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantSnap) != len(gotSnap) {
+		t.Fatalf("%s: %d pages vs %d", ctx, len(wantSnap), len(gotSnap))
+	}
+	for i := range wantSnap {
+		if wantSnap[i].PID != gotSnap[i].PID {
+			t.Fatalf("%s: page %d: pid %d vs %d", ctx, i, wantSnap[i].PID, gotSnap[i].PID)
+		}
+		if !bytes.Equal(wantSnap[i].Image, gotSnap[i].Image) {
+			t.Fatalf("%s: page %d image diverged", ctx, wantSnap[i].PID)
+		}
+	}
+}
+
+// buildPITRLog assembles a log exercising every stash transition:
+// committed inserts and sets, a rolled-back transaction (CLR + End),
+// and a transaction left in flight at the end. Returns the log and
+// every record boundary.
+func buildPITRLog(t *testing.T) ([]byte, []uint64) {
+	t.Helper()
+	var lb logBuilder
+	var cuts []uint64
+	add := func(rec *logrec.Record) lsn.LSN {
+		at, end := lb.add(t, rec)
+		cuts = append(cuts, uint64(end))
+		return at
+	}
+	pidA := storage.MakePageID(1, 1)
+	pidB := storage.MakePageID(1, 2)
+
+	// txn 1: insert, commit.
+	a1 := add(logrec.NewUpdate(1, lsn.Undefined, pidA,
+		logrec.UpdatePayload{Op: logrec.OpInsert, Slot: 0, After: []byte("alpha")}))
+	add(logrec.NewCommit(1, a1))
+	// txn 2: insert + set, commit later.
+	b1 := add(logrec.NewUpdate(2, lsn.Undefined, pidA,
+		logrec.UpdatePayload{Op: logrec.OpInsert, Slot: 1, After: []byte("beta")}))
+	// txn 3: insert, then rolled back via CLR + End.
+	c1 := add(logrec.NewUpdate(3, lsn.Undefined, pidB,
+		logrec.UpdatePayload{Op: logrec.OpInsert, Slot: 0, After: []byte("gamma")}))
+	b2 := add(logrec.NewUpdate(2, b1, pidA,
+		logrec.UpdatePayload{Op: logrec.OpSet, Slot: 1, Before: []byte("beta"), After: []byte("beta2")}))
+	clr := add(logrec.NewCLR(3, c1, pidB, lsn.Undefined,
+		logrec.UpdatePayload{Op: logrec.OpInsert, Slot: 0, After: []byte("gamma")}.Inverse()))
+	add(logrec.NewEnd(3, clr))
+	add(logrec.NewCommit(2, b2))
+	// txn 4: still in flight at the end of the log.
+	add(logrec.NewUpdate(4, lsn.Undefined, pidB,
+		logrec.UpdatePayload{Op: logrec.OpInsert, Slot: 1, After: []byte("delta")}))
+	return lb.buf, cuts
+}
+
+// TestReplayToPointSnapshotEquivalence is the PITR correctness core:
+// for every pair of record boundaries C <= T, restoring to T via a
+// snapshot cut at C must equal the full from-genesis replay to T.
+func TestReplayToPointSnapshotEquivalence(t *testing.T) {
+	log, cuts := buildPITRLog(t)
+	bounds := append([]uint64{0}, cuts...)
+	for _, target := range bounds {
+		full, err := ReplayToPoint(nil, log[:target], 0, target)
+		if err != nil {
+			t.Fatalf("full replay to %d: %v", target, err)
+		}
+		for _, cut := range bounds {
+			if cut > target {
+				break
+			}
+			snap, err := BuildSnapshot(nil, log[:cut], 0)
+			if err != nil {
+				t.Fatalf("BuildSnapshot at %d: %v", cut, err)
+			}
+			if snap.Cut != cut {
+				t.Fatalf("BuildSnapshot cut = %d, want %d", snap.Cut, cut)
+			}
+			chained, err := ReplayToPoint(snap, log[cut:target], cut, target)
+			if err != nil {
+				t.Fatalf("chained replay %d -> %d: %v", cut, target, err)
+			}
+			storesEqual(t, full, chained, "snapshot at "+itoa(cut)+" to "+itoa(target))
+		}
+	}
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// TestBuildSnapshotIncremental: chaining snapshots cut by cut must
+// produce the same materialized object as one build from genesis.
+func TestBuildSnapshotIncremental(t *testing.T) {
+	log, cuts := buildPITRLog(t)
+	var prev *logdev.Snapshot
+	var base uint64
+	for _, cut := range cuts {
+		chained, err := BuildSnapshot(prev, log[base:cut], base)
+		if err != nil {
+			t.Fatalf("incremental snapshot at %d: %v", cut, err)
+		}
+		direct, err := BuildSnapshot(nil, log[:cut], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(logdev.EncodeSnapshot(chained), logdev.EncodeSnapshot(direct)) {
+			t.Fatalf("snapshot at %d: incremental and direct builds diverge", cut)
+		}
+		prev, base = chained, cut
+	}
+}
+
+// TestReplayToPointRollsBackInflight: a target before a transaction's
+// commit record must not show its updates — even when they are durable
+// in the log — and a target after must.
+func TestReplayToPointRollsBackInflight(t *testing.T) {
+	var lb logBuilder
+	pid := storage.MakePageID(1, 1)
+	uAt, afterUpdate := lb.add(t, logrec.NewUpdate(9, lsn.Undefined, pid,
+		logrec.UpdatePayload{Op: logrec.OpInsert, Slot: 0, After: []byte("v")}))
+	_, afterCommit := lb.add(t, logrec.NewCommit(9, uAt))
+
+	st, err := ReplayToPoint(nil, lb.buf[:afterUpdate], 0, uint64(afterUpdate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mustPage(t, st, pid).Get(0); err == nil {
+		t.Fatal("uncommitted insert visible before its commit point")
+	}
+	st, err = ReplayToPoint(nil, lb.buf, 0, uint64(afterCommit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := mustPage(t, st, pid).Get(0); err != nil || !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("committed insert missing after its commit point: %q %v", got, err)
+	}
+}
+
+// TestReplayMultiToSeq: partitioned lanes merge by global seq, records
+// stamped after the target are ignored, and a transaction whose commit
+// lies beyond the target is rolled back.
+func TestReplayMultiToSeq(t *testing.T) {
+	pidA := storage.MakePageID(1, 1)
+	pidB := storage.MakePageID(1, 2)
+	stamp := func(rec *logrec.Record, seq uint32) *logrec.Record {
+		rec.Seq = seq
+		return rec
+	}
+	var lane0, lane1 logBuilder
+	aAt, _ := lane0.add(t, stamp(logrec.NewUpdate(1, lsn.Undefined, pidA,
+		logrec.UpdatePayload{Op: logrec.OpInsert, Slot: 0, After: []byte("a")}), 1))
+	bAt, _ := lane1.add(t, stamp(logrec.NewUpdate(2, lsn.Undefined, pidB,
+		logrec.UpdatePayload{Op: logrec.OpInsert, Slot: 0, After: []byte("b")}), 2))
+	lane0.add(t, stamp(logrec.NewCommit(1, aAt), 3))
+	lane1.add(t, stamp(logrec.NewCommit(2, bAt), 5))
+
+	logs := [][]byte{lane0.buf, lane1.buf}
+	bases := []lsn.LSN{0, 0}
+
+	// At seq 4: txn 1 committed, txn 2's commit (seq 5) is beyond.
+	st, err := ReplayMultiToSeq(logs, bases, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := mustPage(t, st, pidA).Get(0); err != nil || !bytes.Equal(got, []byte("a")) {
+		t.Fatalf("committed lane-0 insert missing at seq 4: %q %v", got, err)
+	}
+	if _, err := mustPage(t, st, pidB).Get(0); err == nil {
+		t.Fatal("lane-1 insert visible though its commit is beyond the target")
+	}
+
+	// At seq 5: both committed.
+	st, err = ReplayMultiToSeq(logs, bases, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := mustPage(t, st, pidB).Get(0); err != nil || !bytes.Equal(got, []byte("b")) {
+		t.Fatalf("committed lane-1 insert missing at seq 5: %q %v", got, err)
+	}
+}

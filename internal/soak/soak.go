@@ -73,6 +73,18 @@ const (
 	// still accepts only committed-state or committed-state plus the one
 	// in-doubt transaction.
 	FaultPartitionFlush FaultPoint = "partition-flush"
+	// FaultRemoteArchive (opt-in: arming it swaps the stack's cold store
+	// from the DirArchiver to the cloud tier — every lane's
+	// RemoteArchiver over one MemObjectStore that persists across power
+	// cuts, because it is the cloud). Each armed cycle either tears an
+	// upload mid-object with a simultaneous local power cut (the machine
+	// dies while the bytes are in flight; the store keeps a torn prefix
+	// the next incarnation must detect and re-ship), or opens an outage
+	// window for the rest of the cycle (every upload fails, segments stay
+	// parked under the archive-before-recycle rule) closed by the
+	// end-of-cycle cut. The model checker accepts the same two outcomes
+	// as every other point.
+	FaultRemoteArchive FaultPoint = "remote-archive"
 )
 
 // AllFaultPoints is the full single-log profile, in the order cycles
@@ -86,6 +98,14 @@ var AllFaultPoints = []FaultPoint{
 // (Config.LogPartitions >= 2): everything above plus the
 // one-partition-cut point.
 var AllPartitionFaultPoints = append(AllFaultPoints[:len(AllFaultPoints):len(AllFaultPoints)], FaultPartitionFlush)
+
+// OptInFaultPoints lists the points excluded from the default profiles
+// because arming them reshapes the stack: remote-archive replaces the
+// cold-store DirArchiver with the cloud tier for the whole run.
+var OptInFaultPoints = []FaultPoint{FaultRemoteArchive}
+
+// errCloudOutage is the error the cloud's outage window injects.
+var errCloudOutage = errors.New("soak: cloud outage window")
 
 // Config parameterizes a soak run. Zero values pick usable defaults.
 type Config struct {
@@ -212,8 +232,10 @@ func partDir(i int) string { return fmt.Sprintf("%s/p%d", soakLogDir, i) }
 // store, and the background checkpointer/archiver/cleaner goroutines.
 // With parts >= 2 it builds the partitioned stack instead: one
 // segmented device and cold-store lane per partition, merged-order
-// recovery, transactions routed by txnID.
-func openStack(fs vfs.FS, parts int) (*engineStack, error) {
+// recovery, transactions routed by txnID. A non-nil cloud replaces the
+// DirArchiver cold store with the cloud tier: one RemoteArchiver key
+// prefix per lane in the shared object store.
+func openStack(fs vfs.FS, parts int, cloud *logdev.MemObjectStore) (*engineStack, error) {
 	var (
 		dev    *logdev.Segmented
 		devs   []*logdev.Segmented
@@ -255,7 +277,14 @@ func openStack(fs vfs.FS, parts int) (*engineStack, error) {
 		closeD()
 		return nil, fmt.Errorf("open pagefile: %w", err)
 	}
-	if parts >= 2 {
+	switch {
+	case cloud != nil && parts >= 2:
+		for i, d := range devs {
+			d.SetArchiver(logdev.NewRemoteArchiver(cloud, fmt.Sprintf("p%d", i), soakSegSize))
+		}
+	case cloud != nil:
+		dev.SetArchiver(logdev.NewRemoteArchiver(cloud, "", soakSegSize))
+	case parts >= 2:
 		for i, d := range devs {
 			arch, err := logdev.OpenDirArchiverFS(fs, fmt.Sprintf("%s/p%d", soakArchiveDir, i))
 			if err != nil {
@@ -265,7 +294,7 @@ func openStack(fs vfs.FS, parts int) (*engineStack, error) {
 			}
 			d.SetArchiver(arch)
 		}
-	} else {
+	default:
 		arch, err := logdev.OpenDirArchiverFS(fs, soakArchiveDir)
 		if err != nil {
 			pf.Close()
@@ -378,6 +407,19 @@ func armFault(fs *vfs.FaultFS, rng *rand.Rand, point FaultPoint, parts int) int 
 	}
 	r.Cut = true
 	return fs.AddRule(r)
+}
+
+// armRemoteFault arms the cycle's cloud-tier fault: either the next
+// upload (at a randomized depth) tears mid-object with a simultaneous
+// local power cut — the machine dies while the bytes are in flight and
+// the store keeps a torn prefix — or an outage window opens for the
+// rest of the cycle, failing every upload so segments stay parked.
+func armRemoteFault(cloud *logdev.MemObjectStore, fs *vfs.FaultFS, rng *rand.Rand) {
+	if rng.Intn(2) == 0 {
+		cloud.Arm(logdev.NetFault{TearPutAfter: 1 + rng.Intn(3), OnTear: fs.PowerCut})
+	} else {
+		cloud.Arm(logdev.NetFault{Outage: errCloudOutage})
+	}
 }
 
 // applyOps returns model with ops applied (model itself untouched).
@@ -573,13 +615,23 @@ func Run(cfg Config) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	fs := vfs.NewFaultFS(cfg.Seed + 1)
 	fs.SetTornWrites(true)
+	// Arming remote-archive anywhere in the profile puts the whole run on
+	// the cloud tier. The store outlives every power cut: whatever was
+	// durably uploaded before a cut must still restore afterwards.
+	var cloud *logdev.MemObjectStore
+	for _, p := range cfg.Points {
+		if p == FaultRemoteArchive {
+			cloud = logdev.NewMemObjectStore()
+			break
+		}
+	}
 	res := &Result{Cuts: make(map[string]int)}
 	model := make(map[uint64]uint64)
 	var inDoubt []op
 	var point FaultPoint
 
 	for cycle := 0; cycle < cfg.Cycles; cycle++ {
-		s, err := openStack(fs, cfg.LogPartitions)
+		s, err := openStack(fs, cfg.LogPartitions, cloud)
 		if err != nil {
 			return res, &Divergence{
 				Seed: cfg.Seed, Cycle: cycle, Point: point,
@@ -628,7 +680,14 @@ func Run(cfg Config) (*Result, error) {
 
 		// Arm this cycle's fault and run the workload into it.
 		point = cfg.Points[rng.Intn(len(cfg.Points))]
-		rule := armFault(fs, rng, point, cfg.LogPartitions)
+		rule := -1
+		var preCloud logdev.ObjectStoreStats
+		if point == FaultRemoteArchive {
+			preCloud = cloud.Stats()
+			armRemoteFault(cloud, fs, rng)
+		} else {
+			rule = armFault(fs, rng, point, cfg.LogPartitions)
+		}
 		var commits int
 		commits, inDoubt = runWorkload(s, rng, model, cfg)
 		res.Commits += commits
@@ -637,24 +696,42 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		// If the armed trigger never fired, cut now: every cycle ends in
-		// a crash, just not always at the chosen site.
-		stats := fs.RuleStats()
-		fired := stats[rule].Fired > 0
+		// a crash, just not always at the chosen site. A cloud fault
+		// "fires" when the network model actually bit an upload; only the
+		// torn-upload shape cuts power by itself, so the outage shape (and
+		// a cycle whose uploads never ran) is closed with a forced cut.
+		var fired bool
+		if point == FaultRemoteArchive {
+			st := cloud.Stats()
+			fired = st.TornPuts > preCloud.TornPuts || st.PutErrors > preCloud.PutErrors
+			if st.TornPuts == preCloud.TornPuts {
+				fs.PowerCut()
+			}
+		} else {
+			fired = fs.RuleStats()[rule].Fired > 0
+			if !fired {
+				fs.PowerCut()
+			}
+		}
 		if fired {
 			res.Cuts[string(point)]++
 		} else {
-			fs.PowerCut()
 			res.Cuts["forced"]++
 		}
 		s.teardown()
 		fs.ClearRules()
+		if cloud != nil {
+			// Outage and tear windows end with the cycle; the cloud itself
+			// (and any torn object it kept) persists.
+			cloud.Arm(logdev.NetFault{})
+		}
 		fs.Recover()
 		res.Cycles++
 		logf("cycle %d: fault=%s fired=%v commits=%d model=%d keys", cycle, point, fired, res.Commits, len(model))
 	}
 
 	// Final verification pass: reopen once more and check the end state.
-	s, err := openStack(fs, cfg.LogPartitions)
+	s, err := openStack(fs, cfg.LogPartitions, cloud)
 	if err != nil {
 		return res, &Divergence{
 			Seed: cfg.Seed, Cycle: cfg.Cycles, Point: point,

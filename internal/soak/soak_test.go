@@ -106,6 +106,53 @@ func TestSoakPartitionFlushPoint(t *testing.T) {
 	}
 }
 
+// TestSoakRemoteArchivePoint pins the cloud-tier cut site: the cold
+// store is the remote archiver over a MemObjectStore that survives
+// power cuts, and each armed cycle either tears an upload mid-object
+// with a simultaneous local power cut or opens an outage window for the
+// rest of the cycle. A clean pass means no committed transaction was
+// lost to a torn or failed upload and no parked segment was recycled
+// before its bytes were durably in the cloud.
+func TestSoakRemoteArchivePoint(t *testing.T) {
+	res, err := Run(Config{
+		Seed:         11,
+		Cycles:       10,
+		TxnsPerCycle: 25,
+		Keys:         32,
+		Points:       []FaultPoint{FaultRemoteArchive, FaultGroupCommit},
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("remote-archive soak diverged: %v", err)
+	}
+	if res.Cycles != 10 {
+		t.Fatalf("ran %d cycles, want 10", res.Cycles)
+	}
+	if res.Commits == 0 {
+		t.Fatal("no transactions committed across the storm")
+	}
+}
+
+// TestSoakRemoteArchivePartitioned runs the cloud-tier cut site against
+// a 3-partition stack: one remote lane per partition in the shared
+// object store.
+func TestSoakRemoteArchivePartitioned(t *testing.T) {
+	res, err := Run(Config{
+		Seed:          23,
+		Cycles:        8,
+		TxnsPerCycle:  20,
+		Keys:          24,
+		LogPartitions: 3,
+		Points:        []FaultPoint{FaultRemoteArchive, FaultPartitionFlush},
+	})
+	if err != nil {
+		t.Fatalf("partitioned remote-archive soak diverged: %v", err)
+	}
+	if res.Cycles != 8 {
+		t.Fatalf("ran %d cycles, want 8", res.Cycles)
+	}
+}
+
 // TestSoakPartitionPointRequiresPartitions rejects a profile that arms
 // the partition cut on a single-log stack.
 func TestSoakPartitionPointRequiresPartitions(t *testing.T) {

@@ -159,6 +159,10 @@ type Config struct {
 	// Prefetched frames are charged against the cache budget but never
 	// evict dirty pages. Meaningful only with an Archive backend.
 	PrefetchDepth int
+	// Retention, if it has lanes, starts the cloud-tier maintenance
+	// daemon: pack compaction, snapshot cutting and retention pruning
+	// against each lane's remote archiver. Stop it with Close.
+	Retention RetentionConfig
 }
 
 // Stats exposes engine counters.
@@ -208,6 +212,17 @@ type Stats struct {
 	// force or archive writeback failed); the affected pages stay dirty
 	// and the next pass — or a demand steal, or the sweep — retries.
 	CleanerFailures metrics.Counter
+	// SnapshotsTaken counts materialized snapshot objects the cloud-tier
+	// maintenance daemon uploaded to the remote store.
+	SnapshotsTaken metrics.Counter
+	// RetentionPrunedObjects counts remote objects (snapshots, raw
+	// segments and packs) deleted by retention — always wholly below
+	// the oldest retained snapshot's cut.
+	RetentionPrunedObjects metrics.Counter
+	// RetentionFailures counts maintenance passes that errored
+	// (compaction, snapshotting or pruning); nothing is lost — the
+	// next nudge retries with the floor unchanged.
+	RetentionFailures metrics.Counter
 }
 
 // Engine is the transactional storage manager.
@@ -246,6 +261,13 @@ type Engine struct {
 	cleanTrig chan struct{}
 	cleanStop chan struct{}
 	cleanDone chan struct{}
+
+	// Background cloud-tier maintenance daemon (nil channels when no
+	// remote lanes are configured).
+	retCfg  RetentionConfig
+	retTrig chan struct{}
+	retStop chan struct{}
+	retDone chan struct{}
 
 	closeOnce sync.Once
 }
@@ -302,6 +324,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if cfg.CleanerPages > 0 {
 		e.startCleaner(cfg.CleanerPages, cfg.CleanerInterval)
+	}
+	if len(cfg.Retention.Lanes) > 0 {
+		e.startRetention(cfg.Retention)
 	}
 	return e, nil
 }
@@ -594,6 +619,9 @@ func (e *Engine) Close() {
 		if e.cleanStop != nil {
 			close(e.cleanStop)
 		}
+		if e.retStop != nil {
+			close(e.retStop)
+		}
 	})
 	if e.ckptDone != nil {
 		<-e.ckptDone
@@ -603,6 +631,9 @@ func (e *Engine) Close() {
 	}
 	if e.cleanDone != nil {
 		<-e.cleanDone
+	}
+	if e.retDone != nil {
+		<-e.retDone
 	}
 }
 
@@ -881,8 +912,11 @@ func (e *Engine) Checkpoint() error {
 		e.stats.TruncateFailures.Inc()
 	}
 	// Truncation parks dead segments; the archiver goroutine ships them
-	// to cold storage and recycles their slots off the checkpoint path.
+	// to cold storage and recycles their slots off the checkpoint path,
+	// and the cloud-tier maintenance daemon compacts and prunes what
+	// the archiver has landed.
 	e.nudgeArchiver()
+	e.nudgeRetention()
 	e.stats.Checkpoints.Inc()
 	return nil
 }

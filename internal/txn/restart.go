@@ -54,6 +54,10 @@ type RestartConfig struct {
 	// redo pass walking pages in log order and the RebuildTables scan both
 	// stream their faults. Meaningful only with Archive set.
 	PrefetchDepth int
+	// Retention arms the cloud-tier maintenance daemon (see
+	// txn.Config.Retention). Meaningful only when the log devices
+	// archive into a remote object store.
+	Retention RetentionConfig
 }
 
 // Restart performs crash recovery and returns a ready engine: read the
@@ -127,6 +131,7 @@ func Restart(cfg RestartConfig) (*Engine, *recovery.Result, error) {
 		CleanerPages:         cfg.CleanerPages,
 		CleanerInterval:      cfg.CleanerInterval,
 		PrefetchDepth:        cfg.PrefetchDepth,
+		Retention:            cfg.Retention,
 	})
 	if err != nil {
 		lm.Close()
@@ -223,6 +228,7 @@ func restartMulti(cfg RestartConfig) (*Engine, *recovery.Result, error) {
 		CleanerPages:         cfg.CleanerPages,
 		CleanerInterval:      cfg.CleanerInterval,
 		PrefetchDepth:        cfg.PrefetchDepth,
+		Retention:            cfg.Retention,
 	})
 	if err != nil {
 		ml.Close()

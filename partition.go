@@ -116,6 +116,17 @@ func openMulti(opts Options) (*DB, error) {
 			s.SetArchiver(a)
 		}
 	}
+	if opts.RemoteStore != nil {
+		// One key-prefix lane per partition in the shared object store:
+		// p0/seg/…, p1/seg/…. Each partition's archiver ships and packs
+		// its own lane, mirroring the per-partition ArchiveDir layout.
+		for i, s := range db.segDevs {
+			ra := logdev.NewRemoteArchiver(opts.RemoteStore, PartitionDir(i), opts.SegmentSize)
+			db.archivers = append(db.archivers, ra)
+			db.remotes = append(db.remotes, ra)
+			s.SetArchiver(ra)
+		}
+	}
 	if _, err := db.start(); err != nil {
 		closeDevs()
 		return nil, err
